@@ -1,0 +1,81 @@
+"""Ablation A1: the oversubscription ratio q (paper section 4).
+
+Sweeps q at fixed locality and regenerates the text's tradeoff: higher q
+lowers intra-clique latency but raises inter-clique latency, and
+throughput peaks exactly at q* = 2/(1-x) where the intra and inter bounds
+meet.
+"""
+
+import pytest
+
+from repro.analysis import (
+    optimal_q,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+    sorn_throughput,
+    sorn_throughput_bounds,
+)
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import saturation_throughput
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix
+
+X = 0.56
+N, NC = 4096, 64
+Q_SWEEP = [1.0, 2.0, 3.0, optimal_q(X), 6.0, 9.0, 15.0]
+
+
+def sweep_analytical():
+    rows = []
+    for q in Q_SWEEP:
+        rows.append(
+            (
+                q,
+                sorn_delta_m_intra(N, NC, q),
+                sorn_delta_m_inter(N, NC, q),
+                sorn_throughput_bounds(q, X),
+            )
+        )
+    return rows
+
+
+def test_q_sweep_analytical(benchmark, report):
+    rows = benchmark(sweep_analytical)
+    lines = [f"{'q':>6} {'dm_intra':>9} {'dm_inter':>9} {'thpt':>8}"]
+    for q, intra, inter, thpt in rows:
+        marker = "  <- q*" if q == optimal_q(X) else ""
+        lines.append(f"{q:>6.2f} {intra:>9} {inter:>9} {thpt:>8.4f}{marker}")
+    report(f"A1: q sweep at x={X}, N={N}, Nc={NC}", lines)
+
+    intras = [r[1] for r in rows]
+    assert intras == sorted(intras, reverse=True)  # q up -> intra wait down
+    throughputs = [r[3] for r in rows]
+    best = max(range(len(rows)), key=lambda i: throughputs[i])
+    assert rows[best][0] == optimal_q(X)  # peak exactly at q*
+    assert throughputs[best] == pytest.approx(sorn_throughput(X))
+
+
+def sweep_fluid():
+    layout = CliqueLayout.equal(64, 8)
+    matrix = clustered_matrix(layout, X)
+    router = SornRouter(layout)
+    out = []
+    for q in [1.0, 2.0, optimal_q(X), 9.0]:
+        schedule = build_sorn_schedule(64, 8, q=q, max_denominator=256)
+        out.append((q, saturation_throughput(schedule, router, matrix).throughput))
+    return out
+
+
+def test_q_sweep_fluid(benchmark, report):
+    """The same sweep on the realized schedule + exact fluid solver."""
+    rows = benchmark(sweep_fluid)
+    report(
+        "A1: q sweep, fluid solver (N=64, Nc=8)",
+        [f"q={q:>5.2f}: thpt={t:.4f}" for q, t in rows],
+    )
+    best_q, best_t = max(rows, key=lambda r: r[1])
+    assert best_q == optimal_q(X)
+    # Mis-tuning q to 1.0 costs >25 % of achievable throughput.
+    worst_t = min(t for _, t in rows)
+    assert worst_t < 0.75 * best_t

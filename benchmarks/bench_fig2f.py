@@ -1,0 +1,85 @@
+"""Experiment: Figure 2(f) — worst-case throughput vs locality ratio.
+
+The paper plots the theoretical scaling r = 1/(3-x) "along with a
+simulation of 128 nodes and 8 cliques using real-world traffic [2]".  We
+regenerate both series:
+
+- the theory curve and the exact fluid-solver curve at the paper's scale
+  (128 nodes, 8 cliques), which must coincide;
+- slot-level simulation points with pFabric web-search flow sizes at a
+  reduced scale (kept benchmark-fast), which must track the curve.
+"""
+
+import pytest
+
+from repro.analysis import optimal_q, sorn_throughput
+from repro.core import Sorn
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SlotSimulator
+from repro.traffic import WEB_SEARCH, Workload, clustered_matrix
+
+LOCALITIES = [0.0, 0.2, 0.4, 0.56, 0.8]
+
+
+def fluid_curve(num_nodes=128, num_cliques=8):
+    points = []
+    for x in LOCALITIES:
+        sorn = Sorn.optimal(num_nodes, num_cliques, x)
+        matrix = clustered_matrix(sorn.layout, x)
+        points.append((x, sorn.fluid_throughput(matrix).throughput))
+    return points
+
+
+def test_fig2f_theory_and_fluid(benchmark, report):
+    points = benchmark(fluid_curve)
+    lines = [f"{'x':>5} {'theory':>8} {'fluid':>8}"]
+    for x, fluid in points:
+        lines.append(f"{x:>5.2f} {sorn_throughput(x):>8.4f} {fluid:>8.4f}")
+    report("Figure 2(f): theory vs fluid (N=128, Nc=8)", lines)
+
+    for x, fluid in points:
+        assert fluid == pytest.approx(sorn_throughput(x), rel=0.02)
+    # Monotone increasing in locality, within the paper's [1/3, 1/2] band.
+    values = [f for _, f in points]
+    assert values == sorted(values)
+    assert 1 / 3 - 0.01 <= values[0] and values[-1] <= 0.5 + 0.01
+
+
+def simulate_point(x, num_nodes=64, num_cliques=8, slots=2000, seed=3):
+    schedule = build_sorn_schedule(num_nodes, num_cliques, q=optimal_q(x))
+    matrix = clustered_matrix(schedule.layout, x)
+    workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
+    flows = workload.generate(slots, rng=seed)
+    sim = SlotSimulator(schedule, SornRouter(schedule.layout), rng=seed)
+    return sim.measure_saturation_throughput(flows, slots)
+
+
+def test_fig2f_simulated_points(benchmark, report):
+    """Slot-level simulation with pFabric traffic at the trace locality."""
+    x = 0.56
+    measured = benchmark.pedantic(simulate_point, args=(x,), rounds=1, iterations=1)
+    report(
+        "Figure 2(f): simulated point (64 nodes, 8 cliques, pFabric web-search)",
+        [f"x={x}: simulated {measured:.4f} vs theory {sorn_throughput(x):.4f}"],
+    )
+    assert measured == pytest.approx(sorn_throughput(x), abs=0.07)
+
+
+def test_fig2f_simulated_extremes(benchmark, report):
+    """Low- and high-locality simulation points bracket the curve."""
+
+    def run():
+        return simulate_point(0.1, slots=1500), simulate_point(0.8, slots=1500)
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Figure 2(f): simulated extremes",
+        [
+            f"x=0.1: {low:.4f} (theory {sorn_throughput(0.1):.4f})",
+            f"x=0.8: {high:.4f} (theory {sorn_throughput(0.8):.4f})",
+        ],
+    )
+    assert low < high
+    assert low == pytest.approx(sorn_throughput(0.1), abs=0.08)
+    assert high == pytest.approx(sorn_throughput(0.8), abs=0.08)

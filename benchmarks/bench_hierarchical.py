@@ -1,0 +1,109 @@
+"""Ablation A10: the hierarchical SORN family (section 6 extension).
+
+"Discourse on semi-oblivious designs doesn't stop here."  One natural
+member of the design space the paper sketches: run an h-dimensional
+optimal-ORN schedule *within* each clique.  Closed forms generalize the
+paper's exactly (q* = 2h/(1-x), r* = 1/(2h+1-x), both reducing to the
+SORN formulas at h = 1).  This bench regenerates the extended Table 1
+block and the extended Pareto picture, and verifies the fluid solver
+matches the new closed forms.
+"""
+
+import pytest
+
+from repro.analysis import (
+    hierarchical_delta_m_inter,
+    hierarchical_delta_m_intra,
+    hierarchical_max_hops,
+    hierarchical_optimal_q,
+    hierarchical_throughput,
+    optimal_q,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+    sorn_throughput,
+)
+from repro.hardware.timing import TABLE1_TIMING
+from repro.routing import HierarchicalSornRouter
+from repro.schedules import HierarchicalSornSchedule
+from repro.sim import saturation_throughput
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix
+
+X = 0.56
+N, NC = 4096, 64  # cliques of 64 = 8^2: perfect square for h = 2
+
+
+def extended_table():
+    rows = []
+    q1 = optimal_q(X)
+    rows.append(
+        (
+            "SORN h=1",
+            sorn_delta_m_intra(N, NC, q1),
+            sorn_delta_m_inter(N, NC, q1),
+            TABLE1_TIMING.min_latency_us(sorn_delta_m_intra(N, NC, q1), 2),
+            TABLE1_TIMING.min_latency_us(sorn_delta_m_inter(N, NC, q1), 3),
+            sorn_throughput(X),
+        )
+    )
+    for h in (2, 3):
+        if round(64 ** (1 / h)) ** h != 64:
+            continue
+        q = hierarchical_optimal_q(X, h)
+        intra = hierarchical_delta_m_intra(N, NC, q, h)
+        inter = hierarchical_delta_m_inter(N, NC, q, h)
+        rows.append(
+            (
+                f"SORN h={h}",
+                intra,
+                inter,
+                TABLE1_TIMING.min_latency_us(intra, 2 * h),
+                TABLE1_TIMING.min_latency_us(inter, 2 * h + 1),
+                hierarchical_throughput(X, h),
+            )
+        )
+    return rows
+
+
+def test_extended_table(benchmark, report):
+    rows = benchmark(extended_table)
+    lines = [
+        f"{'family':<10} {'dm_intra':>9} {'dm_inter':>9} "
+        f"{'lat_intra':>10} {'lat_inter':>10} {'thpt':>8}"
+    ]
+    for name, di, dx, li, lx, thpt in rows:
+        lines.append(
+            f"{name:<10} {di:>9} {dx:>9} {li:>9.2f}u {lx:>9.2f}u {thpt:>8.4f}"
+        )
+    report(f"A10: hierarchical SORN family at N={N}, Nc={NC}, x={X}", lines)
+
+    by_name = {r[0]: r for r in rows}
+    # Intra latency collapses with h; throughput decays as 1/(2h+1-x).
+    assert by_name["SORN h=2"][1] < by_name["SORN h=1"][1] / 2
+    assert by_name["SORN h=2"][5] == pytest.approx(1 / (4 + 1 - X))
+    # h=2 intra latency also beats the flat 2D ORN's wait (252 slots).
+    assert by_name["SORN h=2"][1] < 252
+
+
+def fluid_check():
+    layout = CliqueLayout.equal(64, 4)  # cliques of 16 = 4^2
+    results = []
+    for h in (1, 2):
+        q = hierarchical_optimal_q(X, h)
+        schedule = HierarchicalSornSchedule(layout, q=q, h=h, max_denominator=256)
+        router = HierarchicalSornRouter(schedule)
+        result = saturation_throughput(
+            schedule, router, clustered_matrix(layout, X)
+        )
+        results.append((h, result.throughput, hierarchical_throughput(X, h)))
+    return results
+
+
+def test_fluid_matches_family_closed_forms(benchmark, report):
+    results = benchmark.pedantic(fluid_check, rounds=1, iterations=1)
+    report(
+        "A10: fluid solver vs closed forms (N=64, Nc=4)",
+        [f"h={h}: fluid={f:.4f} theory={t:.4f}" for h, f, t in results],
+    )
+    for _, fluid, theory in results:
+        assert fluid == pytest.approx(theory, rel=0.02)

@@ -1,0 +1,68 @@
+"""Ablation A12: latency classes — short-flow priority on SORN.
+
+Table 1 models Opera's split service (75 % latency-sensitive short
+flows).  SORN can offer the same class separation with a queueing knob
+instead of a separate topology: strict short-over-bulk priority in every
+VOQ.  This bench measures short-flow FCT on SORN with and without the
+priority lane under a bimodal (short/elephant) workload, verifying the
+class separation the paper's comparison presumes.
+"""
+
+import pytest
+
+from repro.analysis import optimal_q
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator
+from repro.topology import CliqueLayout
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+N, NC, X = 32, 4, 0.7
+THRESHOLD = 5  # cells
+
+#: Bimodal sizes: 75 % short (2-cell) flows, 25 % elephants (60 cells) —
+#: the short-flow share Table 1 assumes.
+BIMODAL = FlowSizeDistribution(
+    [(2999, 0.0), (3000, 0.75), (89999, 0.75), (90000, 1.0)], name="bimodal"
+)
+
+
+def run(prioritized):
+    layout = CliqueLayout.equal(N, NC)
+    schedule = build_sorn_schedule(N, NC, q=optimal_q(X), layout=layout)
+    workload = Workload(clustered_matrix(layout, X), BIMODAL, load=0.5)
+    flows = workload.generate(2500, rng=31)
+    config = SimConfig(
+        drain=True,
+        max_drain_slots=20_000,
+        short_flow_threshold_cells=THRESHOLD if prioritized else None,
+        classify_fct_threshold_cells=THRESHOLD,
+    )
+    sim = SlotSimulator(schedule, SornRouter(layout), config, rng=7)
+    return sim.run(flows, 2500)
+
+
+def test_short_flow_priority(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {"fifo": run(False), "priority": run(True)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'policy':<10} {'short p50':>10} {'short p99':>10} {'bulk p50':>9} {'done':>6}",
+    ]
+    for name, rep in results.items():
+        lines.append(
+            f"{name:<10} {rep.short_fct_percentile(50):>10.0f} "
+            f"{rep.short_fct_percentile(99):>10.0f} "
+            f"{rep.bulk_fct_percentile(50):>9.0f} {rep.completion_ratio:>6.1%}"
+        )
+    report(f"A12: short-flow priority on SORN (x={X}, 75% short flows)", lines)
+
+    fifo, priority = results["fifo"], results["priority"]
+    # Priority cuts the short-flow tail without stalling bulk.
+    assert priority.short_fct_percentile(99) < fifo.short_fct_percentile(99)
+    assert priority.completion_ratio > 0.95
+    assert fifo.completion_ratio > 0.95
+    # Class separation: short p99 under priority beats bulk p50.
+    assert priority.short_fct_percentile(99) < priority.bulk_fct_percentile(50)

@@ -1,0 +1,65 @@
+"""Ablation A13: where queueing starts to dominate intrinsic latency.
+
+Table 1 "removes the effects of queuing and shows latency for a single
+packet".  This bench puts queueing back: flow completion time vs offered
+load on SORN, simulated and compared against the slotted M/D/1-style
+model (:mod:`repro.analysis.queueing`).  The claim being verified is the
+*shape*: latency sits near the intrinsic floor until ~60 % of saturation,
+then follows the model's hockey stick.
+"""
+
+import pytest
+
+from repro.analysis import expected_circuit_wait_slots, optimal_q, sorn_throughput
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator
+from repro.topology import CliqueLayout
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+N, NC, X = 32, 4, 0.56
+LOADS = [0.1, 0.2, 0.3, 0.38]  # fractions of injection bandwidth
+SATURATION = sorn_throughput(X)  # ~0.41
+
+
+def sweep():
+    layout = CliqueLayout.equal(N, NC)
+    schedule = build_sorn_schedule(N, NC, q=optimal_q(X), layout=layout)
+    router = SornRouter(layout)
+    rows = []
+    for load in LOADS:
+        workload = Workload(
+            clustered_matrix(layout, X), FlowSizeDistribution.fixed(1500),
+            load=load,
+        )
+        flows = workload.generate(4000, rng=17)
+        sim = SlotSimulator(
+            schedule, router, SimConfig(drain=True, max_drain_slots=30_000), rng=5
+        )
+        report = sim.run(flows, 4000)
+        rows.append((load, report.mean_fct, report.fct_percentile(99)))
+    return rows
+
+
+def test_latency_vs_load_hockey_stick(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Model reference: the dominant wait is the direct intra hop whose
+    # circuit opens every ~(q+1)/q * (S-1) slots.
+    q = optimal_q(X)
+    gap = (q + 1) / q * (N // NC - 1)
+    lines = [f"{'load':>6} {'mean FCT':>9} {'p99 FCT':>9} {'model wait':>11}"]
+    for load, mean_fct, p99 in rows:
+        rho = min(load / SATURATION, 0.99)
+        model = expected_circuit_wait_slots(gap, rho)
+        lines.append(f"{load:>6.2f} {mean_fct:>9.1f} {p99:>9.0f} {model:>11.1f}")
+    report(f"A13: FCT vs load on SORN (x={X}, saturation ~{SATURATION:.2f})", lines)
+
+    means = [m for _, m, _ in rows]
+    # Monotone growth, gentle at first, steep near saturation.
+    assert means == sorted(means)
+    low_growth = means[1] / means[0]
+    high_growth = means[-1] / means[-2]
+    assert high_growth > low_growth
+    # Near saturation (0.38 of 0.41), queueing dominates: mean FCT is
+    # several times the low-load value.
+    assert means[-1] > 2.5 * means[0]

@@ -1,0 +1,78 @@
+"""Ablation A4: schedule cycle time vs network size (paper section 2).
+
+"For 10,000 nodes, a round robin schedule with 50 ns time slots can take
+500 us to cycle through."  Regenerates that scaling for the flat RR and
+shows how 2D ORNs and SORN collapse the cycle a packet must wait through.
+"""
+
+import pytest
+
+from repro.analysis import (
+    multidim_delta_m,
+    optimal_q,
+    rr_delta_m,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+)
+from repro.hardware.timing import TimingModel
+
+#: The motivating example: 50 ns slots, no parallel uplinks.
+MOTIVATION_TIMING = TimingModel(slot_ns=50.0, propagation_ns=0.0, uplinks=1)
+
+SIZES = [1024, 4096, 16384, 65536]
+X = 0.56
+
+
+def sweep():
+    q = optimal_q(X)
+    rows = []
+    for n in SIZES:
+        nc = max(2, round((n / 2) ** 0.5))  # Nc ~ sqrt(N/2) keeps waits balanced
+        while n % nc != 0:
+            nc += 1
+        rows.append(
+            (
+                n,
+                rr_delta_m(n),
+                multidim_delta_m(n, 2),
+                sorn_delta_m_intra(n, nc, q),
+                sorn_delta_m_inter(n, nc, q),
+                nc,
+            )
+        )
+    return rows
+
+
+def test_cycle_time_scaling(benchmark, report):
+    rows = benchmark(sweep)
+    lines = [
+        f"{'N':>7} {'RR dm':>8} {'2D dm':>7} {'SORN intra':>11} {'SORN inter':>11} {'Nc':>5}"
+    ]
+    for n, rr, md, si, sx, nc in rows:
+        lines.append(f"{n:>7} {rr:>8} {md:>7} {si:>11} {sx:>11} {nc:>5}")
+    report("A4: delta_m scaling with N (x=0.56)", lines)
+
+    # The paper's 10k-node motivating number: ~500 us to cycle through.
+    ten_k_cycle_us = MOTIVATION_TIMING.min_latency_us(rr_delta_m(10_000), 0)
+    assert ten_k_cycle_us == pytest.approx(500, rel=0.01)
+
+    for n, rr, md, si, sx, _ in rows:
+        assert rr == n - 1                     # Theta(N)
+        assert md <= 4 * (int(n ** 0.5) + 1)   # Theta(sqrt(N))
+        assert sx < rr / 5                     # SORN collapses the cycle
+        assert si < md                         # local traffic waits least
+
+
+def test_rr_cycle_grows_linearly_2d_sublinearly(benchmark, report):
+    def ratios():
+        rr_growth = rr_delta_m(65536) / rr_delta_m(1024)
+        md_growth = multidim_delta_m(65536, 2) / multidim_delta_m(1024, 2)
+        return rr_growth, md_growth
+
+    rr_growth, md_growth = benchmark(ratios)
+    report(
+        "A4: growth factors 1k -> 64k nodes",
+        [f"RR x{rr_growth:.0f}, 2D ORN x{md_growth:.1f}"],
+    )
+    assert rr_growth == pytest.approx(64, rel=0.01)
+    assert md_growth == pytest.approx(8, rel=0.1)

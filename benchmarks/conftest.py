@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper (or one
+ablation from DESIGN.md), times the computation via pytest-benchmark, and
+*prints* the regenerated rows/series so ``pytest benchmarks/
+--benchmark-only -s | tee bench_output.txt`` records the reproduction
+alongside the timings.  Assertions pin the qualitative shape (who wins,
+by roughly what factor) — the pass/fail signal of the reproduction.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(title, lines):
+    """Print a regenerated table to real stdout (survives pytest capture)."""
+    stream = sys.stdout
+    print(f"\n=== {title} ===", file=stream)
+    for line in lines:
+        print(line, file=stream)
+    stream.flush()
+
+
+@pytest.fixture
+def report():
+    """The emit helper as a fixture."""
+    return emit

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare SORN against every oblivious baseline, analytically and by
+simulation (the Table 1 story, plus live measurements).
+
+Builds all four systems at simulation scale — flat 1D ORN (Sirius-style),
+2D optimal ORN, Opera-style rotating expander, and SORN — runs the same
+clustered workload through each, and prints analysis vs. measurement side
+by side.
+
+Run:  python examples/compare_systems.py [--nodes 64] [--locality 0.7]
+"""
+
+import argparse
+
+from repro.analysis import (
+    format_table,
+    multidim_throughput,
+    optimal_q,
+    sorn_throughput,
+    table1,
+    vlb_throughput,
+)
+from repro.routing import MultiDimRouter, OperaRouter, SornRouter, VlbRouter
+from repro.schedules import (
+    ExpanderSchedule,
+    MultiDimSchedule,
+    RoundRobinSchedule,
+    build_sorn_schedule,
+)
+from repro.sim import SimConfig, SlotSimulator
+from repro.topology import CliqueLayout
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+
+def build_systems(n, nc, x):
+    layout = CliqueLayout.equal(n, nc)
+    md = MultiDimSchedule(n, 2)
+    expander = ExpanderSchedule(n, 8, seed=1)
+    return {
+        "ORN 1D": (RoundRobinSchedule(n), VlbRouter(n), vlb_throughput()),
+        "ORN 2D": (md, MultiDimRouter(md), multidim_throughput(2)),
+        "Opera": (expander, OperaRouter(expander), None),
+        "SORN": (
+            build_sorn_schedule(n, nc, q=optimal_q(x), layout=layout),
+            SornRouter(layout),
+            sorn_throughput(x),
+        ),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--cliques", type=int, default=8)
+    parser.add_argument("--locality", type=float, default=0.7)
+    parser.add_argument("--slots", type=int, default=1500)
+    args = parser.parse_args()
+
+    print("Published-scale analytical comparison (Table 1):\n")
+    print(format_table(table1()))
+
+    n, nc, x = args.nodes, args.cliques, args.locality
+    layout = CliqueLayout.equal(n, nc)
+    matrix = clustered_matrix(layout, x)
+
+    print(f"\nSimulation-scale comparison: N={n}, Nc={nc}, x={x}")
+    print(f"{'system':<8} {'analytic r':>11} {'sim r':>8} {'mean FCT':>9} {'hops':>6}")
+
+    for name, (schedule, router, analytic) in build_systems(n, nc, x).items():
+        # Saturation throughput.
+        wl = Workload(matrix, FlowSizeDistribution.fixed(7500), load=1.4)
+        sat_flows = wl.generate(args.slots, rng=11)
+        sat = SlotSimulator(schedule, router, rng=4).measure_saturation_throughput(
+            sat_flows, args.slots
+        )
+        # FCT at moderate load.
+        wl_low = Workload(matrix, FlowSizeDistribution.fixed(6000), load=0.3)
+        fct_flows = wl_low.generate(args.slots, rng=12)
+        rep = SlotSimulator(schedule, router, SimConfig(drain=True), rng=4).run(
+            fct_flows, args.slots
+        )
+        analytic_text = f"{analytic:.4f}" if analytic is not None else "   n/a"
+        print(
+            f"{name:<8} {analytic_text:>11} {sat:>8.4f} "
+            f"{rep.mean_fct:>9.1f} {rep.mean_hops:>6.2f}"
+        )
+
+    print(
+        "\nReading: SORN sustains near-1D throughput at a fraction of the "
+        "1D flow-completion time; the 2D ORN buys latency with throughput; "
+        "Opera's expander hops tax its bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Running the production-trace workload (Roy et al. substitution) on SORN.
+
+Synthesizes the Facebook-style cluster-role traffic the paper's Table 1
+parameters come from (56 % locality, 75 % short flows), measures the
+structure the control plane would see, and simulates flow completion on
+SORN vs. the flat oblivious baseline using pFabric web-search flow sizes.
+
+Run:  python examples/facebook_workload.py
+"""
+
+import numpy as np
+
+from repro.analysis import optimal_q
+from repro.control import balanced_cliques, weighted_sorn_schedule
+from repro.routing import SornRouter, VlbRouter
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator, saturation_throughput
+from repro.topology import CliqueLayout
+from repro.traffic import (
+    FACEBOOK_LOCALITY_RATIO,
+    FACEBOOK_SHORT_FLOW_SHARE,
+    WEB_SEARCH,
+    Workload,
+    facebook_cluster_matrix,
+)
+
+N, NC = 64, 8
+
+
+def main():
+    rng = np.random.default_rng(7)
+
+    # --- the workload -------------------------------------------------------
+    truth = CliqueLayout.random_equal(N, NC, rng=rng)
+    demand = facebook_cluster_matrix(truth, rng=rng)
+    print("Facebook-style cluster workload (synthetic stand-in for the "
+          "proprietary trace):")
+    print(f"  target locality ratio: {FACEBOOK_LOCALITY_RATIO} "
+          f"(measured {demand.locality(truth):.3f})")
+    print(f"  short-flow share assumed by Table 1: {FACEBOOK_SHORT_FLOW_SHARE}")
+    print(f"  pair-demand skew: {demand.skew():.1f}x over uniform")
+    print(f"  web-search flows under 100KB: "
+          f"{WEB_SEARCH.short_flow_fraction(100_000):.0%}")
+
+    # --- what the control plane recovers ------------------------------------
+    layout = balanced_cliques(demand, NC)
+    x = min(demand.locality(layout), 0.99)
+    print(f"\nControl plane: clustering recovered locality {x:.3f} "
+          f"(true layout recovered: "
+          f"{ {frozenset(g) for g in layout.groups()} == {frozenset(g) for g in truth.groups()} })")
+
+    # --- throughput: uniform vs weighted inter-clique bandwidth -------------
+    q = optimal_q(x)
+    router = SornRouter(layout)
+    uniform = build_sorn_schedule(N, NC, q=q, layout=layout)
+    r_uniform = saturation_throughput(uniform, router, demand).throughput
+    aggregate = demand.aggregate(layout)
+    np.fill_diagonal(aggregate, 0.0)
+    weighted = weighted_sorn_schedule(layout, q, aggregate, inter_slots=112)
+    r_weighted = saturation_throughput(weighted, router, demand).throughput
+    print(f"\nSaturation throughput on the role-skewed matrix:")
+    print(f"  uniform inter-clique bandwidth : {r_uniform:.4f}")
+    print(f"  weighted (aggregate-matrix BvN): {r_weighted:.4f}  "
+          f"(+{(r_weighted / r_uniform - 1):.0%})")
+
+    # --- flow completion vs the flat oblivious design ------------------------
+    workload = Workload(demand, WEB_SEARCH, load=0.3, cell_bytes=150_000)
+    flows = workload.generate(1500, rng=3)
+    systems = [
+        ("SORN uniform", uniform, router),
+        ("SORN weighted", weighted, router),
+        ("ORN 1D (flat)", RoundRobinSchedule(N), VlbRouter(N)),
+    ]
+    reports = {}
+    print(f"\nFlow completion (load 0.3, pFabric web-search sizes, slots):")
+    print(f"  {'system':<14} {'p50':>7} {'p99':>8} {'mean':>8}")
+    for name, schedule, rtr in systems:
+        rep = SlotSimulator(schedule, rtr, SimConfig(drain=True), rng=4).run(
+            flows, 1500
+        )
+        reports[name] = rep
+        print(f"  {name:<14} {rep.fct_percentile(50):>7.0f} "
+              f"{rep.fct_percentile(99):>8.0f} {rep.mean_fct:>8.1f}")
+
+    speedup = reports["ORN 1D (flat)"].mean_fct / reports["SORN weighted"].mean_fct
+    print(f"\nReading: with the aggregate matrix encoded into inter-clique "
+          f"bandwidth, SORN completes the trace-like workload {speedup:.1f}x "
+          f"faster than the flat design on mean/median FCT.  The flat "
+          f"design keeps the best p99 tail — full obliviousness is exactly "
+          f"the insurance against residual skew, which is the "
+          f"latency-throughput premium the paper quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: build a SORN, inspect it, compare it to oblivious designs.
+
+Walks the library's public API in the order the paper presents the ideas:
+
+1. the physical substrate (Figure 1 / Figure 2a-b): a round-robin ORN and
+   a wavelength-routed matching family;
+2. a semi-oblivious schedule concentrating bandwidth in cliques (Fig 2d);
+3. the analytical model (latency / throughput / bandwidth cost);
+4. a small end-to-end simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Sorn
+from repro.analysis import format_table, table1
+from repro.hardware.awgr import example_figure2_awgr
+from repro.schedules import RoundRobinSchedule
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+
+def main():
+    # --- 1. Oblivious baseline: the Figure 1 round robin -------------------
+    print("Figure 1: round-robin schedule for 5 nodes (rows = nodes):")
+    rr = RoundRobinSchedule(5)
+    names = "ABCDE"
+    for node in range(5):
+        row = " ".join(names[v] for v in rr.node_row(node))
+        print(f"  {names[node]}: {row}")
+
+    print("\nFigure 2(a-b): an 8-node AWGR offering matchings m1..m5:")
+    awgr = example_figure2_awgr()
+    for w in awgr.wavelengths:
+        print(f"  m{w}: {awgr.matching_for_wavelength(w).tolist()}")
+
+    # --- 2. A semi-oblivious network ---------------------------------------
+    # 128 nodes, 8 cliques, designed for the production-trace locality 0.56.
+    sorn = Sorn.optimal(num_nodes=128, num_cliques=8, locality=0.56)
+    print(f"\nDeployment: {sorn!r}")
+    print(f"Schedule period: {sorn.schedule.period} slots "
+          f"({sorn.schedule.num_intra_slots} intra / "
+          f"{sorn.schedule.num_inter_slots} inter)")
+
+    # --- 3. The analytical model (one Table 1 block) -----------------------
+    print("\nAnalytical model:")
+    print(sorn.model().describe())
+
+    # And the full published comparison table:
+    print("\nTable 1 at 4096 racks:")
+    print(format_table(table1()))
+
+    # --- 4. Fluid analysis + a short simulation ----------------------------
+    matrix = clustered_matrix(sorn.layout, 0.56)
+    fluid = sorn.fluid_throughput(matrix)
+    print(f"\nFluid saturation throughput: {fluid.throughput:.4f} "
+          f"(theory 1/(3-x) = {1 / (3 - 0.56):.4f}); "
+          f"mean hops {fluid.mean_hops:.2f}")
+
+    workload = Workload(matrix, FlowSizeDistribution.fixed(15_000), load=0.5)
+    flows = workload.generate(800, rng=1)
+    report = sorn.simulate(flows, 800, rng=2)
+    print(f"Simulated 800 slots at load 0.5: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Closed-form latency/throughput/cost analysis and the Table 1 builder."""
+
+from .latency import (
+    rr_delta_m,
+    multidim_delta_m,
+    sorn_delta_m_intra,
+    sorn_delta_m_inter,
+    opera_bulk_delta_m,
+)
+from .throughput import (
+    vlb_throughput,
+    multidim_throughput,
+    optimal_q,
+    sorn_throughput,
+    sorn_throughput_bounds,
+    opera_throughput,
+)
+from .cost import normalized_bandwidth_cost, sorn_mean_hops
+from .compare import SystemRow, table1, format_table
+from .pareto import pareto_frontier, sorn_tradeoff_curve, orn_tradeoff_points
+from .hierarchical import (
+    hierarchical_delta_m_inter,
+    hierarchical_delta_m_intra,
+    hierarchical_max_hops,
+    hierarchical_optimal_q,
+    hierarchical_throughput,
+    hierarchical_throughput_bounds,
+)
+from .practicality import (
+    flat_sync_domain_size,
+    link_blast_radius,
+    node_blast_radius,
+    sorn_sync_domain_size,
+)
+from .costmodel import DEFAULT_COSTS, FabricCost, PortCosts, fabric_cost
+from .expressivity import (
+    feasible_clique_counts_for_budget,
+    sorn_wavelength_demand,
+    sorn_wavelengths_needed,
+    wavelength_band_usage,
+)
+from .queueing import (
+    expected_circuit_wait_slots,
+    expected_path_latency_slots,
+    latency_load_curve,
+)
+
+__all__ = [
+    "rr_delta_m",
+    "multidim_delta_m",
+    "sorn_delta_m_intra",
+    "sorn_delta_m_inter",
+    "opera_bulk_delta_m",
+    "vlb_throughput",
+    "multidim_throughput",
+    "optimal_q",
+    "sorn_throughput",
+    "sorn_throughput_bounds",
+    "opera_throughput",
+    "normalized_bandwidth_cost",
+    "sorn_mean_hops",
+    "SystemRow",
+    "table1",
+    "format_table",
+    "pareto_frontier",
+    "sorn_tradeoff_curve",
+    "orn_tradeoff_points",
+    "hierarchical_optimal_q",
+    "hierarchical_throughput",
+    "hierarchical_throughput_bounds",
+    "hierarchical_delta_m_intra",
+    "hierarchical_delta_m_inter",
+    "hierarchical_max_hops",
+    "node_blast_radius",
+    "link_blast_radius",
+    "sorn_sync_domain_size",
+    "flat_sync_domain_size",
+    "expected_circuit_wait_slots",
+    "expected_path_latency_slots",
+    "latency_load_curve",
+    "PortCosts",
+    "FabricCost",
+    "fabric_cost",
+    "DEFAULT_COSTS",
+    "wavelength_band_usage",
+    "sorn_wavelength_demand",
+    "sorn_wavelengths_needed",
+    "feasible_clique_counts_for_budget",
+]

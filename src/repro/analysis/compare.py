@@ -1,0 +1,178 @@
+"""The Table 1 builder: comparing SORN to oblivious designs.
+
+Reproduces the paper's Table 1 for a 4096-rack DCN with 16 uplinks per
+rack, 100 ns slots and 500 ns per-hop propagation; Opera modeled with
+90 us slots.  Each :class:`SystemRow` carries the five published columns
+(max hops, delta_m, min latency, throughput, normalized bandwidth cost);
+:func:`format_table` renders them like the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..hardware.timing import TimingModel, TABLE1_TIMING, OPERA_TIMING
+from ..util import check_fraction, check_positive_int
+from .cost import normalized_bandwidth_cost
+from .latency import (
+    multidim_delta_m,
+    opera_bulk_delta_m,
+    rr_delta_m,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+)
+from .throughput import (
+    OPERA_TABLE1_THROUGHPUT,
+    multidim_throughput,
+    optimal_q,
+    sorn_throughput,
+    vlb_throughput,
+)
+
+__all__ = ["SystemRow", "table1", "format_table"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemRow:
+    """One (sub-)row of the comparison table.
+
+    ``system`` groups sub-rows (e.g. "Opera"), ``variant`` labels them
+    ("short flows" / "bulk"); throughput and bandwidth cost are per
+    system, latency fields per variant.
+    """
+
+    system: str
+    variant: str
+    max_hops: int
+    delta_m: int
+    min_latency_us: float
+    throughput: float
+    bandwidth_cost: float
+
+
+def table1(
+    num_nodes: int = 4096,
+    num_cliques: tuple = (64, 32),
+    locality: float = 0.56,
+    short_fraction: float = 0.75,
+    timing: Optional[TimingModel] = None,
+    opera_timing: Optional[TimingModel] = None,
+    sorn_variant: str = "table",
+) -> List[SystemRow]:
+    """Build the comparison rows of the paper's Table 1.
+
+    Parameters mirror the paper's stated assumptions; the defaults
+    regenerate the published table.  ``sorn_variant`` selects the
+    inter-clique delta_m formula (see :mod:`repro.analysis.latency`).
+    """
+    n = check_positive_int(num_nodes, "num_nodes", minimum=4)
+    x = check_fraction(locality, "locality")
+    timing = timing or TABLE1_TIMING
+    opera_timing = opera_timing or OPERA_TIMING
+    rows: List[SystemRow] = []
+
+    # 1D optimal ORN (Sirius): 2-hop VLB over the flat round robin.
+    delta = rr_delta_m(n)
+    thpt = vlb_throughput()
+    rows.append(
+        SystemRow(
+            system="Optimal ORN 1D (Sirius)",
+            variant="",
+            max_hops=2,
+            delta_m=delta,
+            min_latency_us=timing.min_latency_us(delta, 2),
+            throughput=thpt,
+            bandwidth_cost=normalized_bandwidth_cost(thpt),
+        )
+    )
+
+    # Opera: expander short flows (zero wait, 4 hops) and bulk rotor VLB.
+    rows.append(
+        SystemRow(
+            system="Opera",
+            variant="short flows",
+            max_hops=4,
+            delta_m=0,
+            min_latency_us=opera_timing.min_latency_us(0, 4),
+            throughput=OPERA_TABLE1_THROUGHPUT,
+            bandwidth_cost=normalized_bandwidth_cost(OPERA_TABLE1_THROUGHPUT),
+        )
+    )
+    bulk_delta = opera_bulk_delta_m(n)
+    rows.append(
+        SystemRow(
+            system="Opera",
+            variant="bulk",
+            max_hops=2,
+            delta_m=bulk_delta,
+            min_latency_us=opera_timing.min_latency_us(bulk_delta, 2),
+            throughput=OPERA_TABLE1_THROUGHPUT,
+            bandwidth_cost=normalized_bandwidth_cost(OPERA_TABLE1_THROUGHPUT),
+        )
+    )
+
+    # 2D optimal ORN: 4-hop VLB over the two-dimensional schedule.
+    delta2 = multidim_delta_m(n, 2)
+    thpt2 = multidim_throughput(2)
+    rows.append(
+        SystemRow(
+            system="Optimal ORN 2D",
+            variant="",
+            max_hops=4,
+            delta_m=delta2,
+            min_latency_us=timing.min_latency_us(delta2, 4),
+            throughput=thpt2,
+            bandwidth_cost=normalized_bandwidth_cost(thpt2),
+        )
+    )
+
+    # SORN at the optimal q for the assumed locality, per clique count.
+    q = optimal_q(x)
+    thpt_sorn = sorn_throughput(x)
+    for nc in num_cliques:
+        if n % nc != 0:
+            raise ConfigurationError(f"num_cliques={nc} must divide N={n}")
+        intra = sorn_delta_m_intra(n, nc, q)
+        inter = sorn_delta_m_inter(n, nc, q, variant=sorn_variant)
+        rows.append(
+            SystemRow(
+                system=f"SORN Nc={nc}",
+                variant="intra-clique",
+                max_hops=2,
+                delta_m=intra,
+                min_latency_us=timing.min_latency_us(intra, 2),
+                throughput=thpt_sorn,
+                bandwidth_cost=normalized_bandwidth_cost(thpt_sorn),
+            )
+        )
+        rows.append(
+            SystemRow(
+                system=f"SORN Nc={nc}",
+                variant="inter-clique",
+                max_hops=3,
+                delta_m=inter,
+                min_latency_us=timing.min_latency_us(inter, 3),
+                throughput=thpt_sorn,
+                bandwidth_cost=normalized_bandwidth_cost(thpt_sorn),
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[SystemRow]) -> str:
+    """Render rows in the paper's column layout."""
+    header = (
+        f"{'System':<28} {'Max hops':>8} {'delta_m':>8} "
+        f"{'Min latency':>12} {'Thpt.':>7} {'BW cost':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        label = row.system if not row.variant else f"{row.system} ({row.variant})"
+        lines.append(
+            f"{label:<28} {row.max_hops:>8} {row.delta_m:>8} "
+            f"{row.min_latency_us:>9.2f} us {row.throughput:>6.2%} "
+            f"{row.bandwidth_cost:>7.2f}x"
+        )
+    return "\n".join(lines)

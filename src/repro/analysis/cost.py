@@ -1,0 +1,39 @@
+"""Bandwidth cost accounting (the "Norm. BW cost" column of Table 1).
+
+Oblivious designs pay a *bandwidth tax*: routing over H hops on average
+multiplies the traffic volume the fabric must carry by H, so the network
+must be overprovisioned by H relative to an ideal direct-path fabric.  The
+paper normalizes this as ``1 / worst-case throughput``; for SORN with
+locality x the tax equals the mean hop count ``3 - x`` (2.44x at the
+trace's x = 0.56).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..util import check_fraction
+
+__all__ = ["normalized_bandwidth_cost", "sorn_mean_hops"]
+
+
+def normalized_bandwidth_cost(throughput: float) -> float:
+    """Overprovisioning factor relative to ideal direct delivery.
+
+    ``1/r``: 2x for VLB (r = 1/2), 4x for the 2D optimal ORN (r = 1/4),
+    2.44x for SORN at x = 0.56 (r = 1/2.44).
+    """
+    if not 0.0 < throughput <= 1.0:
+        raise ConfigurationError(
+            f"throughput must be in (0, 1], got {throughput}"
+        )
+    return 1.0 / throughput
+
+
+def sorn_mean_hops(intra_fraction: float) -> float:
+    """SORN's asymptotic mean hop count: x * 2 + (1-x) * 3 = 3 - x.
+
+    Coincides with the normalized bandwidth cost at the optimal q (the
+    design wastes no bandwidth beyond its hop tax).
+    """
+    x = check_fraction(intra_fraction, "intra_fraction")
+    return 3.0 - x

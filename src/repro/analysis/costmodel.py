@@ -1,0 +1,108 @@
+"""Fabric cost and power accounting (paper section 2's economics).
+
+The paper motivates reconfigurable fabrics with three numbers: optical
+circuit switching cuts per-port power "by an order of magnitude", fast
+OCS designs "can potentially reduce DCN costs by up to 70 %", and
+industrial deployments report "CapEx and OpEx reductions of about 30 %".
+This module makes that arithmetic explicit and auditable.
+
+Model: a fabric must provision enough core bandwidth to carry the offered
+traffic times its *bandwidth tax* (mean hops / inverse throughput).  A
+packet-switched Clos core pays per-port electronics (switch ASIC share +
+two transceivers per hop through the hierarchy); an OCS core pays a
+passive optical port plus the node-side tunable transceiver.  Costs are
+parameterized in relative units (packet port = 1.0) so conclusions depend
+only on ratios, which is all the paper claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from ..util import check_positive_int, check_ratio
+
+__all__ = ["PortCosts", "FabricCost", "fabric_cost", "DEFAULT_COSTS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PortCosts:
+    """Relative per-port cost and power parameters.
+
+    Defaults encode the paper's claims: an OCS port costs ~1/3 of an
+    electrical packet port (no ASIC share, passive optics) and draws ~1/10
+    of the power.
+    """
+
+    packet_port_cost: float = 1.0
+    ocs_port_cost: float = 0.35
+    packet_port_power: float = 1.0
+    ocs_port_power: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("packet_port_cost", "ocs_port_cost",
+                     "packet_port_power", "ocs_port_power"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+DEFAULT_COSTS = PortCosts()
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricCost:
+    """Provisioned ports, cost, and power of one fabric design."""
+
+    label: str
+    core_ports: float
+    relative_cost: float
+    relative_power: float
+
+    def cost_vs(self, other: "FabricCost") -> float:
+        """This fabric's cost as a fraction of *other*'s."""
+        return self.relative_cost / other.relative_cost
+
+
+def fabric_cost(
+    label: str,
+    num_nodes: int,
+    uplinks: int,
+    bandwidth_tax: float,
+    optical: bool,
+    clos_layers: int = 3,
+    costs: PortCosts = DEFAULT_COSTS,
+) -> FabricCost:
+    """Cost/power of a fabric provisioned for its bandwidth tax.
+
+    Parameters
+    ----------
+    num_nodes, uplinks:
+        Node (ToR) count and uplinks per node.
+    bandwidth_tax:
+        Overprovisioning factor: 1.0 for an ideal direct fabric, the
+        paper's "Norm. BW cost" column for reconfigurable designs, and
+        ~1.0 for a non-blocking Clos (its tax is paid in layers instead).
+    optical:
+        Whether core ports are OCS (passive) or packet (electronic).
+    clos_layers:
+        For packet fabrics: switching layers each packet crosses (a
+        3-layer folded Clos touches ~2 extra switch ports per layer).
+    """
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(uplinks, "uplinks")
+    check_ratio(bandwidth_tax, "bandwidth_tax", minimum=1.0)
+    base_ports = num_nodes * uplinks * bandwidth_tax
+    if optical:
+        core_ports = base_ports  # one OCS port per provisioned uplink
+        port_cost, port_power = costs.ocs_port_cost, costs.ocs_port_power
+    else:
+        check_positive_int(clos_layers, "clos_layers")
+        # Each layer of a folded Clos adds a switch hop: ~2 ports per hop.
+        core_ports = base_ports * 2 * clos_layers
+        port_cost, port_power = costs.packet_port_cost, costs.packet_port_power
+    return FabricCost(
+        label=label,
+        core_ports=core_ports,
+        relative_cost=core_ports * port_cost,
+        relative_power=core_ports * port_power,
+    )

@@ -1,0 +1,113 @@
+"""Hardware expressivity accounting (paper section 5, "Expressivity").
+
+"The flexibility of our framework primarily depends on two physical
+factors: the ports available at nodes and OCSes, and the matchings
+available per OCS."  For the wavelength-routed (AWGR) realization, the
+schedule's demands on hardware reduce to which *wavelengths* nodes must
+be able to emit.  These helpers quantify that:
+
+- :func:`wavelength_band_usage` — how many distinct wavelengths a
+  schedule actually needs and the widest index, i.e. the minimal tunable
+  band and grating size;
+- :func:`sorn_wavelength_demand` — the closed form for a contiguous
+  SORN layout: intra rotations use the 2(S-1) near-diagonal wavelengths,
+  inter rotations use the Nc-1 multiples of S, far below the N-1 a flat
+  round robin needs;
+- :func:`feasible_clique_counts_for_budget` — which clique counts a
+  restricted *matching family* supports (wavelength-selective OCSes offer
+  a set of matchings, not necessarily a contiguous band), reproducing the
+  section 5 observation that a modest family covers the whole useful
+  design space with "hundreds of remaining matchings" to spare.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..schedules.schedule import CircuitSchedule
+from ..schedules.wavelength import compile_wavelength_program
+from ..util import check_positive_int
+
+__all__ = [
+    "wavelength_band_usage",
+    "sorn_wavelength_demand",
+    "sorn_wavelengths_needed",
+    "feasible_clique_counts_for_budget",
+]
+
+
+def wavelength_band_usage(schedule: CircuitSchedule) -> Tuple[int, int]:
+    """(distinct wavelengths used, widest wavelength index) of a schedule.
+
+    Compiled against a full-band grating; the second element is the
+    minimal grating band that could express the schedule as-is (without
+    renumbering ports).
+    """
+    program = compile_wavelength_program(schedule)
+    used = program.wavelengths_used()
+    return len(used), (max(used) if used else 0)
+
+
+def sorn_wavelength_demand(num_nodes: int, num_cliques: int) -> int:
+    """Distinct wavelengths a contiguous-layout SORN schedule needs.
+
+    Intra rotations within contiguous cliques of size S use offsets
+    ``+/- j (j = 1..S-1)`` — ``2(S-1)`` distinct wavelengths (modular
+    wrap maps negatives to ``N - j``).  Inter rotations use offsets
+    ``g S (g = 1..Nc-1)``.  Total: ``2(S-1) + (Nc-1)``, versus the flat
+    round robin's ``N - 1``.
+    """
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(num_cliques, "num_cliques")
+    if num_nodes % num_cliques != 0:
+        raise ConfigurationError("num_cliques must divide num_nodes")
+    if num_cliques == 1:
+        # Degenerate flat network: the offsets j and N-j cover everything.
+        return num_nodes - 1
+    size = num_nodes // num_cliques
+    intra = 2 * (size - 1) if size > 1 else 0
+    inter = num_cliques - 1
+    # For Nc >= 2 the three offset groups {1..S-1}, {N-S+1..N-1} and the
+    # inter multiples {S, 2S, .., N-S} are pairwise disjoint.
+    return intra + inter
+
+
+def sorn_wavelengths_needed(num_nodes: int, num_cliques: int) -> Set[int]:
+    """The exact wavelength (rotation-offset) set a contiguous SORN uses."""
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(num_cliques, "num_cliques")
+    if num_nodes % num_cliques != 0:
+        raise ConfigurationError("num_cliques must divide num_nodes")
+    size = num_nodes // num_cliques
+    needed: Set[int] = set()
+    if size > 1:
+        for j in range(1, size):
+            needed.add(j)
+            needed.add(num_nodes - j)
+    for g in range(1, num_cliques):
+        needed.add(g * size)
+    return needed
+
+
+def feasible_clique_counts_for_budget(
+    num_nodes: int, num_matchings: int
+) -> List[int]:
+    """Clique counts whose contiguous SORN fits in a matching budget.
+
+    A wavelength-selective OCS offers some number of distinct matchings;
+    a design point (Nc) is feasible when the SORN schedule for it needs
+    at most that many (:func:`sorn_wavelengths_needed`).  Reproduces the
+    section 5 point: a few hundred matchings cover every useful clique
+    size at 4096 nodes (the flat round robin alone would need 4095).
+    """
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(num_matchings, "num_matchings")
+    from ..util import even_divisors
+
+    feasible = []
+    for nc in even_divisors(num_nodes):
+        needed = sorn_wavelengths_needed(num_nodes, nc)
+        if needed and len(needed) <= num_matchings:
+            feasible.append(nc)
+    return feasible

@@ -1,0 +1,138 @@
+"""Closed forms for the hierarchical (h-dim intra) SORN family.
+
+Derivation (mirrors the paper's section 4 arithmetic):
+
+*Latency.*  Intra slots carry q/(q+1) of the schedule; within them the
+h-dimensional sub-schedule serves a specific (dimension, shift) once per
+``h (S^{1/h} - 1)`` intra slots.  Routing takes h free LB hops and h
+direct hops, each waiting at most a full intra sub-period:
+
+    delta_m_intra = (q+1)/q * h^2 (S^{1/h} - 1)
+
+Inter-clique paths take an h-hop load-balancing digit walk (free waits,
+like every LB hop), the inter circuit, and h digit-fixing hops whose
+waits pay the intra sub-period:
+
+    delta_m_inter = (q+1)(Nc - 1) + (q+1)/q * h^2 (S^{1/h} - 1)
+
+*Throughput.*  Intra links carry q/(q+1) of bandwidth; both intra flows
+(h LB + h direct) and inter flows (h LB + h digit-fixing) cross them up
+to 2h times, so
+
+    r <= (q/(q+1)) / (2h)                        (intra links)
+    r <= 1 / ((1-x)(q+1))                        (inter links)
+
+Equating yields q* = 2h / (1-x) and
+
+    r* = 1 / (2h + 1 - x)
+
+which reduces to the paper's 2/(1-x) and 1/(3-x) at h = 1.  The family
+interpolates the latency-throughput plane: raising h collapses the
+intra-clique schedule wait by S^(1-1/h)/h^2 while costing throughput
+1/(3-x) -> 1/(2h+1-x).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from ..util import check_fraction, check_positive_int, check_ratio
+
+__all__ = [
+    "hierarchical_optimal_q",
+    "hierarchical_throughput",
+    "hierarchical_throughput_bounds",
+    "hierarchical_delta_m_intra",
+    "hierarchical_delta_m_inter",
+    "hierarchical_max_hops",
+]
+
+
+def _radix(size: int, h: int) -> int:
+    radix = round(size ** (1.0 / h))
+    for candidate in (radix - 1, radix, radix + 1):
+        if candidate >= 2 and candidate ** h == size:
+            return candidate
+    raise ConfigurationError(f"clique size {size} is not a perfect {h}-th power")
+
+
+def hierarchical_optimal_q(intra_fraction: float, h: int) -> float:
+    """Throughput-optimal q: 2h / (1-x); the paper's 2/(1-x) at h=1."""
+    x = check_fraction(intra_fraction, "intra_fraction")
+    h = check_positive_int(h, "h")
+    if x >= 1.0:
+        raise ConfigurationError("x = 1 has no finite optimal q")
+    return 2.0 * h / (1.0 - x)
+
+
+def hierarchical_throughput(intra_fraction: float, h: int) -> float:
+    """Worst-case throughput at q*: 1 / (2h + 1 - x).
+
+    h = 1 gives the paper's 1/(3-x); h = 2 spans [1/5, 1/4] — between the
+    flat SORN's [1/3, 1/2] band and below the pure 2D ORN's 1/4, paying
+    one extra (inter) hop for the clique structure.
+    """
+    x = check_fraction(intra_fraction, "intra_fraction")
+    h = check_positive_int(h, "h")
+    return 1.0 / (2.0 * h + 1.0 - x)
+
+
+def hierarchical_throughput_bounds(q: float, intra_fraction: float, h: int) -> float:
+    """Worst-case throughput at an arbitrary q (binding bound)."""
+    q = check_ratio(q, "q", minimum=1.0)
+    x = check_fraction(intra_fraction, "intra_fraction")
+    h = check_positive_int(h, "h")
+    intra_bound = (q / (q + 1.0)) / (2.0 * h)
+    if x >= 1.0:
+        return intra_bound
+    inter_bound = 1.0 / ((1.0 - x) * (q + 1.0))
+    return min(intra_bound, inter_bound)
+
+
+def _intra_term(size: int, h: int, q: float) -> float:
+    radix = _radix(size, h)
+    return (q + 1.0) / q * h * h * (radix - 1)
+
+
+def hierarchical_delta_m_intra(
+    num_nodes: int, num_cliques: int, q: float, h: int
+) -> int:
+    """Intra-clique intrinsic latency: ceil((q+1)/q * h^2 (S^{1/h}-1))."""
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(num_cliques, "num_cliques")
+    check_ratio(q, "q", minimum=1.0)
+    h = check_positive_int(h, "h")
+    if num_nodes % num_cliques != 0:
+        raise ConfigurationError("num_cliques must divide num_nodes")
+    size = num_nodes // num_cliques
+    if size == 1:
+        return 0
+    return math.ceil(_intra_term(size, h, q))
+
+
+def hierarchical_delta_m_inter(
+    num_nodes: int, num_cliques: int, q: float, h: int, variant: str = "table"
+) -> int:
+    """Inter-clique intrinsic latency; variant as in the flat SORN."""
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    check_positive_int(num_cliques, "num_cliques", minimum=2)
+    check_ratio(q, "q", minimum=1.0)
+    h = check_positive_int(h, "h")
+    if num_nodes % num_cliques != 0:
+        raise ConfigurationError("num_cliques must divide num_nodes")
+    size = num_nodes // num_cliques
+    intra = _intra_term(size, h, q) if size > 1 else 0.0
+    if variant == "table":
+        inter = q * (num_cliques - 1)
+    elif variant == "text":
+        inter = (q + 1.0) * (num_cliques - 1)
+    else:
+        raise ConfigurationError(f"unknown variant {variant!r}")
+    return math.ceil(inter + intra)
+
+
+def hierarchical_max_hops(h: int, inter: bool) -> int:
+    """Worst-case hop count: 2h intra, 2h + 1 inter."""
+    h = check_positive_int(h, "h")
+    return 2 * h + 1 if inter else 2 * h

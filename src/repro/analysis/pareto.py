@@ -1,0 +1,102 @@
+"""Latency-throughput tradeoff curves (the scaling argument of section 2).
+
+Oblivious designs live on a Pareto frontier: an h-dimensional optimal ORN
+trades latency O(h N^{1/h}) against throughput 1/(2h).  SORN escapes that
+frontier when traffic has structure: at locality x its throughput 1/(3-x)
+exceeds every oblivious point with comparable latency.  These helpers
+produce the (latency, throughput) point sets benchmarks and plots consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..hardware.timing import TimingModel, TABLE1_TIMING
+from ..util import check_fraction, check_positive_int
+from .latency import multidim_delta_m, sorn_delta_m_inter
+from .throughput import multidim_throughput, optimal_q, sorn_throughput
+
+__all__ = ["TradeoffPoint", "orn_tradeoff_points", "sorn_tradeoff_curve", "pareto_frontier"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One design point on the latency-throughput plane."""
+
+    label: str
+    latency_us: float
+    throughput: float
+
+
+def orn_tradeoff_points(
+    num_nodes: int,
+    max_h: int = 4,
+    timing: Optional[TimingModel] = None,
+) -> List[TradeoffPoint]:
+    """Points for h = 1..max_h dimensional optimal ORNs (where N is a
+    perfect h-th power); latency is worst-case over pairs (2h hops)."""
+    check_positive_int(num_nodes, "num_nodes", minimum=2)
+    timing = timing or TABLE1_TIMING
+    points: List[TradeoffPoint] = []
+    for h in range(1, max_h + 1):
+        radix = round(num_nodes ** (1.0 / h))
+        if not any(
+            c >= 2 and c ** h == num_nodes for c in (radix - 1, radix, radix + 1)
+        ):
+            continue
+        delta = multidim_delta_m(num_nodes, h)
+        points.append(
+            TradeoffPoint(
+                label=f"ORN {h}D",
+                latency_us=timing.min_latency_us(delta, 2 * h),
+                throughput=multidim_throughput(h),
+            )
+        )
+    return points
+
+
+def sorn_tradeoff_curve(
+    num_nodes: int,
+    locality: float,
+    clique_counts: Sequence[int],
+    timing: Optional[TimingModel] = None,
+    variant: str = "table",
+) -> List[TradeoffPoint]:
+    """SORN points across clique counts at one locality ratio.
+
+    Latency is the worst case (inter-clique, 3 hops); throughput is the
+    locality-optimal 1/(3-x), independent of Nc.
+    """
+    x = check_fraction(locality, "locality")
+    timing = timing or TABLE1_TIMING
+    q = optimal_q(x)
+    thpt = sorn_throughput(x)
+    points: List[TradeoffPoint] = []
+    for nc in clique_counts:
+        check_positive_int(nc, "clique count", minimum=2)
+        if num_nodes % nc != 0:
+            raise ConfigurationError(f"Nc={nc} must divide N={num_nodes}")
+        delta = sorn_delta_m_inter(num_nodes, nc, q, variant=variant)
+        points.append(
+            TradeoffPoint(
+                label=f"SORN Nc={nc}",
+                latency_us=timing.min_latency_us(delta, 3),
+                throughput=thpt,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Iterable[TradeoffPoint]) -> List[TradeoffPoint]:
+    """The non-dominated subset: no other point has both lower latency and
+    higher throughput.  Returned sorted by latency ascending."""
+    ordered = sorted(points, key=lambda p: (p.latency_us, -p.throughput))
+    frontier: List[TradeoffPoint] = []
+    best_thpt = -1.0
+    for point in ordered:
+        if point.throughput > best_thpt:
+            frontier.append(point)
+            best_thpt = point.throughput
+    return frontier

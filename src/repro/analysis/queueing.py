@@ -1,0 +1,77 @@
+"""Queueing-delay estimates on top of the intrinsic-latency model.
+
+The paper's Table 1 deliberately "removes the effects of queuing"; this
+module adds them back analytically so experiments can sanity-check
+simulated flow latencies.  Each virtual circuit is a slotted single-server
+queue: it opens once every ``gap`` slots and serves one cell.  For Poisson
+cell arrivals at utilization rho of that circuit's capacity, the classic
+geometric/D/1 decomposition gives
+
+    wait = (gap - 1) / 2                     (schedule phase: wait for the
+                                              next opening, averaged)
+         + gap * rho / (2 (1 - rho))         (queueing behind earlier
+                                              cells, M/D/1 with service
+                                              time = one gap)
+
+in slots.  This is an approximation — arrivals at a VOQ are not exactly
+Poisson — but it captures the two first-order effects the experiments
+show: latency grows linearly with the schedule gap and diverges as load
+approaches the saturation throughput.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..util import check_fraction
+
+__all__ = [
+    "expected_circuit_wait_slots",
+    "expected_path_latency_slots",
+    "latency_load_curve",
+]
+
+
+def expected_circuit_wait_slots(gap_slots: float, utilization: float) -> float:
+    """Mean slots a cell waits at one virtual circuit.
+
+    Parameters
+    ----------
+    gap_slots:
+        Slots between consecutive openings of the circuit (the inverse of
+        its bandwidth share).
+    utilization:
+        Offered load on the circuit as a fraction of its capacity
+        (< 1 for stability).
+    """
+    if gap_slots < 1:
+        raise ConfigurationError("gap_slots must be >= 1")
+    rho = check_fraction(utilization, "utilization")
+    if rho >= 1.0:
+        raise ConfigurationError("utilization must be < 1 for a stable queue")
+    phase = (gap_slots - 1) / 2.0
+    queueing = gap_slots * rho / (2.0 * (1.0 - rho))
+    return phase + queueing
+
+
+def expected_path_latency_slots(
+    gaps, utilization: float
+) -> float:
+    """Mean end-to-end latency (slots) over a sequence of circuit gaps.
+
+    Assumes the same utilization on every hop (true for the balanced
+    designs at their optimal q) and independence between hops.
+    """
+    return sum(expected_circuit_wait_slots(g, utilization) for g in gaps)
+
+
+def latency_load_curve(gap_slots: float, loads) -> list:
+    """(load, expected wait) points for one circuit — the hockey stick.
+
+    ``loads`` are offered loads relative to saturation; the curve is what
+    FCT-vs-load sweeps should resemble below saturation.
+    """
+    out = []
+    for load in loads:
+        rho = check_fraction(load, "load")
+        out.append((rho, expected_circuit_wait_slots(gap_slots, rho)))
+    return out

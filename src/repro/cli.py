@@ -1,0 +1,272 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    sorn-repro table1 [--nodes 4096] [--locality 0.56]
+    sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate]
+    sorn-repro pareto [--nodes 4096]
+    sorn-repro design --nodes 128 --cliques 8 --locality 0.56
+    sorn-repro adapt [--nodes 64] [--cliques 4] [--cycles 6]
+
+Every subcommand prints plain text tables; the benchmark suite under
+``benchmarks/`` produces the same numbers with full provenance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import (
+    format_table,
+    orn_tradeoff_points,
+    pareto_frontier,
+    sorn_throughput,
+    sorn_tradeoff_curve,
+    table1,
+)
+from .core import AdaptationLoop, Sorn, SornDesign
+from .sim.engine import SimConfig
+from .traffic import (
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    Workload,
+    clustered_matrix,
+    facebook_cluster_matrix,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1(num_nodes=args.nodes, locality=args.locality)
+    print(f"Table 1 reproduction (N={args.nodes}, x={args.locality}):")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_fig2f(args: argparse.Namespace) -> int:
+    print(
+        f"Figure 2(f): worst-case throughput vs locality "
+        f"(N={args.nodes}, Nc={args.cliques})"
+    )
+    header = f"{'x':>5} {'theory 1/(3-x)':>15}"
+    if args.simulate:
+        header += f" {'fluid':>8} {'simulated':>10}"
+    print(header)
+    xs = [i / 10 for i in range(0, 10)]
+    for x in xs:
+        line = f"{x:>5.2f} {sorn_throughput(x):>15.4f}"
+        if args.simulate:
+            sorn = Sorn.optimal(args.nodes, args.cliques, x)
+            matrix = clustered_matrix(sorn.layout, x)
+            fluid = sorn.fluid_throughput(matrix).throughput
+            workload = Workload(
+                matrix, FlowSizeDistribution.fixed(15000), load=1.3
+            )
+            flows = workload.generate(args.slots, rng=args.seed)
+            report = sorn.simulate(
+                flows, args.slots, rng=args.seed, measure_from=args.slots // 2
+            )
+            line += f" {fluid:>8.4f} {report.window_throughput:>10.4f}"
+        print(line)
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    points = orn_tradeoff_points(args.nodes, max_h=4)
+    counts = [nc for nc in (16, 32, 64, 128) if args.nodes % nc == 0]
+    points += sorn_tradeoff_curve(args.nodes, args.locality, counts)
+    print(f"Latency-throughput points (N={args.nodes}, x={args.locality}):")
+    for p in sorted(points, key=lambda p: p.latency_us):
+        print(f"  {p.label:<14} latency={p.latency_us:>10.2f}us thpt={p.throughput:.2%}")
+    frontier = pareto_frontier(points)
+    print("Pareto frontier: " + ", ".join(p.label for p in frontier))
+    if args.plot:
+        from .report import render_tradeoff_plot
+
+        print()
+        print(render_tradeoff_plot(points))
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    sorn = Sorn.optimal(args.nodes, args.cliques, args.locality)
+    print(sorn.model().describe())
+    program = sorn.wavelength_program()
+    print(
+        f"  wavelength band required: {program.band_required()} of "
+        f"{args.nodes - 1}; schedule period {sorn.schedule.period} slots"
+    )
+    if args.show_schedule:
+        from .report import render_schedule_table
+
+        print()
+        print(render_schedule_table(sorn.schedule))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from .analysis import (
+        fabric_cost,
+        multidim_throughput,
+        normalized_bandwidth_cost,
+        sorn_throughput,
+        vlb_throughput,
+    )
+
+    clos = fabric_cost("Clos (packet)", args.nodes, args.uplinks, 1.0, optical=False)
+    print(f"Fabric economics at N={args.nodes}, {args.uplinks} uplinks "
+          f"(relative to a 3-layer packet Clos):")
+    print(f"  {'fabric':<14} {'cost':>8} {'power':>8}")
+    print(f"  {clos.label:<14} {'100.0%':>8} {'100.0%':>8}")
+    for label, tax in [
+        ("ORN 1D", normalized_bandwidth_cost(vlb_throughput())),
+        ("ORN 2D", normalized_bandwidth_cost(multidim_throughput(2))),
+        (f"SORN x={args.locality}",
+         normalized_bandwidth_cost(sorn_throughput(args.locality))),
+    ]:
+        fabric = fabric_cost(label, args.nodes, args.uplinks, tax, optical=True)
+        print(f"  {label:<14} {fabric.relative_cost / clos.relative_cost:>8.1%} "
+              f"{fabric.relative_power / clos.relative_power:>8.1%}")
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .analysis import (
+        hierarchical_delta_m_inter,
+        hierarchical_delta_m_intra,
+        hierarchical_optimal_q,
+        hierarchical_throughput,
+    )
+    from .hardware.timing import TABLE1_TIMING
+
+    print(f"Hierarchical SORN family at N={args.nodes}, Nc={args.cliques}, "
+          f"x={args.locality}:")
+    print(f"  {'h':>3} {'q*':>7} {'dm_intra':>9} {'dm_inter':>9} {'thpt':>8}")
+    size = args.nodes // args.cliques
+    for h in (1, 2, 3):
+        if round(size ** (1 / h)) ** h != size:
+            continue
+        q = hierarchical_optimal_q(args.locality, h)
+        intra = hierarchical_delta_m_intra(args.nodes, args.cliques, q, h)
+        inter = hierarchical_delta_m_inter(args.nodes, args.cliques, q, h)
+        print(f"  {h:>3} {q:>7.2f} {intra:>9} {inter:>9} "
+              f"{hierarchical_throughput(args.locality, h):>8.4f}")
+    return 0
+
+
+def _cmd_failures(args: argparse.Namespace) -> int:
+    from .analysis import (
+        flat_sync_domain_size,
+        node_blast_radius,
+        sorn_sync_domain_size,
+    )
+    from .routing import SornRouter, VlbRouter
+    from .topology import CliqueLayout
+
+    n = args.nodes
+    print(f"Blast radius of one node failure (N={n}):")
+    print(f"  flat VLB     : {node_blast_radius(VlbRouter(n), 0):.3f}")
+    for nc in (2, 4, args.cliques):
+        if n % nc:
+            continue
+        router = SornRouter(CliqueLayout.equal(n, nc))
+        print(f"  SORN Nc={nc:<4}: {node_blast_radius(router, 0):.3f}")
+    print(f"Sync domains at N={n}: flat {flat_sync_domain_size(n)} nodes, "
+          f"SORN Nc={args.cliques} "
+          f"{sorn_sync_domain_size(SornRouter(CliqueLayout.equal(n, args.cliques)))} nodes")
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    sorn = Sorn.optimal(args.nodes, args.cliques, 0.5)
+    loop = AdaptationLoop(sorn, recluster=True)
+    print(f"Adaptation over {args.cycles} cycles (N={args.nodes}, Nc={args.cliques}):")
+    for cycle in range(args.cycles):
+        matrix = facebook_cluster_matrix(sorn.layout, rng=rng)
+        decision = loop.step(matrix)
+        print(
+            f"  cycle {cycle}: applied={decision.applied} "
+            f"x={decision.estimated_locality:.3f} "
+            f"thpt {decision.current_throughput:.2%} -> "
+            f"{decision.predicted_throughput:.2%} | {decision.reason}"
+        )
+    print(f"updates applied: {loop.updates_applied}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="sorn-repro",
+        description="Reproduce 'Semi-Oblivious Reconfigurable Datacenter Networks'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    p.add_argument("--nodes", type=int, default=4096)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig2f", help="reproduce Figure 2(f)")
+    p.add_argument("--nodes", type=int, default=128)
+    p.add_argument("--cliques", type=int, default=8)
+    p.add_argument("--simulate", action="store_true")
+    p.add_argument("--slots", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fig2f)
+
+    p = sub.add_parser("pareto", help="latency-throughput tradeoff points")
+    p.add_argument("--nodes", type=int, default=4096)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument("--plot", action="store_true", help="render a text scatter")
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser("design", help="describe one SORN design point")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--cliques", type=int, required=True)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument("--show-schedule", action="store_true",
+                   help="render the schedule table (Figure 1 style)")
+    p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("failures", help="blast radius & sync domains (section 6)")
+    p.add_argument("--nodes", type=int, default=24)
+    p.add_argument("--cliques", type=int, default=6)
+    p.set_defaults(func=_cmd_failures)
+
+    p = sub.add_parser("cost", help="fabric cost/power model (section 2)")
+    p.add_argument("--nodes", type=int, default=4096)
+    p.add_argument("--uplinks", type=int, default=16)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.set_defaults(func=_cmd_cost)
+
+    p = sub.add_parser("hierarchy", help="hierarchical SORN family (extension)")
+    p.add_argument("--nodes", type=int, default=4096)
+    p.add_argument("--cliques", type=int, default=64)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("adapt", help="run the adaptation loop demo")
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--cliques", type=int, default=4)
+    p.add_argument("--cycles", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_adapt)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``sorn-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

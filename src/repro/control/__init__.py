@@ -1,0 +1,49 @@
+"""The semi-oblivious control plane.
+
+The paper (section 5) envisions a logically centralized control plane that
+periodically — minutes to hours — turns application-level signals into a
+new circuit schedule: estimate aggregated demand, group nodes into cliques,
+choose the oversubscription ratio, synthesize matchings, and push per-node
+schedule updates.  Each stage lives in its own module:
+
+- :mod:`estimator` — EWMA demand estimation with error injection
+- :mod:`clustering` — balanced clique assignment from a demand graph
+- :mod:`bvn` — Birkhoff-von-Neumann schedule synthesis from a target
+  bandwidth matrix (the "Expressivity" machinery of section 5)
+- :mod:`planner` — drain-aware schedule-update planning
+- :mod:`updates` — synchronized update execution against node state
+"""
+
+from .estimator import DemandEstimator, LocalityEstimator
+from .clustering import balanced_cliques, demand_clustering_score
+from .bvn import birkhoff_von_neumann, schedule_from_decomposition, sinkhorn_scale
+from .planner import UpdatePlan, plan_update
+from .weighted import weighted_sorn_schedule, lift_clique_matching
+from .placement import JobPlacement, PlacementReport, place_jobs
+from .updates import (
+    UpdateCampaign,
+    apply_synchronized_update,
+    build_node_states,
+    mixed_state_collision_fraction,
+)
+
+__all__ = [
+    "DemandEstimator",
+    "LocalityEstimator",
+    "balanced_cliques",
+    "demand_clustering_score",
+    "birkhoff_von_neumann",
+    "schedule_from_decomposition",
+    "sinkhorn_scale",
+    "UpdatePlan",
+    "plan_update",
+    "weighted_sorn_schedule",
+    "lift_clique_matching",
+    "JobPlacement",
+    "PlacementReport",
+    "place_jobs",
+    "UpdateCampaign",
+    "apply_synchronized_update",
+    "build_node_states",
+    "mixed_state_collision_fraction",
+]

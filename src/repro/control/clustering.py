@@ -1,0 +1,78 @@
+"""Clique assignment: grouping nodes to match demand structure.
+
+Given an estimated node-level demand matrix, the control plane picks a
+:class:`~repro.topology.cliques.CliqueLayout` that maximizes intra-clique
+demand — the locality ratio x that drives SORN's throughput ``1/(3-x)``.
+Exact balanced graph partitioning is NP-hard; we use a deterministic
+greedy seed-and-grow heuristic that is simple, fast, and good on the
+block-structured matrices datacenter demand actually exhibits (and tests
+verify it recovers planted clusterings exactly).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ControlPlaneError
+from ..topology.cliques import CliqueLayout
+from ..traffic.matrix import TrafficMatrix
+from ..util import check_positive_int
+
+__all__ = ["balanced_cliques", "demand_clustering_score"]
+
+
+def _symmetric_demand(matrix: TrafficMatrix) -> np.ndarray:
+    """Undirected affinity: demand summed over both directions."""
+    rates = matrix.rates
+    return rates + rates.T
+
+
+def balanced_cliques(
+    matrix: TrafficMatrix,
+    num_cliques: int,
+) -> CliqueLayout:
+    """Greedy equal-size clique assignment maximizing captured demand.
+
+    Seed-and-grow: repeatedly seed a new clique with the unassigned node
+    of largest remaining affinity mass, then grow it to the target size by
+    adding the unassigned node with the strongest affinity to the clique's
+    current members.
+
+    The result is an equal-size layout (required by the schedule builder);
+    ``num_cliques`` must divide the node count.
+    """
+    num_cliques = check_positive_int(num_cliques, "num_cliques")
+    n = matrix.num_nodes
+    if n % num_cliques != 0:
+        raise ControlPlaneError(
+            f"num_cliques={num_cliques} must divide num_nodes={n}"
+        )
+    size = n // num_cliques
+    affinity = _symmetric_demand(matrix)
+    unassigned = np.ones(n, dtype=bool)
+    groups: List[List[int]] = []
+    for _ in range(num_cliques):
+        candidates = np.where(unassigned)[0]
+        # Seed: the unassigned node with the largest affinity toward other
+        # unassigned nodes (it anchors the densest remaining block).
+        remaining_mass = affinity[np.ix_(candidates, candidates)].sum(axis=1)
+        seed = int(candidates[int(np.argmax(remaining_mass))])
+        group = [seed]
+        unassigned[seed] = False
+        while len(group) < size:
+            candidates = np.where(unassigned)[0]
+            pull = affinity[np.ix_(candidates, np.array(group))].sum(axis=1)
+            pick = int(candidates[int(np.argmax(pull))])
+            group.append(pick)
+            unassigned[pick] = False
+        groups.append(sorted(group))
+    return CliqueLayout(groups)
+
+
+def demand_clustering_score(matrix: TrafficMatrix, layout: CliqueLayout) -> float:
+    """Fraction of total demand captured inside cliques (the locality x the
+    layout achieves on this matrix).  The objective
+    :func:`balanced_cliques` greedily maximizes."""
+    return matrix.locality(layout)

@@ -1,0 +1,122 @@
+"""Demand estimation at the control plane.
+
+The paper's premise (section 3) is that *aggregated* traffic matrices —
+between cliques of hundreds of machines — are stable and predictable over
+hours, even though per-pair demand is bursty.  :class:`DemandEstimator`
+implements the standard mechanism for exploiting that: an exponentially
+weighted moving average over periodically observed matrices, with
+utilities for injecting estimation error (the paper claims guarantees hold
+"within a healthy estimation error margin"; bench A3 quantifies that).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ControlPlaneError
+from ..topology.cliques import CliqueLayout
+from ..traffic.matrix import TrafficMatrix
+from ..util import check_fraction, ensure_rng, RngLike
+
+__all__ = ["DemandEstimator", "LocalityEstimator"]
+
+
+class DemandEstimator:
+    """EWMA estimator over observed traffic matrices.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fabric size.
+    alpha:
+        EWMA weight of the newest observation (1.0 = last sample only).
+    """
+
+    def __init__(self, num_nodes: int, alpha: float = 0.3):
+        if num_nodes < 2:
+            raise ControlPlaneError("need at least 2 nodes")
+        self.num_nodes = int(num_nodes)
+        self.alpha = check_fraction(alpha, "alpha")
+        if self.alpha == 0.0:
+            raise ControlPlaneError("alpha must be positive (estimator must learn)")
+        self._state: Optional[np.ndarray] = None
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """How many matrices have been observed."""
+        return self._observations
+
+    def observe(self, matrix: TrafficMatrix) -> None:
+        """Fold one observed matrix into the running estimate."""
+        if matrix.num_nodes != self.num_nodes:
+            raise ControlPlaneError(
+                f"observed matrix covers {matrix.num_nodes} nodes, "
+                f"expected {self.num_nodes}"
+            )
+        if self._state is None:
+            self._state = matrix.rates.copy()
+        else:
+            self._state = (1.0 - self.alpha) * self._state + self.alpha * matrix.rates
+        self._observations += 1
+
+    def estimate(self) -> TrafficMatrix:
+        """Current demand estimate; raises before any observation."""
+        if self._state is None:
+            raise ControlPlaneError("no observations yet")
+        return TrafficMatrix(self._state)
+
+    def estimate_with_noise(self, relative_error: float, rng: RngLike = None) -> TrafficMatrix:
+        """Estimate perturbed by multiplicative noise of the given relative
+        magnitude — models measurement/prediction error end to end."""
+        base = self.estimate().rates
+        if relative_error < 0:
+            raise ControlPlaneError("relative_error must be non-negative")
+        gen = ensure_rng(rng)
+        noise = 1.0 + relative_error * (2.0 * gen.random(base.shape) - 1.0)
+        perturbed = np.clip(base * noise, 0.0, None)
+        np.fill_diagonal(perturbed, 0.0)
+        return TrafficMatrix(perturbed)
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._state = None
+        self._observations = 0
+
+
+class LocalityEstimator:
+    """Tracks the intra-clique locality ratio x under a layout.
+
+    A thin wrapper over :class:`DemandEstimator` producing the single
+    scalar the SORN design optimization consumes (``q* = 2/(1-x)``).
+    """
+
+    def __init__(self, layout: CliqueLayout, alpha: float = 0.3):
+        self.layout = layout
+        self._inner = DemandEstimator(layout.num_nodes, alpha=alpha)
+
+    @property
+    def observations(self) -> int:
+        return self._inner.observations
+
+    def observe(self, matrix: TrafficMatrix) -> None:
+        """Fold one observation."""
+        self._inner.observe(matrix)
+
+    def locality(self) -> float:
+        """Current estimate of x."""
+        return self._inner.estimate().locality(self.layout)
+
+    def locality_with_error(self, absolute_error: float, rng: RngLike = None) -> float:
+        """x perturbed by a uniform absolute error, clamped to [0, 1].
+
+        Used by the robustness ablation: how much throughput does SORN lose
+        when it optimizes q for x-hat instead of the true x?
+        """
+        if absolute_error < 0:
+            raise ControlPlaneError("absolute_error must be non-negative")
+        gen = ensure_rng(rng)
+        shift = absolute_error * (2.0 * gen.random() - 1.0)
+        return float(np.clip(self.locality() + shift, 0.0, 1.0))

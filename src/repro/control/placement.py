@@ -1,0 +1,124 @@
+"""Job placement co-design (paper section 6).
+
+"Cooperation with application-level job placement can further promote
+such flexibility" — the network tells the scheduler the clique structure
+and the scheduler packs communicating jobs inside cliques where possible.
+This module is the scheduler side of that feedback loop: a first-fit-
+decreasing packer that assigns jobs (worker-count requests) to cliques,
+spilling over to multi-clique placements only when a job cannot fit.
+
+Outputs are worker lists consumable by :mod:`repro.traffic.ml` and a
+placement report quantifying how much of the requested co-location the
+layout could honor — the signal the adaptation loop would use to resize
+cliques.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ControlPlaneError
+from ..topology.cliques import CliqueLayout
+from ..util import check_positive_int
+
+__all__ = ["JobPlacement", "PlacementReport", "place_jobs"]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobPlacement:
+    """Workers assigned to one job.
+
+    ``cliques_spanned`` is 1 for a fully co-located job; jobs that spill
+    across cliques pay inter-clique bandwidth for their collectives.
+    """
+
+    job_id: int
+    workers: Tuple[int, ...]
+    cliques_spanned: int
+
+    @property
+    def co_located(self) -> bool:
+        return self.cliques_spanned == 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementReport:
+    """Fleet-level placement outcome."""
+
+    placements: Tuple[JobPlacement, ...]
+    total_workers: int
+    co_located_jobs: int
+
+    @property
+    def co_location_ratio(self) -> float:
+        """Fraction of jobs fully inside one clique."""
+        if not self.placements:
+            return 1.0
+        return self.co_located_jobs / len(self.placements)
+
+    def workers_of(self, job_id: int) -> Tuple[int, ...]:
+        """Workers assigned to *job_id*; raises for unknown jobs."""
+        for placement in self.placements:
+            if placement.job_id == job_id:
+                return placement.workers
+        raise ControlPlaneError(f"unknown job {job_id}")
+
+
+def place_jobs(
+    layout: CliqueLayout,
+    job_sizes: Sequence[int],
+    allow_spill: bool = True,
+) -> PlacementReport:
+    """First-fit-decreasing placement of jobs onto cliques.
+
+    Jobs are sorted by size (largest first) and placed into the clique
+    with the most free slots that still fits them; jobs larger than any
+    remaining single-clique capacity spill across the emptiest cliques
+    (or raise, with ``allow_spill=False``).  Total workers must not
+    exceed the fabric size.
+    """
+    sizes = [check_positive_int(s, "job size") for s in job_sizes]
+    if sum(sizes) > layout.num_nodes:
+        raise ControlPlaneError(
+            f"jobs request {sum(sizes)} workers, fabric has {layout.num_nodes}"
+        )
+    free: Dict[int, List[int]] = {
+        c: list(layout.members(c)) for c in range(layout.num_cliques)
+    }
+    order = sorted(range(len(sizes)), key=lambda j: sizes[j], reverse=True)
+    placements: List[Optional[JobPlacement]] = [None] * len(sizes)
+
+    for job in order:
+        need = sizes[job]
+        # Best single-clique fit: the fullest clique that still fits the
+        # job (keeps big holes open for big jobs).
+        candidates = [c for c, nodes in free.items() if len(nodes) >= need]
+        if candidates:
+            best = min(candidates, key=lambda c: len(free[c]))
+            workers = [free[best].pop(0) for _ in range(need)]
+            placements[job] = JobPlacement(job, tuple(workers), 1)
+            continue
+        if not allow_spill:
+            raise ControlPlaneError(
+                f"job {job} ({need} workers) does not fit in any clique "
+                f"and spilling is disabled"
+            )
+        # Spill: take from the emptiest cliques first to contain the blast.
+        workers = []
+        spanned = 0
+        for c in sorted(free, key=lambda c: len(free[c]), reverse=True):
+            if not free[c] or len(workers) >= need:
+                continue
+            spanned += 1
+            take = min(need - len(workers), len(free[c]))
+            workers.extend(free[c][:take])
+            free[c] = free[c][take:]
+        placements[job] = JobPlacement(job, tuple(workers), spanned)
+
+    done = [p for p in placements if p is not None]
+    return PlacementReport(
+        placements=tuple(done),
+        total_workers=sum(sizes),
+        co_located_jobs=sum(1 for p in done if p.co_located),
+    )

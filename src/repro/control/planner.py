@@ -1,0 +1,117 @@
+"""Drain-aware planning of schedule updates.
+
+The paper argues (section 5) that SORN updates are cheap because the
+design maintains a *fixed superset of neighbors* per node and only varies
+bandwidth per neighbor: rebalancing q needs no new NIC queue state and no
+queue drains.  Changing the clique *layout*, by contrast, retires some
+neighbors (their queued cells strand until the new schedule serves them)
+and may introduce new ones.  :func:`plan_update` quantifies exactly that
+by diffing per-node schedule rows, producing an :class:`UpdatePlan` the
+adaptation loop uses to decide whether an update is worth its disruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ControlPlaneError
+from ..schedules.schedule import CircuitSchedule
+
+__all__ = ["UpdatePlan", "plan_update"]
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdatePlan:
+    """Summary of the disruption an old -> new schedule transition causes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Fabric size.
+    nodes_with_new_neighbors:
+        Nodes whose new schedule faces a neighbor absent from the old one
+        (requires allocating NIC queue state — the expensive case).
+    nodes_with_retired_neighbors:
+        Nodes that lose all slots toward some old neighbor (queued cells
+        toward it strand until some future schedule restores service).
+    new_neighbor_pairs / retired_neighbor_pairs:
+        The specific (node, neighbor) additions and retirements.
+    bandwidth_shift:
+        Mean over nodes of the total-variation distance between old and
+        new per-neighbor bandwidth shares — 0 for a no-op, 1 for a
+        complete reallocation.  Measures how aggressive a rebalance is
+        even when it is drain-free.
+    """
+
+    num_nodes: int
+    nodes_with_new_neighbors: Tuple[int, ...]
+    nodes_with_retired_neighbors: Tuple[int, ...]
+    new_neighbor_pairs: Tuple[Tuple[int, int], ...]
+    retired_neighbor_pairs: Tuple[Tuple[int, int], ...]
+    bandwidth_shift: float
+
+    @property
+    def preserves_neighbor_superset(self) -> bool:
+        """True iff no node needs new queue state (SORN's cheap case)."""
+        return not self.new_neighbor_pairs
+
+    @property
+    def is_drain_free(self) -> bool:
+        """True iff no node retires a neighbor (no stranded queues)."""
+        return not self.retired_neighbor_pairs
+
+    def summary(self) -> str:
+        """One-line digest for logs and reports."""
+        return (
+            f"update: {len(self.new_neighbor_pairs)} new neighbor pairs, "
+            f"{len(self.retired_neighbor_pairs)} retired, "
+            f"bandwidth shift {self.bandwidth_shift:.3f}, "
+            f"{'drain-free' if self.is_drain_free else 'needs drains'}"
+        )
+
+
+def _shares(row: np.ndarray) -> Dict[int, float]:
+    neighbors, counts = np.unique(row[row >= 0], return_counts=True)
+    period = row.size
+    return {int(v): c / period for v, c in zip(neighbors, counts)}
+
+
+def plan_update(old: CircuitSchedule, new: CircuitSchedule) -> UpdatePlan:
+    """Diff two schedules node by node into an :class:`UpdatePlan`."""
+    if old.num_nodes != new.num_nodes:
+        raise ControlPlaneError(
+            f"schedules cover different node counts: {old.num_nodes} vs "
+            f"{new.num_nodes}"
+        )
+    n = old.num_nodes
+    new_pairs: List[Tuple[int, int]] = []
+    retired_pairs: List[Tuple[int, int]] = []
+    nodes_new: List[int] = []
+    nodes_retired: List[int] = []
+    shift_total = 0.0
+    for node in range(n):
+        old_shares = _shares(old.cached_node_row(node))
+        new_shares = _shares(new.cached_node_row(node))
+        added = sorted(set(new_shares) - set(old_shares))
+        removed = sorted(set(old_shares) - set(new_shares))
+        if added:
+            nodes_new.append(node)
+            new_pairs.extend((node, v) for v in added)
+        if removed:
+            nodes_retired.append(node)
+            retired_pairs.extend((node, v) for v in removed)
+        keys = set(old_shares) | set(new_shares)
+        shift_total += 0.5 * sum(
+            abs(new_shares.get(k, 0.0) - old_shares.get(k, 0.0)) for k in keys
+        )
+    return UpdatePlan(
+        num_nodes=n,
+        nodes_with_new_neighbors=tuple(nodes_new),
+        nodes_with_retired_neighbors=tuple(nodes_retired),
+        new_neighbor_pairs=tuple(new_pairs),
+        retired_neighbor_pairs=tuple(retired_pairs),
+        bandwidth_shift=shift_total / n,
+    )

@@ -1,0 +1,143 @@
+"""Non-uniform inter-clique bandwidth: the section 5 "Expressivity" machinery.
+
+The baseline SORN schedule splits inter-clique bandwidth uniformly across
+the ``Nc - 1`` other cliques.  When the aggregated traffic matrix is
+non-uniform (gravity patterns, web<->cache role affinity), that uniform
+split becomes the bottleneck.  The paper notes that the same physical
+setup can "encode gravity models ... or generally allow higher
+provisioning between certain spatial groups"; this module realizes that:
+
+1. normalize the clique-level demand matrix to doubly stochastic form
+   (Sinkhorn), preserving the zero diagonal;
+2. Birkhoff-von-Neumann decompose it into clique permutations;
+3. lift each clique permutation to a node matching via position alignment
+   (clique c position i -> clique sigma(c) position i);
+4. quantize the weights into inter slots and interleave them with the
+   standard intra-clique rotations at the oversubscription ratio q.
+
+The standard :class:`~repro.routing.sorn_routing.SornRouter` works
+unchanged as long as every ordered clique pair keeps positive weight
+(its inter hop uses the position-aligned circuit, which the lifted
+permutations provide whenever the pair appears in some BvN term).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ControlPlaneError
+from ..schedules.matching import Matching
+from ..schedules.schedule import ExplicitSchedule
+from ..topology.cliques import CliqueLayout
+from ..util import check_positive_int, check_ratio, spread_evenly
+from .bvn import birkhoff_von_neumann, schedule_from_decomposition, sinkhorn_scale
+
+__all__ = ["weighted_sorn_schedule", "lift_clique_matching"]
+
+
+def lift_clique_matching(layout: CliqueLayout, clique_matching: Matching) -> Matching:
+    """Lift a clique-level matching to a node matching (position-aligned).
+
+    Clique ``c`` at position ``i`` connects to clique ``sigma(c)`` at the
+    same position ``i`` — the generalization of the uniform schedule's
+    clique rotations.
+    """
+    if clique_matching.num_nodes != layout.num_cliques:
+        raise ControlPlaneError(
+            f"clique matching covers {clique_matching.num_nodes} cliques, "
+            f"layout has {layout.num_cliques}"
+        )
+    if not layout.is_equal_sized:
+        raise ControlPlaneError("position alignment requires equal clique sizes")
+    size = layout.clique_size
+    dst = np.full(layout.num_nodes, -1, dtype=np.int64)
+    for c, target in clique_matching.pairs():
+        for i in range(size):
+            dst[layout.node_at(c, i)] = layout.node_at(target, i)
+    return Matching(dst)
+
+
+def weighted_sorn_schedule(
+    layout: CliqueLayout,
+    q: float,
+    clique_weights: np.ndarray,
+    inter_slots: Optional[int] = None,
+) -> ExplicitSchedule:
+    """A SORN schedule whose inter-clique bandwidth follows *clique_weights*.
+
+    Parameters
+    ----------
+    layout:
+        Equal-sized clique layout.
+    q:
+        Intra : inter oversubscription ratio (>= 1), as in the uniform
+        schedule.
+    clique_weights:
+        Non-negative ``Nc x Nc`` matrix (zero diagonal) of desired relative
+        inter-clique bandwidth, e.g. the inter-clique block of an
+        aggregated traffic matrix.  Sinkhorn-normalized internally; every
+        off-diagonal entry must be positive so the hierarchical router
+        keeps a circuit for every clique pair.
+    inter_slots:
+        Number of inter slots per period (resolution of the weight
+        quantization).  Defaults to ``8 * (Nc - 1)``.
+    """
+    if not layout.is_equal_sized:
+        raise ControlPlaneError("weighted schedules require equal clique sizes")
+    nc = layout.num_cliques
+    size = layout.clique_size
+    if nc < 2 or size < 2:
+        raise ControlPlaneError(
+            "weighted schedules need at least 2 cliques of at least 2 nodes"
+        )
+    check_ratio(q, "q", minimum=1.0)
+    weights = np.asarray(clique_weights, dtype=float)
+    if weights.shape != (nc, nc):
+        raise ControlPlaneError(f"clique_weights must be {nc}x{nc}")
+    off_diag = ~np.eye(nc, dtype=bool)
+    if (weights[off_diag] <= 0).any():
+        raise ControlPlaneError(
+            "every ordered clique pair needs positive weight (the "
+            "hierarchical router requires a circuit per pair); use the "
+            "uniform schedule for sparse patterns"
+        )
+    weights = weights.copy()
+    np.fill_diagonal(weights, 0.0)
+
+    if inter_slots is None:
+        inter_slots = 8 * (nc - 1)
+    inter_slots = check_positive_int(inter_slots, "inter_slots", minimum=nc - 1)
+
+    # Clique-level BvN: doubly stochastic target -> weighted permutations.
+    stochastic = sinkhorn_scale(weights)
+    terms = birkhoff_von_neumann(stochastic)
+    clique_schedule = schedule_from_decomposition(terms, inter_slots)
+    inter_matchings = [
+        lift_clique_matching(layout, clique_schedule.matching(t))
+        for t in range(inter_slots)
+    ]
+
+    # Intra slots: full rotations within every clique, count chosen so the
+    # realized ratio intra/inter is as close to q as the resolution allows
+    # while covering every rotation equally.
+    rotations = size - 1
+    intra_slots = max(rotations, round(q * inter_slots / rotations) * rotations)
+    order = np.array(layout.groups(), dtype=np.int64)
+    cols = np.arange(size)
+    intra_matchings: List[Matching] = []
+    for j in range(intra_slots):
+        shift = j % rotations + 1
+        dst = np.empty(layout.num_nodes, dtype=np.int64)
+        dst[order.ravel()] = order[:, (cols + shift) % size].ravel()
+        intra_matchings.append(Matching(dst))
+
+    period = intra_slots + inter_slots
+    positions = set(spread_evenly(inter_slots, period).tolist())
+    slots: List[Matching] = []
+    intra_iter = iter(intra_matchings)
+    inter_iter = iter(inter_matchings)
+    for t in range(period):
+        slots.append(next(inter_iter) if t in positions else next(intra_iter))
+    return ExplicitSchedule(slots)

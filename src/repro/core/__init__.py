@@ -1,0 +1,17 @@
+"""The paper's primary contribution, packaged: SORN design and adaptation.
+
+- :mod:`design` — :class:`SornDesign`: the (N, Nc, q, x) parameter tuple,
+  its validity rules, and locality-optimal construction.
+- :mod:`model` — the analytical model of a design (every Table 1 quantity).
+- :mod:`sorn` — :class:`Sorn`: the facade tying a design to its schedule,
+  router, wavelength program, fluid analysis and simulation.
+- :mod:`adaptation` — the periodic control loop: observe demand, re-cluster,
+  re-optimize q, plan and apply the schedule update.
+"""
+
+from .design import SornDesign
+from .model import SornModel
+from .sorn import Sorn
+from .adaptation import AdaptationLoop, AdaptationDecision
+
+__all__ = ["SornDesign", "SornModel", "Sorn", "AdaptationLoop", "AdaptationDecision"]

@@ -1,0 +1,162 @@
+"""The periodic adaptation loop (paper section 5, "Adapting the Topology").
+
+One control-plane cycle:
+
+1. **Observe** an aggregated traffic matrix (from schedulers / placement).
+2. **Estimate** demand via EWMA smoothing.
+3. **Cluster** nodes into cliques maximizing captured (intra) demand.
+4. **Optimize** the oversubscription q for the estimated locality.
+5. **Plan** the schedule update and apply it only if the predicted
+   throughput gain clears a hysteresis threshold (operators rate-limit
+   reconfiguration; frequent churn costs more than mis-tuned q).
+
+The loop never touches routing — SORN's routing scheme is structural, so
+adaptation is purely a schedule rewrite (and drain-free whenever the
+clique layout is unchanged).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..analysis.throughput import sorn_throughput_bounds
+from ..control.clustering import balanced_cliques
+from ..control.estimator import DemandEstimator
+from ..control.planner import UpdatePlan
+from ..errors import ControlPlaneError
+from ..traffic.matrix import TrafficMatrix
+from ..util import check_fraction
+from .sorn import Sorn
+
+__all__ = ["AdaptationDecision", "AdaptationLoop"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptationDecision:
+    """Outcome of one adaptation cycle.
+
+    Attributes
+    ----------
+    applied:
+        Whether the loop switched to a new deployment.
+    reason:
+        Human-readable justification (gain below threshold, layout change,
+        q retune, ...).
+    estimated_locality:
+        x under the *candidate* layout for the current demand estimate.
+    predicted_throughput / current_throughput:
+        Worst-case throughput of candidate vs. incumbent on the estimate.
+    update_plan:
+        Schedule diff when a candidate was evaluated (None on the first
+        cycle bootstrap).
+    """
+
+    applied: bool
+    reason: str
+    estimated_locality: float
+    predicted_throughput: float
+    current_throughput: float
+    update_plan: Optional[UpdatePlan]
+
+    @property
+    def predicted_gain(self) -> float:
+        """Relative throughput improvement the candidate offered."""
+        if self.current_throughput == 0:
+            return float("inf")
+        return self.predicted_throughput / self.current_throughput - 1.0
+
+
+class AdaptationLoop:
+    """Stateful periodic adapter around a :class:`Sorn` deployment.
+
+    Parameters
+    ----------
+    initial:
+        The deployment to start from.
+    alpha:
+        EWMA weight for demand estimation.
+    gain_threshold:
+        Minimum relative predicted throughput gain before an update is
+        applied (hysteresis).
+    recluster:
+        Whether cycles may change the clique layout (otherwise only q is
+        retuned on the fixed layout — always drain-free).
+    """
+
+    def __init__(
+        self,
+        initial: Sorn,
+        alpha: float = 0.3,
+        gain_threshold: float = 0.02,
+        recluster: bool = True,
+    ):
+        if gain_threshold < 0:
+            raise ControlPlaneError("gain_threshold must be non-negative")
+        self.deployment = initial
+        self.estimator = DemandEstimator(initial.design.num_nodes, alpha=alpha)
+        self.gain_threshold = float(gain_threshold)
+        self.recluster = bool(recluster)
+        self.decisions: List[AdaptationDecision] = []
+
+    def _candidate(self) -> Sorn:
+        """Best deployment for the current demand estimate."""
+        estimate = self.estimator.estimate()
+        nc = self.deployment.design.num_cliques
+        if self.recluster:
+            layout = balanced_cliques(estimate, nc)
+        else:
+            layout = self.deployment.layout
+        # Cap the locality estimate: x -> 1 has no finite optimal q.
+        x = min(estimate.locality(layout), 0.99)
+        return self.deployment.reconfigured(locality=x, layout=layout)
+
+    def step(self, observed: TrafficMatrix) -> AdaptationDecision:
+        """Run one adaptation cycle on a newly observed matrix."""
+        self.estimator.observe(observed)
+        estimate = self.estimator.estimate()
+        candidate = self._candidate()
+
+        # The incumbent's *actual* worst-case throughput under the new
+        # estimate: its fixed q evaluated at the measured locality.
+        current_x = min(estimate.locality(self.deployment.layout), 0.99)
+        current_throughput = sorn_throughput_bounds(
+            self.deployment.design.q, current_x
+        )
+        predicted = candidate.design.throughput
+        plan = self.deployment.update_plan(candidate)
+
+        gain = (
+            float("inf")
+            if current_throughput == 0
+            else predicted / current_throughput - 1.0
+        )
+        if gain > self.gain_threshold:
+            self.deployment = candidate
+            decision = AdaptationDecision(
+                applied=True,
+                reason=(
+                    f"predicted gain {gain:.1%} exceeds threshold "
+                    f"{self.gain_threshold:.1%} ({plan.summary()})"
+                ),
+                estimated_locality=candidate.design.locality,
+                predicted_throughput=predicted,
+                current_throughput=current_throughput,
+                update_plan=plan,
+            )
+        else:
+            decision = AdaptationDecision(
+                applied=False,
+                reason=f"predicted gain {gain:.1%} below threshold",
+                estimated_locality=candidate.design.locality,
+                predicted_throughput=predicted,
+                current_throughput=current_throughput,
+                update_plan=plan,
+            )
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def updates_applied(self) -> int:
+        """How many cycles actually reconfigured the network."""
+        return sum(1 for d in self.decisions if d.applied)

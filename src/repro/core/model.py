@@ -1,0 +1,86 @@
+"""The analytical model of one SORN design: every Table 1 quantity.
+
+:class:`SornModel` evaluates the closed forms of
+:mod:`repro.analysis` for a concrete :class:`~repro.core.design.SornDesign`
+and :class:`~repro.hardware.timing.TimingModel`, so experiment code can ask
+one object for latencies, throughput, and bandwidth cost instead of
+re-assembling formula calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..analysis.cost import normalized_bandwidth_cost, sorn_mean_hops
+from ..analysis.latency import sorn_delta_m_inter, sorn_delta_m_intra
+from ..hardware.timing import TimingModel, TABLE1_TIMING
+from .design import SornDesign
+
+__all__ = ["SornModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SornModel:
+    """Closed-form performance model of a design under a timing model."""
+
+    design: SornDesign
+    timing: TimingModel = TABLE1_TIMING
+    latency_variant: str = "table"
+
+    # -- latency -----------------------------------------------------------
+
+    def delta_m_intra(self) -> int:
+        """Intra-clique intrinsic latency in slots."""
+        d = self.design
+        return sorn_delta_m_intra(d.num_nodes, d.num_cliques, d.q)
+
+    def delta_m_inter(self) -> int:
+        """Inter-clique intrinsic latency in slots (3 hops' waiting)."""
+        d = self.design
+        return sorn_delta_m_inter(
+            d.num_nodes, d.num_cliques, d.q, variant=self.latency_variant
+        )
+
+    def min_latency_intra_us(self) -> float:
+        """Wall-clock worst-case single-packet latency, intra-clique."""
+        return self.timing.min_latency_us(self.delta_m_intra(), 2)
+
+    def min_latency_inter_us(self) -> float:
+        """Wall-clock worst-case single-packet latency, inter-clique."""
+        return self.timing.min_latency_us(self.delta_m_inter(), 3)
+
+    def mean_min_latency_us(self) -> float:
+        """Locality-weighted mean of the two worst-case latencies."""
+        x = self.design.locality
+        return x * self.min_latency_intra_us() + (1.0 - x) * self.min_latency_inter_us()
+
+    # -- throughput & cost -----------------------------------------------------
+
+    def throughput(self) -> float:
+        """Worst-case throughput at the design's q and locality."""
+        return self.design.throughput
+
+    def bandwidth_cost(self) -> float:
+        """Normalized overprovisioning factor (1/throughput)."""
+        return normalized_bandwidth_cost(self.throughput())
+
+    def mean_hops(self) -> float:
+        """Asymptotic mean hop count 3 - x."""
+        return sorn_mean_hops(self.design.locality)
+
+    # -- reporting -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line digest mirroring one Table 1 block."""
+        return "\n".join(
+            [
+                self.design.describe(),
+                f"  intra: delta_m={self.delta_m_intra()} "
+                f"lat={self.min_latency_intra_us():.2f}us (2 hops)",
+                f"  inter: delta_m={self.delta_m_inter()} "
+                f"lat={self.min_latency_inter_us():.2f}us (3 hops)",
+                f"  throughput={self.throughput():.2%} "
+                f"bw_cost={self.bandwidth_cost():.2f}x",
+            ]
+        )

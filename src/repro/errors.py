@@ -1,0 +1,77 @@
+"""Exception hierarchy for the SORN reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A design or experiment parameter is invalid or inconsistent.
+
+    Raised eagerly at object construction time (e.g. a clique count that
+    does not divide the node count, an oversubscription ratio below 1, a
+    locality ratio outside ``[0, 1]``).
+    """
+
+
+class ScheduleError(ReproError):
+    """A circuit schedule violates a structural invariant.
+
+    Examples: a slot whose connections are not a matching (two circuits
+    sharing a port), an empty schedule, or a plane index out of range.
+    """
+
+
+class MatchingError(ScheduleError, ValueError):
+    """An array does not describe a valid (partial) matching."""
+
+
+class RoutingError(ReproError):
+    """A routing scheme could not produce a valid path.
+
+    Raised when a requested (src, dst) pair is not connected under the
+    logical topology the router was built for, or when a path violates
+    the scheme's hop bound.
+    """
+
+
+class TrafficError(ReproError, ValueError):
+    """A traffic matrix or workload specification is invalid."""
+
+
+class SimulationError(ReproError):
+    """The flow-level simulator reached an inconsistent state.
+
+    This signals a bug (e.g. negative queue occupancy) rather than a user
+    mistake, and is therefore *not* a ``ValueError``.
+    """
+
+
+class ControlPlaneError(ReproError):
+    """A control-plane operation (estimation, clustering, schedule
+    synthesis, or update planning) failed."""
+
+
+class DecompositionError(ControlPlaneError):
+    """A Birkhoff-von-Neumann decomposition did not converge.
+
+    Carries the residual matrix mass that could not be expressed as a
+    convex combination of matchings.
+    """
+
+    def __init__(self, message: str, residual: float = 0.0):
+        super().__init__(message)
+        self.residual = float(residual)
+
+
+class HardwareModelError(ReproError, ValueError):
+    """A physical-layer constraint was violated (ports, wavelengths,
+    reconfiguration timing)."""

@@ -1,0 +1,25 @@
+"""Physical-layer models: timing, AWGR wavelength routing, OCS layer, node NIC state.
+
+These modules model the hardware substrate the paper assumes (a Sirius-like
+setup of tunable lasers + arrayed waveguide grating routers) at the level of
+abstraction the paper uses: a set of feasible matchings indexed by
+wavelength, a slot clock with guard times, and per-node schedule/queue state
+that a control plane can rewrite.
+"""
+
+from .timing import TimingModel, SyncDomain, TABLE1_TIMING, OPERA_TIMING
+from .awgr import Awgr, wavelength_for_circuit
+from .ocs import CircuitSwitchLayer
+from .node import NodeState, ScheduleUpdateReport
+
+__all__ = [
+    "TimingModel",
+    "SyncDomain",
+    "TABLE1_TIMING",
+    "OPERA_TIMING",
+    "Awgr",
+    "wavelength_for_circuit",
+    "CircuitSwitchLayer",
+    "NodeState",
+    "ScheduleUpdateReport",
+]

@@ -1,0 +1,227 @@
+"""Per-node NIC state: schedule table and virtual output queues (Figure 2c).
+
+In a Sirius-like fabric the circuit schedule lives entirely at the nodes:
+each node's NIC holds (i) a *schedule table* mapping slot index to the
+wavelength it will emit (equivalently, the neighbor it will face), and
+(ii) one virtual output queue (VOQ) per neighbor it may ever face.  A
+semi-oblivious update rewrites the schedule table but — because SORN keeps a
+*fixed superset of neighbors* and only varies the bandwidth per neighbor —
+never needs to allocate new queue state or drain queues toward neighbors
+that disappear (paper section 5).
+
+:class:`NodeState` models exactly that, and
+:meth:`NodeState.apply_schedule_update` returns a
+:class:`ScheduleUpdateReport` quantifying how disruptive an update is:
+which neighbors were added/removed from the table and how many queued cells
+sit in queues whose service rate dropped to zero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import HardwareModelError
+from ..util import check_positive_int
+
+__all__ = ["NodeState", "ScheduleUpdateReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleUpdateReport:
+    """Outcome of applying a schedule update at one node.
+
+    Attributes
+    ----------
+    added_neighbors:
+        Neighbors present in the new table but absent from the old one.
+        Empty for well-formed SORN updates over a fixed neighbor superset.
+    removed_neighbors:
+        Neighbors that lost *all* their slots.  Queued cells toward these
+        neighbors are stranded until a later update restores service.
+    stranded_cells:
+        Total cells queued toward ``removed_neighbors`` at update time.
+    new_period:
+        Period (slots) of the new schedule table.
+    """
+
+    added_neighbors: Tuple[int, ...]
+    removed_neighbors: Tuple[int, ...]
+    stranded_cells: int
+    new_period: int
+
+    @property
+    def is_drain_free(self) -> bool:
+        """True iff the update strands no queued traffic."""
+        return self.stranded_cells == 0
+
+    @property
+    def preserves_neighbor_superset(self) -> bool:
+        """True iff the update needed no new hardware queue state."""
+        return not self.added_neighbors
+
+
+class NodeState:
+    """Schedule table + per-neighbor VOQs for one node's NIC.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier.
+    schedule_row:
+        Sequence of neighbor ids, one per slot of the schedule period
+        (``-1`` for an idle slot).  This is the node's row of the global
+        matching schedule.
+    neighbor_superset:
+        Optional explicit superset of neighbors to pre-allocate queues for.
+        Defaults to the neighbors appearing in ``schedule_row``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        schedule_row: Sequence[int],
+        neighbor_superset: Optional[Sequence[int]] = None,
+    ):
+        self.node_id = check_positive_int(node_id, "node_id", minimum=0)
+        self._table = self._validate_row(schedule_row)
+        table_neighbors = self._neighbors_of(self._table)
+        if neighbor_superset is None:
+            superset: Set[int] = set(table_neighbors)
+        else:
+            superset = {int(n) for n in neighbor_superset}
+            missing = table_neighbors - superset
+            if missing:
+                raise HardwareModelError(
+                    f"schedule row references neighbors outside the declared "
+                    f"superset: {sorted(missing)}"
+                )
+        self._superset: Set[int] = superset
+        self._queues: Dict[int, Deque] = {n: deque() for n in sorted(superset)}
+
+    def _validate_row(self, schedule_row: Sequence[int]) -> np.ndarray:
+        row = np.asarray(schedule_row, dtype=np.int64)
+        if row.ndim != 1 or row.size == 0:
+            raise HardwareModelError("schedule_row must be a non-empty 1-D sequence")
+        if (row == self.node_id).any():
+            raise HardwareModelError("a node cannot schedule a circuit to itself")
+        if (row < -1).any():
+            raise HardwareModelError("schedule_row entries must be >= -1")
+        return row
+
+    @staticmethod
+    def _neighbors_of(table: np.ndarray) -> Set[int]:
+        return {int(n) for n in np.unique(table) if n >= 0}
+
+    # -- schedule table ----------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """Schedule period in slots."""
+        return int(self._table.size)
+
+    @property
+    def schedule_row(self) -> np.ndarray:
+        """Copy of the slot -> neighbor table."""
+        return self._table.copy()
+
+    @property
+    def neighbor_superset(self) -> Tuple[int, ...]:
+        """All neighbors this NIC holds queue state for."""
+        return tuple(sorted(self._superset))
+
+    def active_neighbors(self) -> Tuple[int, ...]:
+        """Neighbors with at least one slot in the current table."""
+        return tuple(sorted(self._neighbors_of(self._table)))
+
+    def neighbor_at(self, slot: int) -> int:
+        """Neighbor faced at absolute slot index (wraps the period); -1 if idle."""
+        return int(self._table[slot % self.period])
+
+    def slots_for(self, neighbor: int) -> np.ndarray:
+        """Slot indices (within one period) facing *neighbor*."""
+        return np.nonzero(self._table == neighbor)[0]
+
+    def bandwidth_share(self, neighbor: int) -> float:
+        """Fraction of the period's slots allocated to *neighbor*."""
+        return float(self.slots_for(neighbor).size) / self.period
+
+    def max_wait_slots(self, neighbor: int) -> int:
+        """Worst-case slots until the next circuit to *neighbor* opens.
+
+        This is the per-node realization of the paper's intrinsic latency:
+        the longest gap between consecutive occurrences of the neighbor in
+        the (cyclic) schedule table.
+        """
+        slots = self.slots_for(neighbor)
+        if slots.size == 0:
+            raise HardwareModelError(
+                f"neighbor {neighbor} has no slots in the current table"
+            )
+        if slots.size == 1:
+            return self.period
+        gaps = np.diff(slots)
+        wrap_gap = self.period - slots[-1] + slots[0]
+        return int(max(gaps.max(), wrap_gap))
+
+    # -- queues ------------------------------------------------------------
+
+    def enqueue(self, neighbor: int, item) -> None:
+        """Queue one cell toward *neighbor* (must be in the superset)."""
+        if neighbor not in self._superset:
+            raise HardwareModelError(
+                f"node {self.node_id} holds no queue for neighbor {neighbor}"
+            )
+        self._queues[neighbor].append(item)
+
+    def dequeue_burst(self, neighbor: int, max_items: int) -> List:
+        """Drain up to *max_items* cells from the queue toward *neighbor*."""
+        if neighbor not in self._superset:
+            raise HardwareModelError(
+                f"node {self.node_id} holds no queue for neighbor {neighbor}"
+            )
+        queue = self._queues[neighbor]
+        out = []
+        for _ in range(min(max_items, len(queue))):
+            out.append(queue.popleft())
+        return out
+
+    def queue_length(self, neighbor: int) -> int:
+        """Cells currently queued toward *neighbor*."""
+        if neighbor not in self._superset:
+            return 0
+        return len(self._queues[neighbor])
+
+    def total_queued(self) -> int:
+        """Cells queued across all neighbors."""
+        return sum(len(q) for q in self._queues.values())
+
+    # -- updates -----------------------------------------------------------
+
+    def apply_schedule_update(self, new_row: Sequence[int]) -> ScheduleUpdateReport:
+        """Atomically replace the schedule table; report disruption.
+
+        Queues for neighbors new to the superset are allocated on the fly
+        (this is the expensive case SORN avoids); queues toward neighbors
+        that lost all slots are retained but their contents counted as
+        stranded.
+        """
+        new_table = self._validate_row(new_row)
+        old_neighbors = self._neighbors_of(self._table)
+        new_neighbors = self._neighbors_of(new_table)
+        added = tuple(sorted(new_neighbors - self._superset))
+        removed = tuple(sorted(old_neighbors - new_neighbors))
+        stranded = sum(len(self._queues[n]) for n in removed if n in self._queues)
+        for n in added:
+            self._superset.add(n)
+            self._queues[n] = deque()
+        self._table = new_table
+        return ScheduleUpdateReport(
+            added_neighbors=added,
+            removed_neighbors=removed,
+            stranded_cells=stranded,
+            new_period=self.period,
+        )

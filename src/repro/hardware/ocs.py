@@ -1,0 +1,129 @@
+"""Generic optical circuit switch layer: a feasibility oracle for matchings.
+
+Where :mod:`repro.hardware.awgr` models one specific device family, this
+module models the *abstraction* every reconfigurable-DCN paper shares
+(Sirius, RotorNet, Opera): an OCS layer exposes some set of matchings
+between node ports, and a schedule is feasible iff every slot's matching
+belongs to that set.  Physical constraints prevent most fast OCSes from
+offering all N! configurations (paper section 2), so expressivity checks
+against this layer gate what logical topologies a control plane may deploy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import HardwareModelError, MatchingError
+from ..util import check_positive_int
+from .awgr import Awgr
+
+__all__ = ["CircuitSwitchLayer"]
+
+
+def _as_matching_array(matching: Sequence[int], num_ports: int) -> np.ndarray:
+    arr = np.asarray(matching, dtype=np.int64)
+    if arr.shape != (num_ports,):
+        raise MatchingError(
+            f"matching must have one entry per port ({num_ports}), got shape {arr.shape}"
+        )
+    active = arr[arr >= 0]
+    if active.size and (active.max() >= num_ports or len(np.unique(active)) != active.size):
+        raise MatchingError("matching entries must be distinct ports in range")
+    return arr
+
+
+class CircuitSwitchLayer:
+    """An OCS layer defined by its feasible matchings.
+
+    Parameters
+    ----------
+    num_ports:
+        Number of node-facing ports.
+    matchings:
+        The feasible matchings, each an array ``m`` with ``m[src] = dst``
+        (``-1`` marks an unmatched port).  Duplicates are removed.
+    reconfiguration_ns:
+        Time to switch between consecutive matchings (guard requirement).
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        matchings: Iterable[Sequence[int]],
+        reconfiguration_ns: float = 0.0,
+    ):
+        self.num_ports = check_positive_int(num_ports, "num_ports", minimum=2)
+        if reconfiguration_ns < 0:
+            raise HardwareModelError("reconfiguration_ns must be non-negative")
+        self.reconfiguration_ns = float(reconfiguration_ns)
+        seen = {}
+        for m in matchings:
+            arr = _as_matching_array(m, self.num_ports)
+            seen[arr.tobytes()] = arr
+        if not seen:
+            raise HardwareModelError("an OCS layer needs at least one matching")
+        self._matchings: List[np.ndarray] = list(seen.values())
+        self._keys = set(seen.keys())
+
+    @classmethod
+    def from_awgr(cls, awgr: Awgr, reconfiguration_ns: float = 0.0) -> "CircuitSwitchLayer":
+        """Build the layer realized by an AWGR's wavelength band."""
+        return cls(awgr.num_ports, awgr.all_matchings(), reconfiguration_ns)
+
+    @classmethod
+    def full_mesh(cls, num_ports: int, reconfiguration_ns: float = 0.0) -> "CircuitSwitchLayer":
+        """All N-1 rotation matchings: enough to emulate any uniform design."""
+        ports = np.arange(num_ports, dtype=np.int64)
+        matchings = [(ports + shift) % num_ports for shift in range(1, num_ports)]
+        return cls(num_ports, matchings, reconfiguration_ns)
+
+    @property
+    def matchings(self) -> List[np.ndarray]:
+        """The feasible matchings (defensive copies)."""
+        return [m.copy() for m in self._matchings]
+
+    def __len__(self) -> int:
+        return len(self._matchings)
+
+    def supports_matching(self, matching: Sequence[int]) -> bool:
+        """Whether one matching is physically realizable on this layer."""
+        arr = _as_matching_array(matching, self.num_ports)
+        return arr.tobytes() in self._keys
+
+    def supports_schedule(self, matchings: Iterable[Sequence[int]]) -> bool:
+        """Whether every slot of a schedule is realizable."""
+        return all(self.supports_matching(m) for m in matchings)
+
+    def infeasible_slots(self, matchings: Iterable[Sequence[int]]) -> List[int]:
+        """Indices of schedule slots whose matchings this layer cannot realize."""
+        return [
+            i for i, m in enumerate(matchings) if not self.supports_matching(m)
+        ]
+
+    def connectivity(self) -> np.ndarray:
+        """Boolean matrix: ``conn[i, j]`` iff some feasible matching links i->j."""
+        conn = np.zeros((self.num_ports, self.num_ports), dtype=bool)
+        for m in self._matchings:
+            src = np.nonzero(m >= 0)[0]
+            conn[src, m[src]] = True
+        return conn
+
+    def supports_full_connectivity(self) -> bool:
+        """Whether every ordered pair of distinct ports is connectable."""
+        conn = self.connectivity()
+        np.fill_diagonal(conn, True)
+        return bool(conn.all())
+
+    def circuit_options(self, src: int, dst: int) -> List[int]:
+        """Indices of feasible matchings that include the circuit src -> dst."""
+        if not (0 <= src < self.num_ports and 0 <= dst < self.num_ports):
+            raise HardwareModelError("port out of range")
+        return [i for i, m in enumerate(self._matchings) if m[src] == dst]
+
+    def guard_slots(self, slot_ns: float) -> int:
+        """Whole slots lost per reconfiguration at the given slot length."""
+        if slot_ns <= 0:
+            raise HardwareModelError("slot_ns must be positive")
+        return int(np.ceil(self.reconfiguration_ns / slot_ns)) if self.reconfiguration_ns else 0

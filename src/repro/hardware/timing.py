@@ -1,0 +1,161 @@
+"""Slot timing, guard bands, propagation, and synchronization domains.
+
+The paper's Table 1 evaluates a 4096-rack DCN with 16 uplinks per rack,
+100 ns time slots, and 500 ns of propagation delay per hop; Opera is modeled
+with 90 us slots and a quarter of the uplinks reconfiguring at a time.
+:class:`TimingModel` encodes exactly that arithmetic:
+
+    min_latency = delta_m / uplinks * slot + hops * propagation
+
+where ``delta_m`` is the intrinsic latency in schedule slots (the maximum
+number of circuits to cycle through across all hops).  Dividing by the
+uplink count models the standard trick (used by Sirius and Shale) of running
+``uplinks`` parallel rotated copies of the schedule, one per uplink, so the
+effective wait for any given circuit shrinks proportionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..util import check_positive_int
+
+__all__ = ["TimingModel", "SyncDomain", "TABLE1_TIMING", "OPERA_TIMING"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingModel:
+    """Physical timing parameters of a reconfigurable network deployment.
+
+    Parameters
+    ----------
+    slot_ns:
+        Duration of one circuit time slot, including payload transmission.
+    propagation_ns:
+        One-way propagation delay per hop (fiber + switch traversal).
+    uplinks:
+        Number of parallel uplinks (planes) per node.  Each runs a rotated
+        copy of the schedule, dividing the effective cycle time.
+    guard_ns:
+        Reconfiguration guard band *within* each slot during which no data
+        can be sent.  Must be smaller than ``slot_ns``.
+    reconfiguring_fraction:
+        Fraction of uplinks unavailable at any instant because they are
+        being reconfigured (Opera-style).  Reduces usable capacity but not
+        the latency arithmetic.
+    """
+
+    slot_ns: float = 100.0
+    propagation_ns: float = 500.0
+    uplinks: int = 16
+    guard_ns: float = 0.0
+    reconfiguring_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slot_ns <= 0:
+            raise ConfigurationError(f"slot_ns must be positive, got {self.slot_ns}")
+        if self.propagation_ns < 0:
+            raise ConfigurationError("propagation_ns must be non-negative")
+        check_positive_int(self.uplinks, "uplinks")
+        if not 0 <= self.guard_ns < self.slot_ns:
+            raise ConfigurationError(
+                f"guard_ns must be in [0, slot_ns), got {self.guard_ns} vs slot {self.slot_ns}"
+            )
+        if not 0.0 <= self.reconfiguring_fraction < 1.0:
+            raise ConfigurationError(
+                f"reconfiguring_fraction must be in [0, 1), got {self.reconfiguring_fraction}"
+            )
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of each slot usable for payload after the guard band."""
+        return (self.slot_ns - self.guard_ns) / self.slot_ns
+
+    @property
+    def usable_capacity_fraction(self) -> float:
+        """Fraction of aggregate node bandwidth usable for payload.
+
+        Combines the in-slot guard band with uplinks lost to Opera-style
+        rolling reconfiguration.
+        """
+        return self.duty_cycle * (1.0 - self.reconfiguring_fraction)
+
+    def effective_wait_slots(self, delta_m_slots: float) -> float:
+        """Schedule wait after dividing across parallel uplink planes."""
+        if delta_m_slots < 0:
+            raise ConfigurationError("delta_m_slots must be non-negative")
+        return delta_m_slots / self.uplinks
+
+    def min_latency_ns(self, delta_m_slots: float, hops: int) -> float:
+        """Minimum worst-case single-packet latency in nanoseconds.
+
+        This is the paper's Table 1 "Min Latency" column: the intrinsic
+        schedule wait (spread over the uplink planes) plus per-hop
+        propagation, with queueing effects removed.
+        """
+        hops = check_positive_int(hops, "hops", minimum=0) if hops else 0
+        return self.effective_wait_slots(delta_m_slots) * self.slot_ns + hops * self.propagation_ns
+
+    def min_latency_us(self, delta_m_slots: float, hops: int) -> float:
+        """Same as :meth:`min_latency_ns` but in microseconds."""
+        return self.min_latency_ns(delta_m_slots, hops) / 1000.0
+
+    def cycle_time_ns(self, period_slots: int) -> float:
+        """Wall-clock time for one node to cycle through a full schedule period."""
+        period_slots = check_positive_int(period_slots, "period_slots")
+        return period_slots / self.uplinks * self.slot_ns
+
+    def slots_for_bytes(self, num_bytes: float, link_gbps: float) -> int:
+        """Number of slots needed to send *num_bytes* at *link_gbps* per uplink."""
+        if link_gbps <= 0:
+            raise ConfigurationError("link_gbps must be positive")
+        payload_ns_per_slot = self.slot_ns - self.guard_ns
+        bytes_per_slot = link_gbps * payload_ns_per_slot / 8.0
+        return max(1, math.ceil(num_bytes / bytes_per_slot))
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncDomain:
+    """A time-synchronization domain (paper section 6, "Practicality benefits").
+
+    Hierarchical (semi-oblivious) designs let each node participate in
+    independent schedules per hierarchy level, so the set of nodes that must
+    share a slot clock shrinks from the whole network to one clique (plus
+    the clique-level aggregate schedule).  Smaller domains tolerate larger
+    slots and looser synchronization.
+    """
+
+    size: int
+    diameter_hops: int
+    timing: TimingModel = TimingModel()
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        check_positive_int(self.diameter_hops, "diameter_hops", minimum=0)
+
+    @property
+    def skew_budget_ns(self) -> float:
+        """Worst-case tolerable clock skew: the guard band minus one
+        propagation-uncertainty unit per hop of the domain diameter.
+
+        A conservative linear model: each hop of separation contributes
+        propagation jitter that eats into the shared guard band.
+        """
+        jitter_per_hop = 0.01 * self.timing.propagation_ns
+        return max(0.0, self.timing.guard_ns - self.diameter_hops * jitter_per_hop)
+
+    def tolerates_skew(self, skew_ns: float) -> bool:
+        """Whether the domain operates correctly under the given clock skew."""
+        return skew_ns <= self.skew_budget_ns or self.timing.guard_ns == 0.0 and skew_ns == 0.0
+
+
+#: Timing used for every non-Opera row of the paper's Table 1.
+TABLE1_TIMING = TimingModel(slot_ns=100.0, propagation_ns=500.0, uplinks=16)
+
+#: Timing for the Opera rows: 90 us slots, a quarter of uplinks reconfiguring.
+OPERA_TIMING = TimingModel(
+    slot_ns=90_000.0, propagation_ns=500.0, uplinks=16, reconfiguring_fraction=0.25
+)

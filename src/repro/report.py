@@ -1,0 +1,135 @@
+"""Plain-text rendering of matrices, schedules, and tradeoff plots.
+
+The repository is dependency-light by design (no matplotlib), so the CLI
+and examples render results as text: shaded heatmaps for demand matrices,
+Figure-1-style tables for schedules, and a scatter for the
+latency-throughput plane.  Renderers return strings (callers print), and
+every renderer is deterministic — tests snapshot them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .analysis.pareto import TradeoffPoint
+from .errors import ConfigurationError
+from .schedules.schedule import CircuitSchedule
+from .traffic.matrix import TrafficMatrix
+
+__all__ = ["render_matrix_heatmap", "render_schedule_table", "render_tradeoff_plot"]
+
+#: Shade ramp from empty to full.
+SHADES = " .:-=+*#%@"
+
+
+def render_matrix_heatmap(
+    matrix: TrafficMatrix, max_nodes: int = 48, title: Optional[str] = None
+) -> str:
+    """ASCII heatmap of a demand matrix (rows = sources).
+
+    Large matrices are downsampled by block-averaging to ``max_nodes``
+    rows/columns, so structure (clique blocks, hotspots) stays visible.
+    """
+    if max_nodes < 2:
+        raise ConfigurationError("max_nodes must be >= 2")
+    rates = matrix.rates
+    n = matrix.num_nodes
+    if n > max_nodes:
+        factor = -(-n // max_nodes)
+        padded = np.zeros(((n + factor - 1) // factor * factor,) * 2)
+        padded[:n, :n] = rates
+        blocks = padded.reshape(
+            padded.shape[0] // factor, factor, padded.shape[1] // factor, factor
+        )
+        rates = blocks.mean(axis=(1, 3))
+    peak = rates.max()
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in rates:
+        if peak == 0:
+            indices = np.zeros(len(row), dtype=int)
+        else:
+            indices = np.minimum(
+                (row / peak * (len(SHADES) - 1)).astype(int), len(SHADES) - 1
+            )
+        lines.append("".join(SHADES[i] for i in indices))
+    return "\n".join(lines)
+
+
+def render_schedule_table(
+    schedule: CircuitSchedule,
+    max_nodes: int = 10,
+    max_slots: int = 16,
+    node_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Figure-1-style schedule table: rows = nodes, columns = time slots.
+
+    Shows up to *max_nodes* nodes and *max_slots* slots; entries are the
+    neighbor faced each slot ('.' = idle).  Node names default to
+    A, B, C, ... for small fabrics and integers otherwise.
+    """
+    n = min(schedule.num_nodes, max_nodes)
+    period = min(schedule.period, max_slots)
+    if node_names is None:
+        if schedule.num_nodes <= 26:
+            node_names = [chr(ord("A") + v) for v in range(schedule.num_nodes)]
+        else:
+            node_names = [str(v) for v in range(schedule.num_nodes)]
+    width = max(len(str(name)) for name in node_names[:n]) + 1
+    width = max(width, 3)
+    header = " " * (width + 1) + "".join(
+        f"{t:>{width}}" for t in range(period)
+    )
+    lines = [header]
+    for node in range(n):
+        row = schedule.cached_node_row(node)[:period]
+        cells = "".join(
+            f"{node_names[v] if v >= 0 else '.':>{width}}" for v in row
+        )
+        lines.append(f"{node_names[node]:>{width}} " + cells)
+    if schedule.period > max_slots or schedule.num_nodes > max_nodes:
+        lines.append(
+            f"... ({schedule.num_nodes} nodes x {schedule.period} slots total)"
+        )
+    return "\n".join(lines)
+
+
+def render_tradeoff_plot(
+    points: Sequence[TradeoffPoint], width: int = 60, height: int = 16
+) -> str:
+    """Text scatter of the latency-throughput plane.
+
+    X axis: log-scaled latency (lower = left = better); Y axis:
+    throughput (higher = up = better).  Each point is marked with the
+    first letter of its label; a legend follows.
+    """
+    if not points:
+        raise ConfigurationError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ConfigurationError("plot too small")
+    lats = np.log10([p.latency_us for p in points])
+    thpts = np.array([p.throughput for p in points])
+    lat_lo, lat_hi = lats.min(), lats.max()
+    thpt_lo, thpt_hi = thpts.min(), thpts.max()
+    lat_span = max(lat_hi - lat_lo, 1e-9)
+    thpt_span = max(thpt_hi - thpt_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, point in enumerate(points):
+        col = int((lats[index] - lat_lo) / lat_span * (width - 1))
+        row = int((thpt_hi - thpts[index]) / thpt_span * (height - 1))
+        mark = chr(ord("a") + index) if index < 26 else "*"
+        grid[row][col] = mark
+        legend.append(
+            f"  {mark} = {point.label} ({point.latency_us:.2f}us, "
+            f"{point.throughput:.1%})"
+        )
+    lines = ["throughput ^"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + "> latency (log)")
+    lines += legend
+    return "\n".join(lines)

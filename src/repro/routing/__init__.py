@@ -1,0 +1,28 @@
+"""Oblivious routing schemes over circuit schedules.
+
+All routers are *oblivious*: the path distribution for a (src, dst) pair is
+fixed in advance and independent of instantaneous demand.  The semi-
+oblivious design keeps this property — only the *schedule* adapts, on
+control-plane timescales (paper section 4, "Routing").
+"""
+
+from .base import Path, Router
+from .vlb import VlbRouter
+from .sorn_routing import SornRouter
+from .hierarchical_routing import HierarchicalSornRouter
+from .multidim_routing import MultiDimRouter
+from .opera_routing import OperaRouter
+from .paths import timed_vlb_route, timed_sorn_route, worst_case_intrinsic_latency
+
+__all__ = [
+    "Path",
+    "Router",
+    "VlbRouter",
+    "SornRouter",
+    "HierarchicalSornRouter",
+    "MultiDimRouter",
+    "OperaRouter",
+    "timed_vlb_route",
+    "timed_sorn_route",
+    "worst_case_intrinsic_latency",
+]

@@ -1,0 +1,137 @@
+"""Router interface and the immutable Path value type."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..util import ensure_rng, RngLike
+
+__all__ = ["Path", "Router"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Path:
+    """A loop-free node sequence from source to destination.
+
+    Attributes
+    ----------
+    nodes:
+        The node sequence including both endpoints.  A degenerate
+        single-node path (src == dst) has zero hops and is rejected.
+    """
+
+    nodes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise RoutingError("a path needs at least two nodes (src and dst)")
+        for a, b in zip(self.nodes, self.nodes[1:]):
+            if a == b:
+                raise RoutingError(f"degenerate hop {a} -> {b} in path {self.nodes}")
+
+    @property
+    def src(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return len(self.nodes) - 1
+
+    def links(self) -> List[Tuple[int, int]]:
+        """The (u, v) links traversed, in order."""
+        return list(zip(self.nodes, self.nodes[1:]))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class Router(abc.ABC):
+    """An oblivious routing scheme: a fixed path distribution per pair.
+
+    Implementations provide :meth:`path_options` — the exact distribution —
+    and inherit sampling (:meth:`path`) and worst-case hop accounting.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of nodes the router covers."""
+
+    @property
+    @abc.abstractmethod
+    def max_hops(self) -> int:
+        """Worst-case hop count over all pairs and random choices."""
+
+    @abc.abstractmethod
+    def path_options(self, src: int, dst: int) -> List[Tuple[float, Path]]:
+        """The full path distribution for (src, dst): (probability, path)
+        pairs summing to 1.  Used by the fluid solver for exact expected
+        link loads; samplers draw from the same distribution.
+        """
+
+    def _check_pair(self, src: int, dst: int) -> None:
+        n = self.num_nodes
+        if not (0 <= src < n and 0 <= dst < n):
+            raise RoutingError(f"pair ({src}, {dst}) out of range [0, {n})")
+        if src == dst:
+            raise RoutingError("src and dst must differ")
+
+    def path(self, src: int, dst: int, rng: RngLike = None) -> Path:
+        """Sample one path from the scheme's distribution."""
+        options = self.path_options(src, dst)
+        if len(options) == 1:
+            return options[0][1]
+        gen = ensure_rng(rng)
+        probs = np.array([p for p, _ in options])
+        index = gen.choice(len(options), p=probs / probs.sum())
+        return options[index][1]
+
+    def expected_hops(self, src: int, dst: int) -> float:
+        """Mean hop count for the pair under the path distribution."""
+        return sum(p * path.hops for p, path in self.path_options(src, dst))
+
+    def mean_hops_uniform(self) -> float:
+        """Mean hop count under uniform all-to-all demand.
+
+        This is the scheme's *bandwidth tax*: routing at mean hop count H
+        multiplies the offered traffic volume by H, so worst-case
+        throughput cannot exceed 1/H (paper's normalized bandwidth cost).
+        """
+        n = self.num_nodes
+        total = 0.0
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    total += self.expected_hops(src, dst)
+        return total / (n * (n - 1))
+
+    def validate_distribution(self, src: int, dst: int, tol: float = 1e-9) -> None:
+        """Check probabilities sum to 1 and every path connects the pair."""
+        options = self.path_options(src, dst)
+        mass = sum(p for p, _ in options)
+        if abs(mass - 1.0) > tol:
+            raise RoutingError(f"path probabilities sum to {mass}, expected 1")
+        for p, path in options:
+            if p < 0:
+                raise RoutingError("negative path probability")
+            if path.src != src or path.dst != dst:
+                raise RoutingError(
+                    f"path {path.nodes} does not connect {src} -> {dst}"
+                )
+            if path.hops > self.max_hops:
+                raise RoutingError(
+                    f"path {path.nodes} exceeds max_hops={self.max_hops}"
+                )

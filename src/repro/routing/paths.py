@@ -1,0 +1,161 @@
+"""Timed (slot-accurate) routing: measuring intrinsic latency empirically.
+
+The paper defines *intrinsic latency* (delta_m) as the maximum number of
+circuits a packet must cycle through across all of its hops — the
+minimum worst-case latency of a topology + routing scheme with queueing
+removed.  The functions here walk a packet through an actual schedule,
+slot by slot, using each scheme's greedy rule ("first available
+load-balancing link, then wait for each specific circuit"), so tests and
+benchmarks can compare the *realized* worst case against the closed-form
+formulas in :mod:`repro.analysis.latency`.
+
+All waits are measured in base-plane schedule slots: a hop transmitted at
+slot ``t`` contributes ``t - arrival_slot`` waiting; transmission itself is
+instantaneous at this level of abstraction (propagation and slot widths are
+applied later by :class:`repro.hardware.timing.TimingModel`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..errors import RoutingError
+from ..schedules.schedule import CircuitSchedule
+from ..schedules.sorn_schedule import SornSchedule
+
+__all__ = [
+    "TimedRoute",
+    "timed_vlb_route",
+    "timed_sorn_route",
+    "worst_case_intrinsic_latency",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedRoute:
+    """A routed path together with its per-hop transmit slots."""
+
+    nodes: Tuple[int, ...]
+    transmit_slots: Tuple[int, ...]
+    start_slot: int
+
+    def __post_init__(self) -> None:
+        if len(self.transmit_slots) != len(self.nodes) - 1:
+            raise RoutingError("need exactly one transmit slot per hop")
+
+    @property
+    def hops(self) -> int:
+        return len(self.transmit_slots)
+
+    @property
+    def wait_slots(self) -> int:
+        """Total slots cycled through from injection to the final hop."""
+        if not self.transmit_slots:
+            return 0
+        return self.transmit_slots[-1] - self.start_slot
+
+
+def _first_active_slot(
+    schedule: CircuitSchedule,
+    node: int,
+    start_slot: int,
+    eligible: Callable[[int], bool],
+) -> Tuple[int, int]:
+    """First slot >= start where *node* faces an eligible neighbor.
+
+    Returns (slot, neighbor).  Scans at most one period.
+    """
+    row = schedule.cached_node_row(node)
+    period = schedule.period
+    for offset in range(period):
+        slot = start_slot + offset
+        neighbor = int(row[slot % period])
+        if neighbor >= 0 and eligible(neighbor):
+            return slot, neighbor
+    raise RoutingError(f"node {node} never faces an eligible neighbor")
+
+
+def timed_vlb_route(
+    schedule: CircuitSchedule, src: int, dst: int, start_slot: int = 0
+) -> TimedRoute:
+    """Greedy 2-hop VLB walk: first available link, then the direct circuit.
+
+    The load-balancing hop takes whichever circuit opens first (adding
+    "effectively zero intrinsic latency", as the paper puts it); if that
+    circuit already points at the destination the walk is done.
+    """
+    if src == dst:
+        raise RoutingError("src and dst must differ")
+    lb_slot, mid = _first_active_slot(schedule, src, start_slot, lambda n: True)
+    if mid == dst:
+        return TimedRoute((src, dst), (lb_slot,), start_slot)
+    direct_slot = schedule.next_slot(lb_slot + 1, mid, dst)
+    return TimedRoute((src, mid, dst), (lb_slot, direct_slot), start_slot)
+
+
+def timed_sorn_route(
+    schedule: SornSchedule, src: int, dst: int, start_slot: int = 0
+) -> TimedRoute:
+    """Greedy SORN walk (paper section 4): LB via the first available
+    intra-clique link, then inter-clique and intra-clique waits as needed.
+    """
+    if src == dst:
+        raise RoutingError("src and dst must differ")
+    layout = schedule.layout
+    src_clique, dst_clique = layout.clique_of(src), layout.clique_of(dst)
+    same = src_clique == dst_clique
+    size = layout.clique_size
+
+    nodes: List[int] = [src]
+    slots: List[int] = []
+    current, clock = src, start_slot
+
+    # Load-balancing hop via the first available intra-clique link.  With
+    # singleton cliques there are no intra links and the hop is skipped.
+    if size > 1:
+        lb_slot, mid = _first_active_slot(
+            schedule, current, clock, lambda n: layout.clique_of(n) == src_clique
+        )
+        nodes.append(mid)
+        slots.append(lb_slot)
+        current, clock = mid, lb_slot + 1
+        if current == dst:
+            return TimedRoute(tuple(nodes), tuple(slots), start_slot)
+
+    if not same:
+        # Inter-clique hop on the position-aligned circuit.
+        entry = layout.node_at(dst_clique, layout.position_of(current))
+        inter_slot = schedule.next_slot(clock, current, entry)
+        nodes.append(entry)
+        slots.append(inter_slot)
+        current, clock = entry, inter_slot + 1
+        if current == dst:
+            return TimedRoute(tuple(nodes), tuple(slots), start_slot)
+
+    # Final direct intra-clique circuit.
+    final_slot = schedule.next_slot(clock, current, dst)
+    nodes.append(dst)
+    slots.append(final_slot)
+    return TimedRoute(tuple(nodes), tuple(slots), start_slot)
+
+
+def worst_case_intrinsic_latency(
+    route_fn: Callable[..., TimedRoute],
+    schedule: CircuitSchedule,
+    pairs: Iterable[Tuple[int, int]],
+    start_slots: Optional[Iterable[int]] = None,
+) -> int:
+    """Empirical delta_m: max wait over the given pairs and start slots.
+
+    ``start_slots`` defaults to every slot of one period, giving the exact
+    worst case for the supplied pairs.
+    """
+    if start_slots is None:
+        start_slots = range(schedule.period)
+    starts = list(start_slots)
+    worst = 0
+    for src, dst in pairs:
+        for start in starts:
+            worst = max(worst, route_fn(schedule, src, dst, start).wait_slots)
+    return worst

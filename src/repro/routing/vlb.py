@@ -1,0 +1,62 @@
+"""Two-hop Valiant load balancing over a uniformly connected schedule.
+
+The classic ORN routing scheme (Valiant & Brebner 1981; used by Sirius,
+RotorNet, Shoal): every packet takes one load-balancing hop to a uniformly
+random intermediate node, then a direct hop to its destination.  Spreading
+over intermediates makes *any* admissible traffic matrix look uniform, at
+the cost of doubling traffic volume — hence the 50 % worst-case throughput
+the paper cites.
+
+The intermediate is drawn uniformly from all nodes except the source; when
+it coincides with the destination the packet takes the direct single hop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..util import check_positive_int, ensure_rng
+from .base import Path, Router
+
+__all__ = ["VlbRouter"]
+
+
+class VlbRouter(Router):
+    """Uniform 2-hop VLB over ``num_nodes`` fully connected virtual nodes."""
+
+    def __init__(self, num_nodes: int):
+        self._num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def max_hops(self) -> int:
+        return 2
+
+    def path_options(self, src: int, dst: int) -> List[Tuple[float, Path]]:
+        self._check_pair(src, dst)
+        n = self._num_nodes
+        prob = 1.0 / (n - 1)
+        options: List[Tuple[float, Path]] = [(prob, Path((src, dst)))]
+        for mid in range(n):
+            if mid not in (src, dst):
+                options.append((prob, Path((src, mid, dst))))
+        return options
+
+    def path(self, src: int, dst: int, rng=None) -> Path:
+        """Sample directly (no enumeration): draw the intermediate."""
+        self._check_pair(src, dst)
+        gen = ensure_rng(rng)
+        mid = int(gen.integers(self._num_nodes - 1))
+        if mid >= src:
+            mid += 1  # uniform over nodes != src
+        if mid == dst:
+            return Path((src, dst))
+        return Path((src, mid, dst))
+
+    def expected_hops(self, src: int, dst: int) -> float:
+        """Closed form: 2 - 1/(N-1) (direct when the intermediate is dst)."""
+        self._check_pair(src, dst)
+        return 2.0 - 1.0 / (self._num_nodes - 1)

@@ -1,0 +1,167 @@
+"""Matchings: the single-slot connectivity unit of a circuit schedule.
+
+A matching over ``n`` ports is stored as an integer array ``dst`` where
+``dst[src]`` is the output port that input ``src`` connects to, or ``-1``
+if the port idles this slot.  A *full* matching is a permutation; partial
+matchings arise in Opera-style schedules while a rotor reconfigures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MatchingError
+from ..util import check_positive_int, ensure_rng, RngLike
+
+__all__ = ["Matching"]
+
+
+class Matching:
+    """An immutable (partial) matching between ``num_nodes`` ports.
+
+    Invariants enforced at construction:
+
+    - entries are in ``[-1, num_nodes)``;
+    - no two sources share a destination;
+    - no self-loops (a circuit from a port to itself is meaningless).
+    """
+
+    __slots__ = ("_dst", "_hash")
+
+    def __init__(self, dst: Sequence[int]):
+        arr = np.asarray(dst, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise MatchingError("a matching must be a non-empty 1-D sequence")
+        n = arr.size
+        if arr.min() < -1 or arr.max() >= n:
+            raise MatchingError(f"matching entries must be in [-1, {n}), got range "
+                                f"[{arr.min()}, {arr.max()}]")
+        active_src = np.nonzero(arr >= 0)[0]
+        active_dst = arr[active_src]
+        if np.unique(active_dst).size != active_dst.size:
+            raise MatchingError("two sources share a destination port")
+        if (active_dst == active_src).any():
+            raise MatchingError("self-loop circuits are not allowed")
+        arr.setflags(write=False)
+        self._dst = arr
+        self._hash: Optional[int] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def rotation(cls, num_nodes: int, shift: int) -> "Matching":
+        """The rotation matching ``src -> (src + shift) mod n`` (shift != 0 mod n)."""
+        num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        if shift % num_nodes == 0:
+            raise MatchingError("rotation shift must be non-zero modulo num_nodes")
+        return cls((np.arange(num_nodes) + shift) % num_nodes)
+
+    @classmethod
+    def from_pairs(
+        cls, num_nodes: int, pairs: Iterable[Tuple[int, int]]
+    ) -> "Matching":
+        """Build from explicit (src, dst) circuit pairs; unlisted ports idle."""
+        num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        dst = np.full(num_nodes, -1, dtype=np.int64)
+        for s, d in pairs:
+            if not (0 <= s < num_nodes and 0 <= d < num_nodes):
+                raise MatchingError(f"pair ({s}, {d}) out of range [0, {num_nodes})")
+            if dst[s] != -1:
+                raise MatchingError(f"source {s} listed twice")
+            dst[s] = d
+        return cls(dst)
+
+    @classmethod
+    def random_permutation(cls, num_nodes: int, rng: RngLike = None) -> "Matching":
+        """A uniformly random derangement (fixed-point-free permutation).
+
+        Samples random permutations until one has no fixed points (expected
+        ~e attempts), so the result is a valid full matching.
+        """
+        num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        gen = ensure_rng(rng)
+        while True:
+            perm = gen.permutation(num_nodes)
+            if not (perm == np.arange(num_nodes)).any():
+                return cls(perm)
+
+    @classmethod
+    def idle(cls, num_nodes: int) -> "Matching":
+        """The empty matching (all ports idle)."""
+        num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        return cls(np.full(num_nodes, -1, dtype=np.int64))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._dst.size)
+
+    @property
+    def dst(self) -> np.ndarray:
+        """Read-only destination array (``-1`` = idle)."""
+        return self._dst
+
+    def destination(self, src: int) -> int:
+        """Destination of *src* this slot, or -1 if idle."""
+        return int(self._dst[src])
+
+    def source(self, dst: int) -> int:
+        """Source connected to *dst* this slot, or -1 if none."""
+        hits = np.nonzero(self._dst == dst)[0]
+        return int(hits[0]) if hits.size else -1
+
+    def is_full(self) -> bool:
+        """True iff every port is matched (the matching is a permutation)."""
+        return bool((self._dst >= 0).all())
+
+    def num_circuits(self) -> int:
+        """Number of active circuits this slot."""
+        return int((self._dst >= 0).sum())
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """Active (src, dst) circuit pairs, in source order."""
+        src = np.nonzero(self._dst >= 0)[0]
+        return [(int(s), int(self._dst[s])) for s in src]
+
+    def inverse(self) -> "Matching":
+        """The reversed matching (every circuit flipped)."""
+        inv = np.full(self.num_nodes, -1, dtype=np.int64)
+        src = np.nonzero(self._dst >= 0)[0]
+        inv[self._dst[src]] = src
+        return Matching(inv)
+
+    def restrict(self, nodes: Sequence[int]) -> "Matching":
+        """Keep only circuits whose src *and* dst are in *nodes*; others idle."""
+        keep = np.zeros(self.num_nodes, dtype=bool)
+        keep[np.asarray(list(nodes), dtype=np.int64)] = True
+        dst = self._dst.copy()
+        src = np.arange(self.num_nodes)
+        mask = (dst >= 0) & (keep[src]) & keep[np.clip(dst, 0, None)]
+        dst[~mask] = -1
+        return Matching(dst)
+
+    # -- protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._dst.tolist())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self.num_nodes == other.num_nodes and bool(
+            (self._dst == other._dst).all()
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._dst.tobytes())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Matching({self._dst.tolist()})"

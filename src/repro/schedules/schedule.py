@@ -1,0 +1,220 @@
+"""The circuit-schedule abstraction shared by all network designs.
+
+A :class:`CircuitSchedule` is a periodic sequence of matchings that every
+node follows synchronously.  Subclasses may generate matchings lazily (the
+4096-node analyses never materialize the Theta(N^2) schedule), or hold an
+explicit list (:class:`ExplicitSchedule`) for simulation-scale networks.
+
+Parallel uplinks are modeled as *planes*: plane ``p`` of a schedule with
+``num_planes = U`` runs the same matching sequence offset by ``period/U``
+slots, which is how Sirius spreads one logical rotation across 16 physical
+uplinks and divides the effective cycle time by 16.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..util import check_positive_int
+from .matching import Matching
+
+__all__ = ["CircuitSchedule", "ExplicitSchedule"]
+
+
+class CircuitSchedule(abc.ABC):
+    """Periodic synchronous schedule of matchings over ``num_nodes`` ports."""
+
+    def __init__(self, num_nodes: int, period: int, num_planes: int = 1):
+        self._num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        self._period = check_positive_int(period, "period")
+        self._num_planes = check_positive_int(num_planes, "num_planes")
+        self._row_cache: Dict[int, np.ndarray] = {}
+
+    # -- core interface ------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of ports/nodes the schedule connects."""
+        return self._num_nodes
+
+    @property
+    def period(self) -> int:
+        """Schedule period in slots."""
+        return self._period
+
+    @property
+    def num_planes(self) -> int:
+        """Parallel uplink planes running offset copies of the schedule."""
+        return self._num_planes
+
+    @abc.abstractmethod
+    def matching(self, slot: int) -> Matching:
+        """The base-plane matching at (cyclic) slot index *slot*."""
+
+    # -- derived accessors -----------------------------------------------------
+
+    def plane_offset(self, plane: int) -> int:
+        """Slot offset of *plane* relative to the base plane."""
+        if not 0 <= plane < self._num_planes:
+            raise ScheduleError(f"plane {plane} out of range [0, {self._num_planes})")
+        return plane * self._period // self._num_planes
+
+    def plane_matching(self, slot: int, plane: int = 0) -> Matching:
+        """Matching active on *plane* at absolute slot *slot*."""
+        return self.matching((slot + self.plane_offset(plane)) % self._period)
+
+    def dest(self, slot: int, src: int, plane: int = 0) -> int:
+        """Destination of *src* at *slot* on *plane* (-1 if idle)."""
+        return self.plane_matching(slot, plane).destination(src)
+
+    def matchings(self) -> Iterator[Matching]:
+        """Iterate the base plane's matchings over one period."""
+        for slot in range(self._period):
+            yield self.matching(slot)
+
+    def node_row(self, src: int) -> np.ndarray:
+        """One node's slot -> neighbor table over a period (base plane).
+
+        This is the row a control plane programs into the node's NIC state
+        (:class:`repro.hardware.node.NodeState`).
+        """
+        if not 0 <= src < self._num_nodes:
+            raise ScheduleError(f"node {src} out of range [0, {self._num_nodes})")
+        return np.array(
+            [self.matching(t).destination(src) for t in range(self._period)],
+            dtype=np.int64,
+        )
+
+    def edge_fractions(self) -> Dict[Tuple[int, int], float]:
+        """Virtual-edge bandwidth fractions: ``f[(u, v)]`` is the fraction of
+        slots in which the circuit u -> v is up.
+
+        A circuit in fraction ``l`` of slots implements a virtual edge of
+        bandwidth ``b*l`` for per-node bandwidth ``b`` (paper section 4,
+        "Topology").  Materializes one period; subclasses with closed forms
+        may override.
+        """
+        counts: Dict[Tuple[int, int], int] = {}
+        for m in self.matchings():
+            for s, d in m.pairs():
+                counts[(s, d)] = counts.get((s, d), 0) + 1
+        return {edge: c / self._period for edge, c in counts.items()}
+
+    def neighbors(self, src: int) -> List[int]:
+        """All neighbors *src* ever faces over one period (sorted)."""
+        row = self.node_row(src)
+        return sorted({int(n) for n in np.unique(row) if n >= 0})
+
+    def cached_node_row(self, src: int) -> np.ndarray:
+        """Memoized :meth:`node_row` (used heavily by routers/simulators)."""
+        row = self._row_cache.get(src)
+        if row is None:
+            row = self.node_row(src)
+            row.setflags(write=False)
+            self._row_cache[src] = row
+        return row
+
+    def circuit_slots(self, src: int, dst: int) -> np.ndarray:
+        """Sorted base-plane slot indices (one period) where src -> dst is up."""
+        return np.nonzero(self.cached_node_row(src) == dst)[0]
+
+    def next_slot(self, start_slot: int, src: int, dst: int) -> int:
+        """First absolute slot >= *start_slot* with the circuit src -> dst up.
+
+        Raises :class:`ScheduleError` if the circuit never appears.
+        """
+        slots = self.circuit_slots(src, dst)
+        if slots.size == 0:
+            raise ScheduleError(f"circuit {src} -> {dst} never appears in the schedule")
+        base = start_slot % self._period
+        idx = int(np.searchsorted(slots, base))
+        if idx < slots.size:
+            return start_slot + int(slots[idx]) - base
+        return start_slot + self._period - base + int(slots[0])
+
+    def max_wait_slots(self, src: int, dst: int) -> int:
+        """Worst-case slots until the circuit src -> dst next opens
+        (base plane).  Infinite gaps raise :class:`ScheduleError`.
+        """
+        slots = self.circuit_slots(src, dst)
+        if slots.size == 0:
+            raise ScheduleError(f"circuit {src} -> {dst} never appears in the schedule")
+        if slots.size == 1:
+            return self._period
+        gaps = np.diff(slots)
+        wrap = self._period - slots[-1] + slots[0]
+        return int(max(gaps.max(), wrap))
+
+    def validate(self) -> None:
+        """Check every slot is a valid matching of the right size.
+
+        :class:`Matching` construction already enforces per-slot invariants;
+        this re-checks sizes and is the hook for subclass invariants.
+        """
+        for slot in range(self._period):
+            m = self.matching(slot)
+            if m.num_nodes != self._num_nodes:
+                raise ScheduleError(
+                    f"slot {slot} matching covers {m.num_nodes} nodes, "
+                    f"expected {self._num_nodes}"
+                )
+
+    def materialize(self) -> "ExplicitSchedule":
+        """Copy into an :class:`ExplicitSchedule` (for mutation/simulation)."""
+        return ExplicitSchedule(list(self.matchings()), num_planes=self._num_planes)
+
+    def with_planes(self, num_planes: int) -> "CircuitSchedule":
+        """A view of this schedule running on *num_planes* parallel uplinks."""
+        clone = self.materialize()
+        clone._num_planes = check_positive_int(num_planes, "num_planes")
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_nodes={self._num_nodes}, "
+            f"period={self._period}, num_planes={self._num_planes})"
+        )
+
+
+class ExplicitSchedule(CircuitSchedule):
+    """A schedule holding its matchings in memory.
+
+    Suitable for simulation-scale networks (N up to a few thousand) and for
+    arbitrary control-plane-synthesized schedules (e.g. BvN output).
+    """
+
+    def __init__(self, matchings: Sequence[Matching], num_planes: int = 1):
+        matchings = list(matchings)
+        if not matchings:
+            raise ScheduleError("an explicit schedule needs at least one matching")
+        for i, m in enumerate(matchings):
+            if not isinstance(m, Matching):
+                raise ScheduleError(f"slot {i} is not a Matching")
+        n = matchings[0].num_nodes
+        for i, m in enumerate(matchings):
+            if m.num_nodes != n:
+                raise ScheduleError(
+                    f"slot {i} covers {m.num_nodes} nodes, expected {n}"
+                )
+        super().__init__(n, len(matchings), num_planes)
+        self._slots: List[Matching] = matchings
+
+    def matching(self, slot: int) -> Matching:
+        return self._slots[slot % self._period]
+
+    def rotated(self, offset: int) -> "ExplicitSchedule":
+        """The same cyclic schedule starting *offset* slots later."""
+        offset %= self._period
+        return ExplicitSchedule(
+            self._slots[offset:] + self._slots[:offset], num_planes=self._num_planes
+        )
+
+    def concatenated(self, other: "ExplicitSchedule") -> "ExplicitSchedule":
+        """This period followed by *other*'s (e.g. splicing update epochs)."""
+        if other.num_nodes != self.num_nodes:
+            raise ScheduleError("cannot concatenate schedules of different sizes")
+        return ExplicitSchedule(self._slots + other._slots, num_planes=self._num_planes)

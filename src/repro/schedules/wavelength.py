@@ -1,0 +1,124 @@
+"""Compiling circuit schedules to per-node wavelength programs.
+
+In the Sirius-like AWGR fabric, the only per-slot degree of freedom is the
+wavelength each node's tunable laser emits; the AWGR's cyclic routing then
+realizes the circuit.  A :class:`WavelengthProgram` is the compiled form of
+a :class:`~repro.schedules.schedule.CircuitSchedule`: for every node, the
+slot -> wavelength table that a control plane would install in NIC state
+(Figure 2c).  Compilation fails loudly when the schedule demands a circuit
+outside the grating's wavelength band — this is the expressivity constraint
+of paper section 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import HardwareModelError
+from ..hardware.awgr import Awgr, wavelength_for_circuit
+from .schedule import CircuitSchedule
+
+__all__ = ["WavelengthProgram", "compile_wavelength_program"]
+
+#: Sentinel wavelength for an idle slot (laser off).
+IDLE = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class WavelengthProgram:
+    """Per-node wavelength tables realizing one schedule on one AWGR.
+
+    Attributes
+    ----------
+    tables:
+        Array of shape ``(num_nodes, period)``; entry ``[v, t]`` is the
+        wavelength node ``v`` emits at slot ``t`` (0 = laser off).
+    awgr:
+        The grating the program was compiled against.
+    """
+
+    tables: np.ndarray
+    awgr: Awgr
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.tables.shape[0])
+
+    @property
+    def period(self) -> int:
+        return int(self.tables.shape[1])
+
+    def wavelength(self, node: int, slot: int) -> int:
+        """Wavelength *node* emits at (cyclic) *slot*."""
+        return int(self.tables[node, slot % self.period])
+
+    def wavelengths_used(self) -> List[int]:
+        """Sorted distinct wavelengths the program uses (excluding idle)."""
+        used = np.unique(self.tables)
+        return [int(w) for w in used if w != IDLE]
+
+    def band_required(self) -> int:
+        """Minimum laser tuning range (max wavelength index) required."""
+        used = self.wavelengths_used()
+        return max(used) if used else 0
+
+    def retunes_per_period(self, node: int) -> int:
+        """How many times *node*'s laser changes wavelength per period.
+
+        Fast-tunable lasers retune in ns but the count still bounds control
+        overhead; a schedule that dwells on each wavelength for several
+        slots retunes less often.
+        """
+        row = self.tables[node]
+        if row.size <= 1:
+            return 0
+        changes = int((row != np.roll(row, 1)).sum())
+        return changes
+
+    def destinations(self, slot: int) -> np.ndarray:
+        """Decode the slot back to destinations via the AWGR (-1 = idle).
+
+        The inverse of compilation; used to verify round-tripping.
+        """
+        n = self.num_nodes
+        out = np.full(n, -1, dtype=np.int64)
+        for src in range(n):
+            w = self.wavelength(src, slot)
+            if w != IDLE:
+                out[src] = self.awgr.output_port(src, w)
+        return out
+
+
+def compile_wavelength_program(
+    schedule: CircuitSchedule, awgr: Optional[Awgr] = None
+) -> WavelengthProgram:
+    """Compile *schedule* into per-node wavelength tables for *awgr*.
+
+    If *awgr* is None, a full-band grating of matching size is assumed
+    (every rotation available).  Raises :class:`HardwareModelError` when a
+    circuit needs a wavelength outside the grating's band, identifying the
+    offending slot and circuit — the control plane uses this to reject
+    logical topologies the hardware cannot express.
+    """
+    if awgr is None:
+        awgr = Awgr(schedule.num_nodes, schedule.num_nodes - 1)
+    if awgr.num_ports != schedule.num_nodes:
+        raise HardwareModelError(
+            f"AWGR has {awgr.num_ports} ports but the schedule covers "
+            f"{schedule.num_nodes} nodes"
+        )
+    tables = np.full((schedule.num_nodes, schedule.period), IDLE, dtype=np.int64)
+    for slot in range(schedule.period):
+        for src, dst in schedule.matching(slot).pairs():
+            w = wavelength_for_circuit(src, dst, awgr.num_ports)
+            if w > awgr.num_wavelengths:
+                raise HardwareModelError(
+                    f"slot {slot}: circuit {src} -> {dst} needs wavelength "
+                    f"{w} but the grating's band ends at {awgr.num_wavelengths}"
+                )
+            tables[src, slot] = w
+    tables.setflags(write=False)
+    return WavelengthProgram(tables=tables, awgr=awgr)

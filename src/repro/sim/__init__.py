@@ -1,0 +1,38 @@
+"""Flow-level simulation: a slot-synchronous engine and a fluid solver.
+
+Two complementary evaluation tools:
+
+- :mod:`fluid` computes *expected* per-link loads from a router's exact
+  path distribution and a demand matrix, giving saturation throughput
+  without simulation noise (used for the Fig 2f theoretical/worst-case
+  curves).
+- :mod:`engine` runs a discrete slot-by-slot simulation with per-neighbor
+  virtual output queues, per-cell VLB, and flow-completion accounting
+  (used for the Fig 2f "simulation of 128 nodes and 8 cliques using
+  real-world traffic" point set and the FCT benchmarks).
+"""
+
+from .flows import Cell, FlowState
+from .network import SimNetwork
+from .engine import SlotSimulator, SimConfig
+from .metrics import SimReport, percentile
+from .fluid import FluidResult, link_loads, saturation_throughput
+from .failures import FailedNodeSchedule, split_casualties
+from .tracing import TracePoint, TraceRecorder
+
+__all__ = [
+    "Cell",
+    "FlowState",
+    "SimNetwork",
+    "SlotSimulator",
+    "SimConfig",
+    "SimReport",
+    "percentile",
+    "FluidResult",
+    "link_loads",
+    "saturation_throughput",
+    "FailedNodeSchedule",
+    "split_casualties",
+    "TracePoint",
+    "TraceRecorder",
+]

@@ -1,0 +1,260 @@
+"""The slot-synchronous flow-level simulator.
+
+Each slot, every plane of the circuit schedule activates one matching;
+each active circuit (u, v) drains up to ``cells_per_circuit`` cells from
+u's VOQ toward v.  Cells carry source routes sampled from the router's
+oblivious path distribution (per cell by default — ideal VLB — or per
+flow, matching the paper's footnote that flow-level balancing suffices for
+long flows).  Delivered cells feed flow-completion accounting.
+
+The engine is deliberately simple and exact: no events, no approximations,
+one pass per slot.  It is the substrate for the Fig 2f "simulation of 128
+nodes and 8 cliques using real-world traffic" and the FCT benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..routing.base import Router
+from ..schedules.schedule import CircuitSchedule
+from ..traffic.workload import FlowSpec
+from ..util import check_positive_int, ensure_rng, RngLike
+from .flows import Cell, FlowState
+from .metrics import SimReport
+from .network import SimNetwork
+
+__all__ = ["SimConfig", "SlotSimulator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimConfig:
+    """Tunable knobs of the simulator.
+
+    Attributes
+    ----------
+    cells_per_circuit:
+        Cells one circuit transmits per slot per plane (slot capacity).
+    per_flow_paths:
+        Sample one path per flow instead of per cell.
+    injection_window:
+        Max cells of one flow in flight at once; further cells enter as
+        earlier ones deliver (None = inject everything on arrival).
+    drain:
+        After the arrival horizon, keep running (up to ``max_drain_slots``)
+        until all injected cells deliver.
+    max_drain_slots:
+        Safety bound on the drain phase.
+    short_flow_threshold_cells:
+        When set, flows of at most this many cells get strict service
+        priority over bulk flows in every VOQ (Opera-style latency class;
+        see :func:`repro.sim.network.short_flow_priority_lane`).
+    classify_fct_threshold_cells:
+        Report-only class split: record short/bulk FCT populations at
+        this threshold *without* changing queueing (defaults to
+        ``short_flow_threshold_cells``).  Lets FIFO baselines report the
+        same classes a prioritized run serves.
+    """
+
+    cells_per_circuit: int = 1
+    per_flow_paths: bool = False
+    injection_window: Optional[int] = None
+    drain: bool = False
+    max_drain_slots: int = 100_000
+    short_flow_threshold_cells: Optional[int] = None
+    classify_fct_threshold_cells: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cells_per_circuit, "cells_per_circuit")
+        if self.injection_window is not None:
+            check_positive_int(self.injection_window, "injection_window")
+        check_positive_int(self.max_drain_slots, "max_drain_slots")
+        if self.short_flow_threshold_cells is not None:
+            check_positive_int(
+                self.short_flow_threshold_cells, "short_flow_threshold_cells"
+            )
+        if self.classify_fct_threshold_cells is not None:
+            check_positive_int(
+                self.classify_fct_threshold_cells, "classify_fct_threshold_cells"
+            )
+
+    @property
+    def report_threshold_cells(self) -> int:
+        """Threshold used for report-side class splitting (0 = off)."""
+        if self.classify_fct_threshold_cells is not None:
+            return self.classify_fct_threshold_cells
+        return self.short_flow_threshold_cells or 0
+
+
+class SlotSimulator:
+    """Simulate a schedule + router combination under a flow workload."""
+
+    def __init__(
+        self,
+        schedule: CircuitSchedule,
+        router: Router,
+        config: Optional[SimConfig] = None,
+        rng: RngLike = None,
+    ):
+        if router.num_nodes != schedule.num_nodes:
+            raise SimulationError(
+                f"router covers {router.num_nodes} nodes, schedule "
+                f"{schedule.num_nodes}"
+            )
+        self.schedule = schedule
+        self.router = router
+        self.config = config or SimConfig()
+        self.rng = ensure_rng(rng)
+
+    # -- injection ------------------------------------------------------------
+
+    def _inject_cells(
+        self,
+        flow: FlowState,
+        network: SimNetwork,
+        slot: int,
+        budget: int,
+        flow_paths: Dict[int, tuple],
+    ) -> None:
+        """Inject up to *budget* cells of *flow* at its source."""
+        remaining = flow.spec.size_cells - flow.injected_cells
+        for _ in range(min(budget, remaining)):
+            if self.config.per_flow_paths:
+                path = flow_paths.get(flow.spec.flow_id)
+                if path is None:
+                    path = self.router.path(
+                        flow.spec.src, flow.spec.dst, self.rng
+                    ).nodes
+                    flow_paths[flow.spec.flow_id] = path
+            else:
+                path = self.router.path(flow.spec.src, flow.spec.dst, self.rng).nodes
+            cell = Cell(flow=flow, path=path, hop=0, injected_slot=slot)
+            network.enqueue(cell)
+            flow.injected_cells += 1
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(
+        self,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int = 0,
+        tracer=None,
+    ) -> SimReport:
+        """Run the workload for *duration_slots* (plus optional drain).
+
+        ``measure_from`` opens a measurement window: deliveries at slots
+        >= measure_from are counted separately (see
+        :attr:`SimReport.window_throughput`), excluding the warmup ramp.
+        ``tracer`` is an optional
+        :class:`repro.sim.tracing.TraceRecorder` sampled every slot.
+        """
+        duration_slots = check_positive_int(duration_slots, "duration_slots")
+        if not 0 <= measure_from < duration_slots:
+            raise SimulationError("measure_from must be within the horizon")
+        config = self.config
+        if config.short_flow_threshold_cells is not None:
+            from .network import short_flow_priority_lane
+
+            network = SimNetwork(
+                self.schedule.num_nodes,
+                num_lanes=4,
+                lane_of=short_flow_priority_lane(config.short_flow_threshold_cells),
+            )
+        else:
+            network = SimNetwork(self.schedule.num_nodes)
+        states: Dict[int, FlowState] = {
+            spec.flow_id: FlowState(spec=spec) for spec in flows
+        }
+        arrivals: Dict[int, List[FlowState]] = {}
+        for state in states.values():
+            arrivals.setdefault(state.spec.arrival_slot, []).append(state)
+
+        flow_paths: Dict[int, tuple] = {}
+        window = config.injection_window
+        occupancy_sum = 0
+        max_voq = 0
+        window_delivered = 0
+        delivered_running = 0
+        slot = 0
+        horizon = duration_slots
+
+        while True:
+            if slot < duration_slots:
+                for flow in arrivals.get(slot, ()):  # new arrivals
+                    budget = flow.spec.size_cells if window is None else window
+                    self._inject_cells(flow, network, slot, budget, flow_paths)
+
+            # One matching per plane; each circuit drains its VOQ.
+            delivered_this_slot: List[FlowState] = []
+            for plane in range(self.schedule.num_planes):
+                matching = self.schedule.plane_matching(slot, plane)
+                for src, dst in matching.pairs():
+                    for cell in network.transmit(src, dst, config.cells_per_circuit):
+                        if cell.at_last_hop:
+                            hops = len(cell.path) - 1
+                            cell.flow.record_delivery(slot, hops)
+                            delivered_this_slot.append(cell.flow)
+                            delivered_running += 1
+                            if slot >= measure_from:
+                                window_delivered += 1
+                        else:
+                            cell.advance()
+                            network.enqueue(cell)
+
+            # Windowed flows refill as their cells deliver.
+            if window is not None:
+                for flow in delivered_this_slot:
+                    if not flow.fully_injected:
+                        self._inject_cells(flow, network, slot, 1, flow_paths)
+
+            occupancy_sum += network.total_occupancy
+            voq = network.max_voq_length()
+            if voq > max_voq:
+                max_voq = voq
+            if tracer is not None:
+                tracer.record(slot, network, delivered_running)
+
+            slot += 1
+            if slot >= duration_slots:
+                pending = network.total_occupancy > 0 or any(
+                    not f.fully_injected and f.injected_cells > 0
+                    for f in states.values()
+                )
+                if not (config.drain and pending):
+                    horizon = slot
+                    break
+                if slot >= duration_slots + config.max_drain_slots:
+                    horizon = slot
+                    break
+
+        return SimReport.from_flows(
+            states,
+            num_nodes=self.schedule.num_nodes,
+            duration_slots=horizon,
+            max_voq=max_voq,
+            mean_occupancy=occupancy_sum / horizon if horizon else 0.0,
+            window_start=measure_from,
+            window_delivered=window_delivered,
+            short_threshold_cells=config.report_threshold_cells,
+        )
+
+    def measure_saturation_throughput(
+        self,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        warmup_fraction: float = 0.25,
+    ) -> float:
+        """Throughput of an (over)loaded run, excluding the warmup ramp.
+
+        Runs without drain and reports delivered cells per node per slot
+        over the post-warmup window — the simulation methodology behind
+        the Fig 2f measured points.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError("warmup_fraction must be in [0, 1)")
+        warmup = int(duration_slots * warmup_fraction)
+        report = self.run(flows, duration_slots, measure_from=warmup)
+        return report.window_throughput

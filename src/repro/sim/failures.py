@@ -1,0 +1,69 @@
+"""Failure injection for the slot simulator (section 6 blast radius).
+
+A failed node stops transmitting and receiving: every circuit touching it
+is masked out of the schedule.  Because routing stays oblivious (nodes do
+not learn about remote failures at these timescales), traffic whose
+sampled path transits the failed node stalls — which is precisely the
+*blast radius* the paper argues modular designs shrink.  Run a workload
+through :class:`FailedNodeSchedule` and compare completion ratios against
+the healthy run; flows whose endpoints failed are expected casualties,
+everything else stalled is collateral.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..schedules.matching import Matching
+from ..schedules.schedule import CircuitSchedule
+from ..traffic.workload import FlowSpec
+
+__all__ = ["FailedNodeSchedule", "split_casualties"]
+
+
+class FailedNodeSchedule(CircuitSchedule):
+    """A schedule with all circuits of some failed nodes masked out."""
+
+    def __init__(self, inner: CircuitSchedule, failed_nodes: Iterable[int]):
+        failed = frozenset(int(v) for v in failed_nodes)
+        if not failed:
+            raise SimulationError("no failed nodes given; use the schedule directly")
+        bad = [v for v in failed if not 0 <= v < inner.num_nodes]
+        if bad:
+            raise SimulationError(f"failed nodes out of range: {bad}")
+        if len(failed) >= inner.num_nodes - 1:
+            raise SimulationError("cannot fail all but one node")
+        super().__init__(inner.num_nodes, inner.period, inner.num_planes)
+        self.inner = inner
+        self.failed: FrozenSet[int] = failed
+
+    def _mask(self, matching: Matching) -> Matching:
+        dst = matching.dst.copy()
+        for v in self.failed:
+            dst[v] = -1
+        sources = np.nonzero(np.isin(dst, list(self.failed)))[0]
+        dst[sources] = -1
+        return Matching(dst)
+
+    def matching(self, slot: int) -> Matching:
+        return self._mask(self.inner.matching(slot))
+
+    def plane_matching(self, slot: int, plane: int = 0) -> Matching:
+        return self._mask(self.inner.plane_matching(slot, plane))
+
+
+def split_casualties(
+    flows: Sequence[FlowSpec], failed_nodes: Iterable[int]
+) -> List[List[FlowSpec]]:
+    """Split flows into [endpoint casualties, bystanders].
+
+    Endpoint casualties have a failed src or dst and cannot possibly
+    complete; bystander flows measure collateral damage (blast radius).
+    """
+    failed = frozenset(int(v) for v in failed_nodes)
+    casualties = [f for f in flows if f.src in failed or f.dst in failed]
+    bystanders = [f for f in flows if f.src not in failed and f.dst not in failed]
+    return [casualties, bystanders]

@@ -1,0 +1,165 @@
+"""Simulation metrics: throughput, flow completion times, queue statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .flows import FlowState
+
+__all__ = ["SimReport", "percentile"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile of *values* (p in [0, 100]); NaN when empty."""
+    if not 0 <= p <= 100:
+        raise SimulationError(f"percentile must be in [0, 100], got {p}")
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+@dataclasses.dataclass(frozen=True)
+class SimReport:
+    """Aggregated outcome of one simulation run.
+
+    Attributes
+    ----------
+    num_nodes, duration_slots:
+        Fabric size and measured horizon (including any drain slots).
+    offered_cells / injected_cells / delivered_cells:
+        Demand accounting: offered by the workload, actually injected
+        into VOQs, and delivered to destinations.
+    throughput:
+        Delivered cells per node per slot — the fraction of aggregate
+        injection bandwidth used for final delivery, directly comparable
+        to the paper's r when the run is saturated.
+    mean_hops:
+        Mean per-delivered-cell hop count (the measured bandwidth tax).
+    fct_slots:
+        Completion times (slots) of flows that finished.
+    completed_flows / total_flows:
+        How many flows finished within the horizon.
+    max_voq / mean_occupancy:
+        Peak single-queue length and time-averaged in-flight cells.
+    """
+
+    num_nodes: int
+    duration_slots: int
+    offered_cells: int
+    injected_cells: int
+    delivered_cells: int
+    mean_hops: float
+    fct_slots: List[int]
+    completed_flows: int
+    total_flows: int
+    max_voq: int
+    mean_occupancy: float
+    window_start: int = 0
+    window_delivered: int = 0
+    short_fct_slots: List[int] = dataclasses.field(default_factory=list)
+    bulk_fct_slots: List[int] = dataclasses.field(default_factory=list)
+
+    def short_fct_percentile(self, p: float) -> float:
+        """FCT percentile of the short-flow class (needs a threshold at
+        report build time)."""
+        return percentile(self.short_fct_slots, p)
+
+    def bulk_fct_percentile(self, p: float) -> float:
+        """FCT percentile of the bulk class."""
+        return percentile(self.bulk_fct_slots, p)
+
+    @property
+    def window_throughput(self) -> float:
+        """Delivered cells per node per slot within the measurement window
+        ``[window_start, duration_slots)`` — excludes warmup ramp."""
+        span = self.duration_slots - self.window_start
+        if span <= 0:
+            return float("nan")
+        return self.window_delivered / (self.num_nodes * span)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered cells per node per slot."""
+        return self.delivered_cells / (self.num_nodes * self.duration_slots)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / offered cells (1.0 = everything drained)."""
+        return self.delivered_cells / self.offered_cells if self.offered_cells else 0.0
+
+    @property
+    def completion_ratio(self) -> float:
+        """Completed / total flows."""
+        return self.completed_flows / self.total_flows if self.total_flows else 0.0
+
+    def fct_percentile(self, p: float) -> float:
+        """Percentile of flow completion time in slots."""
+        return percentile(self.fct_slots, p)
+
+    @property
+    def mean_fct(self) -> float:
+        return float(np.mean(self.fct_slots)) if self.fct_slots else float("nan")
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"N={self.num_nodes} T={self.duration_slots} "
+            f"thpt={self.throughput:.4f} hops={self.mean_hops:.2f} "
+            f"flows={self.completed_flows}/{self.total_flows} "
+            f"fct(p50/p99)={self.fct_percentile(50):.0f}/"
+            f"{self.fct_percentile(99):.0f} maxVOQ={self.max_voq}"
+        )
+
+    @classmethod
+    def from_flows(
+        cls,
+        flows: Dict[int, FlowState],
+        num_nodes: int,
+        duration_slots: int,
+        max_voq: int,
+        mean_occupancy: float,
+        window_start: int = 0,
+        window_delivered: int = 0,
+        short_threshold_cells: int = 0,
+    ) -> "SimReport":
+        """Aggregate per-flow state into a report.
+
+        With a positive *short_threshold_cells*, completed flows are also
+        split into short/bulk FCT populations.
+        """
+        offered = sum(f.spec.size_cells for f in flows.values())
+        injected = sum(f.injected_cells for f in flows.values())
+        delivered = sum(f.delivered_cells for f in flows.values())
+        hop_total = sum(f.total_hop_count for f in flows.values())
+        fct = [f.fct_slots for f in flows.values() if f.fct_slots is not None]
+        short_fct: List[int] = []
+        bulk_fct: List[int] = []
+        if short_threshold_cells > 0:
+            for f in flows.values():
+                if f.fct_slots is None:
+                    continue
+                if f.spec.size_cells <= short_threshold_cells:
+                    short_fct.append(f.fct_slots)
+                else:
+                    bulk_fct.append(f.fct_slots)
+        return cls(
+            num_nodes=num_nodes,
+            duration_slots=duration_slots,
+            offered_cells=offered,
+            injected_cells=injected,
+            delivered_cells=delivered,
+            mean_hops=hop_total / delivered if delivered else 0.0,
+            fct_slots=sorted(fct),
+            completed_flows=len(fct),
+            total_flows=len(flows),
+            max_voq=max_voq,
+            mean_occupancy=mean_occupancy,
+            window_start=window_start,
+            window_delivered=window_delivered,
+            short_fct_slots=sorted(short_fct),
+            bulk_fct_slots=sorted(bulk_fct),
+        )

@@ -1,0 +1,158 @@
+"""Simulated network state: per-node, per-neighbor virtual output queues.
+
+This is the simulator-facing counterpart of the hardware model in
+:mod:`repro.hardware.node`: every node keeps one queue per next-hop
+neighbor (VOQ), circuits drain the matching VOQ when their slot comes up,
+and forwarded cells are re-enqueued at the downstream node.
+
+Each VOQ consists of strict-priority *lanes*.  The default two-lane
+policy serves transit cells (hop >= 1) before freshly injected cells, as
+rotor-based designs do (RotorNet/Opera forward indirect traffic ahead of
+new injections) — without this, an overloaded source starves its own
+second hops and measured saturation throughput collapses below the
+fabric's capacity.  A custom ``lane_of`` classifier adds further classes,
+e.g. short-flow priority (see
+:attr:`repro.sim.engine.SimConfig.short_flow_threshold_cells`).
+
+Kept deliberately lightweight (plain dicts and deques) because it sits in
+the simulator's inner loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .flows import Cell
+
+__all__ = ["SimNetwork", "transit_priority_lane", "short_flow_priority_lane"]
+
+
+def transit_priority_lane(cell: Cell) -> int:
+    """Default 2-lane policy: transit (0) ahead of fresh injections (1)."""
+    return 0 if cell.hop > 0 else 1
+
+
+def short_flow_priority_lane(threshold_cells: int) -> Callable[[Cell], int]:
+    """4-lane policy: the short class strictly preempts the bulk class;
+    transit precedes fresh within each class.
+
+    Lane order: short transit, short fresh, bulk transit, bulk fresh.
+    "Short" means the owning flow's size is at or below the threshold —
+    the classification Opera applies to pick its routing class.  Strict
+    class preemption mirrors Opera's full separation of latency-sensitive
+    traffic; bulk can only starve while shorts alone saturate a circuit.
+    """
+    if threshold_cells < 1:
+        raise SimulationError("threshold_cells must be >= 1")
+
+    def lane(cell: Cell) -> int:
+        short = cell.flow.spec.size_cells <= threshold_cells
+        transit = cell.hop > 0
+        return (0 if short else 2) + (0 if transit else 1)
+
+    return lane
+
+
+class SimNetwork:
+    """VOQ state for all nodes of a simulated fabric.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fabric size.
+    num_lanes:
+        Strict-priority lanes per VOQ (lane 0 served first).
+    lane_of:
+        Classifier mapping a cell to its lane; defaults to the two-lane
+        transit-priority policy.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_lanes: int = 2,
+        lane_of: Optional[Callable[[Cell], int]] = None,
+    ):
+        if num_nodes < 2:
+            raise SimulationError("need at least 2 nodes")
+        if num_lanes < 1:
+            raise SimulationError("need at least one lane")
+        self.num_nodes = int(num_nodes)
+        self.num_lanes = int(num_lanes)
+        self._lane_of = lane_of or transit_priority_lane
+        self._voqs: List[Dict[int, Tuple[Deque[Cell], ...]]] = [
+            {} for _ in range(self.num_nodes)
+        ]
+        self._occupancy = 0
+
+    def enqueue(self, cell: Cell) -> None:
+        """Queue *cell* at its current node toward its next hop."""
+        node = cell.current_node
+        neighbor = cell.next_node
+        if not 0 <= node < self.num_nodes or not 0 <= neighbor < self.num_nodes:
+            raise SimulationError(
+                f"cell path references nodes outside [0, {self.num_nodes})"
+            )
+        voq = self._voqs[node].get(neighbor)
+        if voq is None:
+            voq = tuple(deque() for _ in range(self.num_lanes))
+            self._voqs[node][neighbor] = voq
+        lane = self._lane_of(cell)
+        if not 0 <= lane < self.num_lanes:
+            raise SimulationError(
+                f"lane classifier returned {lane}, outside [0, {self.num_lanes})"
+            )
+        voq[lane].append(cell)
+        self._occupancy += 1
+
+    def transmit(self, src: int, dst: int, budget: int) -> List[Cell]:
+        """Drain up to *budget* cells from src's VOQ toward dst, lane 0
+        first.  Returns the transmitted cells (cursor not yet advanced)."""
+        voq = self._voqs[src].get(dst)
+        if voq is None:
+            return []
+        out: List[Cell] = []
+        for queue in voq:
+            while budget > len(out) and queue:
+                out.append(queue.popleft())
+        self._occupancy -= len(out)
+        return out
+
+    def queue_length(self, node: int, neighbor: int) -> int:
+        """Cells queued at *node* toward *neighbor* (all lanes)."""
+        voq = self._voqs[node].get(neighbor)
+        return sum(len(lane) for lane in voq) if voq else 0
+
+    def node_backlog(self, node: int) -> int:
+        """Total cells queued at *node* across all VOQs."""
+        return sum(
+            len(lane) for voq in self._voqs[node].values() for lane in voq
+        )
+
+    @property
+    def total_occupancy(self) -> int:
+        """Cells in flight anywhere in the fabric."""
+        return self._occupancy
+
+    def max_voq_length(self) -> int:
+        """Longest single VOQ in the fabric (burst/buffering metric)."""
+        longest = 0
+        for voqs in self._voqs:
+            for voq in voqs.values():
+                length = sum(len(lane) for lane in voq)
+                if length > longest:
+                    longest = length
+        return longest
+
+    def backlogs(self) -> List[int]:
+        """Per-node total backlogs."""
+        return [self.node_backlog(v) for v in range(self.num_nodes)]
+
+    def iter_cells(self) -> Iterator[Cell]:
+        """All queued cells (diagnostics only)."""
+        for voqs in self._voqs:
+            for voq in voqs.values():
+                for lane in voq:
+                    yield from lane

@@ -1,0 +1,98 @@
+"""Per-slot time-series tracing for the slot simulator.
+
+A :class:`TraceRecorder` samples fabric state every ``stride`` slots while
+a simulation runs: total queue occupancy, cells delivered per interval,
+and the maximum single VOQ.  Used to visualize warmup/convergence (see
+``examples``), to verify steady state is actually reached before a
+measurement window opens, and to detect queue blow-up under overload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..util import check_positive_int
+from .network import SimNetwork
+
+__all__ = ["TracePoint", "TraceRecorder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TracePoint:
+    """One sampled instant of fabric state."""
+
+    slot: int
+    occupancy: int
+    delivered_cumulative: int
+    max_voq: int
+
+
+class TraceRecorder:
+    """Samples fabric state every *stride* slots during a simulation.
+
+    Pass as ``tracer=`` to :meth:`repro.sim.engine.SlotSimulator.run`.
+    """
+
+    def __init__(self, stride: int = 10):
+        self.stride = check_positive_int(stride, "stride")
+        self.points: List[TracePoint] = []
+
+    def record(self, slot: int, network: SimNetwork, delivered_cumulative: int) -> None:
+        """Engine callback; samples on the stride grid."""
+        if slot % self.stride != 0:
+            return
+        self.points.append(
+            TracePoint(
+                slot=slot,
+                occupancy=network.total_occupancy,
+                delivered_cumulative=delivered_cumulative,
+                max_voq=network.max_voq_length(),
+            )
+        )
+
+    # -- analysis -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def occupancy_series(self) -> np.ndarray:
+        """(slot, occupancy) array."""
+        return np.array([(p.slot, p.occupancy) for p in self.points])
+
+    def delivery_rate_series(self) -> np.ndarray:
+        """(slot, delivered-per-slot) array over each sample interval."""
+        if len(self.points) < 2:
+            return np.empty((0, 2))
+        out = []
+        for prev, cur in zip(self.points, self.points[1:]):
+            span = cur.slot - prev.slot
+            rate = (cur.delivered_cumulative - prev.delivered_cumulative) / span
+            out.append((cur.slot, rate))
+        return np.array(out)
+
+    def is_stable(self, tail_fraction: float = 0.5, growth_tolerance: float = 0.1) -> bool:
+        """Whether queue occupancy stopped growing over the trace tail.
+
+        Compares the mean occupancy of the last quarter against the
+        quarter before it; growth beyond *growth_tolerance* (relative)
+        means the offered load exceeds capacity.
+        """
+        if not 0 < tail_fraction <= 1:
+            raise SimulationError("tail_fraction must be in (0, 1]")
+        if len(self.points) < 8:
+            raise SimulationError("trace too short to judge stability")
+        tail = self.points[int(len(self.points) * (1 - tail_fraction)):]
+        half = len(tail) // 2
+        first = np.mean([p.occupancy for p in tail[:half]])
+        second = np.mean([p.occupancy for p in tail[half:]])
+        if first == 0:
+            return second == 0
+        return (second - first) / first <= growth_tolerance
+
+    def peak_occupancy(self) -> int:
+        """Largest sampled total occupancy."""
+        return max((p.occupancy for p in self.points), default=0)

@@ -1,0 +1,19 @@
+"""Clique layouts, logical (virtual) topologies, and graph metrics."""
+
+from .cliques import CliqueLayout
+from .logical import LogicalTopology
+from .graphs import (
+    directed_diameter,
+    average_shortest_path,
+    bisection_fraction,
+    spectral_gap,
+)
+
+__all__ = [
+    "CliqueLayout",
+    "LogicalTopology",
+    "directed_diameter",
+    "average_shortest_path",
+    "bisection_fraction",
+    "spectral_gap",
+]

@@ -1,0 +1,205 @@
+"""Clique layouts: the grouping of nodes the semi-oblivious design adapts.
+
+A :class:`CliqueLayout` partitions the ``N`` nodes (end hosts or ToRs) into
+``Nc`` cliques.  The paper's analysis assumes equal-sized cliques; the
+layout supports unequal sizes too (for control-plane experiments), and the
+schedule builder enforces equality where its construction requires it.
+
+Within a clique, members are *ordered*: the position of a node inside its
+clique determines which inter-clique circuits it participates in
+(position-aligned inter links, as in Figure 2d where node 3 of clique
+{0,1,2,3} links to node 7 of clique {4,5,6,7}).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, TrafficError
+from ..util import check_positive_int, ensure_rng, RngLike
+
+__all__ = ["CliqueLayout"]
+
+
+class CliqueLayout:
+    """An ordered partition of nodes into cliques.
+
+    Parameters
+    ----------
+    groups:
+        One sequence of node ids per clique.  Order within each group is
+        meaningful (it defines inter-clique link alignment).  Groups must
+        partition ``0..N-1`` exactly.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]]):
+        groups = [list(map(int, g)) for g in groups]
+        if not groups or any(len(g) == 0 for g in groups):
+            raise ConfigurationError("every clique must be non-empty")
+        flat = [n for g in groups for n in g]
+        n = len(flat)
+        if sorted(flat) != list(range(n)):
+            raise ConfigurationError(
+                "cliques must partition the node set 0..N-1 exactly"
+            )
+        self._groups: List[List[int]] = groups
+        self._clique_of = np.empty(n, dtype=np.int64)
+        self._position_of = np.empty(n, dtype=np.int64)
+        for c, group in enumerate(groups):
+            for i, node in enumerate(group):
+                self._clique_of[node] = c
+                self._position_of[node] = i
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def equal(cls, num_nodes: int, num_cliques: int) -> "CliqueLayout":
+        """Contiguous equal-sized cliques: clique c = [c*S, (c+1)*S)."""
+        num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+        num_cliques = check_positive_int(num_cliques, "num_cliques")
+        if num_nodes % num_cliques != 0:
+            raise ConfigurationError(
+                f"num_cliques={num_cliques} must divide num_nodes={num_nodes}"
+            )
+        size = num_nodes // num_cliques
+        return cls([list(range(c * size, (c + 1) * size)) for c in range(num_cliques)])
+
+    @classmethod
+    def from_assignment(cls, assignment: Sequence[int]) -> "CliqueLayout":
+        """Build from a per-node clique-id array (ids must be 0..Nc-1)."""
+        arr = np.asarray(assignment, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError("assignment must be a non-empty 1-D sequence")
+        ids = np.unique(arr)
+        if ids.min() != 0 or ids.max() != ids.size - 1:
+            raise ConfigurationError("clique ids must be contiguous from 0")
+        groups: List[List[int]] = [[] for _ in range(ids.size)]
+        for node, c in enumerate(arr):
+            groups[int(c)].append(node)
+        return cls(groups)
+
+    @classmethod
+    def random_equal(
+        cls, num_nodes: int, num_cliques: int, rng: RngLike = None
+    ) -> "CliqueLayout":
+        """Equal-sized cliques over a random node permutation."""
+        base = cls.equal(num_nodes, num_cliques)
+        perm = ensure_rng(rng).permutation(num_nodes)
+        return cls([[int(perm[n]) for n in g] for g in base._groups])
+
+    @classmethod
+    def flat(cls, num_nodes: int) -> "CliqueLayout":
+        """The degenerate single-clique layout (a flat oblivious network)."""
+        return cls.equal(num_nodes, 1)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._clique_of.size)
+
+    @property
+    def num_cliques(self) -> int:
+        return len(self._groups)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(len(g) for g in self._groups)
+
+    @property
+    def is_equal_sized(self) -> bool:
+        return len(set(self.sizes)) == 1
+
+    @property
+    def clique_size(self) -> int:
+        """Common clique size; raises if cliques are unequal."""
+        if not self.is_equal_sized:
+            raise ConfigurationError("layout has unequal clique sizes")
+        return len(self._groups[0])
+
+    def members(self, clique: int) -> List[int]:
+        """Ordered members of *clique*."""
+        return list(self._groups[clique])
+
+    def groups(self) -> List[List[int]]:
+        """All cliques as ordered member lists (defensive copy)."""
+        return [list(g) for g in self._groups]
+
+    def clique_of(self, node: int) -> int:
+        """Clique id containing *node*."""
+        return int(self._clique_of[node])
+
+    def position_of(self, node: int) -> int:
+        """Index of *node* within its clique's ordering."""
+        return int(self._position_of[node])
+
+    def node_at(self, clique: int, position: int) -> int:
+        """Node at *position* within *clique*."""
+        return self._groups[clique][position]
+
+    def assignment(self) -> np.ndarray:
+        """Per-node clique-id array."""
+        return self._clique_of.copy()
+
+    def same_clique(self, a: int, b: int) -> bool:
+        """Whether nodes *a* and *b* share a clique."""
+        return bool(self._clique_of[a] == self._clique_of[b])
+
+    # -- traffic interaction -----------------------------------------------------
+
+    def intra_fraction(self, traffic: np.ndarray) -> float:
+        """Measured locality ratio x: fraction of demand that is intra-clique.
+
+        This is the quantity the paper's throughput bound r <= 1/((1-x)(q+1))
+        depends on.  Diagonal (self) traffic is ignored.
+        """
+        matrix = np.asarray(traffic, dtype=float)
+        n = self.num_nodes
+        if matrix.shape != (n, n):
+            raise TrafficError(f"traffic matrix must be {n}x{n}, got {matrix.shape}")
+        if (matrix < 0).any():
+            raise TrafficError("traffic matrix entries must be non-negative")
+        off_diag = matrix.copy()
+        np.fill_diagonal(off_diag, 0.0)
+        total = off_diag.sum()
+        if total == 0:
+            return 0.0
+        same = self._clique_of[:, None] == self._clique_of[None, :]
+        return float(off_diag[same].sum() / total)
+
+    def aggregate_matrix(self, traffic: np.ndarray) -> np.ndarray:
+        """Clique-level aggregated traffic matrix (paper section 3).
+
+        Entry ``[a, b]`` sums node-level demand from clique a to clique b;
+        the diagonal holds intra-clique totals.
+        """
+        matrix = np.asarray(traffic, dtype=float)
+        n = self.num_nodes
+        if matrix.shape != (n, n):
+            raise TrafficError(f"traffic matrix must be {n}x{n}, got {matrix.shape}")
+        nc = self.num_cliques
+        out = np.zeros((nc, nc), dtype=float)
+        ids = self._clique_of
+        for a in range(nc):
+            rows = matrix[ids == a]
+            for b in range(nc):
+                out[a, b] = rows[:, ids == b].sum()
+        return out
+
+    # -- protocol ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CliqueLayout):
+            return NotImplemented
+        return self._groups == other._groups
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(g) for g in self._groups))
+
+    def __repr__(self) -> str:
+        return (
+            f"CliqueLayout(num_nodes={self.num_nodes}, "
+            f"num_cliques={self.num_cliques}, sizes={self.sizes})"
+        )

@@ -1,0 +1,104 @@
+"""Diurnal (time-varying) demand patterns (paper section 6).
+
+"Diurnal utilization patterns or the distribution of latency-sensitive vs
+bulk traffic ... could help tune the number of indirect hops" — the
+adaptation experiments need demand whose *macro structure* drifts slowly
+and predictably while staying noisy at micro scale.  A
+:class:`DiurnalPattern` produces one traffic matrix per observation epoch:
+locality and total load follow sinusoids over a configurable day length,
+optionally with multiplicative noise on top.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..topology.cliques import CliqueLayout
+from ..util import check_fraction, check_positive_int, ensure_rng, RngLike
+from .generators import clustered_matrix
+from .matrix import TrafficMatrix
+
+__all__ = ["DiurnalPattern"]
+
+
+class DiurnalPattern:
+    """Sinusoidal daily drift of locality and load over a clique layout.
+
+    Parameters
+    ----------
+    layout:
+        The spatial hierarchy demand is organized around.
+    locality_range:
+        (low, high) band the intra-clique fraction oscillates within —
+        e.g. night-time batch jobs push locality up, daytime serving
+        traffic pulls it down.
+    load_range:
+        (low, high) band for total offered load (scales the matrix).
+    epochs_per_day:
+        Observation epochs in one full cycle.
+    noise:
+        Relative multiplicative noise applied per pair per epoch
+        (micro-scale burstiness the control plane should *not* chase).
+    """
+
+    def __init__(
+        self,
+        layout: CliqueLayout,
+        locality_range: Tuple[float, float] = (0.3, 0.8),
+        load_range: Tuple[float, float] = (0.4, 1.0),
+        epochs_per_day: int = 24,
+        noise: float = 0.0,
+    ):
+        self.layout = layout
+        lo, hi = locality_range
+        self.locality_low = check_fraction(lo, "locality low")
+        self.locality_high = check_fraction(hi, "locality high")
+        if self.locality_low > self.locality_high:
+            raise TrafficError("locality_range must be (low, high)")
+        load_lo, load_hi = load_range
+        if not 0 < load_lo <= load_hi:
+            raise TrafficError("load_range must be positive and ordered")
+        self.load_low, self.load_high = float(load_lo), float(load_hi)
+        self.epochs_per_day = check_positive_int(epochs_per_day, "epochs_per_day", minimum=2)
+        if noise < 0:
+            raise TrafficError("noise must be non-negative")
+        self.noise = float(noise)
+
+    def phase(self, epoch: int) -> float:
+        """Position within the day in [0, 1)."""
+        return (epoch % self.epochs_per_day) / self.epochs_per_day
+
+    def locality_at(self, epoch: int) -> float:
+        """Macro locality at *epoch* (deterministic sinusoid)."""
+        mid = (self.locality_low + self.locality_high) / 2
+        amplitude = (self.locality_high - self.locality_low) / 2
+        return mid + amplitude * math.sin(2 * math.pi * self.phase(epoch))
+
+    def load_at(self, epoch: int) -> float:
+        """Macro offered load at *epoch* (quarter-cycle out of phase, so
+        peak load does not coincide with peak locality)."""
+        mid = (self.load_low + self.load_high) / 2
+        amplitude = (self.load_high - self.load_low) / 2
+        return mid + amplitude * math.sin(2 * math.pi * self.phase(epoch) + math.pi / 2)
+
+    def matrix_at(self, epoch: int, rng: RngLike = None) -> TrafficMatrix:
+        """The observed matrix at *epoch*: macro structure plus noise."""
+        base = clustered_matrix(self.layout, self.locality_at(epoch))
+        scaled = base.scaled(self.load_at(epoch))
+        if self.noise == 0.0:
+            return scaled
+        gen = ensure_rng(rng)
+        jitter = 1.0 + self.noise * (2.0 * gen.random(scaled.rates.shape) - 1.0)
+        noisy = np.clip(scaled.rates * jitter, 0.0, None)
+        np.fill_diagonal(noisy, 0.0)
+        return TrafficMatrix(noisy)
+
+    def day(self, rng: RngLike = None):
+        """Yield (epoch, matrix) for one full day."""
+        gen = ensure_rng(rng)
+        for epoch in range(self.epochs_per_day):
+            yield epoch, self.matrix_at(epoch, gen)

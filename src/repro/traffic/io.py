@@ -1,0 +1,89 @@
+"""Serialization of traffic matrices and flow traces.
+
+Experiments want to pin workloads to disk: demand matrices as CSV (one
+row per source, plain floats) and flow traces as CSV with a header
+(``flow_id,src,dst,size_cells,arrival_slot``).  Formats are deliberately
+dumb — diffable, editable, loadable by any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..errors import TrafficError
+from .matrix import TrafficMatrix
+from .workload import FlowSpec
+
+__all__ = [
+    "save_matrix_csv",
+    "load_matrix_csv",
+    "save_flows_csv",
+    "load_flows_csv",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+FLOW_HEADER = ["flow_id", "src", "dst", "size_cells", "arrival_slot"]
+
+
+def save_matrix_csv(matrix: TrafficMatrix, path: PathLike) -> None:
+    """Write a demand matrix as a headerless CSV of floats."""
+    np.savetxt(path, matrix.rates, delimiter=",", fmt="%.12g")
+
+
+def load_matrix_csv(path: PathLike) -> TrafficMatrix:
+    """Read a demand matrix written by :func:`save_matrix_csv`.
+
+    Validation (squareness, non-negativity, zero diagonal) happens in the
+    :class:`TrafficMatrix` constructor, so corrupted files fail loudly.
+    """
+    try:
+        rates = np.loadtxt(path, delimiter=",", ndmin=2)
+    except (OSError, ValueError) as exc:
+        raise TrafficError(f"cannot read matrix from {path}: {exc}") from exc
+    return TrafficMatrix(rates)
+
+
+def save_flows_csv(flows: Sequence[FlowSpec], path: PathLike) -> None:
+    """Write a flow trace with header ``flow_id,src,dst,size_cells,arrival_slot``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FLOW_HEADER)
+        for flow in flows:
+            writer.writerow(
+                [flow.flow_id, flow.src, flow.dst, flow.size_cells, flow.arrival_slot]
+            )
+
+
+def load_flows_csv(path: PathLike) -> List[FlowSpec]:
+    """Read a flow trace written by :func:`save_flows_csv`."""
+    flows: List[FlowSpec] = []
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != FLOW_HEADER:
+                raise TrafficError(
+                    f"unexpected flow-trace header {header!r} in {path}"
+                )
+            for line_no, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != len(FLOW_HEADER):
+                    raise TrafficError(
+                        f"{path}:{line_no}: expected {len(FLOW_HEADER)} fields, "
+                        f"got {len(row)}"
+                    )
+                try:
+                    values = [int(v) for v in row]
+                except ValueError as exc:
+                    raise TrafficError(f"{path}:{line_no}: {exc}") from exc
+                flows.append(FlowSpec(*values))
+    except OSError as exc:
+        raise TrafficError(f"cannot read flow trace from {path}: {exc}") from exc
+    return flows

@@ -1,0 +1,128 @@
+"""Machine-learning training traffic (paper section 6, "ML Workloads").
+
+Collective communication dominates distributed training; its traffic
+matrices are extremely structured and — per the paper — predictable, which
+makes them a natural fit for semi-oblivious optimization co-designed with
+job placement.  Two canonical collectives:
+
+- **ring all-reduce**: each worker sends its gradient shard to the next
+  worker on a logical ring — a permutation matrix per job;
+- **hierarchical all-reduce**: ring within each group, then an inter-group
+  ring among group leaders — matching SORN's clique hierarchy exactly when
+  jobs are placed clique-aligned.
+
+:func:`training_cluster_matrix` composes many jobs into one matrix so
+placement experiments can compare clique-aligned vs scattered assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..topology.cliques import CliqueLayout
+from ..util import ensure_rng, RngLike
+from .matrix import TrafficMatrix
+
+__all__ = [
+    "ring_allreduce_matrix",
+    "hierarchical_allreduce_matrix",
+    "training_cluster_matrix",
+]
+
+
+def _ring_rates(n: int, workers: Sequence[int], volume: float, rates: np.ndarray) -> None:
+    for a, b in zip(workers, list(workers[1:]) + [workers[0]]):
+        if a == b:
+            raise TrafficError("ring workers must be distinct")
+        rates[a, b] += volume
+
+
+def ring_allreduce_matrix(
+    num_nodes: int, workers: Sequence[int], volume: float = 1.0
+) -> TrafficMatrix:
+    """Traffic of one ring all-reduce job over the given worker order.
+
+    Each worker streams *volume* units to its ring successor (reduce-
+    scatter + all-gather both traverse the same ring, folded into one
+    rate).
+    """
+    workers = [int(w) for w in workers]
+    if len(workers) < 2:
+        raise TrafficError("a ring needs at least 2 workers")
+    if len(set(workers)) != len(workers):
+        raise TrafficError("ring workers must be unique")
+    if volume <= 0:
+        raise TrafficError("volume must be positive")
+    rates = np.zeros((num_nodes, num_nodes))
+    _ring_rates(num_nodes, workers, volume, rates)
+    return TrafficMatrix(rates)
+
+
+def hierarchical_allreduce_matrix(
+    layout: CliqueLayout,
+    job_cliques: Sequence[int],
+    volume: float = 1.0,
+    leader_position: int = 0,
+) -> TrafficMatrix:
+    """Hierarchical all-reduce across whole cliques.
+
+    Each participating clique runs an internal ring over its members; the
+    cliques' leaders (the node at *leader_position*) run an inter-clique
+    ring.  The intra volume equals *volume*; the leader ring carries the
+    reduced shard, also *volume* (size-independent for all-reduce).
+    """
+    job_cliques = [int(c) for c in job_cliques]
+    if len(job_cliques) < 1:
+        raise TrafficError("need at least one clique")
+    if len(set(job_cliques)) != len(job_cliques):
+        raise TrafficError("job cliques must be unique")
+    if volume <= 0:
+        raise TrafficError("volume must be positive")
+    rates = np.zeros((layout.num_nodes, layout.num_nodes))
+    for c in job_cliques:
+        members = layout.members(c)
+        if len(members) >= 2:
+            _ring_rates(layout.num_nodes, members, volume, rates)
+    if len(job_cliques) >= 2:
+        leaders = [layout.node_at(c, leader_position) for c in job_cliques]
+        _ring_rates(layout.num_nodes, leaders, volume, rates)
+    return TrafficMatrix(rates)
+
+
+def training_cluster_matrix(
+    layout: CliqueLayout,
+    num_jobs: int,
+    workers_per_job: int,
+    aligned: bool = True,
+    rng: RngLike = None,
+) -> TrafficMatrix:
+    """A shared training cluster: many ring jobs, placed two ways.
+
+    ``aligned=True`` packs each job into consecutive nodes of one clique
+    (what a SORN-aware scheduler would do, when it fits); ``False``
+    scatters workers uniformly at random (a placement-oblivious scheduler
+    causing GPU-fragmentation-style spread).  The result is saturated so
+    the two placements are throughput-comparable.
+    """
+    if num_jobs < 1:
+        raise TrafficError("need at least one job")
+    if workers_per_job < 2:
+        raise TrafficError("jobs need at least 2 workers")
+    gen = ensure_rng(rng)
+    n = layout.num_nodes
+    rates = np.zeros((n, n))
+    size = layout.clique_size if layout.is_equal_sized else None
+    for job in range(num_jobs):
+        if aligned and size is not None and workers_per_job <= size:
+            clique = job % layout.num_cliques
+            members = layout.members(clique)
+            start = (job * workers_per_job) % (size - workers_per_job + 1) if size > workers_per_job else 0
+            workers = members[start:start + workers_per_job]
+        else:
+            workers = gen.choice(n, size=workers_per_job, replace=False).tolist()
+        _ring_rates(n, [int(w) for w in workers], 1.0, rates)
+    np.fill_diagonal(rates, 0.0)
+    return TrafficMatrix(rates).saturated()

@@ -1,0 +1,143 @@
+"""Open-loop flow workloads for the slot-level simulator.
+
+A :class:`Workload` turns (traffic matrix, flow-size distribution, load
+factor) into a concrete list of :class:`FlowSpec` arrivals: Poisson in
+time, pair-sampled from the matrix, sized by the distribution.  Sizes are
+expressed in *cells* — the unit one circuit slot transmits — so the
+simulator stays unit-free; :attr:`cell_bytes` records the conversion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..util import check_fraction, check_positive_int, ensure_rng, RngLike
+from .flowsize import FlowSizeDistribution
+from .matrix import TrafficMatrix
+
+__all__ = ["FlowSpec", "Workload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowSpec:
+    """One flow arrival: who, when, and how much.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique id in arrival order.
+    src, dst:
+        Endpoints (distinct).
+    size_cells:
+        Flow size in cells (>= 1).
+    arrival_slot:
+        Slot index at which the flow becomes available to inject.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    size_cells: int
+    arrival_slot: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TrafficError("flow endpoints must differ")
+        if self.size_cells < 1:
+            raise TrafficError("flow size must be at least one cell")
+        if self.arrival_slot < 0:
+            raise TrafficError("arrival slot must be non-negative")
+
+
+class Workload:
+    """Poisson open-loop flow generator.
+
+    Parameters
+    ----------
+    matrix:
+        Demand matrix used as the (src, dst) sampling distribution.
+    flow_sizes:
+        Flow-size distribution in bytes.
+    load:
+        Offered load as a fraction of aggregate network injection
+        bandwidth (1.0 = every node's egress saturated on average).
+    cell_bytes:
+        Bytes one slot-circuit carries; converts sampled sizes to cells.
+    """
+
+    def __init__(
+        self,
+        matrix: TrafficMatrix,
+        flow_sizes: FlowSizeDistribution,
+        load: float = 0.5,
+        cell_bytes: float = 1500.0,
+    ):
+        if load <= 0:
+            raise TrafficError("load must be positive")
+        if cell_bytes <= 0:
+            raise TrafficError("cell_bytes must be positive")
+        self.matrix = matrix
+        self.flow_sizes = flow_sizes
+        self.load = float(load)
+        self.cell_bytes = float(cell_bytes)
+        self._pair_probs = matrix.pair_distribution()
+        self._mean_cells = max(1.0, flow_sizes.mean_size() / cell_bytes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.matrix.num_nodes
+
+    @property
+    def arrivals_per_slot(self) -> float:
+        """Mean flow arrivals per slot for the configured load.
+
+        Aggregate injection capacity is one cell per node per slot, so the
+        arrival rate is ``load * N / mean_flow_cells``.
+        """
+        return self.load * self.num_nodes / self._mean_cells
+
+    def generate(self, duration_slots: int, rng: RngLike = None) -> List[FlowSpec]:
+        """Materialize all arrivals in ``[0, duration_slots)``."""
+        duration_slots = check_positive_int(duration_slots, "duration_slots")
+        gen = ensure_rng(rng)
+        n = self.num_nodes
+        counts = gen.poisson(self.arrivals_per_slot, size=duration_slots)
+        total = int(counts.sum())
+        if total == 0:
+            return []
+        pair_indices = gen.choice(n * n, size=total, p=self._pair_probs)
+        sizes = self.flow_sizes.sample(gen, count=total)
+        size_cells = np.maximum(1, np.round(sizes / self.cell_bytes)).astype(np.int64)
+
+        flows: List[FlowSpec] = []
+        flow_id = 0
+        cursor = 0
+        for slot in range(duration_slots):
+            for _ in range(int(counts[slot])):
+                index = int(pair_indices[cursor])
+                flows.append(
+                    FlowSpec(
+                        flow_id=flow_id,
+                        src=index // n,
+                        dst=index % n,
+                        size_cells=int(size_cells[cursor]),
+                        arrival_slot=slot,
+                    )
+                )
+                flow_id += 1
+                cursor += 1
+        return flows
+
+    def offered_cells(self, flows: Sequence[FlowSpec]) -> int:
+        """Total cells offered by a generated arrival list."""
+        return int(sum(f.size_cells for f in flows))
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload(num_nodes={self.num_nodes}, load={self.load}, "
+            f"sizes={self.flow_sizes.name!r})"
+        )

@@ -1,0 +1,153 @@
+"""Small shared utilities: RNG plumbing, validation, and numeric helpers.
+
+The whole library threads randomness through :class:`numpy.random.Generator`
+instances.  :func:`ensure_rng` is the single place where seeds, generators,
+and ``None`` are normalized, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+RngLike = Union[None, int, np.random.Generator]
+
+__all__ = [
+    "ensure_rng",
+    "check_positive_int",
+    "check_fraction",
+    "check_ratio",
+    "is_power_of_two",
+    "int_log",
+    "even_divisors",
+    "ceil_div",
+    "normalize_rows",
+    "spread_evenly",
+    "pairwise_disjoint",
+]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` seeds a
+    new PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise ConfigurationError(f"cannot build an RNG from {rng!r}")
+
+
+def check_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Validate that *value* is an integer >= *minimum* and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, closed: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or (0, 1) if not closed)."""
+    value = float(value)
+    if math.isnan(value):
+        raise ConfigurationError(f"{name} must not be NaN")
+    if closed:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ConfigurationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_ratio(value: float, name: str, minimum: float = 1.0) -> float:
+    """Validate that *value* is a finite ratio >= *minimum* and return it."""
+    value = float(value)
+    if not math.isfinite(value) or value < minimum:
+        raise ConfigurationError(f"{name} must be a finite number >= {minimum}, got {value}")
+    return value
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def int_log(n: int, base: int) -> Optional[int]:
+    """Return k such that base**k == n, or None if n is not a power of base."""
+    if n < 1 or base < 2:
+        return None
+    k = 0
+    value = 1
+    while value < n:
+        value *= base
+        k += 1
+    return k if value == n else None
+
+
+def even_divisors(n: int) -> list:
+    """All divisors of *n*, ascending.  Used to enumerate feasible clique counts."""
+    n = check_positive_int(n, "n")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative a and positive b."""
+    if b <= 0:
+        raise ConfigurationError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return a copy of *matrix* with each non-zero row scaled to sum to 1."""
+    matrix = np.asarray(matrix, dtype=float)
+    sums = matrix.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(sums > 0, matrix / sums, 0.0)
+    return out
+
+
+def spread_evenly(count: int, period: int) -> np.ndarray:
+    """Return *count* slot indices spread as evenly as possible over *period*.
+
+    Used to interleave inter-clique slots among intra-clique slots so the
+    worst-case wait matches the analytical gap, rather than bunching all
+    occurrences together.
+    """
+    count = check_positive_int(count, "count", minimum=0) if count else 0
+    period = check_positive_int(period, "period")
+    if count > period:
+        raise ConfigurationError(f"cannot spread {count} slots over period {period}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    positions = np.floor(np.arange(count) * period / count).astype(np.int64)
+    return positions
+
+
+def pairwise_disjoint(sets: Iterable[Sequence[int]]) -> bool:
+    """True iff the given collections of ints are pairwise disjoint."""
+    seen: set = set()
+    for group in sets:
+        for item in group:
+            if item in seen:
+                return False
+            seen.add(item)
+    return True

@@ -1,0 +1,108 @@
+"""Table 1 builder: pinned against every published cell."""
+
+import pytest
+
+from repro.analysis import SystemRow, format_table, table1
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1()
+
+
+def find(rows, system, variant=""):
+    for row in rows:
+        if row.system == system and row.variant == variant:
+            return row
+    raise AssertionError(f"row {system}/{variant} missing")
+
+
+class TestPublishedTable:
+    def test_row_inventory(self, rows):
+        assert len(rows) == 8
+
+    def test_sirius_row(self, rows):
+        row = find(rows, "Optimal ORN 1D (Sirius)")
+        assert row.max_hops == 2
+        assert row.delta_m == 4095
+        assert row.min_latency_us == pytest.approx(26.59, abs=0.01)
+        assert row.throughput == 0.5
+        assert row.bandwidth_cost == pytest.approx(2.0)
+
+    def test_opera_short_row(self, rows):
+        row = find(rows, "Opera", "short flows")
+        assert row.max_hops == 4
+        assert row.delta_m == 0
+        assert row.min_latency_us == pytest.approx(2.0)
+        assert row.throughput == pytest.approx(0.3125)
+        assert row.bandwidth_cost == pytest.approx(3.2)
+
+    def test_opera_bulk_row(self, rows):
+        row = find(rows, "Opera", "bulk")
+        assert row.max_hops == 2
+        assert row.delta_m == 4095
+        assert row.min_latency_us == pytest.approx(23_034, rel=0.001)
+
+    def test_2d_orn_row(self, rows):
+        row = find(rows, "Optimal ORN 2D")
+        assert row.max_hops == 4
+        assert row.delta_m == 252
+        assert row.min_latency_us == pytest.approx(3.57, abs=0.01)
+        assert row.throughput == 0.25
+        assert row.bandwidth_cost == pytest.approx(4.0)
+
+    @pytest.mark.parametrize(
+        "nc,intra_dm,inter_dm,intra_lat,inter_lat",
+        [(64, 77, 364, 1.48, 3.77), (32, 155, 296, 1.97, 3.35)],
+    )
+    def test_sorn_rows(self, rows, nc, intra_dm, inter_dm, intra_lat, inter_lat):
+        intra = find(rows, f"SORN Nc={nc}", "intra-clique")
+        inter = find(rows, f"SORN Nc={nc}", "inter-clique")
+        assert (intra.max_hops, inter.max_hops) == (2, 3)
+        assert intra.delta_m == intra_dm
+        assert inter.delta_m == inter_dm
+        assert intra.min_latency_us == pytest.approx(intra_lat, abs=0.01)
+        assert inter.min_latency_us == pytest.approx(inter_lat, abs=0.01)
+        assert intra.throughput == pytest.approx(0.4098, abs=1e-4)
+        assert intra.bandwidth_cost == pytest.approx(2.44, abs=0.01)
+
+
+class TestHeadlineClaims:
+    def test_sorn_order_of_magnitude_latency_win_over_1d(self, rows):
+        sirius = find(rows, "Optimal ORN 1D (Sirius)")
+        sorn = find(rows, "SORN Nc=64", "intra-clique")
+        assert sirius.min_latency_us / sorn.min_latency_us > 10
+
+    def test_sorn_throughput_near_1d(self, rows):
+        sirius = find(rows, "Optimal ORN 1D (Sirius)")
+        sorn = find(rows, "SORN Nc=64", "intra-clique")
+        assert sorn.throughput > 0.8 * sirius.throughput
+
+    def test_sorn_beats_2d_on_both_axes_for_local_traffic(self, rows):
+        two_d = find(rows, "Optimal ORN 2D")
+        sorn = find(rows, "SORN Nc=64", "intra-clique")
+        assert sorn.min_latency_us < two_d.min_latency_us
+        assert sorn.throughput > two_d.throughput
+
+
+class TestParameterization:
+    def test_text_variant_changes_inter_rows(self):
+        text_rows = table1(sorn_variant="text")
+        inter = find(text_rows, "SORN Nc=64", "inter-clique")
+        assert inter.delta_m == 427
+
+    def test_custom_locality(self):
+        rows = table1(locality=0.8)
+        sorn = find(rows, "SORN Nc=64", "intra-clique")
+        assert sorn.throughput == pytest.approx(1 / 2.2)
+
+    def test_indivisible_clique_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table1(num_cliques=(48,))
+
+    def test_format_table_renders_all_rows(self):
+        text = format_table(table1())
+        assert "Sirius" in text
+        assert "SORN Nc=32 (inter-clique)" in text
+        assert text.count("\n") == 9  # header + rule + 8 rows

@@ -1,0 +1,39 @@
+"""Bandwidth-cost accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import normalized_bandwidth_cost, sorn_mean_hops
+from repro.errors import ConfigurationError
+
+
+class TestNormalizedCost:
+    def test_table1_columns(self):
+        assert normalized_bandwidth_cost(0.5) == pytest.approx(2.0)
+        assert normalized_bandwidth_cost(0.25) == pytest.approx(4.0)
+        assert normalized_bandwidth_cost(0.3125) == pytest.approx(3.2)
+        assert normalized_bandwidth_cost(1 / 2.44) == pytest.approx(2.44)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            normalized_bandwidth_cost(0.0)
+        with pytest.raises(ConfigurationError):
+            normalized_bandwidth_cost(1.1)
+
+
+class TestSornMeanHops:
+    def test_table1_value(self):
+        assert sorn_mean_hops(0.56) == pytest.approx(2.44)
+
+    def test_extremes(self):
+        assert sorn_mean_hops(0.0) == 3.0
+        assert sorn_mean_hops(1.0) == 2.0
+
+    @given(x=st.floats(0.0, 0.99))
+    def test_cost_equals_hops_at_optimal_q(self, x):
+        """At q*, the bandwidth tax is exactly the mean hop count."""
+        from repro.analysis import sorn_throughput
+
+        assert normalized_bandwidth_cost(sorn_throughput(x)) == pytest.approx(
+            sorn_mean_hops(x)
+        )

@@ -1,0 +1,63 @@
+"""Fabric cost/power model (section 2's economics)."""
+
+import pytest
+
+from repro.analysis import DEFAULT_COSTS, PortCosts, fabric_cost
+from repro.errors import ConfigurationError
+
+
+def clos(n=4096, uplinks=16):
+    return fabric_cost("clos", n, uplinks, bandwidth_tax=1.0, optical=False)
+
+
+def sorn(n=4096, uplinks=16, tax=2.44):
+    return fabric_cost("sorn", n, uplinks, bandwidth_tax=tax, optical=True)
+
+
+def orn_1d(n=4096, uplinks=16):
+    return fabric_cost("orn1d", n, uplinks, bandwidth_tax=2.0, optical=True)
+
+
+class TestValidation:
+    def test_port_costs_positive(self):
+        with pytest.raises(ConfigurationError):
+            PortCosts(ocs_port_cost=0)
+
+    def test_tax_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            fabric_cost("x", 16, 4, bandwidth_tax=0.9, optical=True)
+
+
+class TestPaperClaims:
+    def test_ocs_power_order_of_magnitude_lower_per_port(self):
+        """Section 2: OCS reduces power 'by an order of magnitude'."""
+        assert DEFAULT_COSTS.packet_port_power / DEFAULT_COSTS.ocs_port_power >= 10
+
+    def test_fast_ocs_cuts_cost_up_to_70_percent(self):
+        """Section 2: fast OCS 'can potentially reduce DCN costs by up to
+        70 %' — holds for the 1D ORN (2x tax) vs a 3-layer Clos core."""
+        ratio = orn_1d().cost_vs(clos())
+        assert ratio < 0.30 + 0.05
+
+    def test_sorn_keeps_most_of_the_savings(self):
+        """SORN's 2.44x tax keeps the cost well below half of Clos."""
+        assert sorn().cost_vs(clos()) < 0.5
+
+    def test_power_savings_larger_than_cost_savings(self):
+        c, s = clos(), sorn()
+        assert s.relative_power / c.relative_power < s.relative_cost / c.relative_cost
+
+
+class TestScaling:
+    def test_cost_linear_in_tax(self):
+        cheap = sorn(tax=2.0)
+        pricey = sorn(tax=4.0)
+        assert pricey.relative_cost == pytest.approx(2 * cheap.relative_cost)
+
+    def test_clos_layers_increase_ports(self):
+        shallow = fabric_cost("c2", 64, 4, 1.0, optical=False, clos_layers=2)
+        deep = fabric_cost("c3", 64, 4, 1.0, optical=False, clos_layers=3)
+        assert deep.core_ports > shallow.core_ports
+
+    def test_cost_vs_identity(self):
+        assert sorn().cost_vs(sorn()) == pytest.approx(1.0)

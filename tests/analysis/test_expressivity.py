@@ -1,0 +1,91 @@
+"""Hardware expressivity accounting (section 5)."""
+
+import pytest
+
+from repro.analysis import (
+    feasible_clique_counts_for_budget,
+    sorn_wavelength_demand,
+    sorn_wavelengths_needed,
+    wavelength_band_usage,
+)
+from repro.errors import ConfigurationError
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+
+
+class TestWavelengthBandUsage:
+    def test_round_robin_needs_everything(self):
+        distinct, widest = wavelength_band_usage(RoundRobinSchedule(16))
+        assert distinct == 15
+        assert widest == 15
+
+    def test_sorn_needs_far_fewer(self):
+        schedule = build_sorn_schedule(16, 4, q=2)
+        distinct, _ = wavelength_band_usage(schedule)
+        assert distinct < 15
+        assert distinct == sorn_wavelength_demand(16, 4)
+
+    def test_closed_form_matches_compiled(self):
+        for n, nc in [(16, 4), (24, 3), (32, 8)]:
+            schedule = build_sorn_schedule(n, nc, q=2)
+            distinct, _ = wavelength_band_usage(schedule)
+            assert distinct == sorn_wavelength_demand(n, nc)
+
+
+class TestClosedForm:
+    def test_formula(self):
+        # S=4, Nc=4: 2*(4-1) + 3 = 9.
+        assert sorn_wavelength_demand(16, 4) == 9
+
+    def test_flat_single_clique(self):
+        """One clique of N degenerates to the flat round robin: the
+        offsets {j} and {N-j} coincide and cover the full band."""
+        assert sorn_wavelength_demand(8, 1) == 7
+        assert sorn_wavelengths_needed(8, 1) == set(range(1, 8))
+
+    def test_demand_matches_needed_set(self):
+        for n, nc in [(16, 2), (16, 4), (24, 3), (64, 8)]:
+            assert sorn_wavelength_demand(n, nc) == len(
+                sorn_wavelengths_needed(n, nc)
+            )
+
+    def test_singleton_cliques(self):
+        needed = sorn_wavelengths_needed(8, 8)
+        assert needed == set(range(1, 8))
+
+    def test_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            sorn_wavelength_demand(16, 3)
+
+    def test_table1_scale_savings(self):
+        """At 4096 nodes, SORN Nc=64 needs ~190 matchings vs RR's 4095 —
+        the section 5 'hundreds of matchings suffice' observation."""
+        demand = len(sorn_wavelengths_needed(4096, 64))
+        assert demand < 200
+        assert demand < 4095 / 20
+
+
+class TestFeasibility:
+    def test_full_budget_admits_all_divisors(self):
+        from repro.util import even_divisors
+
+        feasible = feasible_clique_counts_for_budget(64, 63)
+        assert feasible == even_divisors(64)
+
+    def test_modest_budget_covers_useful_range(self):
+        """A few hundred matchings at 4096 nodes admit the whole useful
+        middle of the design space (the Table 1 clique counts included) —
+        section 5's point that restricted families suffice, while the
+        flat RR alone would need 4095 matchings."""
+        feasible = feasible_clique_counts_for_budget(4096, 320)
+        assert feasible == [32, 64, 128, 256]
+
+    def test_tiny_budget_infeasible_at_scale(self):
+        """The cheapest design point at N=4096 (Nc ~ sqrt(2N)) still
+        needs ~189 matchings; a 64-matching family supports nothing."""
+        assert feasible_clique_counts_for_budget(4096, 64) == []
+        assert feasible_clique_counts_for_budget(4096, 189) == [64, 128]
+
+    def test_ordering_monotone_budget(self):
+        small = set(feasible_clique_counts_for_budget(256, 40))
+        large = set(feasible_clique_counts_for_budget(256, 255))
+        assert small <= large

@@ -1,0 +1,93 @@
+"""Closed forms for the hierarchical SORN family."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    hierarchical_delta_m_inter,
+    hierarchical_delta_m_intra,
+    hierarchical_max_hops,
+    hierarchical_optimal_q,
+    hierarchical_throughput,
+    hierarchical_throughput_bounds,
+    optimal_q,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+    sorn_throughput,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConsistencyWithPaper:
+    """h = 1 must reproduce the paper's SORN formulas exactly."""
+
+    @pytest.mark.parametrize("x", [0.0, 0.3, 0.56, 0.9])
+    def test_h1_q_and_throughput(self, x):
+        assert hierarchical_optimal_q(x, 1) == pytest.approx(optimal_q(x))
+        assert hierarchical_throughput(x, 1) == pytest.approx(sorn_throughput(x))
+
+    def test_h1_delta_m(self):
+        q = optimal_q(0.56)
+        assert hierarchical_delta_m_intra(4096, 64, q, 1) == sorn_delta_m_intra(
+            4096, 64, q
+        )
+        assert hierarchical_delta_m_inter(4096, 64, q, 1) == sorn_delta_m_inter(
+            4096, 64, q
+        )
+
+
+class TestH2Family:
+    def test_throughput_band(self):
+        """h = 2 spans [1/5, 1/4] across locality."""
+        assert hierarchical_throughput(0.0, 2) == pytest.approx(1 / 5)
+        assert hierarchical_throughput(1.0, 2) == pytest.approx(1 / 4)
+
+    def test_intra_latency_collapse_at_table1_scale(self):
+        """At N=4096, Nc=64: the intra delta_m falls from 77 to ~32."""
+        flat = sorn_delta_m_intra(4096, 64, optimal_q(0.56))
+        hier = hierarchical_delta_m_intra(
+            4096, 64, hierarchical_optimal_q(0.56, 2), 2
+        )
+        assert flat == 77
+        assert hier < flat / 2
+
+    def test_inter_latency_rises_with_h(self):
+        """The bigger q* makes inter-clique waits worse — the tradeoff."""
+        flat = sorn_delta_m_inter(4096, 64, optimal_q(0.56))
+        hier = hierarchical_delta_m_inter(
+            4096, 64, hierarchical_optimal_q(0.56, 2), 2
+        )
+        assert hier > flat
+
+    def test_requires_perfect_power(self):
+        with pytest.raises(ConfigurationError):
+            hierarchical_delta_m_intra(4096, 32, 4.0, 2)  # S=128, not a square
+
+    def test_max_hops(self):
+        assert hierarchical_max_hops(1, inter=False) == 2
+        assert hierarchical_max_hops(1, inter=True) == 3
+        assert hierarchical_max_hops(2, inter=True) == 5
+
+
+class TestBounds:
+    @given(x=st.floats(0.0, 0.95), h=st.sampled_from([1, 2, 3]))
+    def test_optimal_q_maximizes(self, x, h):
+        q_star = hierarchical_optimal_q(x, h)
+        best = hierarchical_throughput(x, h)
+        for q in [1.0, q_star / 2 if q_star / 2 >= 1 else 1.0, q_star, 2 * q_star]:
+            assert hierarchical_throughput_bounds(q, x, h) <= best + 1e-9
+        assert hierarchical_throughput_bounds(q_star, x, h) == pytest.approx(best)
+
+    @given(x=st.floats(0.0, 0.95))
+    def test_throughput_decreases_with_h(self, x):
+        values = [hierarchical_throughput(x, h) for h in (1, 2, 3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_x_one_pure_intra(self):
+        assert hierarchical_throughput_bounds(4.0, 1.0, 2) == pytest.approx(
+            (4 / 5) / 4
+        )
+
+    def test_x_one_no_finite_q(self):
+        with pytest.raises(ConfigurationError):
+            hierarchical_optimal_q(1.0, 2)

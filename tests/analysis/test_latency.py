@@ -1,0 +1,86 @@
+"""delta_m closed forms, pinned to the paper's Table 1."""
+
+import pytest
+
+from repro.analysis import (
+    multidim_delta_m,
+    opera_bulk_delta_m,
+    rr_delta_m,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+)
+from repro.analysis.throughput import optimal_q
+from repro.errors import ConfigurationError
+
+Q56 = optimal_q(0.56)  # 4.5455 (2/0.44)
+
+
+class TestOblivious:
+    def test_rr(self):
+        assert rr_delta_m(4096) == 4095
+        assert rr_delta_m(5) == 4
+
+    def test_multidim_reduces_to_rr(self):
+        assert multidim_delta_m(4096, 1) == 4095
+
+    def test_multidim_2d_table1(self):
+        assert multidim_delta_m(4096, 2) == 252
+
+    def test_multidim_3d(self):
+        assert multidim_delta_m(4096, 3) == 9 * 15  # radix 16
+
+    def test_multidim_requires_perfect_power(self):
+        with pytest.raises(ConfigurationError):
+            multidim_delta_m(4095, 2)
+
+    def test_opera_bulk(self):
+        assert opera_bulk_delta_m(4096) == 4095
+
+
+class TestSornIntra:
+    def test_table1_values(self):
+        assert sorn_delta_m_intra(4096, 64, Q56) == 77
+        assert sorn_delta_m_intra(4096, 32, Q56) == 155
+
+    def test_singleton_cliques_zero(self):
+        assert sorn_delta_m_intra(8, 8, 2.0) == 0
+
+    def test_monotone_decreasing_in_q(self):
+        assert sorn_delta_m_intra(4096, 64, 8.0) <= sorn_delta_m_intra(4096, 64, 1.0)
+
+    def test_divisibility_required(self):
+        with pytest.raises(ConfigurationError):
+            sorn_delta_m_intra(4096, 48, 2.0)
+
+    def test_q_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sorn_delta_m_intra(4096, 64, 0.9)
+
+
+class TestSornInter:
+    def test_table_variant_matches_published(self):
+        """The published 364/296 values (see DESIGN.md discrepancy note)."""
+        assert sorn_delta_m_inter(4096, 64, Q56, variant="table") == 364
+        assert sorn_delta_m_inter(4096, 32, Q56, variant="table") == 296
+
+    def test_text_variant_larger(self):
+        assert sorn_delta_m_inter(4096, 64, Q56, variant="text") == 427
+        assert sorn_delta_m_inter(4096, 32, Q56, variant="text") == 327
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            sorn_delta_m_inter(4096, 64, Q56, variant="bogus")
+
+    def test_single_clique_undefined(self):
+        with pytest.raises(ConfigurationError):
+            sorn_delta_m_inter(8, 1, 2.0)
+
+    def test_tradeoff_with_clique_count(self):
+        """More cliques monotonically lower the intra wait; the inter wait
+        (clique term + intra term) has an interior sweet spot — at the
+        Table 1 scale, Nc=32 beats both Nc=16 and Nc=64."""
+        intra = {nc: sorn_delta_m_intra(4096, nc, Q56) for nc in (16, 32, 64)}
+        inter = {nc: sorn_delta_m_inter(4096, nc, Q56) for nc in (16, 32, 64)}
+        assert intra[64] < intra[32] < intra[16]
+        assert inter[32] < inter[16]
+        assert inter[32] < inter[64]

@@ -1,0 +1,75 @@
+"""Latency-throughput tradeoff tooling."""
+
+import pytest
+
+from repro.analysis import orn_tradeoff_points, pareto_frontier, sorn_tradeoff_curve
+from repro.analysis.pareto import TradeoffPoint
+from repro.errors import ConfigurationError
+
+
+class TestOrnPoints:
+    def test_h_family_for_4096(self):
+        points = orn_tradeoff_points(4096, max_h=4)
+        labels = {p.label for p in points}
+        assert labels == {"ORN 1D", "ORN 2D", "ORN 3D", "ORN 4D"}
+
+    def test_skips_non_powers(self):
+        points = orn_tradeoff_points(100, max_h=4)
+        labels = {p.label for p in points}
+        assert "ORN 1D" in labels and "ORN 2D" in labels
+        assert "ORN 3D" not in labels  # 100 is not a cube
+
+    def test_multidim_collapses_latency_at_throughput_cost(self):
+        """h>=2 cuts latency by ~an order of magnitude vs 1D; throughput
+        falls as 1/(2h).  (Latency is not monotone in h: once the schedule
+        wait is tiny, the 2h propagation hops dominate.)"""
+        points = {p.label: p for p in orn_tradeoff_points(4096, max_h=4)}
+        for label in ("ORN 2D", "ORN 3D", "ORN 4D"):
+            assert points[label].latency_us < points["ORN 1D"].latency_us / 5
+        assert (
+            points["ORN 1D"].throughput
+            > points["ORN 2D"].throughput
+            > points["ORN 3D"].throughput
+            > points["ORN 4D"].throughput
+        )
+
+
+class TestSornCurve:
+    def test_throughput_independent_of_nc(self):
+        points = sorn_tradeoff_curve(4096, 0.56, [16, 32, 64])
+        assert len({p.throughput for p in points}) == 1
+
+    def test_nc_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            sorn_tradeoff_curve(4096, 0.56, [48])
+
+    def test_nc32_is_latency_sweet_spot(self):
+        """Among the Table 1 clique counts, Nc=32 minimizes worst latency."""
+        points = sorn_tradeoff_curve(4096, 0.56, [16, 32, 64, 128])
+        best = min(points, key=lambda p: p.latency_us)
+        assert best.label == "SORN Nc=32"
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            TradeoffPoint("a", 1.0, 0.3),
+            TradeoffPoint("b", 2.0, 0.2),   # dominated by a
+            TradeoffPoint("c", 3.0, 0.5),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["a", "c"]
+
+    def test_sorn_enters_the_oblivious_frontier(self):
+        """The paper's punchline: adding SORN to the ORN family leaves
+        every multi-dimensional ORN dominated."""
+        orn = orn_tradeoff_points(4096, max_h=4)
+        sorn = sorn_tradeoff_curve(4096, 0.56, [32, 64])
+        frontier = pareto_frontier(orn + sorn)
+        labels = {p.label for p in frontier}
+        assert any(label.startswith("SORN") for label in labels)
+        assert "ORN 2D" not in labels
+        assert "ORN 3D" not in labels
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []

@@ -1,0 +1,82 @@
+"""Blast radius and synchronization domains (paper section 6)."""
+
+import pytest
+
+from repro.analysis import (
+    flat_sync_domain_size,
+    link_blast_radius,
+    node_blast_radius,
+    sorn_sync_domain_size,
+)
+from repro.errors import ConfigurationError
+from repro.routing import SornRouter, VlbRouter
+from repro.topology import CliqueLayout
+
+
+class TestNodeBlastRadius:
+    def test_flat_vlb_touches_everything(self):
+        """Any node can relay any pair: blast radius 1.0."""
+        assert node_blast_radius(VlbRouter(12), 5) == 1.0
+
+    def test_sorn_bounded_by_structure(self):
+        """A SORN node failure touches only pairs that can relay through
+        it — a small fraction that shrinks with clique count."""
+        router = SornRouter(CliqueLayout.equal(24, 4))
+        radius = node_blast_radius(router, 0)
+        assert radius < 0.5
+
+    def test_sorn_smaller_than_flat(self):
+        n = 24
+        flat = node_blast_radius(VlbRouter(n), 3)
+        sorn = node_blast_radius(SornRouter(CliqueLayout.equal(n, 4)), 3)
+        assert sorn < flat
+
+    def test_more_cliques_smaller_radius(self):
+        n = 24
+        few = node_blast_radius(SornRouter(CliqueLayout.equal(n, 2)), 0)
+        many = node_blast_radius(SornRouter(CliqueLayout.equal(n, 6)), 0)
+        assert many < few
+
+    def test_range_check(self):
+        with pytest.raises(ConfigurationError):
+            node_blast_radius(VlbRouter(8), 8)
+
+
+class TestLinkBlastRadius:
+    def test_flat_vlb_link(self):
+        """Link (u, v) carries: direct u->v, VLB relays u->v->*, *->u->v."""
+        n = 10
+        radius = link_blast_radius(VlbRouter(n), (0, 1))
+        # Pairs using (0,1): (0,1) itself, (0, d) via mid=1, (s, 1) via mid=0.
+        expected = (1 + (n - 2) + (n - 2)) / (n * (n - 1))
+        assert radius == pytest.approx(expected)
+
+    def test_sorn_intra_link_local_blast(self):
+        router = SornRouter(CliqueLayout.equal(16, 4))
+        radius = link_blast_radius(router, (0, 1))
+        # Intra links relay LB traffic out of / final traffic into their
+        # clique only; far cliques' internal pairs are untouched.
+        assert radius < 0.25
+
+    def test_invalid_link(self):
+        with pytest.raises(ConfigurationError):
+            link_blast_radius(VlbRouter(8), (3, 3))
+
+
+class TestSyncDomains:
+    def test_flat_domain_is_whole_network(self):
+        assert flat_sync_domain_size(4096) == 4096
+
+    def test_sorn_domain_max_of_levels(self):
+        assert sorn_sync_domain_size(SornRouter(CliqueLayout.equal(4096, 64))) == 64
+        assert sorn_sync_domain_size(SornRouter(CliqueLayout.equal(4096, 32))) == 128
+
+    def test_reduction_factor_at_table1_scale(self):
+        """Section 6: modularity shrinks the sync domain by 64x at N=4096."""
+        flat = flat_sync_domain_size(4096)
+        sorn = sorn_sync_domain_size(SornRouter(CliqueLayout.equal(4096, 64)))
+        assert flat / sorn == 64
+
+    def test_flat_size_check(self):
+        with pytest.raises(ConfigurationError):
+            flat_sync_domain_size(1)

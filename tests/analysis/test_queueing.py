@@ -1,0 +1,74 @@
+"""Queueing-delay model, cross-checked against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    expected_circuit_wait_slots,
+    expected_path_latency_slots,
+    latency_load_curve,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCircuitWait:
+    def test_zero_load_pure_phase_wait(self):
+        """Empty queue: only the (gap-1)/2 phase wait remains."""
+        assert expected_circuit_wait_slots(15, 0.0) == pytest.approx(7.0)
+
+    def test_gap_one_zero_load_is_zero(self):
+        assert expected_circuit_wait_slots(1, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        waits = [expected_circuit_wait_slots(10, rho) for rho in (0.1, 0.5, 0.9)]
+        assert waits == sorted(waits)
+
+    def test_diverges_near_saturation(self):
+        assert expected_circuit_wait_slots(10, 0.99) > 100
+
+    def test_rejects_saturation(self):
+        with pytest.raises(ConfigurationError):
+            expected_circuit_wait_slots(10, 1.0)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ConfigurationError):
+            expected_circuit_wait_slots(0.5, 0.5)
+
+
+class TestPathLatency:
+    def test_sums_hops(self):
+        single = expected_circuit_wait_slots(8, 0.4)
+        assert expected_path_latency_slots([8, 8], 0.4) == pytest.approx(2 * single)
+
+    def test_curve_shape(self):
+        curve = latency_load_curve(10, [0.1, 0.5, 0.9])
+        loads = [l for l, _ in curve]
+        waits = [w for _, w in curve]
+        assert loads == [0.1, 0.5, 0.9]
+        assert waits == sorted(waits)
+
+
+class TestAgainstSimulator:
+    def test_model_tracks_simulated_fct_growth(self):
+        """Simulated mean FCT grows with load roughly like the model's
+        hockey stick (ratios within a factor of ~2)."""
+        from repro.routing import VlbRouter
+        from repro.schedules import RoundRobinSchedule
+        from repro.sim import SimConfig, SlotSimulator
+        from repro.traffic import FlowSizeDistribution, Workload, uniform_matrix
+
+        n = 16
+        gap = n - 1
+        fcts = {}
+        for load in (0.15, 0.4):  # 30 % and 80 % of the 0.5 saturation point
+            wl = Workload(uniform_matrix(n), FlowSizeDistribution.fixed(1500), load=load)
+            flows = wl.generate(3000, rng=6)
+            sim = SlotSimulator(
+                RoundRobinSchedule(n), VlbRouter(n), SimConfig(drain=True), rng=3
+            )
+            fcts[load] = sim.run(flows, 3000).mean_fct
+        # Per-circuit utilization is load / 0.5 (VLB halves capacity).
+        model_ratio = expected_circuit_wait_slots(gap, 0.4 / 0.5) / \
+            expected_circuit_wait_slots(gap, 0.15 / 0.5)
+        sim_ratio = fcts[0.4] / fcts[0.15]
+        assert sim_ratio > 1.5  # latency clearly grows with load
+        assert sim_ratio == pytest.approx(model_ratio, rel=0.5)

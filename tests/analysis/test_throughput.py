@@ -1,0 +1,81 @@
+"""Worst-case throughput closed forms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    multidim_throughput,
+    opera_throughput,
+    optimal_q,
+    sorn_throughput,
+    sorn_throughput_bounds,
+    vlb_throughput,
+)
+from repro.analysis.throughput import OPERA_TABLE1_THROUGHPUT
+from repro.errors import ConfigurationError
+
+
+class TestOblivious:
+    def test_vlb_half(self):
+        assert vlb_throughput() == 0.5
+
+    def test_multidim_family(self):
+        assert multidim_throughput(1) == 0.5
+        assert multidim_throughput(2) == 0.25
+        assert multidim_throughput(3) == pytest.approx(1 / 6)
+
+    def test_opera_table1_constant(self):
+        assert OPERA_TABLE1_THROUGHPUT == 0.3125
+        assert opera_throughput() == pytest.approx(0.3125)
+
+    def test_opera_model_sensitivity(self):
+        """More short flows on longer paths -> lower throughput."""
+        assert opera_throughput(short_fraction=0.9) < opera_throughput(
+            short_fraction=0.5
+        )
+        assert opera_throughput(reconfiguring_fraction=0.25) < opera_throughput()
+
+    def test_opera_rejects_sub_one_hops(self):
+        with pytest.raises(ConfigurationError):
+            opera_throughput(expander_mean_hops=0.5)
+
+
+class TestSorn:
+    def test_optimal_q_table1(self):
+        assert optimal_q(0.56) == pytest.approx(2 / 0.44)
+
+    def test_optimal_q_diverges(self):
+        with pytest.raises(ConfigurationError):
+            optimal_q(1.0)
+
+    def test_throughput_extremes(self):
+        assert sorn_throughput(0.0) == pytest.approx(1 / 3)
+        assert sorn_throughput(1.0) == pytest.approx(1 / 2)
+        assert sorn_throughput(0.56) == pytest.approx(0.4098, abs=1e-4)
+
+    def test_bounds_meet_at_optimal_q(self):
+        for x in [0.1, 0.56, 0.9]:
+            q = optimal_q(x)
+            intra = q / (2 * q + 2)
+            inter = 1 / ((1 - x) * (q + 1))
+            assert intra == pytest.approx(inter)
+            assert sorn_throughput_bounds(q, x) == pytest.approx(sorn_throughput(x))
+
+    def test_bounds_suboptimal_q(self):
+        # Small q: intra links bind.
+        assert sorn_throughput_bounds(1.0, 0.56) == pytest.approx(0.25)
+        # Huge q: inter links bind.
+        assert sorn_throughput_bounds(20.0, 0.0) == pytest.approx(1 / 21)
+
+    def test_x_one_pure_intra_bound(self):
+        assert sorn_throughput_bounds(3.0, 1.0) == pytest.approx(3 / 8)
+
+    @given(x=st.floats(0.0, 0.99), q=st.floats(1.0, 50.0))
+    def test_optimal_q_dominates(self, x, q):
+        """No q beats q* = 2/(1-x) at locality x."""
+        assert sorn_throughput_bounds(q, x) <= sorn_throughput(x) + 1e-9
+
+    @given(x=st.floats(0.0, 1.0))
+    def test_sorn_beats_2d_orn_everywhere(self, x):
+        """The paper's core claim: SORN >= 1/3 > 1/4 = 2D ORN throughput."""
+        assert sorn_throughput(x) > multidim_throughput(2)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.routing import SornRouter, VlbRouter
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix, uniform_matrix
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for every test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_layout():
+    """8 nodes in 2 cliques of 4 (the paper's Figure 2 scale)."""
+    return CliqueLayout.equal(8, 2)
+
+
+@pytest.fixture
+def medium_layout():
+    """32 nodes in 4 cliques of 8."""
+    return CliqueLayout.equal(32, 4)
+
+
+@pytest.fixture
+def sorn_schedule_small(small_layout):
+    """Figure 2(d)-scale SORN schedule: q=3, two cliques of four."""
+    return build_sorn_schedule(8, 2, q=3, layout=small_layout)
+
+
+@pytest.fixture
+def sorn_schedule_medium(medium_layout):
+    """32-node SORN schedule at the x=0.56-optimal q."""
+    return build_sorn_schedule(32, 4, q=2 / (1 - 0.56), layout=medium_layout)
+
+
+@pytest.fixture
+def rr_schedule():
+    """16-node flat round robin."""
+    return RoundRobinSchedule(16)
+
+
+@pytest.fixture
+def vlb_router():
+    return VlbRouter(16)
+
+
+@pytest.fixture
+def sorn_router_medium(medium_layout):
+    return SornRouter(medium_layout)
+
+
+@pytest.fixture
+def uniform16():
+    return uniform_matrix(16)
+
+
+@pytest.fixture
+def clustered32(medium_layout):
+    return clustered_matrix(medium_layout, 0.56)

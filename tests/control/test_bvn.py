@@ -1,0 +1,166 @@
+"""Birkhoff-von-Neumann decomposition and schedule synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control import (
+    birkhoff_von_neumann,
+    schedule_from_decomposition,
+    sinkhorn_scale,
+)
+from repro.errors import ControlPlaneError, DecompositionError
+from repro.schedules import Matching
+
+
+def doubly_stochastic_zero_diag(n, rng):
+    """Random DS matrix with zero diagonal via Sinkhorn on positive noise."""
+    m = rng.random((n, n)) + 0.1
+    np.fill_diagonal(m, 0.0)
+    return sinkhorn_scale(m)
+
+
+def reconstruct(terms, n):
+    out = np.zeros((n, n))
+    for weight, matching in terms:
+        for s, d in matching.pairs():
+            out[s, d] += weight
+    return out
+
+
+class TestSinkhorn:
+    def test_produces_doubly_stochastic(self, rng):
+        m = sinkhorn_scale(rng.random((6, 6)) + 0.05)
+        assert np.allclose(m.sum(axis=0), 1.0, atol=1e-6)
+        assert np.allclose(m.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_preserves_zero_pattern(self, rng):
+        raw = rng.random((5, 5)) + 0.1
+        np.fill_diagonal(raw, 0.0)
+        scaled = sinkhorn_scale(raw)
+        assert np.diagonal(scaled).sum() == 0.0
+
+    def test_rejects_zero_row(self):
+        m = np.ones((3, 3))
+        m[1, :] = 0
+        with pytest.raises(ControlPlaneError):
+            sinkhorn_scale(m)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ControlPlaneError):
+            sinkhorn_scale(-np.ones((3, 3)))
+
+
+class TestDecomposition:
+    def test_rotation_mixture_recovered(self):
+        """A known convex combination of rotations decomposes exactly."""
+        n = 6
+        target = np.zeros((n, n))
+        for shift, weight in [(1, 0.5), (2, 0.3), (4, 0.2)]:
+            for s, d in Matching.rotation(n, shift).pairs():
+                target[s, d] += weight
+        terms = birkhoff_von_neumann(target)
+        assert np.allclose(reconstruct(terms, n), target, atol=1e-8)
+
+    def test_weights_sum_to_one(self, rng):
+        m = doubly_stochastic_zero_diag(6, rng)
+        terms = birkhoff_von_neumann(m)
+        assert sum(w for w, _ in terms) == pytest.approx(1.0, abs=1e-6)
+
+    def test_reconstruction_property(self, rng):
+        for _ in range(3):
+            m = doubly_stochastic_zero_diag(7, rng)
+            terms = birkhoff_von_neumann(m)
+            assert np.allclose(reconstruct(terms, 7), m, atol=1e-6)
+
+    def test_scaled_input_normalized(self):
+        """Equal row/col sums != 1 are accepted and normalized."""
+        n = 4
+        target = np.zeros((n, n))
+        for s, d in Matching.rotation(n, 1).pairs():
+            target[s, d] = 5.0
+        terms = birkhoff_von_neumann(target)
+        assert len(terms) == 1
+        assert terms[0][0] == pytest.approx(1.0)
+
+    def test_rejects_unbalanced(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = 1.0
+        m[1, 0] = 0.5
+        m[2, 1] = 0.2
+        with pytest.raises(ControlPlaneError):
+            birkhoff_von_neumann(m)
+
+    def test_rejects_nonzero_diagonal(self):
+        m = np.full((3, 3), 1 / 3)
+        with pytest.raises(ControlPlaneError):
+            birkhoff_von_neumann(m)
+
+    def test_rejects_zero_matrix(self):
+        with pytest.raises(ControlPlaneError):
+            birkhoff_von_neumann(np.zeros((3, 3)))
+
+    def test_max_terms_exhaustion(self, rng):
+        m = doubly_stochastic_zero_diag(8, rng)
+        with pytest.raises(DecompositionError) as excinfo:
+            birkhoff_von_neumann(m, max_terms=1)
+        assert excinfo.value.residual > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(3, 8), seed=st.integers(0, 100))
+    def test_term_count_within_marcus_ree_bound(self, n, seed):
+        m = doubly_stochastic_zero_diag(n, np.random.default_rng(seed))
+        terms = birkhoff_von_neumann(m)
+        assert len(terms) <= (n - 1) ** 2 + 1
+
+
+class TestScheduleSynthesis:
+    def test_slot_counts_proportional(self):
+        terms = [
+            (0.5, Matching.rotation(6, 1)),
+            (0.25, Matching.rotation(6, 2)),
+            (0.25, Matching.rotation(6, 3)),
+        ]
+        schedule = schedule_from_decomposition(terms, period=8)
+        fractions = schedule.edge_fractions()
+        assert fractions[(0, 1)] == pytest.approx(0.5)
+        assert fractions[(0, 2)] == pytest.approx(0.25)
+
+    def test_occurrences_interleaved(self):
+        """The dominant matching never bunches: its max gap stays near the
+        fluid ideal, not at the worst-case period."""
+        terms = [(0.75, Matching.rotation(8, 1)), (0.25, Matching.rotation(8, 2))]
+        schedule = schedule_from_decomposition(terms, period=16)
+        assert schedule.max_wait_slots(0, 1) <= 3  # ideal gap 16/12 ~ 1.33
+
+    def test_exact_period(self):
+        terms = [(1 / 3, Matching.rotation(5, k)) for k in (1, 2, 3)]
+        schedule = schedule_from_decomposition(terms, period=7)
+        assert schedule.period == 7
+
+    def test_tiny_weights_dropped(self):
+        terms = [(0.999, Matching.rotation(4, 1)), (0.001, Matching.rotation(4, 2))]
+        schedule = schedule_from_decomposition(terms, period=4)
+        assert (0, 2) not in schedule.edge_fractions()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ControlPlaneError):
+            schedule_from_decomposition([], 4)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ControlPlaneError):
+            schedule_from_decomposition([(0.0, Matching.rotation(4, 1))], 4)
+
+    def test_end_to_end_demand_to_schedule(self, rng):
+        """Demand matrix -> Sinkhorn -> BvN -> schedule whose virtual
+        topology approximates the scaled demand."""
+        raw = rng.random((6, 6)) + 0.2
+        np.fill_diagonal(raw, 0.0)
+        target = sinkhorn_scale(raw)
+        terms = birkhoff_von_neumann(target)
+        schedule = schedule_from_decomposition(terms, period=60)
+        fractions = schedule.edge_fractions()
+        realized = np.zeros((6, 6))
+        for (u, v), f in fractions.items():
+            realized[u, v] = f
+        assert np.abs(realized - target).max() < 0.15

@@ -1,0 +1,64 @@
+"""Balanced clique assignment from demand."""
+
+import numpy as np
+import pytest
+
+from repro.control import balanced_cliques, demand_clustering_score
+from repro.errors import ControlPlaneError
+from repro.topology import CliqueLayout
+from repro.traffic import TrafficMatrix, clustered_matrix, uniform_matrix
+
+
+class TestBalancedCliques:
+    def test_divisibility_required(self):
+        with pytest.raises(ControlPlaneError):
+            balanced_cliques(uniform_matrix(10), 3)
+
+    def test_output_is_equal_partition(self):
+        layout = balanced_cliques(uniform_matrix(12), 3)
+        assert layout.num_cliques == 3
+        assert layout.is_equal_sized
+
+    def test_recovers_planted_blocks(self):
+        """Strong planted locality is recovered exactly (up to clique ids)."""
+        truth = CliqueLayout.random_equal(24, 4, rng=7)
+        matrix = clustered_matrix(truth, 0.95)
+        recovered = balanced_cliques(matrix, 4)
+        truth_groups = {frozenset(g) for g in truth.groups()}
+        recovered_groups = {frozenset(g) for g in recovered.groups()}
+        assert recovered_groups == truth_groups
+
+    def test_recovers_asymmetric_demand_blocks(self):
+        """One-directional heavy pairs still cluster (affinity symmetrizes)."""
+        rates = np.zeros((8, 8))
+        for a, b in [(0, 3), (3, 5), (5, 0), (1, 2), (2, 4), (4, 1)]:
+            rates[a, b] = 1.0
+        rates[6, 7] = rates[7, 6] = 1.0
+        layout = balanced_cliques(TrafficMatrix(rates).saturated(), 2)
+        groups = {frozenset(g) for g in layout.groups()}
+        assert frozenset({0, 3, 5}) <= max(groups, key=lambda g: 0 in g)
+
+    def test_score_improves_over_random(self):
+        truth = CliqueLayout.random_equal(24, 4, rng=3)
+        matrix = clustered_matrix(truth, 0.8)
+        clustered = balanced_cliques(matrix, 4)
+        random_layout = CliqueLayout.random_equal(24, 4, rng=99)
+        assert demand_clustering_score(matrix, clustered) > demand_clustering_score(
+            matrix, random_layout
+        )
+
+    def test_uniform_demand_any_partition_fine(self):
+        layout = balanced_cliques(uniform_matrix(8), 2)
+        score = demand_clustering_score(uniform_matrix(8), layout)
+        assert score == pytest.approx(3 / 7)  # any equal split captures 3/7
+
+    def test_single_clique(self):
+        layout = balanced_cliques(uniform_matrix(8), 1)
+        assert layout.num_cliques == 1
+
+    def test_deterministic(self):
+        truth = CliqueLayout.random_equal(16, 4, rng=1)
+        matrix = clustered_matrix(truth, 0.7)
+        a = balanced_cliques(matrix, 4)
+        b = balanced_cliques(matrix, 4)
+        assert a == b

@@ -1,0 +1,97 @@
+"""Demand and locality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.control import DemandEstimator, LocalityEstimator
+from repro.errors import ControlPlaneError
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix, uniform_matrix
+
+
+class TestDemandEstimator:
+    def test_requires_observation(self):
+        with pytest.raises(ControlPlaneError):
+            DemandEstimator(8).estimate()
+
+    def test_first_observation_verbatim(self):
+        est = DemandEstimator(8, alpha=0.3)
+        est.observe(uniform_matrix(8))
+        assert est.estimate() == uniform_matrix(8)
+
+    def test_ewma_blends(self):
+        layout = CliqueLayout.equal(8, 2)
+        est = DemandEstimator(8, alpha=0.5)
+        est.observe(clustered_matrix(layout, 1.0))
+        est.observe(clustered_matrix(layout, 0.0))
+        x = est.estimate().locality(layout)
+        assert 0.3 < x < 0.7
+
+    def test_converges_to_stationary_demand(self):
+        layout = CliqueLayout.equal(8, 2)
+        est = DemandEstimator(8, alpha=0.4)
+        est.observe(uniform_matrix(8))
+        target = clustered_matrix(layout, 0.8)
+        for _ in range(30):
+            est.observe(target)
+        assert est.estimate().locality(layout) == pytest.approx(0.8, abs=0.01)
+
+    def test_size_mismatch(self):
+        est = DemandEstimator(8)
+        with pytest.raises(ControlPlaneError):
+            est.observe(uniform_matrix(9))
+
+    def test_alpha_zero_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            DemandEstimator(8, alpha=0.0)
+
+    def test_reset(self):
+        est = DemandEstimator(8)
+        est.observe(uniform_matrix(8))
+        est.reset()
+        assert est.observations == 0
+        with pytest.raises(ControlPlaneError):
+            est.estimate()
+
+    def test_noise_injection_bounded(self, rng):
+        est = DemandEstimator(8)
+        est.observe(uniform_matrix(8))
+        noisy = est.estimate_with_noise(0.2, rng)
+        ratio = noisy.rates[uniform_matrix(8).rates > 0] / (1 / 7)
+        assert ratio.min() >= 0.8 - 1e-9
+        assert ratio.max() <= 1.2 + 1e-9
+
+    def test_noise_zero_is_identity(self, rng):
+        est = DemandEstimator(8)
+        est.observe(uniform_matrix(8))
+        assert est.estimate_with_noise(0.0, rng) == est.estimate()
+
+    def test_negative_noise_rejected(self, rng):
+        est = DemandEstimator(8)
+        est.observe(uniform_matrix(8))
+        with pytest.raises(ControlPlaneError):
+            est.estimate_with_noise(-0.1, rng)
+
+
+class TestLocalityEstimator:
+    def test_tracks_locality(self):
+        layout = CliqueLayout.equal(16, 4)
+        est = LocalityEstimator(layout, alpha=1.0)
+        est.observe(clustered_matrix(layout, 0.56))
+        assert est.locality() == pytest.approx(0.56)
+        assert est.observations == 1
+
+    def test_error_injection_clamped(self, rng):
+        layout = CliqueLayout.equal(16, 4)
+        est = LocalityEstimator(layout)
+        est.observe(clustered_matrix(layout, 0.99))
+        for _ in range(50):
+            x = est.locality_with_error(0.5, rng)
+            assert 0.0 <= x <= 1.0
+
+    def test_error_negative_rejected(self, rng):
+        layout = CliqueLayout.equal(16, 4)
+        est = LocalityEstimator(layout)
+        est.observe(clustered_matrix(layout, 0.5))
+        with pytest.raises(ControlPlaneError):
+            est.locality_with_error(-1, rng)

@@ -1,0 +1,80 @@
+"""Job placement co-design (section 6)."""
+
+import pytest
+
+from repro.control import place_jobs
+from repro.errors import ControlPlaneError
+from repro.topology import CliqueLayout
+from repro.traffic import ring_allreduce_matrix
+
+
+@pytest.fixture
+def layout():
+    return CliqueLayout.equal(32, 4)  # 4 cliques of 8
+
+
+class TestPlacement:
+    def test_small_jobs_all_co_located(self, layout):
+        report = place_jobs(layout, [4, 4, 4, 4, 4, 4])
+        assert report.co_location_ratio == 1.0
+        for placement in report.placements:
+            cliques = {layout.clique_of(w) for w in placement.workers}
+            assert len(cliques) == 1
+
+    def test_ffd_packs_large_first(self, layout):
+        """A 8-worker job fits only if placed before small jobs fragment
+        the cliques — FFD guarantees it."""
+        report = place_jobs(layout, [2, 2, 2, 8, 2, 2])
+        big = report.workers_of(3)
+        assert len({layout.clique_of(w) for w in big}) == 1
+
+    def test_oversized_job_spills(self, layout):
+        report = place_jobs(layout, [12])
+        placement = report.placements[0]
+        assert not placement.co_located
+        assert placement.cliques_spanned == 2
+
+    def test_spill_disabled_raises(self, layout):
+        with pytest.raises(ControlPlaneError):
+            place_jobs(layout, [12], allow_spill=False)
+
+    def test_capacity_enforced(self, layout):
+        with pytest.raises(ControlPlaneError):
+            place_jobs(layout, [20, 20])
+
+    def test_workers_unique_across_jobs(self, layout):
+        report = place_jobs(layout, [6, 6, 6, 6, 6])
+        seen = [w for p in report.placements for w in p.workers]
+        assert len(seen) == len(set(seen)) == 30
+
+    def test_unknown_job_lookup(self, layout):
+        report = place_jobs(layout, [4])
+        with pytest.raises(ControlPlaneError):
+            report.workers_of(9)
+
+
+class TestTrafficIntegration:
+    def test_placed_jobs_yield_local_traffic(self, layout):
+        """End to end: placements feed ring matrices with high locality."""
+        report = place_jobs(layout, [8, 8, 8, 8])
+        import numpy as np
+
+        rates = np.zeros((32, 32))
+        for placement in report.placements:
+            rates += ring_allreduce_matrix(32, placement.workers).rates
+        from repro.traffic import TrafficMatrix
+
+        matrix = TrafficMatrix(rates).saturated()
+        assert matrix.locality(layout) == pytest.approx(1.0)
+
+    def test_spilled_jobs_lower_locality(self, layout):
+        report = place_jobs(layout, [12, 12])
+        import numpy as np
+
+        rates = np.zeros((32, 32))
+        for placement in report.placements:
+            rates += ring_allreduce_matrix(32, placement.workers).rates
+        from repro.traffic import TrafficMatrix
+
+        matrix = TrafficMatrix(rates).saturated()
+        assert matrix.locality(layout) < 1.0

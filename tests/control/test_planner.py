@@ -1,0 +1,65 @@
+"""Update planning: drain-freedom and bandwidth-shift accounting."""
+
+import pytest
+
+from repro.control import plan_update
+from repro.errors import ControlPlaneError
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.topology import CliqueLayout
+
+
+class TestPlanUpdate:
+    def test_identity_update_is_noop(self):
+        schedule = build_sorn_schedule(16, 4, q=2)
+        plan = plan_update(schedule, schedule)
+        assert plan.is_drain_free
+        assert plan.preserves_neighbor_superset
+        assert plan.bandwidth_shift == pytest.approx(0.0)
+
+    def test_q_retune_drain_free_with_shift(self):
+        """SORN's headline property: q changes move bandwidth, not state."""
+        old = build_sorn_schedule(16, 4, q=1)
+        new = build_sorn_schedule(16, 4, q=5)
+        plan = plan_update(old, new)
+        assert plan.is_drain_free
+        assert plan.preserves_neighbor_superset
+        assert plan.bandwidth_shift > 0.1
+
+    def test_layout_change_needs_state(self):
+        old = build_sorn_schedule(16, 4, q=2)
+        new = build_sorn_schedule(
+            16, 4, q=2, layout=CliqueLayout.random_equal(16, 4, rng=5)
+        )
+        plan = plan_update(old, new)
+        assert not plan.preserves_neighbor_superset
+        assert not plan.is_drain_free
+        assert plan.new_neighbor_pairs
+        assert plan.retired_neighbor_pairs
+
+    def test_clique_count_change(self):
+        old = build_sorn_schedule(16, 4, q=2)
+        new = build_sorn_schedule(16, 2, q=2)
+        plan = plan_update(old, new)
+        # Growing cliques adds intra neighbors at every node.
+        assert len(plan.nodes_with_new_neighbors) == 16
+
+    def test_sorn_to_flat_round_robin(self):
+        old = build_sorn_schedule(16, 4, q=2)
+        new = RoundRobinSchedule(16)
+        plan = plan_update(old, new)
+        assert not plan.preserves_neighbor_superset  # RR faces everyone
+        assert plan.is_drain_free  # nothing retired: superset only grows
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            plan_update(RoundRobinSchedule(8), RoundRobinSchedule(9))
+
+    def test_bandwidth_shift_bounds(self):
+        old = build_sorn_schedule(8, 2, q=1)
+        new = build_sorn_schedule(8, 2, q=6)
+        plan = plan_update(old, new)
+        assert 0.0 <= plan.bandwidth_shift <= 1.0
+
+    def test_summary_mentions_drain_state(self):
+        schedule = build_sorn_schedule(8, 2, q=2)
+        assert "drain-free" in plan_update(schedule, schedule).summary()

@@ -1,0 +1,52 @@
+"""Clique-count optimization (the Nc=32-vs-64 deliberation of Table 1)."""
+
+import pytest
+
+from repro.analysis import optimal_q, sorn_delta_m_inter, sorn_delta_m_intra
+from repro.core import SornDesign
+from repro.errors import ConfigurationError
+from repro.hardware.timing import TABLE1_TIMING
+
+
+def mean_latency(n, nc, x):
+    q = optimal_q(min(x, 0.99))
+    intra = TABLE1_TIMING.min_latency_us(sorn_delta_m_intra(n, nc, q), 2)
+    inter = TABLE1_TIMING.min_latency_us(sorn_delta_m_inter(n, nc, q), 3)
+    return x * intra + (1 - x) * inter
+
+
+class TestBestCliqueCount:
+    def test_returns_divisor(self):
+        nc = SornDesign.best_clique_count(4096, 0.56)
+        assert 4096 % nc == 0
+
+    def test_beats_every_candidate_on_its_metric(self):
+        n, x = 4096, 0.56
+        best = SornDesign.best_clique_count(n, x)
+        best_latency = mean_latency(n, best, x)
+        for nc in (8, 16, 32, 128, 256):
+            assert best_latency <= mean_latency(n, nc, x) + 1e-9
+
+    def test_table1_scale_picks_balanced_point(self):
+        """At N=4096 the sqrt(N) balance (Nc=64) wins the locality-
+        weighted metric across the whole realistic locality range —
+        consistent with Table 1 leading with Nc=64."""
+        for x in (0.1, 0.56, 0.9):
+            assert SornDesign.best_clique_count(4096, x) == 64
+
+    def test_explicit_candidates_respected(self):
+        nc = SornDesign.best_clique_count(4096, 0.56, candidates=[32, 128])
+        assert nc in (32, 128)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SornDesign.best_clique_count(4096, 0.5, candidates=[])
+
+    def test_small_fabric(self):
+        nc = SornDesign.best_clique_count(16, 0.5)
+        assert nc in (2, 4, 8)
+
+    def test_usable_in_design_construction(self):
+        nc = SornDesign.best_clique_count(256, 0.56)
+        design = SornDesign.optimal(256, nc, 0.56)
+        assert design.throughput == pytest.approx(1 / 2.44, abs=1e-3)

@@ -1,0 +1,61 @@
+"""SornModel: closed-form Table 1 quantities per design."""
+
+import pytest
+
+from repro.core import SornDesign, SornModel
+from repro.hardware.timing import TABLE1_TIMING
+
+
+@pytest.fixture
+def table1_model_nc64():
+    return SornModel(SornDesign.optimal(4096, 64, 0.56), timing=TABLE1_TIMING)
+
+
+@pytest.fixture
+def table1_model_nc32():
+    return SornModel(SornDesign.optimal(4096, 32, 0.56), timing=TABLE1_TIMING)
+
+
+class TestTable1Values:
+    def test_nc64_delta_m(self, table1_model_nc64):
+        assert table1_model_nc64.delta_m_intra() == 77
+        assert table1_model_nc64.delta_m_inter() == 364
+
+    def test_nc32_delta_m(self, table1_model_nc32):
+        assert table1_model_nc32.delta_m_intra() == 155
+        assert table1_model_nc32.delta_m_inter() == 296
+
+    def test_nc64_latencies(self, table1_model_nc64):
+        assert table1_model_nc64.min_latency_intra_us() == pytest.approx(1.48, abs=0.01)
+        assert table1_model_nc64.min_latency_inter_us() == pytest.approx(3.775, abs=0.01)
+
+    def test_nc32_latencies(self, table1_model_nc32):
+        assert table1_model_nc32.min_latency_intra_us() == pytest.approx(1.97, abs=0.01)
+        assert table1_model_nc32.min_latency_inter_us() == pytest.approx(3.35, abs=0.01)
+
+    def test_throughput_and_cost(self, table1_model_nc64):
+        assert table1_model_nc64.throughput() == pytest.approx(0.4098, abs=0.0001)
+        assert table1_model_nc64.bandwidth_cost() == pytest.approx(2.44, abs=0.01)
+        assert table1_model_nc64.mean_hops() == pytest.approx(2.44)
+
+
+class TestVariants:
+    def test_text_variant_larger_inter(self):
+        design = SornDesign.optimal(4096, 64, 0.56)
+        table = SornModel(design, latency_variant="table").delta_m_inter()
+        text = SornModel(design, latency_variant="text").delta_m_inter()
+        assert text > table
+        assert text == 427  # ceil((q+1)*63 + (q+1)/q*63)
+
+    def test_mean_latency_between_extremes(self, table1_model_nc64):
+        mean = table1_model_nc64.mean_min_latency_us()
+        assert (
+            table1_model_nc64.min_latency_intra_us()
+            < mean
+            < table1_model_nc64.min_latency_inter_us()
+        )
+
+    def test_describe_contains_block(self, table1_model_nc64):
+        text = table1_model_nc64.describe()
+        assert "delta_m=77" in text
+        assert "delta_m=364" in text

@@ -1,0 +1,111 @@
+"""AWGR cyclic routing model (Figure 2a-b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware.awgr import Awgr, example_figure2_awgr, wavelength_for_circuit
+
+
+class TestWavelengthForCircuit:
+    def test_basic_rotation(self):
+        assert wavelength_for_circuit(0, 3, 8) == 3
+        assert wavelength_for_circuit(5, 2, 8) == 5  # wraps
+
+    def test_out_of_range_ports(self):
+        with pytest.raises(HardwareModelError):
+            wavelength_for_circuit(0, 8, 8)
+
+    @given(
+        n=st.integers(2, 64),
+        src=st.integers(0, 63),
+        dst=st.integers(0, 63),
+    )
+    def test_roundtrip_through_awgr(self, n, src, dst):
+        src, dst = src % n, dst % n
+        if src == dst:
+            return
+        w = wavelength_for_circuit(src, dst, n)
+        awgr = Awgr(n, n - 1)
+        assert awgr.output_port(src, w) == dst
+
+
+class TestAwgr:
+    def test_rejects_band_wider_than_ports(self):
+        with pytest.raises(HardwareModelError):
+            Awgr(num_ports=8, num_wavelengths=8)
+
+    def test_figure2_example_shape(self):
+        """8 nodes, matchings m1..m5, as sketched in Figure 2(a-b)."""
+        awgr = example_figure2_awgr()
+        matchings = awgr.all_matchings()
+        assert len(matchings) == 5
+        for w, m in zip(awgr.wavelengths, matchings):
+            assert np.array_equal(m, (np.arange(8) + w) % 8)
+
+    def test_matchings_are_permutations(self):
+        awgr = Awgr(16, 15)
+        for m in awgr.all_matchings():
+            assert sorted(m.tolist()) == list(range(16))
+
+    def test_matchings_have_no_fixed_points(self):
+        awgr = Awgr(16, 15)
+        for m in awgr.all_matchings():
+            assert not (m == np.arange(16)).any()
+
+    def test_can_connect_respects_band(self):
+        awgr = Awgr(8, 3)
+        assert awgr.can_connect(0, 3)       # wavelength 3 in band
+        assert not awgr.can_connect(0, 4)   # needs wavelength 4
+        assert not awgr.can_connect(2, 2)   # self-loop
+
+    def test_reachable_destinations(self):
+        awgr = Awgr(8, 3)
+        assert awgr.reachable_destinations(6) == [7, 0, 1]
+
+    def test_full_mesh_detection(self):
+        assert Awgr(8, 7).supports_full_mesh()
+        assert not Awgr(8, 5).supports_full_mesh()
+
+    def test_matching_for_wavelength_out_of_band(self):
+        with pytest.raises(HardwareModelError):
+            Awgr(8, 3).matching_for_wavelength(4)
+        with pytest.raises(HardwareModelError):
+            Awgr(8, 3).matching_for_wavelength(0)
+
+    def test_output_port_range_checks(self):
+        awgr = Awgr(8, 5)
+        with pytest.raises(HardwareModelError):
+            awgr.output_port(9, 1)
+        with pytest.raises(HardwareModelError):
+            awgr.output_port(0, 6)
+
+
+class TestWavelengthSelectiveSlot:
+    """Section 5 expressivity: per-port wavelength choices in one slot."""
+
+    def test_uniform_choice_is_rotation(self):
+        awgr = Awgr(8, 7)
+        dests = awgr.per_slot_matchings([2] * 8)
+        assert np.array_equal(dests, (np.arange(8) + 2) % 8)
+
+    def test_mixed_choices_without_contention(self):
+        """The pair-swap permutation (0<->1, 2<->3) needs mixed wavelengths."""
+        awgr = Awgr(4, 3)
+        dests = awgr.per_slot_matchings([1, 3, 1, 3])
+        assert dests.tolist() == [1, 0, 3, 2]
+
+    def test_contention_detected(self):
+        awgr = Awgr(4, 3)
+        # ports 0, 1 and 3 all land on output 2 under these wavelengths.
+        with pytest.raises(HardwareModelError):
+            awgr.per_slot_matchings([2, 1, 2, 3])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Awgr(4, 3).per_slot_matchings([1, 1])
+
+    def test_out_of_band_choice_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Awgr(4, 2).per_slot_matchings([3, 1, 1, 1])

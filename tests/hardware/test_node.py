@@ -1,0 +1,133 @@
+"""NodeState: per-node schedule table + VOQs and update semantics (Fig 2c)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.node import NodeState
+from repro.schedules import build_sorn_schedule
+
+
+class TestConstruction:
+    def test_rejects_self_circuit(self):
+        with pytest.raises(HardwareModelError):
+            NodeState(0, [1, 0, 2])
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(HardwareModelError):
+            NodeState(0, [])
+
+    def test_rejects_below_idle_sentinel(self):
+        with pytest.raises(HardwareModelError):
+            NodeState(0, [1, -2])
+
+    def test_superset_must_cover_row(self):
+        with pytest.raises(HardwareModelError):
+            NodeState(0, [1, 2], neighbor_superset=[1])
+
+    def test_explicit_superset_preallocates_queues(self):
+        node = NodeState(0, [1, 2], neighbor_superset=[1, 2, 3])
+        node.enqueue(3, "cell")  # no slots yet, but queue state exists
+        assert node.queue_length(3) == 1
+
+
+class TestScheduleQueries:
+    def test_period_and_neighbors(self):
+        node = NodeState(0, [1, 2, 1, 3])
+        assert node.period == 4
+        assert node.active_neighbors() == (1, 2, 3)
+        assert node.neighbor_superset == (1, 2, 3)
+
+    def test_neighbor_at_wraps(self):
+        node = NodeState(0, [1, 2])
+        assert node.neighbor_at(0) == 1
+        assert node.neighbor_at(5) == 2
+
+    def test_bandwidth_share(self):
+        node = NodeState(0, [1, 2, 1, 3])
+        assert node.bandwidth_share(1) == pytest.approx(0.5)
+        assert node.bandwidth_share(2) == pytest.approx(0.25)
+
+    def test_idle_slots_allowed(self):
+        node = NodeState(0, [1, -1, 2, -1])
+        assert node.active_neighbors() == (1, 2)
+
+    def test_max_wait_single_occurrence(self):
+        node = NodeState(0, [1, 2, 3, 4])
+        assert node.max_wait_slots(2) == 4
+
+    def test_max_wait_with_wraparound_gap(self):
+        node = NodeState(0, [1, 2, 2, 2, 2, 1])
+        # neighbor 1 at slots 0 and 5: gaps 5 and 1 -> worst 5
+        assert node.max_wait_slots(1) == 5
+
+    def test_max_wait_unknown_neighbor(self):
+        with pytest.raises(HardwareModelError):
+            NodeState(0, [1, 2]).max_wait_slots(7)
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        node = NodeState(0, [1])
+        node.enqueue(1, "a")
+        node.enqueue(1, "b")
+        assert node.dequeue_burst(1, 1) == ["a"]
+        assert node.dequeue_burst(1, 5) == ["b"]
+
+    def test_enqueue_outside_superset_rejected(self):
+        node = NodeState(0, [1])
+        with pytest.raises(HardwareModelError):
+            node.enqueue(2, "x")
+
+    def test_total_queued(self):
+        node = NodeState(0, [1, 2])
+        node.enqueue(1, "a")
+        node.enqueue(2, "b")
+        assert node.total_queued() == 2
+
+    def test_queue_length_unknown_neighbor_is_zero(self):
+        assert NodeState(0, [1]).queue_length(9) == 0
+
+
+class TestScheduleUpdates:
+    def test_rebalance_is_drain_free(self):
+        """Changing bandwidth shares over the same neighbors: SORN's cheap case."""
+        node = NodeState(0, [1, 1, 1, 2])
+        node.enqueue(2, "x")
+        report = node.apply_schedule_update([1, 2, 2, 2])
+        assert report.is_drain_free
+        assert report.preserves_neighbor_superset
+        assert node.bandwidth_share(2) == pytest.approx(0.75)
+
+    def test_retiring_neighbor_strands_cells(self):
+        node = NodeState(0, [1, 2])
+        node.enqueue(2, "x")
+        node.enqueue(2, "y")
+        report = node.apply_schedule_update([1, 1])
+        assert report.removed_neighbors == (2,)
+        assert report.stranded_cells == 2
+        assert not report.is_drain_free
+
+    def test_new_neighbor_flagged(self):
+        node = NodeState(0, [1])
+        report = node.apply_schedule_update([1, 3])
+        assert report.added_neighbors == (3,)
+        assert not report.preserves_neighbor_superset
+        node.enqueue(3, "x")  # queue state allocated on the fly
+        assert node.queue_length(3) == 1
+
+    def test_update_changes_period(self):
+        node = NodeState(0, [1, 2])
+        report = node.apply_schedule_update([2, 1, 2])
+        assert report.new_period == 3
+        assert node.period == 3
+
+    def test_sorn_q_retune_is_drain_free_for_every_node(self):
+        """End to end over real schedules: q changes keep the superset."""
+        before = build_sorn_schedule(16, 4, q=2)
+        after = build_sorn_schedule(16, 4, q=4)
+        for v in range(16):
+            node = NodeState(v, before.cached_node_row(v))
+            report = node.apply_schedule_update(after.cached_node_row(v))
+            assert report.preserves_neighbor_superset
+            assert report.is_drain_free

@@ -1,0 +1,91 @@
+"""CircuitSwitchLayer: the matching-feasibility oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError, MatchingError
+from repro.hardware.awgr import Awgr
+from repro.hardware.ocs import CircuitSwitchLayer
+
+
+def rotation(n, k):
+    return (np.arange(n) + k) % n
+
+
+class TestConstruction:
+    def test_requires_a_matching(self):
+        with pytest.raises(HardwareModelError):
+            CircuitSwitchLayer(4, [])
+
+    def test_deduplicates(self):
+        layer = CircuitSwitchLayer(4, [rotation(4, 1), rotation(4, 1)])
+        assert len(layer) == 1
+
+    def test_rejects_malformed_matching(self):
+        with pytest.raises(MatchingError):
+            CircuitSwitchLayer(4, [[1, 1, 3, 0]])  # duplicate destination
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(MatchingError):
+            CircuitSwitchLayer(4, [[1, 0]])
+
+    def test_rejects_negative_reconfiguration(self):
+        with pytest.raises(HardwareModelError):
+            CircuitSwitchLayer(4, [rotation(4, 1)], reconfiguration_ns=-1)
+
+
+class TestFeasibility:
+    def test_from_awgr_supports_its_matchings(self):
+        awgr = Awgr(8, 5)
+        layer = CircuitSwitchLayer.from_awgr(awgr)
+        assert len(layer) == 5
+        for m in awgr.all_matchings():
+            assert layer.supports_matching(m)
+
+    def test_rejects_unavailable_matching(self):
+        layer = CircuitSwitchLayer.from_awgr(Awgr(8, 5))
+        assert not layer.supports_matching(rotation(8, 6))
+
+    def test_supports_schedule(self):
+        layer = CircuitSwitchLayer.full_mesh(8)
+        schedule = [rotation(8, k) for k in range(1, 8)]
+        assert layer.supports_schedule(schedule)
+
+    def test_infeasible_slots_identified(self):
+        layer = CircuitSwitchLayer(8, [rotation(8, 1), rotation(8, 2)])
+        schedule = [rotation(8, 1), rotation(8, 5), rotation(8, 2), rotation(8, 6)]
+        assert layer.infeasible_slots(schedule) == [1, 3]
+
+
+class TestConnectivity:
+    def test_full_mesh_layer(self):
+        assert CircuitSwitchLayer.full_mesh(6).supports_full_connectivity()
+
+    def test_partial_band_not_fully_connected(self):
+        layer = CircuitSwitchLayer(8, [rotation(8, 1)])
+        assert not layer.supports_full_connectivity()
+        conn = layer.connectivity()
+        assert conn[0, 1] and not conn[0, 2]
+
+    def test_circuit_options(self):
+        layer = CircuitSwitchLayer(8, [rotation(8, 1), rotation(8, 2)])
+        assert layer.circuit_options(3, 4) == [0]
+        assert layer.circuit_options(3, 5) == [1]
+        assert layer.circuit_options(3, 6) == []
+
+    def test_circuit_options_range_check(self):
+        with pytest.raises(HardwareModelError):
+            CircuitSwitchLayer.full_mesh(4).circuit_options(0, 9)
+
+
+class TestGuardSlots:
+    def test_zero_reconfiguration(self):
+        assert CircuitSwitchLayer.full_mesh(4).guard_slots(100.0) == 0
+
+    def test_rounds_up(self):
+        layer = CircuitSwitchLayer.full_mesh(4, reconfiguration_ns=150)
+        assert layer.guard_slots(100.0) == 2
+
+    def test_rejects_bad_slot(self):
+        with pytest.raises(HardwareModelError):
+            CircuitSwitchLayer.full_mesh(4).guard_slots(0)

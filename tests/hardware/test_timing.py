@@ -1,0 +1,104 @@
+"""TimingModel: the min-latency arithmetic behind Table 1."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.timing import OPERA_TIMING, TABLE1_TIMING, SyncDomain, TimingModel
+
+
+class TestValidation:
+    def test_rejects_zero_slot(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(slot_ns=0)
+
+    def test_rejects_negative_propagation(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(propagation_ns=-1)
+
+    def test_rejects_guard_at_slot_length(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(slot_ns=100, guard_ns=100)
+
+    def test_rejects_full_reconfiguring_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(reconfiguring_fraction=1.0)
+
+    def test_rejects_zero_uplinks(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(uplinks=0)
+
+
+class TestLatencyArithmetic:
+    def test_table1_sirius_row(self):
+        """4095 slots over 16 uplinks at 100ns + 2 hops * 500ns = 26.59us."""
+        assert TABLE1_TIMING.min_latency_us(4095, 2) == pytest.approx(26.59, abs=0.01)
+
+    def test_table1_2d_orn_row(self):
+        assert TABLE1_TIMING.min_latency_us(252, 4) == pytest.approx(3.575, abs=0.01)
+
+    def test_table1_sorn64_rows(self):
+        assert TABLE1_TIMING.min_latency_us(77, 2) == pytest.approx(1.48, abs=0.01)
+        assert TABLE1_TIMING.min_latency_us(364, 3) == pytest.approx(3.775, abs=0.01)
+
+    def test_table1_sorn32_rows(self):
+        assert TABLE1_TIMING.min_latency_us(155, 2) == pytest.approx(1.97, abs=0.01)
+        assert TABLE1_TIMING.min_latency_us(296, 3) == pytest.approx(3.35, abs=0.01)
+
+    def test_opera_rows(self):
+        """Short flows: pure propagation; bulk: 4095 * 90us / 16."""
+        assert OPERA_TIMING.min_latency_us(0, 4) == pytest.approx(2.0)
+        assert OPERA_TIMING.min_latency_us(4095, 2) == pytest.approx(23035.4, abs=1.0)
+
+    def test_zero_hops_zero_wait(self):
+        assert TimingModel().min_latency_ns(0, 0) == 0.0
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ConfigurationError):
+            TABLE1_TIMING.min_latency_ns(-1, 2)
+
+    def test_uplinks_divide_wait_linearly(self):
+        one = TimingModel(uplinks=1)
+        sixteen = TimingModel(uplinks=16)
+        assert one.min_latency_ns(160, 0) == 16 * sixteen.min_latency_ns(160, 0)
+
+
+class TestCapacityAccounting:
+    def test_duty_cycle_with_guard(self):
+        t = TimingModel(slot_ns=100, guard_ns=20)
+        assert t.duty_cycle == pytest.approx(0.8)
+
+    def test_usable_capacity_combines_guard_and_reconfig(self):
+        t = TimingModel(slot_ns=100, guard_ns=10, reconfiguring_fraction=0.25)
+        assert t.usable_capacity_fraction == pytest.approx(0.9 * 0.75)
+
+    def test_cycle_time(self):
+        assert TABLE1_TIMING.cycle_time_ns(4096) == pytest.approx(4096 / 16 * 100)
+
+    def test_slots_for_bytes_rounds_up(self):
+        t = TimingModel(slot_ns=100)
+        # 100 Gbps * 100 ns = 1250 bytes per slot.
+        assert t.slots_for_bytes(1250, 100) == 1
+        assert t.slots_for_bytes(1251, 100) == 2
+        assert t.slots_for_bytes(1, 100) == 1
+
+    def test_slots_for_bytes_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().slots_for_bytes(100, 0)
+
+
+class TestSyncDomain:
+    def test_skew_budget_shrinks_with_diameter(self):
+        t = TimingModel(slot_ns=100, guard_ns=20)
+        small = SyncDomain(size=16, diameter_hops=1, timing=t)
+        large = SyncDomain(size=4096, diameter_hops=8, timing=t)
+        assert small.skew_budget_ns > large.skew_budget_ns
+
+    def test_tolerates_skew_within_budget(self):
+        t = TimingModel(slot_ns=100, guard_ns=20)
+        domain = SyncDomain(size=16, diameter_hops=1, timing=t)
+        assert domain.tolerates_skew(domain.skew_budget_ns)
+        assert not domain.tolerates_skew(domain.skew_budget_ns + 1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            SyncDomain(size=0, diameter_hops=1)

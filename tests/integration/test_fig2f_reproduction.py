@@ -1,0 +1,71 @@
+"""Figure 2(f) end to end: theory, fluid solver, and discrete simulation.
+
+The paper plots worst-case throughput r = 1/(3-x) against the locality
+ratio, "along with a simulation of 128 nodes and 8 cliques using
+real-world traffic".  These tests pin the full pipeline at a reduced scale
+(kept fast for CI); the benchmark `bench_fig2f.py` runs the paper-scale
+version.
+"""
+
+import pytest
+
+from repro.analysis import optimal_q, sorn_throughput
+from repro.core import Sorn
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SlotSimulator, saturation_throughput
+from repro.traffic import FlowSizeDistribution, WEB_SEARCH, Workload, clustered_matrix
+
+
+class TestTheoreticalCurve:
+    def test_fluid_tracks_theory_across_locality(self):
+        """Fluid solver vs 1/(3-x) at several locality ratios (64 nodes)."""
+        for x in [0.0, 0.25, 0.5, 0.75]:
+            sorn = Sorn.optimal(64, 8, x if x < 1 else 0.99)
+            matrix = clustered_matrix(sorn.layout, x)
+            result = sorn.fluid_throughput(matrix)
+            assert result.throughput == pytest.approx(sorn_throughput(x), rel=0.03)
+
+    def test_throughput_increases_with_locality(self):
+        values = []
+        for x in [0.1, 0.4, 0.7]:
+            sorn = Sorn.optimal(64, 8, x)
+            values.append(
+                sorn.fluid_throughput(clustered_matrix(sorn.layout, x)).throughput
+            )
+        assert values == sorted(values)
+
+    def test_band_limits(self):
+        """r stays within the paper's [1/3, 1/2] band."""
+        for x in [0.0, 0.5, 0.99]:
+            sorn = Sorn.optimal(64, 8, x)
+            r = sorn.fluid_throughput(clustered_matrix(sorn.layout, x)).throughput
+            assert 1 / 3 - 0.02 <= r <= 0.5 + 0.02
+
+
+class TestSimulatedPoints:
+    def test_simulation_with_pfabric_traffic_near_theory(self):
+        """The measured point at the trace locality: slot-level sim with
+        pFabric web-search flow sizes lands near 1/(3-x)."""
+        x = 0.56
+        n, nc = 32, 4
+        schedule = build_sorn_schedule(n, nc, q=optimal_q(x))
+        matrix = clustered_matrix(schedule.layout, x)
+        # Cap cell size so elephant flows stay simulable.
+        workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
+        flows = workload.generate(2500, rng=11)
+        sim = SlotSimulator(schedule, SornRouter(schedule.layout), rng=5)
+        measured = sim.measure_saturation_throughput(flows, 2500)
+        assert measured == pytest.approx(sorn_throughput(x), abs=0.07)
+
+    def test_low_locality_point(self):
+        x = 0.1
+        schedule = build_sorn_schedule(32, 4, q=optimal_q(x))
+        matrix = clustered_matrix(schedule.layout, x)
+        workload = Workload(
+            matrix, FlowSizeDistribution.fixed(15_000), load=1.4
+        )
+        flows = workload.generate(2500, rng=3)
+        sim = SlotSimulator(schedule, SornRouter(schedule.layout), rng=4)
+        measured = sim.measure_saturation_throughput(flows, 2500)
+        assert measured == pytest.approx(sorn_throughput(x), abs=0.07)

@@ -1,0 +1,121 @@
+"""Cross-module property-based tests: invariants over random designs.
+
+These hypothesis tests tie the layers together: any valid (N, Nc, q, x)
+design must produce schedules, routers, and analyses that agree with each
+other and with the paper's bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    optimal_q,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+    sorn_throughput,
+    sorn_throughput_bounds,
+)
+from repro.core import Sorn, SornDesign
+from repro.routing import SornRouter, timed_sorn_route
+from repro.schedules import build_sorn_schedule
+from repro.sim import saturation_throughput
+from repro.topology import CliqueLayout, LogicalTopology
+from repro.traffic import clustered_matrix
+
+designs = st.tuples(
+    st.sampled_from([2, 3, 4]),          # num_cliques
+    st.sampled_from([2, 4, 6]),          # clique size
+    st.floats(0.0, 0.9),                 # locality
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=designs)
+def test_schedule_router_analysis_agree(params):
+    """Realized schedule waits stay within 2 slots of the closed forms,
+    and the virtual topology is work-conserving and connected."""
+    nc, size, x = params
+    n = nc * size
+    design = SornDesign.optimal(n, nc, x)
+    schedule = build_sorn_schedule(n, nc, q=design.q, max_denominator=128)
+
+    realized_intra = schedule.delta_m_intra()
+    analytic_intra = sorn_delta_m_intra(n, nc, schedule.q)
+    assert abs(realized_intra - analytic_intra) <= 2
+
+    topo = LogicalTopology.from_schedule(schedule)
+    assert topo.is_connected()
+    for node in range(n):
+        assert topo.egress_fraction(node) == pytest.approx(1.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=designs)
+def test_fluid_throughput_within_paper_band(params):
+    """At the optimal q on its design matrix, fluid throughput stays at or
+    above the worst-case 1/(3-x), up to the rational-q quantization of the
+    realized schedule (finite-size hop savings otherwise only help)."""
+    nc, size, x = params
+    n = nc * size
+    sorn = Sorn.optimal(n, nc, x)
+    matrix = clustered_matrix(sorn.layout, x)
+    result = sorn.fluid_throughput(matrix)
+    assert result.throughput >= 0.97 * sorn_throughput(x)
+    assert result.throughput <= 0.75  # sanity: bounded by ~1/minhops
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=designs, start=st.integers(0, 200), seed=st.integers(0, 50))
+def test_timed_routes_deliver_within_bounds(params, start, seed):
+    """Greedy timed SORN routes always deliver within max_hops hops and
+    within the text-formula delta_m (+2 slots rounding)."""
+    nc, size, x = params
+    n = nc * size
+    q = optimal_q(x)
+    schedule = build_sorn_schedule(n, nc, q=q, max_denominator=64)
+    rng = np.random.default_rng(seed)
+    src, dst = rng.choice(n, size=2, replace=False)
+    route = timed_sorn_route(schedule, int(src), int(dst), start)
+    assert route.nodes[0] == src and route.nodes[-1] == dst
+    same = schedule.layout.same_clique(int(src), int(dst))
+    assert route.hops <= (2 if same else 3)
+    realized_q = schedule.q
+    if same:
+        bound = (realized_q + 1) / realized_q * (size - 1)
+    else:
+        bound = (realized_q + 1) * (nc - 1) + (realized_q + 1) / realized_q * (size - 1)
+    assert route.wait_slots <= bound + 2
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    x_true=st.floats(0.0, 0.9),
+    x_est=st.floats(0.0, 0.9),
+)
+def test_misestimated_design_never_beats_oracle(x_true, x_est):
+    """Designing for a wrong locality never outperforms the oracle design
+    at the true locality (optimality of q*)."""
+    oracle = sorn_throughput(x_true)
+    achieved = sorn_throughput_bounds(optimal_q(x_est), x_true)
+    assert achieved <= oracle + 1e-9
+
+
+@settings(max_examples=8, deadline=None)
+@given(params=designs, seed=st.integers(0, 100))
+def test_random_layouts_equivalent_to_contiguous(params, seed):
+    """Performance is label-invariant: a random equal layout achieves the
+    same fluid throughput as the contiguous one on its own clustered
+    matrix."""
+    nc, size, x = params
+    n = nc * size
+    contiguous = Sorn.optimal(n, nc, x)
+    shuffled_layout = CliqueLayout.random_equal(n, nc, rng=seed)
+    shuffled = Sorn.optimal(n, nc, x, layout=shuffled_layout)
+    r_contig = contiguous.fluid_throughput(
+        clustered_matrix(contiguous.layout, x)
+    ).throughput
+    r_shuffled = shuffled.fluid_throughput(
+        clustered_matrix(shuffled_layout, x)
+    ).throughput
+    assert r_contig == pytest.approx(r_shuffled, rel=1e-6)

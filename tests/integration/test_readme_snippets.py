@@ -1,0 +1,51 @@
+"""Keep the README honest: its code snippets must run as written."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+README = pathlib.Path(repro.__file__).resolve().parents[2] / "README.md"
+
+
+def python_snippets():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_snippets(self):
+        snippets = python_snippets()
+        assert len(snippets) >= 1
+
+    def test_quickstart_snippet_executes(self):
+        for snippet in python_snippets():
+            exec(compile(snippet, "<README>", "exec"), {})
+
+    def test_quickstart_values_as_documented(self):
+        """The README promises ~0.4098 fluid throughput for the example."""
+        from repro import Sorn
+        from repro.traffic import clustered_matrix
+
+        sorn = Sorn.optimal(num_nodes=128, num_cliques=8, locality=0.56)
+        matrix = clustered_matrix(sorn.layout, 0.56)
+        assert sorn.fluid_throughput(matrix).throughput == pytest.approx(
+            0.4098, abs=0.005
+        )
+
+    def test_cli_commands_in_readme_are_real(self):
+        """Every `sorn-repro <sub>` the README mentions parses."""
+        from repro.cli import build_parser
+
+        text = README.read_text()
+        parser = build_parser()
+        subs = {
+            action.dest: action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        }
+        known = set(next(iter(subs.values())).choices)
+        for command in re.findall(r"sorn-repro (\w+)", text):
+            assert command in known, f"README mentions unknown subcommand {command}"

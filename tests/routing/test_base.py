@@ -1,0 +1,70 @@
+"""Path value type and Router distribution contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import Path, VlbRouter
+
+
+class TestPath:
+    def test_basic_properties(self):
+        path = Path((0, 3, 5))
+        assert path.src == 0
+        assert path.dst == 5
+        assert path.hops == 2
+        assert path.links() == [(0, 3), (3, 5)]
+        assert list(path) == [0, 3, 5]
+        assert len(path) == 3
+
+    def test_rejects_single_node(self):
+        with pytest.raises(RoutingError):
+            Path((3,))
+
+    def test_rejects_degenerate_hop(self):
+        with pytest.raises(RoutingError):
+            Path((0, 0, 1))
+        with pytest.raises(RoutingError):
+            Path((0, 1, 1))
+
+    def test_revisit_allowed_if_not_consecutive(self):
+        """A -> B -> A is a valid (if wasteful) route; only consecutive
+        duplicates are degenerate."""
+        assert Path((0, 1, 0)).hops == 2
+
+    def test_frozen(self):
+        path = Path((0, 1))
+        with pytest.raises(AttributeError):
+            path.nodes = (1, 2)
+
+
+class TestRouterContracts:
+    def test_check_pair_bounds(self):
+        router = VlbRouter(4)
+        with pytest.raises(RoutingError):
+            router.path_options(0, 4)
+        with pytest.raises(RoutingError):
+            router.path_options(-1, 2)
+        with pytest.raises(RoutingError):
+            router.path_options(2, 2)
+
+    def test_sampling_respects_distribution(self, rng):
+        """Empirical direct-path frequency matches 1/(N-1)."""
+        router = VlbRouter(8)
+        direct = sum(
+            1 for _ in range(2000) if router.path(0, 3, rng).hops == 1
+        )
+        assert direct / 2000 == pytest.approx(1 / 7, abs=0.03)
+
+    def test_expected_hops_consistent_with_options(self):
+        router = VlbRouter(6)
+        options = router.path_options(0, 1)
+        manual = sum(p * path.hops for p, path in options)
+        assert router.expected_hops(0, 1) == pytest.approx(manual)
+
+    def test_mean_hops_uniform(self):
+        router = VlbRouter(6)
+        assert router.mean_hops_uniform() == pytest.approx(2 - 1 / 5)
+
+    def test_validate_distribution_passes(self):
+        VlbRouter(6).validate_distribution(2, 4)

@@ -1,0 +1,89 @@
+"""HierarchicalSornRouter: 2h/(2h+1)-hop routing."""
+
+import pytest
+
+from repro.analysis import (
+    hierarchical_optimal_q,
+    hierarchical_throughput,
+)
+from repro.routing import HierarchicalSornRouter, SornRouter
+from repro.schedules import HierarchicalSornSchedule, build_sorn_schedule
+from repro.sim import saturation_throughput
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix
+
+
+@pytest.fixture
+def router64():
+    layout = CliqueLayout.equal(64, 4)  # cliques of 16 = 4^2
+    schedule = HierarchicalSornSchedule(layout, q=4, h=2)
+    return HierarchicalSornRouter(schedule)
+
+
+class TestDistribution:
+    def test_max_hops(self, router64):
+        assert router64.max_hops == 5  # 2h+1 with h=2
+
+    def test_intra_distribution_valid(self, router64):
+        for dst in [1, 5, 15]:
+            router64.validate_distribution(0, dst)
+
+    def test_inter_distribution_valid(self, router64):
+        for dst in [16, 33, 63]:
+            router64.validate_distribution(0, dst)
+
+    def test_intra_paths_stay_in_clique(self, router64):
+        for _, path in router64.path_options(0, 15):
+            assert all(v < 16 for v in path.nodes)
+            assert path.hops <= 4
+
+    def test_inter_paths_cross_once(self, router64):
+        layout = router64.layout
+        for _, path in router64.path_options(0, 20):
+            crossings = sum(
+                1 for u, v in path.links() if not layout.same_clique(u, v)
+            )
+            assert crossings == 1
+            assert path.hops <= 5
+
+    def test_paths_use_only_schedule_circuits(self, router64):
+        """Every link of every path is a circuit the schedule provides."""
+        fractions = router64.schedule.edge_fractions()
+        for dst in [3, 21, 47]:
+            for _, path in router64.path_options(0, dst):
+                for link in path.links():
+                    assert fractions.get(link, 0) > 0
+
+    def test_h1_matches_flat_sorn_router(self):
+        layout = CliqueLayout.equal(16, 4)
+        hier = HierarchicalSornRouter(
+            HierarchicalSornSchedule(layout, q=2, h=1)
+        )
+        flat = SornRouter(layout)
+        for dst in [1, 7, 13]:
+            hier_paths = {p.nodes for _, p in hier.path_options(0, dst)}
+            flat_paths = {p.nodes for _, p in flat.path_options(0, dst)}
+            assert hier_paths == flat_paths
+
+    def test_sampling_within_support(self, router64, rng):
+        enumerated = {p.nodes for _, p in router64.path_options(0, 20)}
+        for _ in range(100):
+            assert router64.path(0, 20, rng).nodes in enumerated
+
+
+class TestThroughputTheory:
+    @pytest.mark.parametrize("x", [0.2, 0.56, 0.8])
+    def test_fluid_matches_closed_form(self, x):
+        """r* = 1/(2h+1-x) realized exactly by the fluid solver."""
+        layout = CliqueLayout.equal(64, 4)
+        q = hierarchical_optimal_q(x, 2)
+        schedule = HierarchicalSornSchedule(layout, q=q, h=2, max_denominator=256)
+        router = HierarchicalSornRouter(schedule)
+        result = saturation_throughput(schedule, router, clustered_matrix(layout, x))
+        assert result.throughput == pytest.approx(
+            hierarchical_throughput(x, 2), rel=0.02
+        )
+
+    def test_h1_recovers_paper_formulas(self):
+        assert hierarchical_optimal_q(0.56, 1) == pytest.approx(2 / 0.44)
+        assert hierarchical_throughput(0.56, 1) == pytest.approx(1 / 2.44)

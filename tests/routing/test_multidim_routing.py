@@ -1,0 +1,71 @@
+"""2h-hop VLB routing for multidimensional ORNs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import MultiDimRouter
+from repro.schedules import MultiDimSchedule
+
+
+@pytest.fixture
+def router16():
+    return MultiDimRouter(MultiDimSchedule(16, 2))
+
+
+class TestDistribution:
+    def test_max_hops(self, router16):
+        assert router16.max_hops == 4
+
+    def test_distribution_valid(self, router16):
+        for dst in range(1, 16):
+            router16.validate_distribution(0, dst)
+
+    def test_paths_digit_monotone(self, router16):
+        """Each hop changes exactly one digit (one circuit per hop)."""
+        sched = router16.schedule
+        for _, path in router16.path_options(0, 15):
+            for u, v in path.links():
+                du, dv = sched.digits(u), sched.digits(v)
+                assert sum(a != b for a, b in zip(du, dv)) == 1
+
+    def test_probability_mass_sums_to_one(self, router16):
+        mass = sum(p for p, _ in router16.path_options(3, 12))
+        assert mass == pytest.approx(1.0)
+
+    def test_enumeration_cap(self):
+        router = MultiDimRouter(MultiDimSchedule(4096, 2))  # 64^2 = 4096 combos ok
+        router.MAX_ENUMERATION = 1000
+        with pytest.raises(RoutingError):
+            router.path_options(0, 1)
+
+
+class TestSampling:
+    def test_sampled_paths_valid(self, router16, rng):
+        for dst in [1, 5, 15]:
+            for _ in range(50):
+                path = router16.path(0, dst, rng)
+                assert path.src == 0 and path.dst == dst
+                assert path.hops <= 4
+
+    def test_sampling_at_scale_without_enumeration(self, rng):
+        router = MultiDimRouter(MultiDimSchedule(4096, 2))
+        path = router.path(0, 4095, rng)
+        assert path.dst == 4095
+        assert path.hops <= 4
+
+    def test_expected_hops_uniform_limit(self, router16):
+        assert router16.expected_hops_uniform_limit() == pytest.approx(4 * 0.75)
+
+    def test_mean_hops_close_to_limit(self, router16):
+        measured = router16.mean_hops_uniform()
+        assert measured == pytest.approx(router16.expected_hops_uniform_limit(), abs=0.4)
+
+
+class TestH3:
+    def test_three_dimensions(self, rng):
+        router = MultiDimRouter(MultiDimSchedule(27, 3))
+        assert router.max_hops == 6
+        path = router.path(0, 26, rng)
+        assert path.hops <= 6
+        router.validate_distribution(0, 26)

@@ -1,0 +1,79 @@
+"""Opera split routing: expander short flows + VLB bulk."""
+
+import numpy as np
+import pytest
+
+from repro.routing import OperaRouter
+from repro.routing.opera_routing import ExpanderShortestPathRouter
+from repro.schedules import ExpanderSchedule
+
+
+@pytest.fixture
+def schedule():
+    return ExpanderSchedule(32, 4, seed=1)
+
+
+class TestShortRouter:
+    def test_paths_are_shortest(self, schedule):
+        router = ExpanderShortestPathRouter(schedule, epoch=0)
+        graph = schedule.epoch_graph(0)
+        import networkx as nx
+
+        for dst in [1, 9, 17]:
+            options = router.path_options(0, dst)
+            expected = nx.shortest_path_length(graph, 0, dst)
+            for _, path in options:
+                assert path.hops == expected
+
+    def test_max_hops_is_diameter(self, schedule):
+        router = ExpanderShortestPathRouter(schedule)
+        assert router.max_hops == schedule.expander_diameter(0)
+
+    def test_uniform_over_shortest_paths(self, schedule):
+        router = ExpanderShortestPathRouter(schedule)
+        options = router.path_options(0, 17)
+        assert sum(p for p, _ in options) == pytest.approx(1.0)
+        probs = {p for p, _ in options}
+        assert len(probs) == 1  # uniform
+
+    def test_caching_returns_same_object(self, schedule):
+        router = ExpanderShortestPathRouter(schedule)
+        assert router.path_options(0, 9) is router.path_options(0, 9)
+
+
+class TestOperaMix:
+    def test_distribution_valid(self, schedule):
+        router = OperaRouter(schedule, short_fraction=0.75)
+        for dst in [1, 10, 31]:
+            router.validate_distribution(0, dst)
+
+    def test_pure_bulk_is_vlb(self, schedule):
+        router = OperaRouter(schedule, short_fraction=0.0)
+        options = router.path_options(0, 9)
+        assert all(path.hops <= 2 for _, path in options)
+
+    def test_pure_short_follows_expander(self, schedule):
+        router = OperaRouter(schedule, short_fraction=1.0)
+        short = ExpanderShortestPathRouter(schedule)
+        mixed = {p.nodes for _, p in router.path_options(0, 9)}
+        expander = {p.nodes for _, p in short.path_options(0, 9)}
+        assert mixed == expander
+
+    def test_mix_weights(self, schedule):
+        router = OperaRouter(schedule, short_fraction=0.75)
+        options = dict(
+            (path.nodes, prob) for prob, path in router.path_options(0, 9)
+        )
+        bulk_direct = options.get((0, 9), 0.0)
+        # VLB direct probability is 1/31, weighted by the bulk share 0.25
+        # (plus any expander mass if (0,9) is a live circuit).
+        assert bulk_direct >= 0.25 / 31 - 1e-12
+
+    def test_mean_hops_split_between_bounds(self, schedule):
+        router = OperaRouter(schedule, short_fraction=0.75)
+        mean = router.mean_hops_split()
+        assert 2.0 <= mean <= schedule.expander_diameter(0)
+
+    def test_max_hops_covers_both_classes(self, schedule):
+        router = OperaRouter(schedule, short_fraction=0.5)
+        assert router.max_hops == max(2, schedule.expander_diameter(0))

@@ -1,0 +1,94 @@
+"""Timed routing: empirical intrinsic latency vs the closed forms."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import (
+    timed_sorn_route,
+    timed_vlb_route,
+    worst_case_intrinsic_latency,
+)
+from repro.routing.paths import TimedRoute
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+
+
+class TestTimedRoute:
+    def test_wait_slots(self):
+        route = TimedRoute(nodes=(0, 3, 5), transmit_slots=(2, 7), start_slot=1)
+        assert route.hops == 2
+        assert route.wait_slots == 6
+
+    def test_slot_count_must_match(self):
+        with pytest.raises(RoutingError):
+            TimedRoute(nodes=(0, 1, 2), transmit_slots=(1,), start_slot=0)
+
+
+class TestTimedVlb:
+    def test_first_hop_immediate_on_round_robin(self):
+        """RR schedules always have an active circuit: the LB hop costs 0."""
+        rr = RoundRobinSchedule(8)
+        for start in range(rr.period):
+            route = timed_vlb_route(rr, 0, 5, start)
+            assert route.transmit_slots[0] == start
+
+    def test_hops_bounded(self):
+        rr = RoundRobinSchedule(8)
+        for start in range(rr.period):
+            assert timed_vlb_route(rr, 0, 5, start).hops <= 2
+
+    def test_worst_case_close_to_delta_m(self):
+        """Empirical worst wait within one slot of delta_m = N - 1."""
+        rr = RoundRobinSchedule(16)
+        worst = worst_case_intrinsic_latency(
+            timed_vlb_route, rr, [(0, d) for d in range(1, 16)]
+        )
+        assert rr.intrinsic_latency_slots - 1 <= worst <= rr.intrinsic_latency_slots + 1
+
+    def test_same_src_dst_rejected(self):
+        with pytest.raises(RoutingError):
+            timed_vlb_route(RoundRobinSchedule(8), 3, 3)
+
+
+class TestTimedSorn:
+    def test_intra_route_stays_in_clique(self):
+        schedule = build_sorn_schedule(16, 4, q=3)
+        route = timed_sorn_route(schedule, 0, 3, 0)
+        assert all(v < 4 for v in route.nodes)
+        assert route.hops <= 2
+
+    def test_inter_route_hop_bound(self):
+        schedule = build_sorn_schedule(16, 4, q=3)
+        for start in range(schedule.period):
+            route = timed_sorn_route(schedule, 0, 13, start)
+            assert route.nodes[0] == 0 and route.nodes[-1] == 13
+            assert route.hops <= 3
+
+    def test_transmit_slots_monotone(self):
+        schedule = build_sorn_schedule(16, 4, q=3)
+        route = timed_sorn_route(schedule, 1, 14, 5)
+        slots = route.transmit_slots
+        assert all(a < b for a, b in zip(slots, slots[1:]))
+        assert slots[0] >= 5
+
+    def test_intra_worst_case_matches_formula(self):
+        """Empirical intra delta_m within 2 slots of (q+1)/q (S-1)."""
+        q = 4.5
+        schedule = build_sorn_schedule(32, 4, q=q)
+        pairs = [(0, d) for d in range(1, 8)]
+        worst = worst_case_intrinsic_latency(timed_sorn_route, schedule, pairs)
+        assert abs(worst - (q + 1) / q * 7) <= 2
+
+    def test_inter_worst_case_matches_text_formula(self):
+        """Empirical inter delta_m within 2 slots of the text formula
+        (q+1)(Nc-1) + (q+1)/q (S-1)."""
+        q = 4.5
+        schedule = build_sorn_schedule(32, 4, q=q)
+        pairs = [(0, d) for d in range(8, 32)]
+        worst = worst_case_intrinsic_latency(timed_sorn_route, schedule, pairs)
+        analytic = (q + 1) * 3 + (q + 1) / q * 7
+        assert abs(worst - analytic) <= 2
+
+    def test_singleton_cliques_direct_routing(self):
+        schedule = build_sorn_schedule(6, 6, q=1)
+        route = timed_sorn_route(schedule, 0, 4, 0)
+        assert route.hops <= 2  # no LB hop possible, direct inter circuit

@@ -1,0 +1,59 @@
+"""Two-hop VLB routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import VlbRouter
+
+
+class TestDistribution:
+    def test_option_count(self):
+        """1 direct + (N-2) two-hop paths."""
+        router = VlbRouter(8)
+        assert len(router.path_options(0, 5)) == 7
+
+    def test_probabilities_uniform(self):
+        router = VlbRouter(8)
+        for prob, _ in router.path_options(0, 5):
+            assert prob == pytest.approx(1 / 7)
+
+    def test_max_hops(self):
+        assert VlbRouter(8).max_hops == 2
+
+    def test_paths_avoid_src_as_intermediate(self):
+        router = VlbRouter(8)
+        for _, path in router.path_options(3, 6):
+            assert path.nodes.count(3) == 1
+
+    @given(n=st.integers(3, 12), src=st.integers(0, 11), dst=st.integers(0, 11))
+    def test_distribution_always_valid(self, n, src, dst):
+        src, dst = src % n, dst % n
+        if src == dst:
+            return
+        VlbRouter(n).validate_distribution(src, dst)
+
+
+class TestSampling:
+    def test_sampled_paths_connect(self, rng):
+        router = VlbRouter(10)
+        for _ in range(100):
+            path = router.path(2, 7, rng)
+            assert path.src == 2 and path.dst == 7
+            assert path.hops <= 2
+
+    def test_intermediate_never_src(self, rng):
+        router = VlbRouter(5)
+        for _ in range(200):
+            path = router.path(4, 1, rng)
+            assert 4 not in path.nodes[1:]
+
+    def test_intermediate_distribution_uniform(self, rng):
+        router = VlbRouter(6)
+        counts = {}
+        for _ in range(3000):
+            path = router.path(0, 1, rng)
+            mid = path.nodes[1] if path.hops == 2 else 1
+            counts[mid] = counts.get(mid, 0) + 1
+        for v in [1, 2, 3, 4, 5]:
+            assert counts.get(v, 0) / 3000 == pytest.approx(1 / 5, abs=0.03)

@@ -1,0 +1,92 @@
+"""ExpanderSchedule: Opera-style rotating expander."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.schedules import ExpanderSchedule
+from repro.topology.graphs import spectral_gap
+
+
+class TestConstruction:
+    def test_rejects_too_many_rotors(self):
+        with pytest.raises(ConfigurationError):
+            ExpanderSchedule(4, 4)
+
+    def test_rejects_single_rotor(self):
+        with pytest.raises(ConfigurationError):
+            ExpanderSchedule(8, 1)
+
+    def test_period_is_rotation_count(self):
+        assert ExpanderSchedule(32, 4).period == 31
+
+    def test_deterministic_given_seed(self):
+        a, b = ExpanderSchedule(16, 3, seed=5), ExpanderSchedule(16, 3, seed=5)
+        for t in range(10):
+            for r in range(3):
+                assert a.rotor_shift(t, r) == b.rotor_shift(t, r)
+
+
+class TestRotorBehavior:
+    def test_one_rotor_reconfiguring_per_epoch(self):
+        schedule = ExpanderSchedule(16, 4)
+        assert schedule.reconfiguring_rotor(0) == 0
+        assert schedule.reconfiguring_rotor(5) == 1
+
+    def test_reconfiguring_rotor_is_idle(self):
+        schedule = ExpanderSchedule(16, 4)
+        down = schedule.reconfiguring_rotor(3)
+        assert schedule.plane_matching(3, down).num_circuits() == 0
+
+    def test_live_rotors_are_rotations(self):
+        schedule = ExpanderSchedule(16, 4)
+        for rotor in range(4):
+            if rotor == schedule.reconfiguring_rotor(7):
+                continue
+            m = schedule.plane_matching(7, rotor)
+            assert m.is_full()
+
+    def test_each_rotor_visits_every_shift(self):
+        """Completeness: bulk traffic eventually gets every direct circuit."""
+        schedule = ExpanderSchedule(12, 3)
+        for rotor in range(3):
+            shifts = {schedule.rotor_shift(t, rotor) for t in range(schedule.period)}
+            assert shifts == set(range(1, 12))
+
+    def test_rotor_shift_range_check(self):
+        with pytest.raises(ScheduleError):
+            ExpanderSchedule(12, 3).rotor_shift(0, 3)
+
+    def test_bulk_intrinsic_latency(self):
+        assert ExpanderSchedule(32, 4).bulk_intrinsic_latency_slots == 31
+
+
+class TestExpanderProperties:
+    def test_epoch_graph_strongly_connected(self):
+        schedule = ExpanderSchedule(32, 4)
+        for epoch in range(0, 31, 5):
+            assert nx.is_strongly_connected(schedule.epoch_graph(epoch))
+
+    def test_opera_scale_diameter(self):
+        """At Opera's published scale (108 ToRs, 7 live rotors) the live
+        expander's paths are short — mean ~3.3, diameter <= 7."""
+        schedule = ExpanderSchedule(108, 7)
+        assert schedule.expander_diameter() <= 7
+        assert schedule.average_path_length() < 4.0
+
+    def test_expansion_positive(self):
+        schedule = ExpanderSchedule(64, 5)
+        assert spectral_gap(schedule.epoch_graph(0)) > 0.05
+
+    def test_more_rotors_shorter_paths(self):
+        few = ExpanderSchedule(64, 3).average_path_length()
+        many = ExpanderSchedule(64, 8).average_path_length()
+        assert many < few
+
+    def test_edge_fractions_uniform(self):
+        schedule = ExpanderSchedule(16, 4)
+        fractions = schedule.edge_fractions()
+        assert len(fractions) == 16 * 15
+        expected = (4 - 1) / 4 / 15
+        assert all(f == pytest.approx(expected) for f in fractions.values())

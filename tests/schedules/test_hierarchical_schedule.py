@@ -1,0 +1,109 @@
+"""HierarchicalSornSchedule: h-dim schedules inside cliques."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedules import HierarchicalSornSchedule, build_sorn_schedule
+from repro.topology import CliqueLayout
+
+
+@pytest.fixture
+def schedule16():
+    """16 nodes, 4 cliques of 4 = 2^2, h = 2."""
+    return HierarchicalSornSchedule(CliqueLayout.equal(16, 4), q=2, h=2)
+
+
+class TestConstruction:
+    def test_requires_perfect_power_clique(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalSornSchedule(CliqueLayout.equal(12, 2), q=2, h=2)  # S=6
+
+    def test_requires_equal_cliques(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalSornSchedule(CliqueLayout([[0, 1, 2], [3]]), q=2, h=2)
+
+    def test_rejects_low_q(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalSornSchedule(CliqueLayout.equal(16, 4), q=0.5, h=2)
+
+    def test_radix_detection(self, schedule16):
+        assert schedule16.radix == 2
+        assert HierarchicalSornSchedule(
+            CliqueLayout.equal(32, 2), q=2, h=4
+        ).radix == 2
+
+    def test_h1_equivalent_to_flat_sorn(self):
+        """At h=1 the schedule family degenerates to the flat SORN."""
+        layout = CliqueLayout.equal(16, 4)
+        hier = HierarchicalSornSchedule(layout, q=3, h=1)
+        flat = build_sorn_schedule(16, 4, q=3, layout=layout)
+        assert hier.period == flat.period
+        assert hier.edge_fractions() == flat.edge_fractions()
+
+
+class TestStructure:
+    def test_all_slots_full_matchings(self, schedule16):
+        schedule16.validate()
+        for m in schedule16.matchings():
+            assert m.is_full()
+
+    def test_bandwidth_split(self, schedule16):
+        assert schedule16.intra_bandwidth_fraction == pytest.approx(2 / 3)
+        assert schedule16.q == pytest.approx(2.0)
+
+    def test_intra_slots_are_digit_matchings(self, schedule16):
+        layout = schedule16.layout
+        for slot in range(schedule16.period):
+            if not schedule16.is_intra_slot(slot):
+                continue
+            dim, shift = schedule16.intra_slot_params(slot)
+            m = schedule16.matching(slot)
+            for node in range(16):
+                peer = m.destination(node)
+                assert layout.same_clique(node, peer)
+                pos, peer_pos = layout.position_of(node), layout.position_of(peer)
+                assert peer_pos == schedule16.advance_position(pos, dim, shift)
+
+    def test_inter_slots_position_aligned(self, schedule16):
+        layout = schedule16.layout
+        for slot in range(schedule16.period):
+            if schedule16.is_intra_slot(slot):
+                continue
+            m = schedule16.matching(slot)
+            for node in range(16):
+                peer = m.destination(node)
+                assert not layout.same_clique(node, peer)
+                assert layout.position_of(node) == layout.position_of(peer)
+
+    def test_neighbor_superset_smaller_than_flat(self):
+        """h=2 cliques of 16: 2*(4-1)=6 digit neighbors, not 15."""
+        layout = CliqueLayout.equal(64, 4)
+        hier = HierarchicalSornSchedule(layout, q=2, h=2)
+        superset = hier.neighbor_superset(0)
+        assert len(superset) == 6 + 3  # digit neighbors + aligned peers
+        assert hier.neighbors(0) == superset
+
+    def test_slot_param_errors(self, schedule16):
+        intra_slot = next(
+            t for t in range(schedule16.period) if schedule16.is_intra_slot(t)
+        )
+        inter_slot = next(
+            t for t in range(schedule16.period) if not schedule16.is_intra_slot(t)
+        )
+        with pytest.raises(ConfigurationError):
+            schedule16.intra_slot_params(inter_slot)
+        with pytest.raises(ConfigurationError):
+            schedule16.inter_slot_shift(intra_slot)
+
+
+class TestLatencyCollapse:
+    def test_intra_wait_shrinks_vs_flat(self):
+        """The point of the family: intra-clique circuit waits collapse."""
+        layout = CliqueLayout.equal(64, 4)  # cliques of 16
+        q = 4.0
+        flat = build_sorn_schedule(64, 4, q=q, layout=layout)
+        hier = HierarchicalSornSchedule(layout, q=q, h=2)
+        # Wait for a specific digit circuit vs a specific rotation circuit.
+        flat_wait = flat.max_wait_slots(0, 1)
+        hier_wait = hier.max_wait_slots(0, 1)  # 1 is a digit neighbor of 0
+        assert hier_wait < flat_wait

@@ -1,0 +1,127 @@
+"""Matching invariants, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MatchingError
+from repro.schedules import Matching
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(MatchingError):
+            Matching([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MatchingError):
+            Matching([0, 3])
+        with pytest.raises(MatchingError):
+            Matching([-2, 0])
+
+    def test_rejects_shared_destination(self):
+        with pytest.raises(MatchingError):
+            Matching([2, 2, 0])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(MatchingError):
+            Matching([0, 2, 1])
+
+    def test_partial_matching_ok(self):
+        m = Matching([1, -1, -1])
+        assert m.num_circuits() == 1
+        assert not m.is_full()
+
+    def test_immutability(self):
+        m = Matching([1, 0])
+        with pytest.raises(ValueError):
+            m.dst[0] = 0
+
+
+class TestConstructors:
+    def test_rotation(self):
+        m = Matching.rotation(5, 2)
+        assert m.dst.tolist() == [2, 3, 4, 0, 1]
+
+    def test_rotation_rejects_zero_shift(self):
+        with pytest.raises(MatchingError):
+            Matching.rotation(5, 0)
+        with pytest.raises(MatchingError):
+            Matching.rotation(5, 5)
+
+    def test_negative_rotation_wraps(self):
+        assert Matching.rotation(5, -1) == Matching.rotation(5, 4)
+
+    def test_from_pairs(self):
+        m = Matching.from_pairs(4, [(0, 2), (3, 1)])
+        assert m.destination(0) == 2
+        assert m.destination(1) == -1
+
+    def test_from_pairs_rejects_duplicate_source(self):
+        with pytest.raises(MatchingError):
+            Matching.from_pairs(4, [(0, 2), (0, 1)])
+
+    def test_idle(self):
+        m = Matching.idle(4)
+        assert m.num_circuits() == 0
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 1000))
+    def test_random_permutation_is_derangement(self, n, seed):
+        m = Matching.random_permutation(n, rng=seed)
+        assert m.is_full()
+        assert all(m.destination(v) != v for v in range(n))
+
+
+class TestOperations:
+    def test_source_lookup(self):
+        m = Matching.rotation(5, 2)
+        assert m.source(0) == 3
+        assert Matching([1, -1]).source(0) == -1
+
+    def test_inverse_roundtrip(self):
+        m = Matching.rotation(7, 3)
+        inv = m.inverse()
+        for src, dst in m.pairs():
+            assert inv.destination(dst) == src
+
+    def test_inverse_of_partial(self):
+        m = Matching([2, -1, -1])
+        assert m.inverse().destination(2) == 0
+        assert m.inverse().num_circuits() == 1
+
+    def test_restrict_keeps_internal_circuits(self):
+        m = Matching.rotation(6, 1)
+        r = m.restrict([0, 1, 2])
+        assert r.destination(0) == 1
+        assert r.destination(1) == 2
+        assert r.destination(2) == -1  # 2 -> 3 crosses the boundary
+
+    def test_pairs_ordering(self):
+        m = Matching([2, -1, 0])
+        assert m.pairs() == [(0, 2), (2, 0)]
+
+    def test_equality_and_hash(self):
+        a, b = Matching.rotation(5, 2), Matching.rotation(5, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Matching.rotation(5, 3)
+
+    def test_len_and_iter(self):
+        m = Matching([1, 0])
+        assert len(m) == 2
+        assert list(m) == [1, 0]
+
+
+@given(n=st.integers(2, 30), shift=st.integers(1, 29))
+def test_rotation_is_permutation_property(n, shift):
+    shift = shift % n
+    if shift == 0:
+        return
+    m = Matching.rotation(n, shift)
+    assert sorted(m.dst.tolist()) == list(range(n))
+
+
+@given(n=st.integers(2, 20), seed=st.integers(0, 200))
+def test_double_inverse_identity(n, seed):
+    m = Matching.random_permutation(n, rng=seed)
+    assert m.inverse().inverse() == m

@@ -1,0 +1,114 @@
+"""MultiDimSchedule: h-dimensional optimal ORN structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.schedules import MultiDimSchedule, RoundRobinSchedule
+
+
+class TestConstruction:
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            MultiDimSchedule(100, 3)
+
+    def test_accepts_perfect_powers(self):
+        assert MultiDimSchedule(64, 2).radix == 8
+        assert MultiDimSchedule(64, 3).radix == 4
+        assert MultiDimSchedule(64, 6).radix == 2
+
+    def test_h1_matches_round_robin_structure(self):
+        md = MultiDimSchedule(8, 1)
+        rr = RoundRobinSchedule(8)
+        assert md.period == rr.period
+        for t in range(md.period):
+            assert md.matching(t) == rr.matching(t)
+
+    def test_table1_2d_parameters(self):
+        md = MultiDimSchedule(4096, 2)
+        assert md.radix == 64
+        assert md.period == 2 * 63
+        assert md.intrinsic_latency_slots == 252
+
+
+class TestDigitArithmetic:
+    def test_digits_roundtrip(self):
+        md = MultiDimSchedule(64, 2)
+        for node in [0, 7, 8, 63, 42]:
+            assert md.from_digits(md.digits(node)) == node
+
+    def test_digits_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            MultiDimSchedule(64, 2).digits(64)
+
+    def test_advance_digit(self):
+        md = MultiDimSchedule(64, 2)  # radix 8
+        assert md.advance_digit(0, 0, 3) == 3
+        assert md.advance_digit(0, 1, 3) == 24
+        assert md.advance_digit(7, 0, 1) == 0  # wraps within dimension
+
+    def test_wrong_digit_count(self):
+        with pytest.raises(ScheduleError):
+            MultiDimSchedule(64, 2).from_digits([1])
+
+
+class TestScheduleStructure:
+    def test_dimensions_interleave(self):
+        md = MultiDimSchedule(16, 2)  # radix 4, period 6
+        assert [md.slot_dimension(t) for t in range(6)] == [0, 1, 0, 1, 0, 1]
+        assert [md.slot_shift(t) for t in range(6)] == [1, 1, 2, 2, 3, 3]
+
+    def test_every_slot_is_full_matching(self):
+        md = MultiDimSchedule(27, 3)
+        md.validate()
+        for m in md.matchings():
+            assert m.is_full()
+
+    def test_matching_moves_single_digit(self):
+        md = MultiDimSchedule(16, 2)
+        for t in range(md.period):
+            dim, shift = md.slot_dimension(t), md.slot_shift(t)
+            m = md.matching(t)
+            for src in range(16):
+                assert m.destination(src) == md.advance_digit(src, dim, shift)
+
+    def test_slots_for_hop_inverse(self):
+        md = MultiDimSchedule(16, 2)
+        for dim in range(2):
+            for shift in range(1, 4):
+                t = md.slots_for_hop(dim, shift)
+                assert md.slot_dimension(t) == dim
+                assert md.slot_shift(t) == shift
+
+    def test_slots_for_hop_range_checks(self):
+        md = MultiDimSchedule(16, 2)
+        with pytest.raises(ScheduleError):
+            md.slots_for_hop(2, 1)
+        with pytest.raises(ScheduleError):
+            md.slots_for_hop(0, 4)
+
+    def test_neighbors_are_digit_neighbors(self):
+        md = MultiDimSchedule(16, 2)
+        neighbors = md.neighbors(0)
+        expected = sorted(
+            md.advance_digit(0, d, s) for d in range(2) for s in range(1, 4)
+        )
+        assert neighbors == expected
+
+    def test_edge_fractions_closed_form_matches(self):
+        md = MultiDimSchedule(16, 2)
+        assert md.edge_fractions() == md.materialize().edge_fractions()
+
+    def test_max_wait_single_digit_closed_form(self):
+        md = MultiDimSchedule(16, 2)
+        assert md.max_wait_slots(0, 3) == md.period
+
+
+@settings(max_examples=25)
+@given(h=st.integers(1, 3), radix=st.integers(2, 4), slot=st.integers(0, 100))
+def test_matchings_are_derangement_permutations(h, radix, slot):
+    md = MultiDimSchedule(radix ** h, h)
+    m = md.matching(slot)
+    assert m.is_full()
+    assert all(m.destination(v) != v for v in range(radix ** h))

@@ -1,0 +1,71 @@
+"""RoundRobinSchedule: the 1D ORN of Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedules import RoundRobinSchedule
+
+
+class TestFigure1:
+    def test_figure1_schedule(self):
+        """Reproduce the paper's Figure 1 table for 5 nodes A..E.
+
+        Time slot 1..4 connect A to B, C, D, E; B to C, D, E, A; etc.
+        """
+        schedule = RoundRobinSchedule(5)
+        expected = {
+            0: [1, 2, 3, 4],  # A -> B C D E
+            1: [2, 3, 4, 0],  # B -> C D E A
+            2: [3, 4, 0, 1],  # C -> D E A B
+            3: [4, 0, 1, 2],  # D -> E A B C
+            4: [0, 1, 2, 3],  # E -> A B C D
+        }
+        for node, row in expected.items():
+            assert schedule.node_row(node).tolist() == row
+
+    def test_period_is_n_minus_one(self):
+        assert RoundRobinSchedule(5).period == 4
+        assert RoundRobinSchedule(4096).period == 4095
+
+
+class TestStructure:
+    def test_every_slot_is_full_matching(self):
+        schedule = RoundRobinSchedule(7)
+        schedule.validate()
+        for m in schedule.matchings():
+            assert m.is_full()
+
+    def test_full_connectivity_over_period(self):
+        schedule = RoundRobinSchedule(6)
+        for src in range(6):
+            assert schedule.neighbors(src) == [v for v in range(6) if v != src]
+
+    def test_each_circuit_exactly_once_per_period(self):
+        schedule = RoundRobinSchedule(6)
+        fractions = schedule.edge_fractions()
+        assert len(fractions) == 6 * 5
+        assert all(f == pytest.approx(1 / 5) for f in fractions.values())
+
+    def test_edge_fractions_matches_materialized(self):
+        schedule = RoundRobinSchedule(8)
+        assert schedule.edge_fractions() == schedule.materialize().edge_fractions()
+
+    def test_max_wait_closed_form(self):
+        schedule = RoundRobinSchedule(10)
+        assert schedule.max_wait_slots(0, 5) == 9
+        with pytest.raises(ValueError):
+            schedule.max_wait_slots(3, 3)
+
+    def test_intrinsic_latency(self):
+        assert RoundRobinSchedule(4096).intrinsic_latency_slots == 4095
+
+    def test_lazy_scaling(self):
+        """Constructing at Table 1 scale is cheap (no N^2 materialization)."""
+        schedule = RoundRobinSchedule(4096)
+        assert schedule.dest(0, 0) == 1
+        assert schedule.dest(4094, 4095) == 4094  # shift 4095 wraps
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinSchedule(1)

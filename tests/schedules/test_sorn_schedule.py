@@ -1,0 +1,162 @@
+"""SornSchedule: the paper's interleaved clique schedule (Fig 2d-e)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.schedules import SornSchedule, build_sorn_schedule
+from repro.schedules.sorn_schedule import figure2_topology_a, figure2_topology_b
+from repro.topology import CliqueLayout
+
+
+class TestConstruction:
+    def test_rejects_unequal_cliques(self):
+        layout = CliqueLayout([[0, 1, 2], [3]])
+        with pytest.raises(ConfigurationError):
+            SornSchedule(layout, q=2)
+
+    def test_rejects_q_below_one(self):
+        with pytest.raises(ConfigurationError):
+            build_sorn_schedule(8, 2, q=0.5)
+
+    def test_layout_mismatch_rejected(self):
+        layout = CliqueLayout.equal(8, 4)
+        with pytest.raises(ConfigurationError):
+            build_sorn_schedule(8, 2, layout=layout)
+
+    def test_q_rational_approximation(self):
+        schedule = build_sorn_schedule(16, 4, q=4.5455, max_denominator=16)
+        assert schedule.q == pytest.approx(4.5455, rel=0.05)
+
+    def test_flat_single_clique_is_round_robin(self):
+        schedule = build_sorn_schedule(8, 1, q=3)
+        assert schedule.period == 7
+        assert schedule.num_inter_slots == 0
+        for m in schedule.matchings():
+            assert m.is_full()
+
+    def test_singleton_cliques_pure_inter(self):
+        schedule = build_sorn_schedule(6, 6, q=2)
+        assert schedule.period == 5
+        assert schedule.num_intra_slots == 0
+
+
+class TestFigure2Topologies:
+    def test_topology_a_bandwidth_split(self):
+        """Topology A: intra bandwidth thrice inter bandwidth (q=3)."""
+        a = figure2_topology_a()
+        assert a.num_cliques == 2 and a.clique_size == 4
+        assert a.period == 4
+        assert a.num_intra_slots == 3 and a.num_inter_slots == 1
+        assert a.intra_bandwidth_fraction == pytest.approx(0.75)
+
+    def test_topology_a_example_paths_exist(self):
+        """The paper's example path 0->3->7->6 uses real circuits; the
+        position-aligned analog of its second example (0->1->5->6, where
+        the paper's figure pairs 1 with 4) exists too."""
+        a = figure2_topology_a()
+        fractions = a.edge_fractions()
+        for u, v in [(0, 3), (3, 7), (7, 6), (0, 1), (1, 5), (5, 6)]:
+            assert fractions.get((u, v), 0) > 0
+
+    def test_topology_b_structure(self):
+        b = figure2_topology_b()
+        assert b.num_cliques == 4 and b.clique_size == 2
+        assert b.intra_bandwidth_fraction == pytest.approx(0.5)
+
+    def test_same_physical_setup_different_topologies(self):
+        """A and B use the same 8 ports — only the schedule differs."""
+        a, b = figure2_topology_a(), figure2_topology_b()
+        assert a.num_nodes == b.num_nodes == 8
+        assert a.edge_fractions() != b.edge_fractions()
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize("n,nc,q", [(8, 2, 3), (16, 4, 2), (32, 4, 4.5), (12, 3, 1)])
+    def test_all_slots_valid_full_matchings(self, n, nc, q):
+        schedule = build_sorn_schedule(n, nc, q=q)
+        schedule.validate()
+        for m in schedule.matchings():
+            assert m.is_full()
+
+    def test_bandwidth_fractions_sum_to_one(self):
+        s = build_sorn_schedule(16, 4, q=3)
+        assert s.intra_bandwidth_fraction + s.inter_bandwidth_fraction == pytest.approx(1)
+
+    def test_realized_q_close_to_requested(self):
+        s = build_sorn_schedule(64, 8, q=4.5455)
+        assert s.q == pytest.approx(4.5455, rel=0.02)
+
+    def test_intra_slots_cover_all_intra_matchings_evenly(self):
+        s = build_sorn_schedule(16, 4, q=3)  # S=4: 3 intra matchings
+        fractions = s.edge_fractions()
+        intra = [fractions[(0, v)] for v in [1, 2, 3]]
+        assert len(set(round(f, 12) for f in intra)) == 1
+
+    def test_inter_circuits_position_aligned(self):
+        s = build_sorn_schedule(16, 4, q=2)
+        fractions = s.edge_fractions()
+        # node 1 (clique 0, position 1) has inter circuits to positions 1
+        # of cliques 1..3: nodes 5, 9, 13 — and none to e.g. node 4.
+        for v in [5, 9, 13]:
+            assert (1, v) in fractions
+        assert (1, 4) not in fractions
+
+    def test_neighbor_superset_fixed_across_q(self):
+        """Rebalancing q must not change any node's neighbor superset."""
+        a = build_sorn_schedule(16, 4, q=1)
+        b = build_sorn_schedule(16, 4, q=5)
+        for v in range(16):
+            assert a.neighbors(v) == b.neighbors(v)
+            assert a.neighbors(v) == sorted(a.neighbor_superset(v))
+
+    def test_edge_fractions_closed_form_matches_materialized(self):
+        s = build_sorn_schedule(12, 3, q=2)
+        closed = s.edge_fractions()
+        explicit = s.materialize().edge_fractions()
+        assert set(closed) == set(explicit)
+        for k in closed:
+            assert closed[k] == pytest.approx(explicit[k])
+
+
+class TestIntrinsicLatency:
+    def test_delta_m_intra_close_to_formula(self):
+        s = build_sorn_schedule(32, 4, q=4.5)
+        analytic = (4.5 + 1) / 4.5 * (8 - 1)
+        assert abs(s.delta_m_intra() - analytic) <= 2
+
+    def test_delta_m_inter_hop_close_to_formula(self):
+        s = build_sorn_schedule(32, 4, q=4.5)
+        analytic = (4.5 + 1) * (4 - 1)
+        assert abs(s.delta_m_inter_hop() - analytic) <= 2
+
+    def test_higher_q_lowers_intra_wait(self):
+        lo = build_sorn_schedule(32, 4, q=1).delta_m_intra()
+        hi = build_sorn_schedule(32, 4, q=6).delta_m_intra()
+        assert hi < lo
+
+    def test_higher_q_raises_inter_wait(self):
+        lo = build_sorn_schedule(32, 4, q=1).delta_m_inter_hop()
+        hi = build_sorn_schedule(32, 4, q=6).delta_m_inter_hop()
+        assert hi > lo
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nc=st.sampled_from([2, 3, 4]),
+    size=st.sampled_from([2, 3, 4]),
+    q=st.sampled_from([1.0, 1.5, 2.0, 3.0, 4.5]),
+)
+def test_schedule_property_invariants(nc, size, q):
+    """Every generated SORN schedule: full matchings, correct bandwidth
+    split, full virtual connectivity over its neighbor superset."""
+    n = nc * size
+    schedule = build_sorn_schedule(n, nc, q=q)
+    for m in schedule.matchings():
+        assert m.is_full()
+        assert all(m.destination(v) != v for v in range(n))
+    ratio = schedule.num_intra_slots / schedule.num_inter_slots
+    assert ratio == pytest.approx(schedule.q_exact, rel=1e-9)
+    for v in range(n):
+        assert schedule.neighbors(v) == sorted(schedule.neighbor_superset(v))

@@ -1,0 +1,67 @@
+"""Wavelength program compilation (schedule -> per-node laser tables)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.awgr import Awgr
+from repro.schedules import (
+    RoundRobinSchedule,
+    build_sorn_schedule,
+    compile_wavelength_program,
+)
+
+
+class TestCompilation:
+    def test_round_robin_full_band(self):
+        schedule = RoundRobinSchedule(8)
+        program = compile_wavelength_program(schedule)
+        assert program.num_nodes == 8
+        assert program.period == 7
+        # Slot t is rotation t+1: every node emits wavelength t+1.
+        for t in range(7):
+            assert all(program.wavelength(v, t) == t + 1 for v in range(8))
+
+    def test_roundtrip_destinations(self):
+        schedule = build_sorn_schedule(8, 2, q=3)
+        program = compile_wavelength_program(schedule)
+        for t in range(schedule.period):
+            expected = [schedule.matching(t).destination(v) for v in range(8)]
+            assert program.destinations(t).tolist() == expected
+
+    def test_port_count_mismatch(self):
+        with pytest.raises(HardwareModelError):
+            compile_wavelength_program(RoundRobinSchedule(8), Awgr(16, 15))
+
+    def test_narrow_band_rejects_schedule(self):
+        """A grating whose band is too small cannot express the schedule."""
+        with pytest.raises(HardwareModelError) as excinfo:
+            compile_wavelength_program(RoundRobinSchedule(8), Awgr(8, 3))
+        assert "wavelength" in str(excinfo.value)
+
+    def test_sorn_on_contiguous_layout_band_requirement(self):
+        """Contiguous SORN schedules still need most of the band (inter
+        circuits use large rotations); full band always suffices."""
+        schedule = build_sorn_schedule(16, 4, q=2)
+        program = compile_wavelength_program(schedule)
+        assert program.band_required() <= 15
+
+
+class TestProgramQueries:
+    def test_wavelengths_used_excludes_idle(self):
+        program = compile_wavelength_program(RoundRobinSchedule(5))
+        assert program.wavelengths_used() == [1, 2, 3, 4]
+
+    def test_retunes_per_period_round_robin(self):
+        """RR changes wavelength every slot: one retune per slot."""
+        program = compile_wavelength_program(RoundRobinSchedule(6))
+        assert program.retunes_per_period(0) == 5
+
+    def test_tables_readonly(self):
+        program = compile_wavelength_program(RoundRobinSchedule(5))
+        with pytest.raises(ValueError):
+            program.tables[0, 0] = 3
+
+    def test_wavelength_wraps_period(self):
+        program = compile_wavelength_program(RoundRobinSchedule(5))
+        assert program.wavelength(0, 0) == program.wavelength(0, 4)

@@ -1,0 +1,119 @@
+"""Fluid solver: exact reproduction of the paper's throughput bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_q, sorn_throughput, sorn_throughput_bounds
+from repro.errors import SimulationError
+from repro.routing import SornRouter, VlbRouter
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.sim import link_loads, saturation_throughput
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix, permutation_matrix, uniform_matrix
+
+
+class TestLinkLoads:
+    def test_conservation(self):
+        """Total link load equals demand times mean hops."""
+        router = VlbRouter(8)
+        matrix = uniform_matrix(8)
+        loads = link_loads(router, matrix)
+        assert loads.sum() == pytest.approx(matrix.total * router.mean_hops_uniform())
+
+    def test_no_self_links(self):
+        loads = link_loads(VlbRouter(8), uniform_matrix(8))
+        assert np.diagonal(loads).sum() == 0.0
+
+    def test_size_mismatch(self):
+        from repro.errors import TrafficError
+
+        with pytest.raises(TrafficError):
+            link_loads(VlbRouter(8), uniform_matrix(9))
+
+
+class TestVlbThroughput:
+    def test_uniform_demand(self):
+        """VLB on uniform demand: 1/(2 - 1/(N-1)), slightly above 1/2."""
+        result = saturation_throughput(
+            RoundRobinSchedule(16), VlbRouter(16), uniform_matrix(16)
+        )
+        expected = 1.0 / (2.0 - 1.0 / 15.0)
+        assert result.throughput == pytest.approx(expected, rel=1e-6)
+
+    def test_permutation_demand_worst_case(self):
+        """Adversarial permutation demand: exactly 1/2 (the VLB guarantee)."""
+        result = saturation_throughput(
+            RoundRobinSchedule(16), VlbRouter(16), permutation_matrix(16, rng=0)
+        )
+        assert result.throughput == pytest.approx(0.5, rel=1e-6)
+
+    def test_mean_hops_reported(self):
+        result = saturation_throughput(
+            RoundRobinSchedule(16), VlbRouter(16), uniform_matrix(16)
+        )
+        assert result.mean_hops == pytest.approx(2 - 1 / 15)
+
+    def test_bandwidth_cost_inverse(self):
+        result = saturation_throughput(
+            RoundRobinSchedule(16), VlbRouter(16), permutation_matrix(16, rng=1)
+        )
+        assert result.normalized_bandwidth_cost == pytest.approx(2.0)
+
+
+class TestSornThroughput:
+    @pytest.mark.parametrize("x", [0.0, 0.3, 0.56, 0.8])
+    def test_matches_theory_at_optimal_q(self, x):
+        """Fig 2f's theoretical curve: fluid throughput == 1/(3-x) at q*.
+
+        Finite-size effects vanish for the clustered matrix because its
+        per-class uniformity matches the analysis exactly.
+        """
+        layout = CliqueLayout.equal(64, 8)
+        q = optimal_q(x)
+        schedule = build_sorn_schedule(64, 8, q=q, max_denominator=512)
+        result = saturation_throughput(schedule, SornRouter(layout), clustered_matrix(layout, x))
+        assert result.throughput == pytest.approx(sorn_throughput(x), rel=0.02)
+
+    def test_suboptimal_q_binds_at_bound(self):
+        """Off-optimal q: throughput tracks the binding (intra) bound.
+
+        The asymptotic bound q/(2q+2) assumes every flow crosses intra
+        links exactly twice; at finite clique size S some hops degenerate,
+        so the exact expectation replaces the 2:
+        ``x (2 - 1/(S-1)) + (1-x)(2 - 2/S)`` intra crossings per flow.
+        """
+        layout = CliqueLayout.equal(64, 8)
+        x, q, size = 0.56, 2.0, 8  # q far below optimal: intra binds
+        schedule = build_sorn_schedule(64, 8, q=q, max_denominator=512)
+        result = saturation_throughput(schedule, SornRouter(layout), clustered_matrix(layout, x))
+        crossings = x * (2 - 1 / (size - 1)) + (1 - x) * (2 - 2 / size)
+        expected = (q / (q + 1)) / crossings
+        assert result.throughput == pytest.approx(expected, rel=0.01)
+        # And the asymptotic bound is approached from above.
+        assert result.throughput >= sorn_throughput_bounds(q, x)
+
+    def test_bottleneck_is_intra_when_q_small(self):
+        layout = CliqueLayout.equal(32, 4)
+        schedule = build_sorn_schedule(32, 4, q=1)
+        result = saturation_throughput(
+            schedule, SornRouter(layout), clustered_matrix(layout, 0.56)
+        )
+        u, v = result.bottleneck
+        assert layout.same_clique(u, v)
+
+    def test_throughput_capped_at_one(self):
+        """Tiny demand still reports <= 1.0 (scale, not utilization)."""
+        layout = CliqueLayout.equal(8, 2)
+        schedule = build_sorn_schedule(8, 2, q=2)
+        matrix = clustered_matrix(layout, 0.5).scaled(1e-6)
+        result = saturation_throughput(schedule, SornRouter(layout), matrix)
+        assert result.throughput <= 1.0
+
+
+class TestErrors:
+    def test_router_using_missing_link_detected(self):
+        """A VLB router on a SORN schedule uses circuits the schedule
+        never provides -> loud failure, not silent nonsense."""
+        schedule = build_sorn_schedule(8, 2, q=3)
+        with pytest.raises(SimulationError):
+            saturation_throughput(schedule, VlbRouter(8), uniform_matrix(8))

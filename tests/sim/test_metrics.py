@@ -1,0 +1,82 @@
+"""SimReport aggregation and percentile helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimReport, percentile
+from repro.sim.flows import FlowState
+from repro.traffic import FlowSpec
+
+
+class TestPercentile:
+    def test_basic(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+        assert percentile([1, 2, 3, 4, 5], 0) == 1.0
+        assert percentile([1, 2, 3, 4, 5], 100) == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_range_checked(self):
+        with pytest.raises(SimulationError):
+            percentile([1], 101)
+
+
+def build_report():
+    flows = {}
+    for i, (size, arrival, completion) in enumerate(
+        [(2, 0, 4), (3, 1, 10), (5, 2, None)]
+    ):
+        state = FlowState(spec=FlowSpec(i, 0, 1, size, arrival))
+        if completion is not None:
+            for t in range(size):
+                state.record_delivery(completion - size + 1 + t, hops=2)
+        state.injected_cells = size
+        flows[i] = state
+    return SimReport.from_flows(
+        flows,
+        num_nodes=4,
+        duration_slots=20,
+        max_voq=7,
+        mean_occupancy=3.5,
+        window_start=10,
+        window_delivered=4,
+    )
+
+
+class TestSimReport:
+    def test_cell_accounting(self):
+        report = build_report()
+        assert report.offered_cells == 10
+        assert report.injected_cells == 10
+        assert report.delivered_cells == 5
+
+    def test_flow_accounting(self):
+        report = build_report()
+        assert report.total_flows == 3
+        assert report.completed_flows == 2
+        assert report.completion_ratio == pytest.approx(2 / 3)
+
+    def test_fct_values(self):
+        report = build_report()
+        assert report.fct_slots == [5, 10]
+        assert report.mean_fct == pytest.approx(7.5)
+        assert report.fct_percentile(100) == 10.0
+
+    def test_throughput(self):
+        report = build_report()
+        assert report.throughput == pytest.approx(5 / (4 * 20))
+        assert report.delivery_ratio == pytest.approx(0.5)
+
+    def test_window_throughput(self):
+        report = build_report()
+        assert report.window_throughput == pytest.approx(4 / (4 * 10))
+
+    def test_mean_hops(self):
+        assert build_report().mean_hops == pytest.approx(2.0)
+
+    def test_summary_mentions_key_numbers(self):
+        text = build_report().summary()
+        assert "N=4" in text and "flows=2/3" in text

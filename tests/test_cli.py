@@ -1,0 +1,89 @@
+"""The sorn-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_requires_nodes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--cliques", "4"])
+
+
+class TestSubcommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sirius" in out
+        assert "SORN Nc=64" in out
+        assert "26.59" in out
+
+    def test_fig2f_theory_only(self, capsys):
+        assert main(["fig2f"]) == 0
+        out = capsys.readouterr().out
+        assert "0.3333" in out  # x = 0 endpoint
+        assert "0.4762" in out  # x = 0.9
+
+    def test_fig2f_simulated_small(self, capsys):
+        code = main(
+            ["fig2f", "--nodes", "16", "--cliques", "4", "--simulate",
+             "--slots", "150", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fluid" in out and "simulated" in out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "--nodes", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "SORN" in out
+
+    def test_design(self, capsys):
+        assert main(["design", "--nodes", "32", "--cliques", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wavelength band" in out
+        assert "throughput=40.98%" in out
+
+    def test_adapt(self, capsys):
+        assert main(["adapt", "--nodes", "16", "--cliques", "4", "--cycles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "updates applied" in out
+
+    def test_pareto_plot(self, capsys):
+        assert main(["pareto", "--nodes", "4096", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput ^" in out
+
+    def test_design_show_schedule(self, capsys):
+        assert main(
+            ["design", "--nodes", "8", "--cliques", "2", "--show-schedule"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "0" in out
+
+    def test_failures(self, capsys):
+        assert main(["failures", "--nodes", "16", "--cliques", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Blast radius" in out
+        assert "flat VLB" in out
+        assert "Sync domains" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--nodes", "1024", "--uplinks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Clos (packet)" in out
+        assert "SORN" in out
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--nodes", "4096", "--cliques", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "h" in out and "q*" in out
+        # h=1 and h=2 rows both present (64 is a perfect square).
+        lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 "))]
+        assert len(lines) == 2

@@ -1,0 +1,61 @@
+"""The exception hierarchy: everything catchable as ReproError."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ControlPlaneError,
+    DecompositionError,
+    HardwareModelError,
+    MatchingError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+    TrafficError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        ConfigurationError,
+        ScheduleError,
+        MatchingError,
+        RoutingError,
+        TrafficError,
+        SimulationError,
+        ControlPlaneError,
+        DecompositionError,
+        HardwareModelError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigurationError, TrafficError, HardwareModelError, MatchingError]
+)
+def test_user_input_errors_are_value_errors(exc):
+    """Bad-parameter errors double as ValueError for ergonomic catching."""
+    assert issubclass(exc, ValueError)
+
+
+def test_matching_error_is_schedule_error():
+    assert issubclass(MatchingError, ScheduleError)
+
+
+def test_decomposition_error_carries_residual():
+    err = DecompositionError("did not converge", residual=0.25)
+    assert err.residual == 0.25
+    assert isinstance(err, ControlPlaneError)
+
+
+def test_decomposition_error_default_residual():
+    assert DecompositionError("x").residual == 0.0
+
+
+def test_simulation_error_is_not_value_error():
+    """Simulator inconsistencies are bugs, not bad input."""
+    assert not issubclass(SimulationError, ValueError)

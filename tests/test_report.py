@@ -1,0 +1,92 @@
+"""Text renderers: deterministic, structure-revealing output."""
+
+import pytest
+
+from repro.analysis.pareto import TradeoffPoint
+from repro.errors import ConfigurationError
+from repro.report import (
+    render_matrix_heatmap,
+    render_schedule_table,
+    render_tradeoff_plot,
+)
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.topology import CliqueLayout
+from repro.traffic import clustered_matrix, uniform_matrix
+
+
+class TestHeatmap:
+    def test_clique_blocks_visible(self):
+        matrix = clustered_matrix(CliqueLayout.equal(8, 2), 0.9)
+        art = render_matrix_heatmap(matrix)
+        rows = art.splitlines()
+        assert len(rows) == 8
+        # Intra-block cells are darker than inter-block cells.
+        assert rows[0][1] != rows[0][5]
+
+    def test_title_included(self):
+        art = render_matrix_heatmap(uniform_matrix(4), title="demo")
+        assert art.splitlines()[0] == "demo"
+
+    def test_downsampling_large_matrix(self):
+        matrix = clustered_matrix(CliqueLayout.equal(96, 8), 0.8)
+        art = render_matrix_heatmap(matrix, max_nodes=24)
+        assert len(art.splitlines()) <= 25
+
+    def test_deterministic(self):
+        matrix = uniform_matrix(6)
+        assert render_matrix_heatmap(matrix) == render_matrix_heatmap(matrix)
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ConfigurationError):
+            render_matrix_heatmap(uniform_matrix(4), max_nodes=1)
+
+
+class TestScheduleTable:
+    def test_figure1_layout(self):
+        art = render_schedule_table(RoundRobinSchedule(5))
+        lines = art.splitlines()
+        assert len(lines) == 6  # header + 5 nodes
+        assert lines[1].split() == ["A", "B", "C", "D", "E"]
+        assert lines[5].split() == ["E", "A", "B", "C", "D"]
+
+    def test_truncation_note(self):
+        art = render_schedule_table(RoundRobinSchedule(30), max_nodes=4, max_slots=6)
+        assert "30 nodes x 29 slots" in art
+
+    def test_sorn_schedule_renders(self):
+        art = render_schedule_table(build_sorn_schedule(8, 2, q=3))
+        assert "A" in art
+
+    def test_integer_names_for_large_fabrics(self):
+        art = render_schedule_table(RoundRobinSchedule(30), max_nodes=2, max_slots=3)
+        assert "0" in art.splitlines()[1]
+
+
+class TestTradeoffPlot:
+    POINTS = [
+        TradeoffPoint("ORN 1D", 26.59, 0.50),
+        TradeoffPoint("ORN 2D", 3.58, 0.25),
+        TradeoffPoint("SORN", 3.35, 0.41),
+    ]
+
+    def test_all_points_marked(self):
+        art = render_tradeoff_plot(self.POINTS, width=30, height=8)
+        for mark in ("a", "b", "c"):
+            assert mark in art
+
+    def test_legend_lists_labels(self):
+        art = render_tradeoff_plot(self.POINTS)
+        assert "ORN 1D" in art and "SORN" in art
+
+    def test_axis_labels(self):
+        art = render_tradeoff_plot(self.POINTS)
+        assert "throughput ^" in art
+        assert "latency (log)" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_tradeoff_plot([])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            render_tradeoff_plot(self.POINTS, width=5, height=2)

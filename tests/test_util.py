@@ -1,0 +1,140 @@
+"""Tests for repro.util helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util import (
+    ceil_div,
+    check_fraction,
+    check_positive_int,
+    check_ratio,
+    ensure_rng,
+    even_divisors,
+    int_log,
+    is_power_of_two,
+    normalize_rows,
+    pairwise_disjoint,
+    spread_evenly,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a, b = ensure_rng(7), ensure_rng(7)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            ensure_rng("seed")
+
+
+class TestCheckers:
+    def test_positive_int_accepts_numpy_ints(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_positive_int_rejects_below_minimum(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.0, "x")
+
+    def test_fraction_bounds(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.01, "x")
+        with pytest.raises(ConfigurationError):
+            check_fraction(-0.01, "x")
+
+    def test_fraction_open_interval(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "x", closed=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "x", closed=False)
+
+    def test_fraction_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(float("nan"), "x")
+
+    def test_ratio_rejects_infinite(self):
+        with pytest.raises(ConfigurationError):
+            check_ratio(float("inf"), "q")
+
+    def test_ratio_minimum(self):
+        with pytest.raises(ConfigurationError):
+            check_ratio(0.5, "q", minimum=1.0)
+        assert check_ratio(1.0, "q") == 1.0
+
+
+class TestSmallNumerics:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_int_log_exact(self):
+        assert int_log(4096, 2) == 12
+        assert int_log(4096, 64) == 2
+        assert int_log(4096, 4) == 6
+
+    def test_int_log_inexact(self):
+        assert int_log(100, 3) is None
+        assert int_log(0, 2) is None
+
+    def test_even_divisors(self):
+        assert even_divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert even_divisors(1) == [1]
+
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+        assert ceil_div(0, 5) == 0
+        with pytest.raises(ConfigurationError):
+            ceil_div(1, 0)
+
+    def test_normalize_rows(self):
+        out = normalize_rows(np.array([[2.0, 2.0], [0.0, 0.0]]))
+        assert np.allclose(out[0], [0.5, 0.5])
+        assert np.allclose(out[1], [0.0, 0.0])
+
+    def test_pairwise_disjoint(self):
+        assert pairwise_disjoint([[1, 2], [3], [4, 5]])
+        assert not pairwise_disjoint([[1, 2], [2, 3]])
+
+
+class TestSpreadEvenly:
+    def test_full_density(self):
+        assert list(spread_evenly(4, 4)) == [0, 1, 2, 3]
+
+    def test_zero_count(self):
+        assert spread_evenly(0, 10).size == 0
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ConfigurationError):
+            spread_evenly(5, 4)
+
+    @given(count=st.integers(1, 50), extra=st.integers(0, 100))
+    def test_gaps_are_balanced(self, count, extra):
+        """Max gap between spread slots never exceeds ceil(period/count)+1."""
+        period = count + extra
+        slots = spread_evenly(count, period)
+        assert len(set(slots.tolist())) == count
+        assert slots.min() >= 0 and slots.max() < period
+        gaps = np.diff(np.concatenate([slots, [slots[0] + period]]))
+        assert gaps.max() <= period // count + 1

@@ -1,0 +1,125 @@
+"""CliqueLayout: partitions, positions, and traffic aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, TrafficError
+from repro.topology import CliqueLayout
+
+
+class TestConstruction:
+    def test_rejects_non_partition(self):
+        with pytest.raises(ConfigurationError):
+            CliqueLayout([[0, 1], [1, 2]])
+        with pytest.raises(ConfigurationError):
+            CliqueLayout([[0, 2]])  # missing node 1
+
+    def test_rejects_empty_clique(self):
+        with pytest.raises(ConfigurationError):
+            CliqueLayout([[0, 1], []])
+
+    def test_equal_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CliqueLayout.equal(10, 3)
+
+    def test_equal_contiguous_blocks(self):
+        layout = CliqueLayout.equal(8, 2)
+        assert layout.members(0) == [0, 1, 2, 3]
+        assert layout.members(1) == [4, 5, 6, 7]
+
+    def test_from_assignment_roundtrip(self):
+        layout = CliqueLayout.from_assignment([0, 1, 0, 1])
+        assert layout.members(0) == [0, 2]
+        assert np.array_equal(layout.assignment(), [0, 1, 0, 1])
+
+    def test_from_assignment_requires_contiguous_ids(self):
+        with pytest.raises(ConfigurationError):
+            CliqueLayout.from_assignment([0, 2, 0, 2])
+
+    def test_random_equal_is_partition(self):
+        layout = CliqueLayout.random_equal(12, 3, rng=1)
+        flat = sorted(n for g in layout.groups() for n in g)
+        assert flat == list(range(12))
+        assert layout.is_equal_sized
+
+    def test_flat_layout(self):
+        layout = CliqueLayout.flat(6)
+        assert layout.num_cliques == 1
+        assert layout.clique_size == 6
+
+
+class TestQueries:
+    def test_positions(self):
+        layout = CliqueLayout([[3, 1], [0, 2]])
+        assert layout.clique_of(3) == 0
+        assert layout.position_of(3) == 0
+        assert layout.position_of(1) == 1
+        assert layout.node_at(1, 0) == 0
+
+    def test_same_clique(self):
+        layout = CliqueLayout.equal(8, 2)
+        assert layout.same_clique(0, 3)
+        assert not layout.same_clique(0, 4)
+
+    def test_sizes_and_equality_detection(self):
+        assert CliqueLayout([[0], [1, 2]]).sizes == (1, 2)
+        assert not CliqueLayout([[0], [1, 2]]).is_equal_sized
+        with pytest.raises(ConfigurationError):
+            CliqueLayout([[0], [1, 2]]).clique_size
+
+    def test_layout_equality_order_sensitive(self):
+        a = CliqueLayout([[0, 1], [2, 3]])
+        b = CliqueLayout([[1, 0], [2, 3]])
+        assert a != b  # position order is semantically meaningful
+        assert a == CliqueLayout([[0, 1], [2, 3]])
+        assert hash(a) == hash(CliqueLayout([[0, 1], [2, 3]]))
+
+
+class TestTrafficInteraction:
+    def test_intra_fraction_extremes(self):
+        layout = CliqueLayout.equal(4, 2)
+        all_intra = np.array(
+            [[0, 1, 0, 0], [1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=float
+        )
+        all_inter = np.array(
+            [[0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0], [0, 1, 0, 0]], dtype=float
+        )
+        assert layout.intra_fraction(all_intra) == 1.0
+        assert layout.intra_fraction(all_inter) == 0.0
+
+    def test_intra_fraction_ignores_diagonal(self):
+        layout = CliqueLayout.equal(4, 2)
+        matrix = np.eye(4) * 100
+        assert layout.intra_fraction(matrix) == 0.0
+
+    def test_intra_fraction_validates_shape(self):
+        layout = CliqueLayout.equal(4, 2)
+        with pytest.raises(TrafficError):
+            layout.intra_fraction(np.zeros((3, 3)))
+        with pytest.raises(TrafficError):
+            layout.intra_fraction(-np.ones((4, 4)))
+
+    def test_aggregate_matrix(self):
+        layout = CliqueLayout.equal(4, 2)
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = 5.0   # intra clique 0
+        matrix[0, 2] = 2.0   # clique 0 -> 1
+        matrix[3, 1] = 1.0   # clique 1 -> 0
+        agg = layout.aggregate_matrix(matrix)
+        assert agg[0, 0] == 5.0
+        assert agg[0, 1] == 2.0
+        assert agg[1, 0] == 1.0
+        assert agg[1, 1] == 0.0
+
+
+@given(n_cliques=st.integers(1, 5), size=st.integers(1, 5))
+def test_equal_layout_properties(n_cliques, size):
+    n = n_cliques * size
+    if n < 2:
+        return
+    layout = CliqueLayout.equal(n, n_cliques)
+    assert layout.num_nodes == n
+    assert layout.sizes == tuple([size] * n_cliques)
+    for v in range(n):
+        assert layout.node_at(layout.clique_of(v), layout.position_of(v)) == v

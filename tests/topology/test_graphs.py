@@ -1,0 +1,91 @@
+"""Graph metric helpers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology import (
+    average_shortest_path,
+    bisection_fraction,
+    directed_diameter,
+    spectral_gap,
+)
+
+
+def ring(n):
+    g = nx.DiGraph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+class TestDiameterAndPaths:
+    def test_ring_diameter(self):
+        assert directed_diameter(ring(6)) == 5
+
+    def test_complete_graph_diameter(self):
+        g = nx.complete_graph(5, create_using=nx.DiGraph)
+        assert directed_diameter(g) == 1
+        assert average_shortest_path(g) == pytest.approx(1.0)
+
+    def test_disconnected_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ConfigurationError):
+            directed_diameter(g)
+        with pytest.raises(ConfigurationError):
+            average_shortest_path(g)
+
+
+class TestBisection:
+    def test_uniform_matrix_bisection(self):
+        n = 8
+        capacity = np.ones((n, n)) - np.eye(n)
+        # Half the pairs cross a balanced cut: 2 * 16 / 56.
+        assert bisection_fraction(capacity) == pytest.approx(32 / 56)
+
+    def test_block_diagonal_has_zero_bisection(self):
+        capacity = np.zeros((4, 4))
+        capacity[0, 1] = capacity[1, 0] = 1
+        capacity[2, 3] = capacity[3, 2] = 1
+        assert bisection_fraction(capacity) == 0.0
+
+    def test_custom_split(self):
+        capacity = np.zeros((4, 4))
+        capacity[0, 2] = 1.0
+        split = np.array([True, False, True, False])
+        assert bisection_fraction(capacity, split) == 0.0  # 0 and 2 same side
+        split2 = np.array([True, True, False, False])
+        assert bisection_fraction(capacity, split2) == 1.0
+
+    def test_validates_shapes(self):
+        with pytest.raises(ConfigurationError):
+            bisection_fraction(np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            bisection_fraction(np.zeros((4, 4)), np.array([True, False]))
+
+    def test_zero_capacity(self):
+        assert bisection_fraction(np.zeros((4, 4))) == 0.0
+
+
+class TestSpectralGap:
+    def test_complete_graph_large_gap(self):
+        g = nx.complete_graph(8, create_using=nx.DiGraph)
+        assert spectral_gap(g) > 0.8
+
+    def test_ring_small_gap(self):
+        assert spectral_gap(ring(16)) < spectral_gap(
+            nx.complete_graph(16, create_using=nx.DiGraph)
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spectral_gap(ring(2))
+
+    def test_isolated_node_rejected(self):
+        g = ring(4)
+        g.add_node(9)
+        with pytest.raises(ConfigurationError):
+            spectral_gap(g)

@@ -1,0 +1,73 @@
+"""LogicalTopology: virtual digraphs extracted from schedules."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.schedules.sorn_schedule import figure2_topology_a
+from repro.topology import LogicalTopology
+
+
+class TestFromSchedule:
+    def test_round_robin_is_uniform_clique(self):
+        topo = LogicalTopology.from_schedule(RoundRobinSchedule(6))
+        assert topo.degree_out(0) == 5
+        assert topo.fraction(0, 3) == pytest.approx(1 / 5)
+        assert topo.uniform_clique_deviation() == pytest.approx(0.0)
+
+    def test_sorn_concentrates_bandwidth(self):
+        topo = LogicalTopology.from_schedule(figure2_topology_a())
+        # Intra virtual edges carry 1/4 each; inter edges also appear.
+        assert topo.fraction(0, 1) == pytest.approx(0.25)
+        assert topo.fraction(0, 4) == pytest.approx(0.25)
+        assert topo.fraction(0, 5) == 0.0
+        assert topo.uniform_clique_deviation() > 0.1
+
+    def test_node_bandwidth_scales_capacity(self):
+        topo = LogicalTopology.from_schedule(RoundRobinSchedule(6), node_bandwidth=10)
+        assert topo.capacity(0, 1) == pytest.approx(10 / 5)
+        assert topo.fraction(0, 1) == pytest.approx(1 / 5)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ScheduleError):
+            LogicalTopology({}, 4, node_bandwidth=0)
+
+
+class TestGraphQueries:
+    def test_egress_fraction_work_conserving(self):
+        topo = LogicalTopology.from_schedule(build_sorn_schedule(8, 2, q=3))
+        for v in range(8):
+            assert topo.egress_fraction(v) == pytest.approx(1.0)
+
+    def test_connectivity_and_diameter(self):
+        topo = LogicalTopology.from_schedule(figure2_topology_a())
+        assert topo.is_connected()
+        assert topo.diameter() == 2  # any pair within 2 virtual hops
+
+    def test_diameter_requires_connectivity(self):
+        topo = LogicalTopology({(0, 1): 0.5}, 3)
+        assert not topo.is_connected()
+        with pytest.raises(ScheduleError):
+            topo.diameter()
+
+    def test_shortest_path_endpoints(self):
+        topo = LogicalTopology.from_schedule(figure2_topology_a())
+        path = topo.shortest_path(0, 6)
+        assert path[0] == 0 and path[-1] == 6
+        assert len(path) <= 3
+
+    def test_out_neighbors_sorted(self):
+        topo = LogicalTopology.from_schedule(figure2_topology_a())
+        assert topo.out_neighbors(0) == [1, 2, 3, 4]
+
+    def test_bandwidth_matrix_consistent(self):
+        topo = LogicalTopology.from_schedule(RoundRobinSchedule(5))
+        matrix = topo.bandwidth_matrix()
+        assert matrix.shape == (5, 5)
+        assert matrix[0, 0] == 0.0
+        assert matrix[0, 1] == pytest.approx(topo.capacity(0, 1))
+
+    def test_zero_fraction_edges_dropped(self):
+        topo = LogicalTopology({(0, 1): 0.5, (1, 0): 0.0}, 2)
+        assert topo.capacity(1, 0) == 0.0
+        assert topo.degree_out(1) == 0

@@ -1,0 +1,82 @@
+"""Diurnal demand drift."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.topology import CliqueLayout
+from repro.traffic import DiurnalPattern
+
+
+@pytest.fixture
+def pattern():
+    return DiurnalPattern(
+        CliqueLayout.equal(16, 4),
+        locality_range=(0.3, 0.8),
+        load_range=(0.4, 1.0),
+        epochs_per_day=8,
+    )
+
+
+class TestValidation:
+    def test_rejects_inverted_locality_range(self):
+        with pytest.raises(TrafficError):
+            DiurnalPattern(CliqueLayout.equal(8, 2), locality_range=(0.8, 0.3))
+
+    def test_rejects_bad_load_range(self):
+        with pytest.raises(TrafficError):
+            DiurnalPattern(CliqueLayout.equal(8, 2), load_range=(0.0, 1.0))
+        with pytest.raises(TrafficError):
+            DiurnalPattern(CliqueLayout.equal(8, 2), load_range=(1.0, 0.5))
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(TrafficError):
+            DiurnalPattern(CliqueLayout.equal(8, 2), noise=-0.1)
+
+
+class TestCycle:
+    def test_locality_within_band(self, pattern):
+        for epoch in range(8):
+            x = pattern.locality_at(epoch)
+            assert 0.3 - 1e-9 <= x <= 0.8 + 1e-9
+
+    def test_load_within_band(self, pattern):
+        for epoch in range(8):
+            load = pattern.load_at(epoch)
+            assert 0.4 - 1e-9 <= load <= 1.0 + 1e-9
+
+    def test_periodicity(self, pattern):
+        assert pattern.locality_at(3) == pytest.approx(pattern.locality_at(11))
+        assert pattern.load_at(5) == pytest.approx(pattern.load_at(13))
+
+    def test_locality_actually_varies(self, pattern):
+        values = {round(pattern.locality_at(e), 6) for e in range(8)}
+        assert len(values) >= 4
+
+    def test_matrix_measured_locality_matches(self, pattern):
+        layout = pattern.layout
+        for epoch in [0, 2, 5]:
+            matrix = pattern.matrix_at(epoch)
+            assert matrix.locality(layout) == pytest.approx(
+                pattern.locality_at(epoch), abs=1e-9
+            )
+
+    def test_matrix_scaled_by_load(self, pattern):
+        peak_epoch = max(range(8), key=pattern.load_at)
+        trough_epoch = min(range(8), key=pattern.load_at)
+        peak = pattern.matrix_at(peak_epoch)
+        trough = pattern.matrix_at(trough_epoch)
+        assert peak.max_port_load() > trough.max_port_load()
+
+    def test_noise_perturbs_but_preserves_structure(self):
+        noisy = DiurnalPattern(
+            CliqueLayout.equal(16, 4), noise=0.2, epochs_per_day=8
+        )
+        clean = noisy.matrix_at(1)  # deterministic rng=None each call differs
+        matrix = noisy.matrix_at(1, rng=3)
+        assert matrix.locality(noisy.layout) == pytest.approx(
+            noisy.locality_at(1), abs=0.05
+        )
+
+    def test_day_iterator(self, pattern):
+        day = list(pattern.day(rng=1))
+        assert [e for e, _ in day] == list(range(8))

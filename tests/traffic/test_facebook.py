@@ -1,0 +1,83 @@
+"""Facebook-style cluster-role traffic synthesis (Roy et al. substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.topology import CliqueLayout
+from repro.traffic import (
+    FACEBOOK_LOCALITY_RATIO,
+    FACEBOOK_SHORT_FLOW_SHARE,
+    ServiceRole,
+    facebook_cluster_matrix,
+)
+from repro.traffic.facebook import ROLE_AFFINITY, ROLE_LOCALITY, assign_roles
+
+
+class TestPublishedConstants:
+    def test_trace_medians(self):
+        """The two medians Table 1 consumes."""
+        assert FACEBOOK_LOCALITY_RATIO == 0.56
+        assert FACEBOOK_SHORT_FLOW_SHARE == 0.75
+
+    def test_affinity_rows_normalized(self):
+        for role, row in ROLE_AFFINITY.items():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_hadoop_most_local(self):
+        assert ROLE_LOCALITY[ServiceRole.HADOOP] > ROLE_LOCALITY[ServiceRole.WEB]
+
+
+class TestRoleAssignment:
+    def test_covers_all_cliques(self):
+        roles = assign_roles(10, rng=0)
+        assert len(roles) == 10
+        assert set(roles) <= set(ServiceRole)
+
+    def test_respects_mix(self):
+        roles = assign_roles(10, mix={ServiceRole.WEB: 1.0}, rng=0)
+        assert all(r is ServiceRole.WEB for r in roles)
+
+    def test_largest_remainder_rounds(self):
+        roles = assign_roles(3, mix={ServiceRole.WEB: 0.5, ServiceRole.CACHE: 0.5}, rng=1)
+        counts = {r: roles.count(r) for r in set(roles)}
+        assert sorted(counts.values()) == [1, 2]
+
+    def test_rejects_zero_mix(self):
+        with pytest.raises(TrafficError):
+            assign_roles(4, mix={ServiceRole.WEB: 0.0})
+
+
+class TestMatrixSynthesis:
+    def test_locality_calibrated_to_target(self):
+        layout = CliqueLayout.equal(32, 4)
+        m = facebook_cluster_matrix(layout, rng=0)
+        assert m.locality(layout) == pytest.approx(FACEBOOK_LOCALITY_RATIO, abs=1e-6)
+
+    def test_custom_target_locality(self):
+        layout = CliqueLayout.equal(32, 4)
+        m = facebook_cluster_matrix(layout, target_locality=0.3, rng=0)
+        assert m.locality(layout) == pytest.approx(0.3, abs=1e-6)
+
+    def test_saturated(self):
+        layout = CliqueLayout.equal(16, 4)
+        m = facebook_cluster_matrix(layout, rng=1)
+        assert m.max_port_load() == pytest.approx(1.0)
+
+    def test_role_structure_visible_in_aggregate(self):
+        """Web cliques send more to cache cliques than to hadoop cliques."""
+        layout = CliqueLayout.equal(32, 4)
+        roles = [ServiceRole.WEB, ServiceRole.CACHE, ServiceRole.HADOOP, ServiceRole.WEB]
+        m = facebook_cluster_matrix(layout, roles=roles, rng=2)
+        agg = m.aggregate(layout)
+        assert agg[0, 1] > agg[0, 2]  # web -> cache > web -> hadoop
+
+    def test_explicit_roles_length_checked(self):
+        layout = CliqueLayout.equal(16, 4)
+        with pytest.raises(TrafficError):
+            facebook_cluster_matrix(layout, roles=[ServiceRole.WEB])
+
+    def test_structured_not_uniform(self):
+        layout = CliqueLayout.equal(32, 4)
+        m = facebook_cluster_matrix(layout, rng=3)
+        assert m.skew() > 1.5

@@ -1,0 +1,96 @@
+"""Flow-size CDFs: the pFabric workloads of Figure 2(f)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic import DATA_MINING, WEB_SEARCH, FlowSizeDistribution
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution([(100, 1.0)])
+
+    def test_sizes_strictly_increasing(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution([(100, 0.5), (100, 1.0)])
+
+    def test_cdf_non_decreasing(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution([(100, 0.5), (200, 0.4), (300, 1.0)])
+
+    def test_must_end_at_one(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution([(100, 0.0), (200, 0.9)])
+
+    def test_positive_sizes(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution([(0, 0.0), (200, 1.0)])
+
+
+class TestQuantiles:
+    def test_endpoints(self):
+        assert WEB_SEARCH.quantile(0.0) == WEB_SEARCH.min_size
+        assert WEB_SEARCH.quantile(1.0) == WEB_SEARCH.max_size
+
+    def test_monotone(self):
+        grid = np.linspace(0, 1, 50)
+        values = [WEB_SEARCH.quantile(u) for u in grid]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_matches_knots(self):
+        assert WEB_SEARCH.quantile(0.30) == pytest.approx(19_000, rel=1e-6)
+        assert DATA_MINING.quantile(0.80) == pytest.approx(7_000, rel=1e-6)
+
+    def test_out_of_range(self):
+        with pytest.raises(TrafficError):
+            WEB_SEARCH.quantile(1.5)
+
+    def test_cdf_quantile_inverse(self):
+        for u in [0.1, 0.35, 0.6, 0.9]:
+            size = WEB_SEARCH.quantile(u)
+            assert WEB_SEARCH.cdf(size) == pytest.approx(u, abs=1e-6)
+
+    def test_cdf_saturates(self):
+        assert WEB_SEARCH.cdf(1) == WEB_SEARCH._cdfs[0]
+        assert WEB_SEARCH.cdf(1e12) == 1.0
+
+
+class TestPublishedShape:
+    def test_web_search_mostly_short_flows(self):
+        """Over half the flows are under ~100 KB (latency-sensitive)."""
+        assert WEB_SEARCH.short_flow_fraction(100_000) > 0.5
+
+    def test_data_mining_heavier_tail(self):
+        """Data mining: tiny median, huge max — heavier than web search."""
+        assert DATA_MINING.quantile(0.5) < WEB_SEARCH.quantile(0.5)
+        assert DATA_MINING.max_size > WEB_SEARCH.max_size
+
+    def test_mean_dominated_by_tail(self):
+        """The mean sits far above the median for both workloads."""
+        for dist in (WEB_SEARCH, DATA_MINING):
+            assert dist.mean_size() > 5 * dist.quantile(0.5)
+
+
+class TestSampling:
+    def test_samples_within_support(self, rng):
+        samples = WEB_SEARCH.sample(rng, count=500)
+        assert samples.min() >= WEB_SEARCH.min_size
+        assert samples.max() <= WEB_SEARCH.max_size
+
+    def test_empirical_median_close(self, rng):
+        samples = WEB_SEARCH.sample(rng, count=4000)
+        assert np.median(samples) == pytest.approx(
+            WEB_SEARCH.quantile(0.5), rel=0.25
+        )
+
+    def test_fixed_distribution(self):
+        dist = FlowSizeDistribution.fixed(5000)
+        assert dist.quantile(0.3) == pytest.approx(5000, rel=1e-6)
+        assert dist.mean_size() == pytest.approx(5000, rel=1e-6)
+
+    def test_fixed_rejects_nonpositive(self):
+        with pytest.raises(TrafficError):
+            FlowSizeDistribution.fixed(0)

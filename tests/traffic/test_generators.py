@@ -1,0 +1,117 @@
+"""Traffic matrix generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrafficError
+from repro.topology import CliqueLayout
+from repro.traffic import (
+    clustered_matrix,
+    gravity_matrix,
+    hotspot_matrix,
+    permutation_matrix,
+    skewed_matrix,
+    uniform_matrix,
+)
+
+
+class TestUniform:
+    def test_every_pair_equal(self):
+        m = uniform_matrix(6)
+        off = m.rates[~np.eye(6, dtype=bool)]
+        assert np.allclose(off, 1 / 5)
+
+    def test_saturated(self):
+        assert uniform_matrix(6).max_port_load() == pytest.approx(1.0)
+
+
+class TestPermutation:
+    def test_one_destination_per_node(self):
+        m = permutation_matrix(8, rng=3)
+        assert np.count_nonzero(m.rates) == 8
+        assert m.egress().tolist() == [1.0] * 8
+        assert m.ingress().tolist() == [1.0] * 8
+
+    def test_no_self_traffic(self):
+        m = permutation_matrix(8, rng=3)
+        assert np.diagonal(m.rates).sum() == 0
+
+
+class TestClustered:
+    @pytest.mark.parametrize("x", [0.0, 0.2, 0.56, 0.9, 1.0])
+    def test_measured_locality_exact(self, x):
+        layout = CliqueLayout.equal(24, 4)
+        m = clustered_matrix(layout, x)
+        assert m.locality(layout) == pytest.approx(x)
+
+    def test_uniform_within_classes(self):
+        layout = CliqueLayout.equal(12, 3)
+        m = clustered_matrix(layout, 0.5)
+        intra = [m.rate(0, v) for v in [1, 2, 3]]
+        inter = [m.rate(0, v) for v in range(4, 12)]
+        assert len({round(r, 12) for r in intra}) == 1
+        assert len({round(r, 12) for r in inter}) == 1
+
+    def test_egress_uniform(self):
+        layout = CliqueLayout.equal(12, 3)
+        m = clustered_matrix(layout, 0.7)
+        assert np.allclose(m.egress(), 1.0)
+
+    def test_single_clique_degenerates_to_intra(self):
+        layout = CliqueLayout.flat(6)
+        m = clustered_matrix(layout, 0.3)  # no inter peers exist
+        assert m.locality(layout) == pytest.approx(1.0)
+
+    def test_singleton_cliques_degenerate_to_inter(self):
+        layout = CliqueLayout.equal(6, 6)
+        m = clustered_matrix(layout, 0.8)
+        assert m.locality(layout) == pytest.approx(0.0)
+
+    @given(x=st.floats(0.0, 1.0))
+    @settings(max_examples=20)
+    def test_always_admissible(self, x):
+        layout = CliqueLayout.equal(8, 2)
+        assert clustered_matrix(layout, x).is_admissible()
+
+
+class TestGravity:
+    def test_proportional_to_weight_products(self):
+        m = gravity_matrix([1, 2, 3, 4])
+        assert m.rate(1, 2) / m.rate(0, 2) == pytest.approx(2.0)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(TrafficError):
+            gravity_matrix([0, 0, 0])
+        with pytest.raises(TrafficError):
+            gravity_matrix([1])
+        with pytest.raises(TrafficError):
+            gravity_matrix([-1, 2, 3])
+
+    def test_saturated(self):
+        assert gravity_matrix([1, 5, 2, 2]).max_port_load() == pytest.approx(1.0)
+
+
+class TestHotspotAndSkew:
+    def test_hotspot_dominates(self):
+        m = hotspot_matrix(10, num_hotspots=1, hotspot_fraction=0.8, rng=0)
+        assert m.skew() > 5
+
+    def test_hotspot_count(self):
+        base = uniform_matrix(10).rates * 0.5
+        m = hotspot_matrix(10, num_hotspots=3, hotspot_fraction=0.5, rng=1)
+        boosted = (m.saturated().rates > base.max() * 1.5).sum()
+        assert boosted >= 3
+
+    def test_skewed_heavy_tail(self):
+        mild = skewed_matrix(12, sigma=0.1, rng=2)
+        wild = skewed_matrix(12, sigma=2.0, rng=2)
+        assert wild.skew() > mild.skew()
+
+    def test_skewed_rejects_negative_sigma(self):
+        with pytest.raises(TrafficError):
+            skewed_matrix(8, sigma=-1)
+
+    def test_generators_deterministic_under_seed(self):
+        assert permutation_matrix(8, rng=9) == permutation_matrix(8, rng=9)
+        assert skewed_matrix(8, rng=9) == skewed_matrix(8, rng=9)

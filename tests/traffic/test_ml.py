@@ -1,0 +1,105 @@
+"""ML collective-communication traffic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.topology import CliqueLayout
+from repro.traffic import (
+    hierarchical_allreduce_matrix,
+    ring_allreduce_matrix,
+    training_cluster_matrix,
+)
+
+
+class TestRingAllreduce:
+    def test_ring_structure(self):
+        m = ring_allreduce_matrix(8, [0, 2, 4, 6], volume=2.0)
+        assert m.rate(0, 2) == 2.0
+        assert m.rate(2, 4) == 2.0
+        assert m.rate(6, 0) == 2.0  # wraps
+        assert m.total == pytest.approx(8.0)
+
+    def test_rejects_short_ring(self):
+        with pytest.raises(TrafficError):
+            ring_allreduce_matrix(8, [3])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(TrafficError):
+            ring_allreduce_matrix(8, [0, 1, 0])
+
+    def test_rejects_nonpositive_volume(self):
+        with pytest.raises(TrafficError):
+            ring_allreduce_matrix(8, [0, 1], volume=0)
+
+    def test_each_worker_one_egress(self):
+        m = ring_allreduce_matrix(10, [1, 3, 5, 7, 9])
+        egress = m.egress()
+        for w in [1, 3, 5, 7, 9]:
+            assert egress[w] == 1.0
+        assert egress[0] == 0.0
+
+
+class TestHierarchicalAllreduce:
+    def test_intra_rings_plus_leader_ring(self):
+        layout = CliqueLayout.equal(12, 3)
+        m = hierarchical_allreduce_matrix(layout, [0, 1, 2])
+        # Intra ring in clique 0: 0->1->2->3->0.
+        assert m.rate(0, 1) == 1.0 and m.rate(3, 0) == 1.0
+        # Leader ring: 0 -> 4 -> 8 -> 0.
+        assert m.rate(0, 4) == 1.0
+        assert m.rate(8, 0) == 1.0
+
+    def test_leader_position_configurable(self):
+        layout = CliqueLayout.equal(12, 3)
+        m = hierarchical_allreduce_matrix(layout, [0, 1], leader_position=2)
+        assert m.rate(2, 6) == 1.0  # leaders at position 2
+
+    def test_single_clique_no_leader_ring(self):
+        layout = CliqueLayout.equal(12, 3)
+        m = hierarchical_allreduce_matrix(layout, [1])
+        assert m.rate(4, 8) == 0.0
+        assert m.rate(4, 5) == 1.0
+
+    def test_locality_mostly_intra(self):
+        """Hierarchical placement keeps most volume inside cliques."""
+        layout = CliqueLayout.equal(24, 4)
+        m = hierarchical_allreduce_matrix(layout, [0, 1, 2, 3])
+        assert m.locality(layout) > 0.8
+
+    def test_rejects_duplicate_cliques(self):
+        with pytest.raises(TrafficError):
+            hierarchical_allreduce_matrix(CliqueLayout.equal(8, 2), [0, 0])
+
+
+class TestTrainingCluster:
+    def test_aligned_placement_high_locality(self):
+        layout = CliqueLayout.equal(32, 4)
+        m = training_cluster_matrix(layout, num_jobs=8, workers_per_job=4, aligned=True)
+        assert m.locality(layout) == pytest.approx(1.0)
+
+    def test_scattered_placement_low_locality(self):
+        layout = CliqueLayout.equal(32, 4)
+        m = training_cluster_matrix(
+            layout, num_jobs=8, workers_per_job=4, aligned=False, rng=1
+        )
+        assert m.locality(layout) < 0.5
+
+    def test_oversized_jobs_fall_back_to_scatter(self):
+        layout = CliqueLayout.equal(16, 4)  # cliques of 4
+        m = training_cluster_matrix(
+            layout, num_jobs=2, workers_per_job=8, aligned=True, rng=2
+        )
+        assert m.total > 0  # still generated, just not clique-contained
+
+    def test_saturated(self):
+        layout = CliqueLayout.equal(16, 4)
+        m = training_cluster_matrix(layout, 4, 4, rng=3)
+        assert m.max_port_load() == pytest.approx(1.0)
+
+    def test_validation(self):
+        layout = CliqueLayout.equal(16, 4)
+        with pytest.raises(TrafficError):
+            training_cluster_matrix(layout, 0, 4)
+        with pytest.raises(TrafficError):
+            training_cluster_matrix(layout, 2, 1)

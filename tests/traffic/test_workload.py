@@ -1,0 +1,85 @@
+"""Workload generation: Poisson arrivals sized by the CDF."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    FlowSizeDistribution,
+    FlowSpec,
+    Workload,
+    clustered_matrix,
+    uniform_matrix,
+)
+from repro.topology import CliqueLayout
+
+
+class TestFlowSpec:
+    def test_rejects_self_flow(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(0, 1, 1, 10, 0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(0, 0, 1, 0, 0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(0, 0, 1, 5, -1)
+
+
+class TestWorkload:
+    def test_rejects_zero_load(self):
+        with pytest.raises(TrafficError):
+            Workload(uniform_matrix(8), FlowSizeDistribution.fixed(1500), load=0)
+
+    def test_arrival_rate_formula(self):
+        wl = Workload(
+            uniform_matrix(8), FlowSizeDistribution.fixed(15000), load=0.5,
+            cell_bytes=1500,
+        )
+        # mean flow = 10 cells; rate = 0.5 * 8 / 10.
+        assert wl.arrivals_per_slot == pytest.approx(0.4)
+
+    def test_offered_volume_close_to_load(self, rng):
+        wl = Workload(
+            uniform_matrix(8), FlowSizeDistribution.fixed(15000), load=0.5,
+            cell_bytes=1500,
+        )
+        flows = wl.generate(4000, rng=rng)
+        offered = wl.offered_cells(flows)
+        expected = 0.5 * 8 * 4000
+        assert offered == pytest.approx(expected, rel=0.15)
+
+    def test_flow_ids_sequential_and_arrivals_sorted(self, rng):
+        wl = Workload(uniform_matrix(8), FlowSizeDistribution.fixed(3000), load=1.0)
+        flows = wl.generate(200, rng=rng)
+        assert [f.flow_id for f in flows] == list(range(len(flows)))
+        arrivals = [f.arrival_slot for f in flows]
+        assert arrivals == sorted(arrivals)
+
+    def test_pair_sampling_respects_matrix(self, rng):
+        layout = CliqueLayout.equal(8, 2)
+        matrix = clustered_matrix(layout, 0.9)
+        wl = Workload(matrix, FlowSizeDistribution.fixed(1500), load=1.0)
+        flows = wl.generate(4000, rng=rng)
+        intra = sum(1 for f in flows if layout.same_clique(f.src, f.dst))
+        assert intra / len(flows) == pytest.approx(0.9, abs=0.05)
+
+    def test_no_self_flows(self, rng):
+        wl = Workload(uniform_matrix(6), FlowSizeDistribution.fixed(1500), load=1.0)
+        assert all(f.src != f.dst for f in wl.generate(1000, rng=rng))
+
+    def test_sizes_at_least_one_cell(self, rng):
+        tiny = FlowSizeDistribution.fixed(10)  # far below one cell
+        wl = Workload(uniform_matrix(6), tiny, load=0.2, cell_bytes=1500)
+        flows = wl.generate(500, rng=rng)
+        assert flows and all(f.size_cells == 1 for f in flows)
+
+    def test_deterministic_under_seed(self):
+        wl = Workload(uniform_matrix(6), FlowSizeDistribution.fixed(1500), load=0.5)
+        a = wl.generate(300, rng=42)
+        b = wl.generate(300, rng=42)
+        assert [(f.src, f.dst, f.arrival_slot) for f in a] == [
+            (f.src, f.dst, f.arrival_slot) for f in b
+        ]
