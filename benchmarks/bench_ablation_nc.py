@@ -6,7 +6,6 @@ interior optimum (Nc=32 at N=4096 — exactly why the paper shows both
 Nc=64 and Nc=32), and throughput is Nc-independent at the optimal q.
 """
 
-import pytest
 
 from repro.analysis import (
     optimal_q,

@@ -6,7 +6,6 @@ promises: q-only retunes are drain-free, reclustering recovers planted
 structure, and hysteresis prevents churn under stable demand.
 """
 
-import numpy as np
 import pytest
 
 from repro.control import UpdateCampaign

@@ -8,7 +8,6 @@ provisioned for each design's bandwidth tax, then priced as electronic
 (Clos) or passive-optical (ORN/SORN) ports.
 """
 
-import pytest
 
 from repro.analysis import (
     fabric_cost,

@@ -7,7 +7,6 @@ claims quantified: analytic blast radii over the routing distributions,
 an empirical failure-injection simulation, and sync-domain sizes.
 """
 
-import pytest
 
 from repro.analysis import (
     flat_sync_domain_size,

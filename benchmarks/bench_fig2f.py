@@ -8,6 +8,9 @@ regenerate both series:
   (128 nodes, 8 cliques), which must coincide;
 - slot-level simulation points with pFabric web-search flow sizes at a
   reduced scale (kept benchmark-fast), which must track the curve.
+
+The simulated points run under the engine selected by ``--engine``
+(see ``benchmarks/conftest.py``); both engines land on identical values.
 """
 
 import pytest
@@ -16,7 +19,7 @@ from repro.analysis import optimal_q, sorn_throughput
 from repro.core import Sorn
 from repro.routing import SornRouter
 from repro.schedules import build_sorn_schedule
-from repro.sim import SlotSimulator
+from repro.sim import SimConfig, SlotSimulator
 from repro.traffic import WEB_SEARCH, Workload, clustered_matrix
 
 LOCALITIES = [0.0, 0.2, 0.4, 0.56, 0.8]
@@ -46,31 +49,39 @@ def test_fig2f_theory_and_fluid(benchmark, report):
     assert 1 / 3 - 0.01 <= values[0] and values[-1] <= 0.5 + 0.01
 
 
-def simulate_point(x, num_nodes=64, num_cliques=8, slots=2000, seed=3):
+def simulate_point(x, num_nodes=64, num_cliques=8, slots=2000, seed=3, engine="reference"):
     schedule = build_sorn_schedule(num_nodes, num_cliques, q=optimal_q(x))
     matrix = clustered_matrix(schedule.layout, x)
     workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
     flows = workload.generate(slots, rng=seed)
-    sim = SlotSimulator(schedule, SornRouter(schedule.layout), rng=seed)
+    sim = SlotSimulator(
+        schedule, SornRouter(schedule.layout), SimConfig(engine=engine), rng=seed
+    )
     return sim.measure_saturation_throughput(flows, slots)
 
 
-def test_fig2f_simulated_points(benchmark, report):
+def test_fig2f_simulated_points(benchmark, report, engine):
     """Slot-level simulation with pFabric traffic at the trace locality."""
     x = 0.56
-    measured = benchmark.pedantic(simulate_point, args=(x,), rounds=1, iterations=1)
+    measured = benchmark.pedantic(
+        simulate_point, args=(x,), kwargs=dict(engine=engine), rounds=1, iterations=1
+    )
     report(
-        "Figure 2(f): simulated point (64 nodes, 8 cliques, pFabric web-search)",
+        "Figure 2(f): simulated point (64 nodes, 8 cliques, pFabric "
+        f"web-search, engine={engine})",
         [f"x={x}: simulated {measured:.4f} vs theory {sorn_throughput(x):.4f}"],
     )
     assert measured == pytest.approx(sorn_throughput(x), abs=0.07)
 
 
-def test_fig2f_simulated_extremes(benchmark, report):
+def test_fig2f_simulated_extremes(benchmark, report, engine):
     """Low- and high-locality simulation points bracket the curve."""
 
     def run():
-        return simulate_point(0.1, slots=1500), simulate_point(0.8, slots=1500)
+        return (
+            simulate_point(0.1, slots=1500, engine=engine),
+            simulate_point(0.8, slots=1500, engine=engine),
+        )
 
     low, high = benchmark.pedantic(run, rounds=1, iterations=1)
     report(

@@ -5,7 +5,19 @@ optimal ORN, the Opera-style expander, and SORN.  Verifies the paper's
 qualitative story at simulation scale: under locality, SORN completes
 flows faster than the flat RR (shorter waits for local circuits) while
 sustaining higher saturation throughput than the 2D ORN.
+
+Every simulation here runs under the engine selected by ``--engine``
+(reference object loop or vectorized fast path — results are identical
+by the differential contract in ``tests/sim/test_vectorized.py``), and
+``test_vectorized_speedup`` times the two engines head-to-head at the
+paper's Fig 2f scale (128 nodes, 8 cliques), gating a >= 5x speedup and
+writing the measurement to ``BENCH_flow_sim.json`` for CI regression
+tracking (``--smoke`` shrinks the scale and relaxes the gate).
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -19,12 +31,19 @@ from repro.schedules import (
 )
 from repro.sim import SimConfig, SlotSimulator
 from repro.topology import CliqueLayout
-from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+from repro.traffic import (
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    Workload,
+    clustered_matrix,
+)
 
 N = 64
 NC = 8
 X = 0.7
 SLOTS = 1500
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_flow_sim.json"
 
 
 def build_systems():
@@ -40,21 +59,25 @@ def build_systems():
     }
 
 
-def run_fct(load=0.3):
+def run_fct(load=0.3, engine="reference"):
     layout = CliqueLayout.equal(N, NC)
     matrix = clustered_matrix(layout, X)
     workload = Workload(matrix, FlowSizeDistribution.fixed(6000), load=load)
     flows = workload.generate(SLOTS, rng=21)
     results = {}
     for name, (schedule, router) in build_systems().items():
-        sim = SlotSimulator(schedule, router, SimConfig(drain=True), rng=4)
+        sim = SlotSimulator(
+            schedule, router, SimConfig(drain=True, engine=engine), rng=4
+        )
         report = sim.run(flows, SLOTS)
         results[name] = report
     return results
 
 
-def test_fct_comparison(benchmark, report):
-    results = benchmark.pedantic(run_fct, rounds=1, iterations=1)
+def test_fct_comparison(benchmark, report, engine):
+    results = benchmark.pedantic(
+        run_fct, kwargs=dict(engine=engine), rounds=1, iterations=1
+    )
     lines = [f"{'system':<8} {'meanFCT':>8} {'p50':>7} {'p99':>8} {'hops':>6} {'done':>6}"]
     for name, rep in results.items():
         lines.append(
@@ -62,7 +85,7 @@ def test_fct_comparison(benchmark, report):
             f"{rep.fct_percentile(99):>8.0f} {rep.mean_hops:>6.2f} "
             f"{rep.completion_ratio:>6.1%}"
         )
-    report(f"A7: FCT at load 0.3, x={X}, N={N} (slots)", lines)
+    report(f"A7: FCT at load 0.3, x={X}, N={N} (slots), engine={engine}", lines)
 
     # Everyone finishes the underloaded workload.
     for rep in results.values():
@@ -76,7 +99,7 @@ def test_fct_comparison(benchmark, report):
     assert results["SORN"].mean_hops == pytest.approx(3 - X, abs=0.35)
 
 
-def run_saturation():
+def run_saturation(engine="reference"):
     """Saturate every system and normalize by provisioned capacity.
 
     The single-plane systems inject up to 1 cell/node/slot; the Opera
@@ -94,15 +117,17 @@ def run_saturation():
             matrix, FlowSizeDistribution.fixed(7500), load=1.4 * planes
         )
         flows = workload.generate(SLOTS, rng=22)
-        sim = SlotSimulator(schedule, router, rng=4)
+        sim = SlotSimulator(schedule, router, SimConfig(engine=engine), rng=4)
         out[name] = sim.measure_saturation_throughput(flows, SLOTS) / planes
     return out
 
 
-def test_saturation_comparison(benchmark, report):
-    results = benchmark.pedantic(run_saturation, rounds=1, iterations=1)
+def test_saturation_comparison(benchmark, report, engine):
+    results = benchmark.pedantic(
+        run_saturation, kwargs=dict(engine=engine), rounds=1, iterations=1
+    )
     report(
-        f"A7: saturation throughput (capacity-normalized), x={X}",
+        f"A7: saturation throughput (capacity-normalized), x={X}, engine={engine}",
         [f"{name:<8} {value:.4f}" for name, value in results.items()],
     )
     # The paper's ordering under locality: flat RR tops out near its 50 %
@@ -112,3 +137,79 @@ def test_saturation_comparison(benchmark, report):
     assert results["SORN"] > results["Opera"]
     assert results["SORN"] > 0.38
     assert results["Opera"] < 0.40  # the ~3x expander hop tax bites
+
+
+def test_vectorized_speedup(report, smoke):
+    """Head-to-head engine timing at the Fig 2f configuration.
+
+    Full scale (paper's 128 nodes / 8 cliques) gates the vectorized
+    engine at >= 5x over the reference loop; ``--smoke`` runs a shrunken
+    fabric with a softer gate so CI can watch the trend cheaply.  Either
+    way the two engines must produce the identical report, and the
+    measurement lands in ``BENCH_flow_sim.json``.
+
+    Each engine is timed as the best of two repeats so a transient load
+    spike on the host cannot tank one side of the ratio and flip the
+    gate; report equality is still asserted across every run.
+    """
+    if smoke:
+        num_nodes, num_cliques, slots, threshold = 32, 4, 400, 1.5
+    else:
+        num_nodes, num_cliques, slots, threshold = 128, 8, 1200, 5.0
+    x = 0.56
+    schedule = build_sorn_schedule(num_nodes, num_cliques, q=optimal_q(x))
+    matrix = clustered_matrix(schedule.layout, x)
+    workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
+    flows = workload.generate(slots, rng=9)
+
+    timings = {}
+    reports = {}
+    for engine in ("reference", "vectorized"):
+        best = None
+        for _ in range(2):
+            sim = SlotSimulator(
+                schedule,
+                SornRouter(schedule.layout),
+                SimConfig(engine=engine),
+                rng=5,
+            )
+            start = time.perf_counter()
+            rep = sim.run(flows, slots, measure_from=slots // 4)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            assert reports.setdefault(engine, rep) == rep, "non-deterministic run"
+        timings[engine] = best
+
+    speedup = timings["reference"] / timings["vectorized"]
+    payload = {
+        "benchmark": "flow_sim_vectorized_speedup",
+        "config": {
+            "num_nodes": num_nodes,
+            "num_cliques": num_cliques,
+            "slots": slots,
+            "locality": x,
+            "smoke": smoke,
+        },
+        "reference_seconds": round(timings["reference"], 4),
+        "vectorized_seconds": round(timings["vectorized"], 4),
+        "speedup": round(speedup, 2),
+        "threshold": threshold,
+        "delivered_cells": reports["reference"].delivered_cells,
+        "reports_equal": reports["reference"] == reports["vectorized"],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        f"A7: engine speedup, N={num_nodes}, Nc={num_cliques}, {slots} slots"
+        + (" (smoke)" if smoke else ""),
+        [
+            f"reference  {timings['reference']:>8.2f} s",
+            f"vectorized {timings['vectorized']:>8.2f} s",
+            f"speedup    {speedup:>8.2f} x (gate >= {threshold}x)",
+            f"written to {BENCH_JSON.name}",
+        ],
+    )
+
+    assert payload["reports_equal"], "engines diverged at benchmark scale"
+    assert reports["reference"].delivered_cells > 0
+    assert speedup >= threshold

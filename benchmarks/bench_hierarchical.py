@@ -14,7 +14,6 @@ import pytest
 from repro.analysis import (
     hierarchical_delta_m_inter,
     hierarchical_delta_m_intra,
-    hierarchical_max_hops,
     hierarchical_optimal_q,
     hierarchical_throughput,
     optimal_q,

@@ -10,7 +10,6 @@ and throughput toward the 1/3 end.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import optimal_q, sorn_throughput
 from repro.routing import SornRouter

@@ -8,7 +8,6 @@ priority lane under a bimodal (short/elephant) workload, verifying the
 class separation the paper's comparison presumes.
 """
 
-import pytest
 
 from repro.analysis import optimal_q
 from repro.routing import SornRouter

@@ -8,7 +8,6 @@ model (:mod:`repro.analysis.queueing`).  The claim being verified is the
 then follows the model's hockey stick.
 """
 
-import pytest
 
 from repro.analysis import expected_circuit_wait_slots, optimal_q, sorn_throughput
 from repro.routing import SornRouter

@@ -6,11 +6,60 @@ ablation from DESIGN.md), times the computation via pytest-benchmark, and
 --benchmark-only -s | tee bench_output.txt`` records the reproduction
 alongside the timings.  Assertions pin the qualitative shape (who wins,
 by roughly what factor) — the pass/fail signal of the reproduction.
+
+Two suite-wide axes:
+
+- ``--engine {reference,vectorized,both}`` parametrizes every benchmark
+  that requests the ``engine`` fixture, so any simulation benchmark can
+  be timed under either simulator engine (default: both).
+- ``--smoke`` shrinks problem sizes and relaxes performance assertions
+  for CI smoke runs; the full-scale thresholds (e.g. the >= 5x speedup
+  gate in ``bench_flow_sim.py``) apply only without it.
+
+All collected benchmark items carry the ``bench`` marker (registered in
+``pyproject.toml``) so they can be selected or excluded with ``-m``.
 """
 
 import sys
 
 import pytest
+
+
+def pytest_addoption(parser):
+    """Register the benchmark suite's engine and smoke-scale options."""
+    parser.addoption(
+        "--engine",
+        action="store",
+        default="both",
+        choices=("reference", "vectorized", "both"),
+        help="simulator engine axis for benchmarks using the `engine` fixture",
+    )
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink benchmark scale for CI smoke runs (relaxed assertions)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize the ``engine`` fixture from the --engine option."""
+    if "engine" in metafunc.fixturenames:
+        choice = metafunc.config.getoption("--engine")
+        engines = ["reference", "vectorized"] if choice == "both" else [choice]
+        metafunc.parametrize("engine", engines)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tag every benchmark with the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
+@pytest.fixture
+def smoke(request):
+    """Whether --smoke was passed (CI-scale runs)."""
+    return request.config.getoption("--smoke")
 
 
 def emit(title, lines):

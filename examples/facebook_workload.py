@@ -59,7 +59,7 @@ def main():
     np.fill_diagonal(aggregate, 0.0)
     weighted = weighted_sorn_schedule(layout, q, aggregate, inter_slots=112)
     r_weighted = saturation_throughput(weighted, router, demand).throughput
-    print(f"\nSaturation throughput on the role-skewed matrix:")
+    print("\nSaturation throughput on the role-skewed matrix:")
     print(f"  uniform inter-clique bandwidth : {r_uniform:.4f}")
     print(f"  weighted (aggregate-matrix BvN): {r_weighted:.4f}  "
           f"(+{(r_weighted / r_uniform - 1):.0%})")
@@ -73,7 +73,7 @@ def main():
         ("ORN 1D (flat)", RoundRobinSchedule(N), VlbRouter(N)),
     ]
     reports = {}
-    print(f"\nFlow completion (load 0.3, pFabric web-search sizes, slots):")
+    print("\nFlow completion (load 0.3, pFabric web-search sizes, slots):")
     print(f"  {'system':<14} {'p50':>7} {'p99':>8} {'mean':>8}")
     for name, schedule, rtr in systems:
         rep = SlotSimulator(schedule, rtr, SimConfig(drain=True), rng=4).run(

@@ -64,7 +64,7 @@ def main():
               f"residual queued cells {tracer.points[-1].occupancy}")
 
     # --- synchronization domains ------------------------------------------------
-    print(f"\nSynchronization domains at 4096 racks:")
+    print("\nSynchronization domains at 4096 racks:")
     print(f"  flat schedule: every node shares one domain of "
           f"{flat_sync_domain_size(4096)}")
     for nc in (32, 64, 128):

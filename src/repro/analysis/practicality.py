@@ -13,7 +13,7 @@ distribution, so they apply uniformly to every scheme in the library.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 from ..errors import ConfigurationError
 from ..routing.base import Router

@@ -3,7 +3,7 @@
 Usage::
 
     sorn-repro table1 [--nodes 4096] [--locality 0.56]
-    sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate]
+    sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate] [--engine vectorized]
     sorn-repro pareto [--nodes 4096]
     sorn-repro design --nodes 128 --cliques 8 --locality 0.56
     sorn-repro adapt [--nodes 64] [--cliques 4] [--cycles 6]
@@ -28,11 +28,10 @@ from .analysis import (
     sorn_tradeoff_curve,
     table1,
 )
-from .core import AdaptationLoop, Sorn, SornDesign
+from .core import AdaptationLoop, Sorn
 from .sim.engine import SimConfig
 from .traffic import (
     FlowSizeDistribution,
-    WEB_SEARCH,
     Workload,
     clustered_matrix,
     facebook_cluster_matrix,
@@ -69,7 +68,11 @@ def _cmd_fig2f(args: argparse.Namespace) -> int:
             )
             flows = workload.generate(args.slots, rng=args.seed)
             report = sorn.simulate(
-                flows, args.slots, rng=args.seed, measure_from=args.slots // 2
+                flows,
+                args.slots,
+                config=SimConfig(engine=args.engine),
+                rng=args.seed,
+                measure_from=args.slots // 2,
             )
             line += f" {fluid:>8.4f} {report.window_throughput:>10.4f}"
         print(line)
@@ -142,7 +145,6 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
         hierarchical_optimal_q,
         hierarchical_throughput,
     )
-    from .hardware.timing import TABLE1_TIMING
 
     print(f"Hierarchical SORN family at N={args.nodes}, Nc={args.cliques}, "
           f"x={args.locality}:")
@@ -219,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--simulate", action="store_true")
     p.add_argument("--slots", type=int, default=3000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+        help="simulator engine for --simulate (identical results; "
+        "vectorized is the fast path)",
+    )
     p.set_defaults(func=_cmd_fig2f)
 
     p = sub.add_parser("pareto", help="latency-throughput tradeoff points")

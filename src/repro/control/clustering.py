@@ -11,7 +11,7 @@ verify it recovers planted clusterings exactly).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

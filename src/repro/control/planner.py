@@ -13,7 +13,7 @@ adaptation loop uses to decide whether an update is worth its disruption.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ as operators do).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ControlPlaneError
 from ..hardware.node import NodeState, ScheduleUpdateReport

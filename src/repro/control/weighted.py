@@ -23,7 +23,7 @@ permutations provide whenever the pair appears in some BvN term).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -26,7 +26,6 @@ from ..control.estimator import DemandEstimator
 from ..control.planner import UpdatePlan
 from ..errors import ControlPlaneError
 from ..traffic.matrix import TrafficMatrix
-from ..util import check_fraction
 from .sorn import Sorn
 
 __all__ = ["AdaptationDecision", "AdaptationLoop"]

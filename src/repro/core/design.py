@@ -10,7 +10,7 @@ inter-clique links entirely).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..analysis.throughput import optimal_q, sorn_throughput, sorn_throughput_bounds
 from ..errors import ConfigurationError

@@ -10,7 +10,6 @@ re-assembling formula calls.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from ..analysis.cost import normalized_bandwidth_cost, sorn_mean_hops
 from ..analysis.latency import sorn_delta_m_inter, sorn_delta_m_intra

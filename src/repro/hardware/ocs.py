@@ -11,7 +11,7 @@ against this layer gate what logical topologies a control plane may deploy.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

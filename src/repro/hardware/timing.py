@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
 
 from ..errors import ConfigurationError
 from ..util import check_positive_int

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -98,6 +98,60 @@ class Router(abc.ABC):
         probs = np.array([p for p, _ in options])
         index = gen.choice(len(options), p=probs / probs.sum())
         return options[index][1]
+
+    def paths_batch(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        rng: RngLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample one path per ``(srcs[i], dsts[i])`` pair, batched.
+
+        Returns ``(paths, lengths)``: ``paths`` is an int64 array of shape
+        ``(k, max_hops + 1)`` holding node sequences padded with ``-1``,
+        and ``lengths[i]`` is the number of valid nodes in row ``i``.
+
+        The contract every implementation must honor: calling
+        ``paths_batch(srcs, dsts, gen)`` consumes the generator stream
+        exactly as ``k`` successive ``path(srcs[i], dsts[i], gen)`` calls
+        would, and yields the identical paths.  This is what lets the
+        vectorized simulator engine reproduce the reference engine's
+        behavior bit-for-bit (see :mod:`repro.sim.vectorized`).  The
+        base implementation simply loops :meth:`path`; subclasses
+        override with array-level samplers (NumPy draws a batched
+        ``integers`` identically to repeated scalar draws).
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.shape != dsts.shape or srcs.ndim != 1:
+            raise RoutingError("srcs and dsts must be 1-D arrays of equal length")
+        k = srcs.size
+        width = self.max_hops + 1
+        paths = np.full((k, width), -1, dtype=np.int64)
+        lengths = np.empty(k, dtype=np.int64)
+        if k == 0:
+            return paths, lengths
+        gen = ensure_rng(rng)
+        for i in range(k):
+            nodes = self.path(int(srcs[i]), int(dsts[i]), gen).nodes
+            paths[i, : len(nodes)] = nodes
+            lengths[i] = len(nodes)
+        return paths, lengths
+
+    def _check_pairs_batch(self, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        """Vectorized :meth:`_check_pair` over pair arrays."""
+        n = self.num_nodes
+        if srcs.size == 0:
+            return
+        if (
+            srcs.min() < 0
+            or dsts.min() < 0
+            or srcs.max() >= n
+            or dsts.max() >= n
+        ):
+            raise RoutingError(f"pair batch references nodes outside [0, {n})")
+        if (srcs == dsts).any():
+            raise RoutingError("src and dst must differ")
 
     def expected_hops(self, src: int, dst: int) -> float:
         """Mean hop count for the pair under the path distribution."""

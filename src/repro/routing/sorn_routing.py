@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from ..errors import RoutingError
 from ..topology.cliques import CliqueLayout
 from ..util import ensure_rng
@@ -43,6 +45,10 @@ class SornRouter(Router):
         if not layout.is_equal_sized:
             raise RoutingError("SornRouter requires equal-sized cliques")
         self.layout = layout
+        # Array mirrors of the layout for the batched sampler.
+        self._clique_arr = layout.assignment()
+        self._pos_arr = layout.positions()
+        self._member_mat = layout.member_matrix()
 
     @property
     def num_nodes(self) -> int:
@@ -119,6 +125,61 @@ class SornRouter(Router):
         if entry != dst:
             nodes.append(dst)
         return Path(tuple(nodes))
+
+    def paths_batch(self, srcs, dsts, rng=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized sampler over mixed intra/inter pair batches.
+
+        One broadcast ``integers`` draw covers the whole batch (bound
+        ``S - 1`` for intra pairs, ``S`` for inter pairs), which NumPy
+        generates stream-identically to the per-pair scalar draws in
+        :meth:`path` — so batched and sequential sampling agree exactly,
+        not just in distribution.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        self._check_pairs_batch(srcs, dsts)
+        k = srcs.size
+        width = self.max_hops + 1
+        if k == 0:
+            return np.full((k, width), -1, dtype=np.int64), np.empty(k, dtype=np.int64)
+        gen = ensure_rng(rng)
+        members = self._member_mat
+        size = members.shape[1]
+        c_src = self._clique_arr[srcs]
+        c_dst = self._clique_arr[dsts]
+        intra = c_src == c_dst
+        if size < 2 and intra.any():
+            raise RoutingError("intra-clique pair in a singleton clique")
+        draw = gen.integers(0, np.where(intra, max(size - 1, 1), size))
+        # Intra: uniform clique-mate != src, in member order (dst draw =>
+        # direct).  Inter: uniform clique-mate (src draw => skip LB hop).
+        adj = draw + (draw >= self._pos_arr[srcs])
+        mid = np.where(intra, members[c_src, np.minimum(adj, size - 1)],
+                       members[c_src, draw])
+        entry = members[c_dst, self._pos_arr[mid]]
+        rows = np.arange(k)
+        scratch = np.full((k, max(width, 4)), -1, dtype=np.int64)
+        scratch[:, 0] = srcs
+        lengths = np.empty(k, dtype=np.int64)
+        # Intra rows: [src, dst] or [src, mid, dst].
+        direct = mid == dsts
+        i_intra = rows[intra]
+        scratch[i_intra, 1] = np.where(direct[intra], dsts[intra], mid[intra])
+        i_three = rows[intra & ~direct]
+        scratch[i_three, 2] = dsts[i_three]
+        lengths[intra] = np.where(direct[intra], 2, 3)
+        # Inter rows: [src, mid?, entry, dst?] with the LB hop skipped when
+        # the draw hits src and the final hop skipped when entry == dst.
+        inter = ~intra
+        has_mid = inter & (mid != srcs)
+        has_dst = inter & (entry != dsts)
+        entry_col = 1 + has_mid.astype(np.int64)
+        scratch[rows[has_mid], 1] = mid[has_mid]
+        scratch[rows[inter], entry_col[inter]] = entry[inter]
+        i_dst = rows[has_dst]
+        scratch[i_dst, entry_col[has_dst] + 1] = dsts[has_dst]
+        lengths[inter] = 2 + has_mid[inter] + has_dst[inter]
+        return scratch[:, :width], lengths
 
     def expected_hops(self, src: int, dst: int) -> float:
         """Closed forms.

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from ..util import check_positive_int, ensure_rng
 from .base import Path, Router
 
@@ -55,6 +57,27 @@ class VlbRouter(Router):
         if mid == dst:
             return Path((src, dst))
         return Path((src, mid, dst))
+
+    def paths_batch(self, srcs, dsts, rng=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized sampler: one batched intermediate draw for the whole
+        pair list, stream-identical to repeated :meth:`path` calls."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        self._check_pairs_batch(srcs, dsts)
+        k = srcs.size
+        paths = np.full((k, 3), -1, dtype=np.int64)
+        lengths = np.empty(k, dtype=np.int64)
+        if k == 0:
+            return paths, lengths
+        gen = ensure_rng(rng)
+        mid = gen.integers(self._num_nodes - 1, size=k)
+        mid = np.where(mid >= srcs, mid + 1, mid)  # uniform over nodes != src
+        direct = mid == dsts
+        paths[:, 0] = srcs
+        paths[:, 1] = np.where(direct, dsts, mid)
+        paths[:, 2] = np.where(direct, -1, dsts)
+        lengths[:] = np.where(direct, 2, 3)
+        return paths, lengths
 
     def expected_hops(self, src: int, dst: int) -> float:
         """Closed form: 2 - 1/(N-1) (direct when the intermediate is dst)."""

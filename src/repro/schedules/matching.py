@@ -8,7 +8,7 @@ matchings arise in Opera-style schedules while a rotor reconfigures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -33,6 +33,8 @@ class CircuitSchedule(abc.ABC):
         self._period = check_positive_int(period, "period")
         self._num_planes = check_positive_int(num_planes, "num_planes")
         self._row_cache: Dict[int, np.ndarray] = {}
+        self._dest_table: Optional[np.ndarray] = None
+        self._active_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
 
     # -- core interface ------------------------------------------------------
 
@@ -117,6 +119,54 @@ class CircuitSchedule(abc.ABC):
             row.setflags(write=False)
             self._row_cache[src] = row
         return row
+
+    def dest_table(self) -> np.ndarray:
+        """Dense destination table ``T[t, p, src] -> dst`` (-1 = idle).
+
+        Shape ``(period, num_planes, num_nodes)``; plane ``p``'s row at
+        slot ``t`` is the base matching at ``(t + plane_offset(p)) %
+        period``.  Built once and cached on the schedule instance (shared
+        by every consumer), so :meth:`plane_matching` callers are
+        untouched while array-level consumers — the vectorized simulator
+        engine above all — skip per-slot :class:`Matching` construction
+        entirely.  The returned array is read-only.
+        """
+        if self._dest_table is None:
+            base = np.stack(
+                [self.matching(t).dst for t in range(self._period)]
+            )
+            slots = np.arange(self._period)
+            table = np.stack(
+                [
+                    base[(slots + self.plane_offset(p)) % self._period]
+                    for p in range(self._num_planes)
+                ],
+                axis=1,
+            )
+            table.setflags(write=False)
+            self._dest_table = table
+        return self._dest_table
+
+    def active_circuits(self, slot: int, plane: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """Active ``(srcs, dsts)`` arrays at *slot* on *plane*, in source
+        order — the array counterpart of ``plane_matching(...).pairs()``.
+
+        Memoized per ``(slot % period, plane)`` on top of
+        :meth:`dest_table`; both returned arrays are read-only.
+        """
+        if not 0 <= plane < self._num_planes:
+            raise ScheduleError(f"plane {plane} out of range [0, {self._num_planes})")
+        key = (slot % self._period, plane)
+        hit = self._active_cache.get(key)
+        if hit is None:
+            row = self.dest_table()[key[0], plane]
+            srcs = np.nonzero(row >= 0)[0]
+            dsts = row[srcs]
+            srcs.setflags(write=False)
+            dsts.setflags(write=False)
+            hit = (srcs, dsts)
+            self._active_cache[key] = hit
+        return hit
 
     def circuit_slots(self, src: int, dst: int) -> np.ndarray:
         """Sorted base-plane slot indices (one period) where src -> dst is up."""

@@ -13,7 +13,7 @@ of paper section 5.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -13,19 +13,22 @@ Two complementary evaluation tools:
 """
 
 from .flows import Cell, FlowState
-from .network import SimNetwork
+from .network import ArrayVoqState, SimNetwork
 from .engine import SlotSimulator, SimConfig
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
 from .failures import FailedNodeSchedule, split_casualties
 from .tracing import TracePoint, TraceRecorder
+from .vectorized import VectorizedEngine
 
 __all__ = [
     "Cell",
     "FlowState",
     "SimNetwork",
+    "ArrayVoqState",
     "SlotSimulator",
     "SimConfig",
+    "VectorizedEngine",
     "SimReport",
     "percentile",
     "FluidResult",

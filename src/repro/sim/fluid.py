@@ -16,7 +16,7 @@ at ``1/((1-x)(q+1))``; with ``q = 2/(1-x)`` both meet at ``1/(3-x)``
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

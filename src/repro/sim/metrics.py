@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -156,6 +156,65 @@ class SimReport:
             fct_slots=sorted(fct),
             completed_flows=len(fct),
             total_flows=len(flows),
+            max_voq=max_voq,
+            mean_occupancy=mean_occupancy,
+            window_start=window_start,
+            window_delivered=window_delivered,
+            short_fct_slots=sorted(short_fct),
+            bulk_fct_slots=sorted(bulk_fct),
+        )
+
+    @classmethod
+    def from_flow_arrays(
+        cls,
+        sizes: np.ndarray,
+        arrivals: np.ndarray,
+        injected: np.ndarray,
+        delivered: np.ndarray,
+        completion: np.ndarray,
+        hop_totals: np.ndarray,
+        *,
+        num_nodes: int,
+        duration_slots: int,
+        max_voq: int,
+        mean_occupancy: float,
+        window_start: int = 0,
+        window_delivered: int = 0,
+        short_threshold_cells: int = 0,
+    ) -> "SimReport":
+        """Aggregate per-flow *arrays* into a report.
+
+        Engine-agnostic counterpart of :meth:`from_flows` for array-based
+        engines (see :mod:`repro.sim.vectorized`): each argument is one
+        value per flow, index-aligned, with ``completion`` holding the
+        completion slot or ``-1`` for unfinished flows.  Produces a
+        report identical to :meth:`from_flows` fed the equivalent
+        :class:`FlowState` objects.
+        """
+        sizes = np.asarray(sizes)
+        completion = np.asarray(completion)
+        arrivals = np.asarray(arrivals)
+        done = completion >= 0
+        fct_all = completion[done] - arrivals[done] + 1
+        size_done = sizes[done]
+        short_fct: List[int] = []
+        bulk_fct: List[int] = []
+        if short_threshold_cells > 0:
+            short_mask = size_done <= short_threshold_cells
+            short_fct = [int(v) for v in fct_all[short_mask]]
+            bulk_fct = [int(v) for v in fct_all[~short_mask]]
+        delivered_total = int(np.asarray(delivered).sum())
+        hop_total = int(np.asarray(hop_totals).sum())
+        return cls(
+            num_nodes=num_nodes,
+            duration_slots=duration_slots,
+            offered_cells=int(sizes.sum()),
+            injected_cells=int(np.asarray(injected).sum()),
+            delivered_cells=delivered_total,
+            mean_hops=hop_total / delivered_total if delivered_total else 0.0,
+            fct_slots=sorted(int(v) for v in fct_all),
+            completed_flows=int(done.sum()),
+            total_flows=int(sizes.size),
             max_voq=max_voq,
             mean_occupancy=mean_occupancy,
             window_start=window_start,

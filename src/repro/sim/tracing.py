@@ -5,18 +5,23 @@ a simulation runs: total queue occupancy, cells delivered per interval,
 and the maximum single VOQ.  Used to visualize warmup/convergence (see
 ``examples``), to verify steady state is actually reached before a
 measurement window opens, and to detect queue blow-up under overload.
+
+The recorder is engine-agnostic: it reads fabric state only through the
+``total_occupancy`` property and ``max_voq_length()`` method, which both
+:class:`repro.sim.network.SimNetwork` (reference engine) and
+:class:`repro.sim.network.ArrayVoqState` (vectorized engine) provide, so
+identical runs under either engine produce identical traces.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..util import check_positive_int
-from .network import SimNetwork
 
 __all__ = ["TracePoint", "TraceRecorder"]
 
@@ -41,8 +46,12 @@ class TraceRecorder:
         self.stride = check_positive_int(stride, "stride")
         self.points: List[TracePoint] = []
 
-    def record(self, slot: int, network: SimNetwork, delivered_cumulative: int) -> None:
-        """Engine callback; samples on the stride grid."""
+    def record(self, slot: int, network, delivered_cumulative: int) -> None:
+        """Engine callback; samples on the stride grid.
+
+        *network* is any fabric-state view exposing ``total_occupancy``
+        and ``max_voq_length()`` (see the module docstring).
+        """
         if slot % self.stride != 0:
             return
         self.points.append(

@@ -1,0 +1,416 @@
+"""Vectorized fast path for the slot simulator.
+
+The reference engine (:class:`repro.sim.engine.SlotSimulator`) walks
+Python ``Cell`` objects through per-neighbor deques one at a time, which
+is exact but makes the Fig 2f configuration (128 nodes, 8 cliques,
+real-world traffic) the wall-clock ceiling of the whole benchmark suite.
+This module re-implements the identical slot dynamics with the per-cell
+object machinery stripped out:
+
+- cell state lives in flat id-indexed tables (source-route list, hop
+  cursor, owning flow) instead of per-cell ``Cell`` objects, and the
+  per-flow ledgers (injected/delivered/completion) are plain arrays
+  finalized through :meth:`repro.sim.metrics.SimReport.from_flow_arrays`;
+- path sampling is batched through
+  :meth:`repro.routing.base.Router.paths_batch`, whose contract guarantees
+  the RNG stream is consumed exactly as per-cell ``path()`` calls would.
+  When the full draw order is known up front (per-flow mode, or per-cell
+  mode without an injection window) the *entire run* is sampled in one
+  call before the clock starts; only per-cell windowed runs — whose
+  refill draws depend on delivery timing — sample per slot;
+- per-slot matchings come from the schedule's precomputed dense
+  destination table (:meth:`repro.schedules.schedule.CircuitSchedule.
+  dest_table`) and are cached as circuit pair lists per
+  (slot-in-period, plane) rather than rebuilt as ``Matching`` objects
+  every slot;
+- VOQ occupancy counters are a dense ``(N, N)`` NumPy matrix
+  (:class:`repro.sim.network.ArrayVoqState`) updated in one batch per
+  slot, so the per-slot max-VOQ / occupancy statistics are array
+  reductions instead of fabric-wide scans over every deque — the second
+  hottest loop of the reference engine at scale.
+
+One part intentionally stays sequential: the per-plane drain processes
+circuits one at a time in source order, forwarding each transmitted cell
+immediately.  That is not an implementation convenience — the reference
+semantics allow a cell forwarded by one circuit to be drained by a
+*later* circuit of the same plane matching (a same-slot multi-hop
+cascade), and any "pop everything, then forward" batching changes
+delivery timing.  The sequential part touches only deque pops and list
+indexing; all counter arithmetic stays deferred and batched.
+
+**Exactness contract.**  Given the same (schedule, router, config, rng
+seed, workload), the vectorized engine reproduces the reference engine's
+:class:`repro.sim.metrics.SimReport` and
+:class:`repro.sim.tracing.TraceRecorder` series *exactly* — same
+delivered counts, same FCT multiset, same queue traces — because it
+preserves (a) the RNG draw order, (b) per-VOQ FIFO order within each
+strict-priority lane, and (c) the intra-slot ordering (arrivals, planes
+in order, circuits in source order with immediate forwarding, windowed
+refills in delivery order).  ``tests/sim/test_vectorized.py`` enforces
+this differentially.
+
+Select it with ``SimConfig(engine="vectorized")``; the object engine
+remains the reference implementation and the default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..routing.base import Router
+from ..schedules.schedule import CircuitSchedule
+from ..traffic.workload import FlowSpec
+from .metrics import SimReport
+from .network import ArrayVoqState
+
+__all__ = ["VectorizedEngine"]
+
+
+class _ActivePairs:
+    """Per-(slot-in-period, plane) active circuit endpoint lists.
+
+    Materialized lazily from the schedule's dense destination table as a
+    pair of plain int lists (sources, destinations) in source order —
+    indexed side by side by the drain loop, which avoids allocating a
+    tuple per circuit per slot when the schedule period exceeds the run
+    length (every lookup a cache miss).
+    """
+
+    def __init__(self, schedule: CircuitSchedule):
+        self._schedule = schedule
+        self._cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = {}
+
+    def get(self, slot: int, plane: int) -> Tuple[List[int], List[int]]:
+        """Active circuit (sources, destinations) at *slot* on *plane*."""
+        key = (slot % self._schedule.period, plane)
+        pairs = self._cache.get(key)
+        if pairs is None:
+            srcs, dsts = self._schedule.active_circuits(key[0], plane)
+            pairs = (srcs.tolist(), dsts.tolist())
+            self._cache[key] = pairs
+        return pairs
+
+
+class VectorizedEngine:
+    """Array-based engine behind ``SimConfig(engine="vectorized")``.
+
+    Construct with the same (schedule, router, config, rng) quadruple as
+    :class:`repro.sim.engine.SlotSimulator`; :meth:`run` mirrors the
+    reference engine's semantics exactly (see the module docstring for
+    the equivalence argument).  Not instantiated directly in normal use —
+    ``SlotSimulator.run`` dispatches here based on the config.
+    """
+
+    def __init__(
+        self,
+        schedule: CircuitSchedule,
+        router: Router,
+        config,
+        rng: np.random.Generator,
+    ):
+        self.schedule = schedule
+        self.router = router
+        self.config = config
+        self.rng = rng
+
+    def run(
+        self,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int = 0,
+        tracer=None,
+    ) -> SimReport:
+        """Run the workload; argument semantics match the reference
+        :meth:`repro.sim.engine.SlotSimulator.run` exactly."""
+        config = self.config
+        router = self.router
+        rng = self.rng
+        num_flows = len(flows)
+        num_nodes = self.schedule.num_nodes
+
+        src_arr = np.fromiter((f.src for f in flows), dtype=np.int64, count=num_flows)
+        dst_arr = np.fromiter((f.dst for f in flows), dtype=np.int64, count=num_flows)
+        sizes_l: List[int] = [f.size_cells for f in flows]
+        arrival_l: List[int] = [f.arrival_slot for f in flows]
+
+        # Per-flow ledgers (indexed by flow position, finalized at the end).
+        inj: List[int] = [0] * num_flows
+        dcount: List[int] = [0] * num_flows
+        hoptot: List[int] = [0] * num_flows
+        completion: List[int] = [-1] * num_flows
+
+        short_threshold = config.short_flow_threshold_cells
+        num_lanes = 2 if short_threshold is None else 4
+        short_l: Optional[List[bool]] = None
+        if short_threshold is not None:
+            short_l = [s <= short_threshold for s in sizes_l]
+
+        per_flow = config.per_flow_paths
+        flow_path: List[Optional[List[int]]] = [None] * num_flows
+        flow_plen: List[int] = [0] * num_flows
+
+        # Cell tables: id-indexed source route (full paths_batch row, -1
+        # padded), route length, hop cursor, owning flow.
+        cpath: List[List[int]] = []
+        cplen: List[int] = []
+        chop: List[int] = []
+        cfid: List[int] = []
+
+        network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
+        voqs = network.voqs
+        qlen = network.qlen
+        active = _ActivePairs(self.schedule)
+        self.schedule.dest_table()  # build the shared dense table up front
+
+        window = config.injection_window
+        budget = config.cells_per_circuit
+        num_planes = self.schedule.num_planes
+        occupancy_sum = 0
+        max_voq = 0
+        window_delivered = 0
+        delivered_running = 0
+        partial_flows = 0  # flows mid-injection (windowed drain criterion)
+        slot = 0
+        horizon = duration_slots
+
+        # --- Path presampling -------------------------------------------
+        # The reference engine touches the RNG only when sampling paths:
+        # in per-flow mode at each flow's first injection (arrival order),
+        # and in per-cell mode at every injection.  Without an injection
+        # window there are no refills, so the full draw sequence is known
+        # before the clock starts and one paths_batch call replaces
+        # hundreds of per-slot calls.  Only per-cell *windowed* runs
+        # interleave refill draws with arrivals and must sample per slot.
+        cell_rows: Optional[List[List[int]]] = None
+        cell_lens: List[int] = []
+        order_l: List[int] = []  # owning flow per presampled cell
+        slot_end: List[int] = []  # presample cursor position after each slot
+        arr_u = arr_v = None  # presampled first-hop columns (counter scatter)
+        cursor = 0
+        if per_flow or window is None:
+            arr_np = np.asarray(arrival_l, dtype=np.int64)
+            sz_np = np.asarray(sizes_l, dtype=np.int64)
+            # Reference never samples flows that miss the run entirely.
+            fl = np.flatnonzero(arr_np < duration_slots)
+            # Stable sort by arrival slot == reference injection order
+            # (flow index order within a slot).
+            ordflows = fl[np.argsort(arr_np[fl], kind="stable")]
+            if per_flow:
+                if ordflows.size:
+                    paths, lengths = router.paths_batch(
+                        src_arr[ordflows], dst_arr[ordflows], rng
+                    )
+                    for f, row, ln in zip(
+                        ordflows.tolist(), paths.tolist(), lengths.tolist()
+                    ):
+                        flow_path[f] = row
+                        flow_plen[f] = ln
+            else:
+                order = np.repeat(ordflows, sz_np[ordflows])
+                cell_rows = []
+                if order.size:
+                    paths, lengths = router.paths_batch(
+                        src_arr[order], dst_arr[order], rng
+                    )
+                    cell_rows = paths.tolist()
+                    cell_lens = lengths.tolist()
+                    arr_u = paths[:, 0]
+                    arr_v = paths[:, 1]
+                    order_l = order.tolist()
+                counts = np.zeros(duration_slots, dtype=np.int64)
+                np.add.at(counts, arr_np[fl], sz_np[fl])
+                slot_end = np.cumsum(counts).tolist()
+                # No windows: every in-run flow injects its full size on
+                # arrival, so the ledger is known up front and the per-slot
+                # arrival loop reduces to consuming the presampled block.
+                inj = np.where(arr_np < duration_slots, sz_np, 0).tolist()
+
+        arrivals: Dict[int, List[int]] = {}
+        if cell_rows is None:  # per-slot arrival loop still needed
+            for i, spec in enumerate(flows):
+                arrivals.setdefault(spec.arrival_slot, []).append(i)
+
+        def enqueue_new(fidx: List[int], rows, lens) -> None:
+            # Bulk-extend the cell tables and append the fresh ids to the
+            # injection lanes (counters are scattered by the caller).
+            base = len(cfid)
+            cfid.extend(fidx)
+            cpath.extend(rows)
+            cplen.extend(lens)
+            chop.extend([0] * len(fidx))
+            if short_l is None:
+                for cid, p in enumerate(rows, base):
+                    vr = voqs[p[0]]
+                    voq = vr[p[1]]
+                    if voq is None:
+                        voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
+                    voq[1].append(cid)
+            else:
+                for cid, f, p in zip(range(base, base + len(fidx)), fidx, rows):
+                    vr = voqs[p[0]]
+                    voq = vr[p[1]]
+                    if voq is None:
+                        voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
+                    voq[1 if short_l[f] else 3].append(cid)
+
+        def inject(fidx: List[int]) -> None:
+            # Per-slot injection for whichever mode applies.  RNG order is
+            # identical to sequential path() calls per the paths_batch
+            # contract / the presampling argument above.
+            if per_flow:
+                rows = [flow_path[f] for f in fidx]
+                lens = [flow_plen[f] for f in fidx]
+                network.add_cells([p[0] for p in rows], [p[1] for p in rows])
+            else:
+                fa = np.asarray(fidx, dtype=np.int64)
+                paths, lengths = router.paths_batch(src_arr[fa], dst_arr[fa], rng)
+                rows = paths.tolist()
+                lens = lengths.tolist()
+                network.add_cells(paths[:, 0], paths[:, 1])
+            enqueue_new(fidx, rows, lens)
+
+        while True:
+            # Per-slot counter deltas, batch-applied before stats sampling:
+            # forwarded-cell enqueues and per-circuit drain counts.
+            enq_u: List[int] = []
+            enq_v: List[int] = []
+            circ_s: List[int] = []
+            circ_d: List[int] = []
+            circ_n: List[int] = []
+
+            if slot < duration_slots:
+                if cell_rows is not None:
+                    # Per-cell, no window: the arrival batch IS the next
+                    # presampled block (ledger set during presampling).
+                    end = slot_end[slot]
+                    if end > cursor:
+                        network.add_cells(arr_u[cursor:end], arr_v[cursor:end])
+                        enqueue_new(
+                            order_l[cursor:end],
+                            cell_rows[cursor:end],
+                            cell_lens[cursor:end],
+                        )
+                        cursor = end
+                else:
+                    batch: List[int] = []
+                    for f in arrivals.get(slot, ()):  # new arrivals
+                        sz = sizes_l[f]
+                        quota = sz if window is None else min(window, sz)
+                        inj[f] = quota
+                        if quota < sz:
+                            partial_flows += 1
+                        batch.extend([f] * quota)
+                    if batch:
+                        inject(batch)
+
+            # One matching per plane; circuits drain their VOQs in source
+            # order with immediate forwarding, so same-plane cascades
+            # behave exactly as in the reference engine.
+            delivered_seq: List[int] = []
+            for plane in range(num_planes):
+                src_list, dst_list = active.get(slot, plane)
+                for i, s in enumerate(src_list):
+                    d = dst_list[i]
+                    lanes = voqs[s][d]
+                    if lanes is None:
+                        continue
+                    got = 0
+                    for lane_q in lanes:
+                        while lane_q and got < budget:
+                            cid = lane_q.popleft()
+                            got += 1
+                            p = cpath[cid]
+                            h = chop[cid]
+                            f = cfid[cid]
+                            if h == cplen[cid] - 2:
+                                dc = dcount[f] + 1
+                                dcount[f] = dc
+                                hoptot[f] += cplen[cid] - 1
+                                if dc == sizes_l[f]:
+                                    completion[f] = slot
+                                delivered_running += 1
+                                if slot >= measure_from:
+                                    window_delivered += 1
+                                if window is not None:
+                                    delivered_seq.append(f)
+                            else:
+                                h += 1
+                                chop[cid] = h
+                                u = p[h]
+                                v = p[h + 1]
+                                vr = voqs[u]
+                                voq = vr[v]
+                                if voq is None:
+                                    voq = vr[v] = [
+                                        deque() for _ in range(num_lanes)
+                                    ]
+                                lane = (
+                                    0
+                                    if short_l is None or short_l[f]
+                                    else 2
+                                )
+                                voq[lane].append(cid)
+                                enq_u.append(u)
+                                enq_v.append(v)
+                        if got >= budget:
+                            break
+                    if got:
+                        circ_s.append(s)
+                        circ_d.append(d)
+                        circ_n.append(got)
+
+            # Windowed flows refill as their cells deliver.
+            if window is not None and delivered_seq:
+                refill: List[int] = []
+                for f in delivered_seq:
+                    x = inj[f]
+                    if x < sizes_l[f]:
+                        x += 1
+                        inj[f] = x
+                        if x == sizes_l[f]:
+                            partial_flows -= 1
+                        refill.append(f)
+                if refill:
+                    inject(refill)
+
+            if circ_s:
+                network.drain_circuits(
+                    circ_s, circ_d, np.asarray(circ_n, dtype=np.int64)
+                )
+            if enq_u:
+                network.add_cells(enq_u, enq_v)
+            occupancy_sum += network.total_occupancy
+            voq_now = int(qlen.max())
+            if voq_now > max_voq:
+                max_voq = voq_now
+            if tracer is not None:
+                tracer.record(slot, network, delivered_running)
+
+            slot += 1
+            if slot >= duration_slots:
+                pending = network.total_occupancy > 0 or partial_flows > 0
+                if not (config.drain and pending):
+                    horizon = slot
+                    break
+                if slot >= duration_slots + config.max_drain_slots:
+                    horizon = slot
+                    break
+
+        return SimReport.from_flow_arrays(
+            np.asarray(sizes_l, dtype=np.int64),
+            np.asarray(arrival_l, dtype=np.int64),
+            np.asarray(inj, dtype=np.int64),
+            np.asarray(dcount, dtype=np.int64),
+            np.asarray(completion, dtype=np.int64),
+            np.asarray(hoptot, dtype=np.int64),
+            num_nodes=num_nodes,
+            duration_slots=horizon,
+            max_voq=max_voq,
+            mean_occupancy=occupancy_sum / horizon if horizon else 0.0,
+            window_start=measure_from,
+            window_delivered=window_delivered,
+            short_threshold_cells=config.report_threshold_cells,
+        )

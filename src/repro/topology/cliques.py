@@ -13,7 +13,7 @@ clique determines which inter-clique circuits it participates in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -142,6 +142,22 @@ class CliqueLayout:
     def assignment(self) -> np.ndarray:
         """Per-node clique-id array."""
         return self._clique_of.copy()
+
+    def positions(self) -> np.ndarray:
+        """Per-node within-clique position array (bulk
+        :meth:`position_of`, used by vectorized routing)."""
+        return self._position_of.copy()
+
+    def member_matrix(self) -> np.ndarray:
+        """Ordered members as a ``(num_cliques, clique_size)`` array.
+
+        Row ``c`` is ``members(c)``; requires equal-sized cliques.  The
+        array form lets routers resolve ``node_at(clique, position)`` for
+        whole batches at once.
+        """
+        if not self.is_equal_sized:
+            raise ConfigurationError("layout has unequal clique sizes")
+        return np.array(self._groups, dtype=np.int64)
 
     def same_clique(self, a: int, b: int) -> bool:
         """Whether nodes *a* and *b* share a clique."""

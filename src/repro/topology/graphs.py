@@ -6,7 +6,7 @@ the paper's vocabulary (diameter, bisection bandwidth, expansion).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import networkx as nx
 import numpy as np

@@ -9,7 +9,7 @@ queries the routing and analysis layers need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 import numpy as np

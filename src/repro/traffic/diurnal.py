@@ -12,7 +12,7 @@ optionally with multiplicative noise on top.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

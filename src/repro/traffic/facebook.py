@@ -17,7 +17,7 @@ cliques, and an overall locality ratio calibrated to a target (default
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ uniformly across the rest of the network.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

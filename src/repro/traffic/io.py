@@ -9,7 +9,6 @@ dumb — diffable, editable, loadable by any tool.
 from __future__ import annotations
 
 import csv
-import io
 import pathlib
 from typing import List, Sequence, Union
 

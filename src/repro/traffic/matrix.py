@@ -11,7 +11,6 @@ sub-stochastic condition.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

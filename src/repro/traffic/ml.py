@@ -17,7 +17,7 @@ placement experiments can compare clique-aligned vs scattered assignment.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -10,12 +10,12 @@ simulator stays unit-free; :attr:`cell_bytes` records the conversion.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ..errors import TrafficError
-from ..util import check_fraction, check_positive_int, ensure_rng, RngLike
+from ..util import check_positive_int, ensure_rng, RngLike
 from .flowsize import FlowSizeDistribution
 from .matrix import TrafficMatrix
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import SystemRow, format_table, table1
+from repro.analysis import format_table, table1
 from repro.errors import ConfigurationError
 
 

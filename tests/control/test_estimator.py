@@ -1,6 +1,5 @@
 """Demand and locality estimation."""
 
-import numpy as np
 import pytest
 
 from repro.control import DemandEstimator, LocalityEstimator

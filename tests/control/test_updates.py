@@ -55,7 +55,6 @@ class TestMixedStateCollisions:
         q=1 and the reversed-slot variant share period; rotating the slot
         order changes which matching each slot carries.
         """
-        from repro.schedules import ExplicitSchedule
 
         old = build_sorn_schedule(8, 2, q=3).materialize()
         new = old.rotated(1)

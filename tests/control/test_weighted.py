@@ -10,7 +10,7 @@ from repro.routing import SornRouter
 from repro.schedules import Matching, build_sorn_schedule
 from repro.sim import saturation_throughput
 from repro.topology import CliqueLayout
-from repro.traffic import TrafficMatrix, clustered_matrix
+from repro.traffic import TrafficMatrix
 
 
 def circulant_weights(nc, heavy=3.0):
@@ -26,7 +26,6 @@ def circulant_weights(nc, heavy=3.0):
 def skewed_clustered_matrix(layout, x, heavy=3.0):
     """Clustered demand whose inter share follows the circulant weights."""
     nc = layout.num_cliques
-    size = layout.clique_size
     weights = circulant_weights(nc, heavy)
     rates = np.zeros((layout.num_nodes, layout.num_nodes))
     for c in range(nc):

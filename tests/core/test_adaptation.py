@@ -1,6 +1,5 @@
 """AdaptationLoop: the periodic semi-oblivious control cycle."""
 
-import numpy as np
 import pytest
 
 from repro.core import AdaptationLoop, Sorn
@@ -25,7 +24,7 @@ class TestStep:
     def test_stable_demand_no_churn(self):
         loop = make_loop(x0=0.56, recluster=False)
         matrix = clustered_matrix(loop.deployment.layout, 0.56)
-        first = loop.step(matrix)
+        loop.step(matrix)
         second = loop.step(matrix)
         assert not second.applied
         assert loop.updates_applied <= 1

@@ -1,6 +1,5 @@
 """NodeState: per-node schedule table + VOQs and update semantics (Fig 2c)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import HardwareModelError

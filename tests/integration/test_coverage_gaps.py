@@ -1,9 +1,7 @@
 """Cross-module checks for corners the focused suites do not reach."""
 
-import numpy as np
-import pytest
 
-from repro.routing import OperaRouter, VlbRouter
+from repro.routing import OperaRouter
 from repro.schedules import (
     ExpanderSchedule,
     Matching,
@@ -68,7 +66,6 @@ class TestScheduleRepr:
         assert "num_nodes=8" in repr(RoundRobinSchedule(8))
         from repro.schedules import build_sorn_schedule
         from repro.topology import CliqueLayout
-        from repro.traffic import TrafficMatrix
 
         assert "Nc=2" in repr(build_sorn_schedule(8, 2, q=2))
         assert "num_cliques=2" in repr(CliqueLayout.equal(8, 2))
@@ -88,9 +85,3 @@ class TestVersionMetadata:
 
     def test_public_api_surface(self):
         """The names README leads with are importable from the root."""
-        from repro import (  # noqa: F401
-            AdaptationLoop,
-            Sorn,
-            SornDesign,
-            SornModel,
-        )

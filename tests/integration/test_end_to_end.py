@@ -1,7 +1,6 @@
 """Cross-module integration: control plane -> schedule -> hardware -> sim."""
 
 import numpy as np
-import pytest
 
 from repro.control import (
     UpdateCampaign,
@@ -13,7 +12,7 @@ from repro.control import (
 from repro.core import AdaptationLoop, Sorn
 from repro.hardware.awgr import Awgr
 from repro.routing import SornRouter, VlbRouter
-from repro.schedules import build_sorn_schedule, compile_wavelength_program
+from repro.schedules import build_sorn_schedule
 from repro.sim import SimConfig, SlotSimulator, saturation_throughput
 from repro.topology import CliqueLayout, LogicalTopology
 from repro.traffic import (

@@ -13,8 +13,10 @@ from repro.analysis import optimal_q, sorn_throughput
 from repro.core import Sorn
 from repro.routing import SornRouter
 from repro.schedules import build_sorn_schedule
-from repro.sim import SlotSimulator, saturation_throughput
+from repro.sim import SlotSimulator
 from repro.traffic import FlowSizeDistribution, WEB_SEARCH, Workload, clustered_matrix
+
+pytestmark = pytest.mark.slow
 
 
 class TestTheoreticalCurve:

@@ -11,15 +11,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis import (
     optimal_q,
-    sorn_delta_m_inter,
     sorn_delta_m_intra,
     sorn_throughput,
     sorn_throughput_bounds,
 )
 from repro.core import Sorn, SornDesign
-from repro.routing import SornRouter, timed_sorn_route
+from repro.routing import timed_sorn_route
 from repro.schedules import build_sorn_schedule
-from repro.sim import saturation_throughput
 from repro.topology import CliqueLayout, LogicalTopology
 from repro.traffic import clustered_matrix
 

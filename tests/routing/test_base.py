@@ -1,6 +1,5 @@
 """Path value type and Router distribution contracts."""
 
-import numpy as np
 import pytest
 
 from repro.errors import RoutingError

@@ -7,7 +7,7 @@ from repro.analysis import (
     hierarchical_throughput,
 )
 from repro.routing import HierarchicalSornRouter, SornRouter
-from repro.schedules import HierarchicalSornSchedule, build_sorn_schedule
+from repro.schedules import HierarchicalSornSchedule
 from repro.sim import saturation_throughput
 from repro.topology import CliqueLayout
 from repro.traffic import clustered_matrix

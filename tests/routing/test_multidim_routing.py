@@ -1,6 +1,5 @@
 """2h-hop VLB routing for multidimensional ORNs."""
 
-import numpy as np
 import pytest
 
 from repro.errors import RoutingError

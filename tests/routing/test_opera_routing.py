@@ -1,6 +1,5 @@
 """Opera split routing: expander short flows + VLB bulk."""
 
-import numpy as np
 import pytest
 
 from repro.routing import OperaRouter

@@ -1,0 +1,123 @@
+"""Property tests for the batched path-sampling API.
+
+The :meth:`repro.routing.base.Router.paths_batch` contract is stronger
+than distribution equality: a batched call must consume the RNG stream
+*exactly* as the equivalent sequence of scalar ``path()`` calls would and
+return the identical paths.  Hypothesis drives random fabric sizes, pair
+lists, and seeds through every override (VLB, SORN on multi-clique and
+single-clique layouts) plus the base-class fallback, checking stream
+equivalence,
+post-call generator alignment, and route validity.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import SornRouter, VlbRouter
+from repro.routing.base import Path, Router
+from repro.topology import CliqueLayout
+
+
+class _TwoOptionRouter(Router):
+    """Minimal router with no paths_batch override: exercises the
+    base-class fallback loop."""
+
+    def __init__(self, num_nodes):
+        self._n = int(num_nodes)
+
+    @property
+    def num_nodes(self):
+        return self._n
+
+    @property
+    def max_hops(self):
+        return 2
+
+    def path_options(self, src, dst):
+        self._check_pair(src, dst)
+        mid = next(v for v in range(self._n) if v not in (src, dst))
+        return [(0.5, Path((src, dst))), (0.5, Path((src, mid, dst)))]
+
+
+def _make_router(kind, dims):
+    cliques, size = dims
+    n = cliques * size
+    if kind == "vlb":
+        return VlbRouter(n), n
+    if kind == "sorn-equal":
+        layout = CliqueLayout.equal(n, cliques)
+        return SornRouter(layout), n
+    if kind == "sorn-single":
+        # One flat clique: only the intra-clique sampling branch runs.
+        return SornRouter(CliqueLayout.flat(n)), n
+    if kind == "base-fallback":
+        return _TwoOptionRouter(n), n
+    raise AssertionError(kind)
+
+
+router_kinds = st.sampled_from(["vlb", "sorn-equal", "sorn-single", "base-fallback"])
+dims = st.tuples(st.integers(2, 4), st.integers(2, 5))
+
+
+@st.composite
+def batch_cases(draw):
+    """(router, pair arrays, seed) with src != dst per pair."""
+    kind = draw(router_kinds)
+    router, n = _make_router(kind, draw(dims))
+    k = draw(st.integers(0, 30))
+    srcs, dsts = [], []
+    for _ in range(k):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 2))
+        if dst >= src:
+            dst += 1
+        srcs.append(src)
+        dsts.append(dst)
+    seed = draw(st.integers(0, 2**31 - 1))
+    return (
+        router,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        seed,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch_cases())
+def test_batch_matches_scalar_stream(case):
+    """paths_batch == the same number of sequential path() draws, and the
+    generator ends in the same state either way (so interleaving batched
+    and scalar sampling stays reproducible)."""
+    router, srcs, dsts, seed = case
+    gen_scalar = np.random.default_rng(seed)
+    scalar_paths = [
+        router.path(int(s), int(d), gen_scalar).nodes for s, d in zip(srcs, dsts)
+    ]
+    gen_batch = np.random.default_rng(seed)
+    paths, lengths = router.paths_batch(srcs, dsts, gen_batch)
+    assert paths.shape == (len(srcs), router.max_hops + 1)
+    for i, nodes in enumerate(scalar_paths):
+        assert int(lengths[i]) == len(nodes)
+        assert tuple(paths[i, : len(nodes)]) == nodes
+    # Identical residual stream: the next draw must agree.
+    assert gen_scalar.integers(2**32) == gen_batch.integers(2**32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch_cases())
+def test_batched_paths_are_valid_routes(case):
+    """Every batched row is a well-formed route: correct endpoints, no
+    degenerate hops, in-range nodes, -1 padding beyond its length."""
+    router, srcs, dsts, seed = case
+    paths, lengths = router.paths_batch(srcs, dsts, np.random.default_rng(seed))
+    n = router.num_nodes
+    for i in range(len(srcs)):
+        ln = int(lengths[i])
+        row = paths[i]
+        assert 2 <= ln <= router.max_hops + 1
+        assert row[0] == srcs[i]
+        assert row[ln - 1] == dsts[i]
+        nodes = row[:ln]
+        assert ((nodes >= 0) & (nodes < n)).all()
+        assert (nodes[1:] != nodes[:-1]).all()
+        assert (row[ln:] == -1).all()

@@ -1,6 +1,5 @@
 """SORN hierarchical 2/3-hop routing (paper section 4)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

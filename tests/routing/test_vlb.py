@@ -1,8 +1,7 @@
 """Two-hop VLB routing."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.routing import VlbRouter
 

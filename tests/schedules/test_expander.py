@@ -1,7 +1,6 @@
 """ExpanderSchedule: Opera-style rotating expander."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ScheduleError

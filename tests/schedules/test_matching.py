@@ -1,6 +1,5 @@
 """Matching invariants, including property-based checks."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

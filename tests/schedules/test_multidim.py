@@ -1,6 +1,5 @@
 """MultiDimSchedule: h-dimensional optimal ORN structure."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """RoundRobinSchedule: the 1D ORN of Figure 1."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """SornSchedule: the paper's interleaved clique schedule (Fig 2d-e)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Wavelength program compilation (schedule -> per-node laser tables)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import HardwareModelError

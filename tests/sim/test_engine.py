@@ -1,6 +1,5 @@
 """SlotSimulator: conservation, delivery, drain, and saturation behavior."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError
@@ -145,3 +144,46 @@ class TestDrain:
         report = sim.run(flows, 3)
         assert report.duration_slots <= 3 + 5
         assert report.delivered_cells < 500
+
+
+class _PathCountingVlb(VlbRouter):
+    """VLB router that counts scalar path() samples (regression probe)."""
+
+    def __init__(self, num_nodes):
+        super().__init__(num_nodes)
+        self.path_calls = 0
+
+    def path(self, src, dst, rng=None):
+        self.path_calls += 1
+        return super().path(src, dst, rng)
+
+
+class TestPerFlowPathCache:
+    def test_windowed_refills_sample_one_path_per_flow(self):
+        """Regression: with per-flow paths, the path cache must be
+        consulted per injection call, not per cell — a windowed flow that
+        refills over many slots still samples exactly one path."""
+        n = 8
+        router = _PathCountingVlb(n)
+        sim = SlotSimulator(
+            RoundRobinSchedule(n),
+            router,
+            SimConfig(per_flow_paths=True, injection_window=1, drain=True),
+            rng=3,
+        )
+        flows = [FlowSpec(i, i % n, (i + 3) % n, 12, 0) for i in range(4)]
+        report = sim.run(flows, 5)
+        assert report.delivered_cells == 4 * 12
+        assert router.path_calls == len(flows)
+
+    def test_per_cell_mode_samples_every_cell(self):
+        n = 8
+        router = _PathCountingVlb(n)
+        sim = SlotSimulator(
+            RoundRobinSchedule(n),
+            router,
+            SimConfig(per_flow_paths=False, drain=True),
+            rng=3,
+        )
+        sim.run([FlowSpec(0, 0, 5, 9, 0)], 3)
+        assert router.path_calls == 9

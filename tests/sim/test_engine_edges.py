@@ -1,8 +1,6 @@
 """Engine edge cases: capacities, idle slots, drain/window interplay."""
 
-import pytest
 
-from repro.errors import SimulationError
 from repro.routing import VlbRouter
 from repro.schedules import ExplicitSchedule, Matching, RoundRobinSchedule
 from repro.sim import SimConfig, SlotSimulator

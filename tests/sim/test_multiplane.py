@@ -1,6 +1,5 @@
 """Simulation over multi-plane schedules (parallel uplinks / rotors)."""
 
-import pytest
 
 from repro.routing import OperaRouter, VlbRouter
 from repro.schedules import ExpanderSchedule, RoundRobinSchedule

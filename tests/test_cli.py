@@ -38,6 +38,17 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "fluid" in out and "simulated" in out
 
+    def test_fig2f_engine_flag_matches_reference(self, capsys):
+        """Both engines print byte-identical fig2f tables."""
+        outputs = {}
+        for engine in ("reference", "vectorized"):
+            assert main(
+                ["fig2f", "--nodes", "16", "--cliques", "4", "--simulate",
+                 "--slots", "150", "--seed", "1", "--engine", engine]
+            ) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["reference"] == outputs["vectorized"]
+
     def test_pareto(self, capsys):
         assert main(["pareto", "--nodes", "4096"]) == 0
         out = capsys.readouterr().out
@@ -85,5 +96,7 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "h" in out and "q*" in out
         # h=1 and h=2 rows both present (64 is a perfect square).
-        lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 "))]
+        lines = [
+            ln for ln in out.splitlines() if ln.strip().startswith(("1 ", "2 "))
+        ]
         assert len(lines) == 2

@@ -71,7 +71,7 @@ class TestCycle:
         noisy = DiurnalPattern(
             CliqueLayout.equal(16, 4), noise=0.2, epochs_per_day=8
         )
-        clean = noisy.matrix_at(1)  # deterministic rng=None each call differs
+        noisy.matrix_at(1)  # deterministic rng=None each call differs
         matrix = noisy.matrix_at(1, rng=3)
         assert matrix.locality(noisy.layout) == pytest.approx(
             noisy.locality_at(1), abs=0.05

@@ -1,6 +1,5 @@
 """Facebook-style cluster-role traffic synthesis (Roy et al. substitution)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TrafficError

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.errors import TrafficError
 from repro.traffic import DATA_MINING, WEB_SEARCH, FlowSizeDistribution

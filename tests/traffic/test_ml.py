@@ -1,6 +1,5 @@
 """ML collective-communication traffic."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TrafficError

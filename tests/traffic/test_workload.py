@@ -1,6 +1,5 @@
 """Workload generation: Poisson arrivals sized by the CDF."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TrafficError
