@@ -4,6 +4,7 @@ Usage::
 
     sorn-repro table1 [--nodes 4096] [--locality 0.56]
     sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate] [--engine vectorized]
+    sorn-repro fig-blast-radius [--nodes 32] [--cliques 4] [--failures 2]
     sorn-repro pareto [--nodes 4096]
     sorn-repro design --nodes 128 --cliques 8 --locality 0.56
     sorn-repro adapt [--nodes 64] [--cliques 4] [--cycles 6]
@@ -184,6 +185,104 @@ def _cmd_failures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_blast_radius(args: argparse.Namespace) -> int:
+    """Simulated blast radius: SORN vs the flat 1D ORN under node failures.
+
+    Same workload, same failed nodes, three scenarios per system: healthy
+    baseline, oblivious routing through the failure, and the
+    failure-aware fallback modelling the minutes-scale control loop.
+    Collateral damage is the bystander completion shortfall vs healthy.
+    """
+    from .analysis import optimal_q
+    from .routing import FailureAwareRouter, SornRouter, VlbRouter
+    from .schedules import RoundRobinSchedule, build_sorn_schedule
+    from .sim import FailureTimeline, SimConfig, SlotSimulator, split_casualties
+    from .topology import CliqueLayout
+
+    n, x = args.nodes, args.locality
+    if args.timeline:
+        timeline = FailureTimeline.parse(args.timeline)
+    else:
+        timeline = FailureTimeline()
+        for node in range(args.failures):
+            timeline = timeline.merged(
+                FailureTimeline.node_failure(node, args.fail_at, args.heal_at)
+            )
+    failed = sorted(timeline.failed_nodes_ever())
+    layout = CliqueLayout.equal(n, args.cliques)
+    matrix = clustered_matrix(layout, x)
+    workload = Workload(matrix, FlowSizeDistribution.fixed(20), load=args.load)
+    flows = workload.generate(args.slots // 2, rng=args.seed)
+    casualties, bystanders = split_casualties(flows, failed)
+    # Near bystanders share a clique with a failed node (or talk to one);
+    # far bystanders never touch the failed cliques.  SORN's modularity
+    # claim is that far bystanders see (almost) no collateral, while the
+    # flat ORN's fabric-wide load balancing spreads the damage everywhere.
+    failed_cliques = {layout.clique_of(v) for v in failed}
+    near_ids = {
+        f.flow_id
+        for f in bystanders
+        if layout.clique_of(f.src) in failed_cliques
+        or layout.clique_of(f.dst) in failed_cliques
+    }
+    populations = {
+        "casualty": {f.flow_id for f in casualties},
+        "near": near_ids,
+        "far": {f.flow_id for f in bystanders} - near_ids,
+    }
+
+    def completion_split(report):
+        done = {name: 0 for name in populations}
+        for spec, slot in zip(flows, report.flow_completion_slots):
+            if slot < 0:
+                continue
+            for name, ids in populations.items():
+                if spec.flow_id in ids:
+                    done[name] += 1
+        return {
+            name: done[name] / len(ids) if ids else float("nan")
+            for name, ids in populations.items()
+        }
+
+    print(
+        f"Blast radius of {len(failed)} failed node(s) {failed} "
+        f"(N={n}, Nc={args.cliques}, x={x}, {len(flows)} flows: "
+        f"{len(populations['casualty'])} casualties / "
+        f"{len(populations['near'])} near / {len(populations['far'])} far)"
+    )
+    print(f"  {'system':<8} {'scenario':<10} {'casualty':>9} {'near':>7} "
+          f"{'far':>7} {'near-coll':>10} {'far-coll':>9}")
+    systems = [
+        ("SORN", build_sorn_schedule(n, args.cliques, q=optimal_q(x), layout=layout),
+         SornRouter(layout)),
+        ("1D ORN", RoundRobinSchedule(n), VlbRouter(n)),
+    ]
+    for label, schedule, router in systems:
+        scenarios = [
+            ("healthy", router, None),
+            ("oblivious", router, timeline),
+            ("failover", FailureAwareRouter(router, failed), timeline),
+        ]
+        healthy = None
+        for scenario, active_router, active_timeline in scenarios:
+            sim = SlotSimulator(
+                schedule,
+                active_router,
+                SimConfig(engine=args.engine, check_invariants=args.check),
+                rng=args.seed,
+                timeline=active_timeline,
+            )
+            report = sim.run(flows, args.slots)
+            ratios = completion_split(report)
+            if healthy is None:
+                healthy = ratios
+            print(f"  {label:<8} {scenario:<10} {ratios['casualty']:>9.1%} "
+                  f"{ratios['near']:>7.1%} {ratios['far']:>7.1%} "
+                  f"{healthy['near'] - ratios['near']:>10.1%} "
+                  f"{healthy['far'] - ratios['far']:>9.1%}")
+    return 0
+
+
 def _cmd_adapt(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     sorn = Sorn.optimal(args.nodes, args.cliques, 0.5)
@@ -229,6 +328,34 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized is the fast path)",
     )
     p.set_defaults(func=_cmd_fig2f)
+
+    p = sub.add_parser(
+        "fig-blast-radius",
+        help="simulated blast radius: SORN vs 1D ORN under node failures",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--cliques", type=int, default=4)
+    p.add_argument("--failures", type=int, default=2,
+                   help="fail nodes 0..k-1 (one clique under the default layout)")
+    p.add_argument("--fail-at", type=int, default=0,
+                   help="slot at which the nodes fail")
+    p.add_argument("--heal-at", type=int, default=None,
+                   help="slot at which the nodes heal (default: never)")
+    p.add_argument("--timeline", type=str, default="",
+                   help="explicit failure spec, e.g. 'node:3@100-500,plane:1@50'"
+                        " (overrides --failures/--fail-at/--heal-at)")
+    p.add_argument("--slots", type=int, default=400)
+    p.add_argument("--load", type=float, default=0.6)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="run the per-slot invariant checker during every run")
+    p.add_argument(
+        "--engine",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+    )
+    p.set_defaults(func=_cmd_blast_radius)
 
     p = sub.add_parser("pareto", help="latency-throughput tradeoff points")
     p.add_argument("--nodes", type=int, default=4096)

@@ -55,6 +55,16 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A machine-checked simulator invariant failed mid-run.
+
+    Raised by :class:`repro.sim.invariants.InvariantChecker` when an
+    engine breaks cell conservation, VOQ non-negativity, circuit
+    capacity, or the earliest-feasible delivery bound.  Always indicates
+    an engine bug (or memory corruption), never a user mistake.
+    """
+
+
 class ControlPlaneError(ReproError):
     """A control-plane operation (estimation, clustering, schedule
     synthesis, or update planning) failed."""

@@ -7,6 +7,7 @@ control-plane timescales (paper section 4, "Routing").
 """
 
 from .base import Path, Router
+from .failover import FailureAwareRouter
 from .vlb import VlbRouter
 from .sorn_routing import SornRouter
 from .hierarchical_routing import HierarchicalSornRouter
@@ -17,6 +18,7 @@ from .paths import timed_vlb_route, timed_sorn_route, worst_case_intrinsic_laten
 __all__ = [
     "Path",
     "Router",
+    "FailureAwareRouter",
     "VlbRouter",
     "SornRouter",
     "HierarchicalSornRouter",

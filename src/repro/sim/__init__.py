@@ -17,7 +17,13 @@ from .network import ArrayVoqState, SimNetwork
 from .engine import SlotSimulator, SimConfig
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
-from .failures import FailedNodeSchedule, split_casualties
+from .failures import (
+    FailedNodeSchedule,
+    FailureEvent,
+    FailureTimeline,
+    split_casualties,
+)
+from .invariants import InvariantChecker
 from .tracing import TracePoint, TraceRecorder
 from .vectorized import VectorizedEngine
 
@@ -35,6 +41,9 @@ __all__ = [
     "link_loads",
     "saturation_throughput",
     "FailedNodeSchedule",
+    "FailureEvent",
+    "FailureTimeline",
+    "InvariantChecker",
     "split_casualties",
     "TracePoint",
     "TraceRecorder",

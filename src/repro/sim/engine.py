@@ -28,6 +28,7 @@ from ..routing.base import Router
 from ..schedules.schedule import CircuitSchedule
 from ..traffic.workload import FlowSpec
 from ..util import check_positive_int, ensure_rng, RngLike
+from .failures import FailureTimeline
 from .flows import Cell, FlowState
 from .metrics import SimReport
 from .network import SimNetwork
@@ -68,6 +69,14 @@ class SimConfig:
         (:class:`repro.sim.vectorized.VectorizedEngine`), which produces
         identical results slot-for-slot (same RNG draws, same FIFO/lane
         order) at a fraction of the wall-clock cost.
+    check_invariants:
+        Run an :class:`repro.sim.invariants.InvariantChecker` inside the
+        slot loop: cell conservation, VOQ non-negativity, circuit
+        capacity, and the earliest-feasible delivery (delta_m) bound are
+        validated every slot, raising
+        :class:`repro.errors.InvariantViolation` on the first breach.
+        Read-only — cannot change results, only abort bad ones.  Meant
+        for tests and fuzzing; off by default for speed.
     """
 
     cells_per_circuit: int = 1
@@ -78,6 +87,7 @@ class SimConfig:
     short_flow_threshold_cells: Optional[int] = None
     classify_fct_threshold_cells: Optional[int] = None
     engine: str = "reference"
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "vectorized"):
@@ -106,7 +116,19 @@ class SimConfig:
 
 
 class SlotSimulator:
-    """Simulate a schedule + router combination under a flow workload."""
+    """Simulate a schedule + router combination under a flow workload.
+
+    Parameters
+    ----------
+    schedule, router, config, rng:
+        The simulated fabric, routing scheme, tunables and RNG stream.
+    timeline:
+        Optional :class:`repro.sim.failures.FailureTimeline` of scripted
+        faults (nodes, links, planes failing and healing at configured
+        slots).  Both engines mask the affected circuits out of the
+        schedule at exactly the affected slots, so failure runs remain
+        bit-identical across engines.
+    """
 
     def __init__(
         self,
@@ -114,6 +136,7 @@ class SlotSimulator:
         router: Router,
         config: Optional[SimConfig] = None,
         rng: RngLike = None,
+        timeline: Optional[FailureTimeline] = None,
     ):
         if router.num_nodes != schedule.num_nodes:
             raise SimulationError(
@@ -124,6 +147,11 @@ class SlotSimulator:
         self.router = router
         self.config = config or SimConfig()
         self.rng = ensure_rng(rng)
+        if timeline is not None and len(timeline) == 0:
+            timeline = None
+        self.timeline = timeline
+        if timeline is not None:
+            timeline.bind(schedule)
 
     # -- injection ------------------------------------------------------------
 
@@ -134,12 +162,13 @@ class SlotSimulator:
         slot: int,
         budget: int,
         flow_paths: Dict[int, tuple],
-    ) -> None:
-        """Inject up to *budget* cells of *flow* at its source."""
+    ) -> int:
+        """Inject up to *budget* cells of *flow* at its source; returns
+        the number actually injected."""
         remaining = flow.spec.size_cells - flow.injected_cells
         count = min(budget, remaining)
         if count <= 0:
-            return
+            return 0
         if self.config.per_flow_paths:
             # One flow, one path: resolve the cache once per call, not
             # once per cell — windowed refills of a long-running flow hit
@@ -158,6 +187,7 @@ class SlotSimulator:
                 cell = Cell(flow=flow, path=path, hop=0, injected_slot=slot)
                 network.enqueue(cell)
                 flow.injected_cells += 1
+        return count
 
     # -- main loop --------------------------------------------------------------
 
@@ -183,8 +213,16 @@ class SlotSimulator:
         if config.engine == "vectorized":
             from .vectorized import VectorizedEngine
 
-            engine = VectorizedEngine(self.schedule, self.router, config, self.rng)
+            engine = VectorizedEngine(
+                self.schedule, self.router, config, self.rng, timeline=self.timeline
+            )
             return engine.run(flows, duration_slots, measure_from, tracer)
+        checker = None
+        if config.check_invariants:
+            from .invariants import InvariantChecker
+
+            checker = InvariantChecker(self.schedule, config, self.timeline)
+        timeline = self.timeline
         if config.short_flow_threshold_cells is not None:
             from .network import short_flow_priority_lane
 
@@ -208,6 +246,7 @@ class SlotSimulator:
         max_voq = 0
         window_delivered = 0
         delivered_running = 0
+        injected_running = 0
         slot = 0
         horizon = duration_slots
 
@@ -215,14 +254,21 @@ class SlotSimulator:
             if slot < duration_slots:
                 for flow in arrivals.get(slot, ()):  # new arrivals
                     budget = flow.spec.size_cells if window is None else window
-                    self._inject_cells(flow, network, slot, budget, flow_paths)
+                    injected_running += self._inject_cells(
+                        flow, network, slot, budget, flow_paths
+                    )
 
             # One matching per plane; each circuit drains its VOQ.
             delivered_this_slot: List[FlowState] = []
             for plane in range(self.schedule.num_planes):
                 matching = self.schedule.plane_matching(slot, plane)
+                if timeline is not None and timeline.affects(slot):
+                    matching = timeline.mask_matching(matching, slot, plane)
                 for src, dst in matching.pairs():
-                    for cell in network.transmit(src, dst, config.cells_per_circuit):
+                    cells = network.transmit(src, dst, config.cells_per_circuit)
+                    if checker is not None and cells:
+                        checker.record_transmit(slot, plane, src, dst, len(cells))
+                    for cell in cells:
                         if cell.at_last_hop:
                             hops = len(cell.path) - 1
                             cell.flow.record_delivery(slot, hops)
@@ -230,6 +276,10 @@ class SlotSimulator:
                             delivered_running += 1
                             if slot >= measure_from:
                                 window_delivered += 1
+                            if checker is not None:
+                                checker.record_delivery(
+                                    slot, cell.injected_slot, cell.path
+                                )
                         else:
                             cell.advance()
                             network.enqueue(cell)
@@ -238,8 +288,12 @@ class SlotSimulator:
             if window is not None:
                 for flow in delivered_this_slot:
                     if not flow.fully_injected:
-                        self._inject_cells(flow, network, slot, 1, flow_paths)
+                        injected_running += self._inject_cells(
+                            flow, network, slot, 1, flow_paths
+                        )
 
+            if checker is not None:
+                checker.end_slot(slot, network, injected_running, delivered_running)
             occupancy_sum += network.total_occupancy
             voq = network.max_voq_length()
             if voq > max_voq:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,12 @@ class SimReport:
         How many flows finished within the horizon.
     max_voq / mean_occupancy:
         Peak single-queue length and time-averaged in-flight cells.
+    flow_completion_slots:
+        Per-flow completion slot in workload order (``-1`` = unfinished).
+        Lets failure experiments split outcomes by flow population
+        (casualties vs bystanders, see
+        :func:`repro.sim.failures.split_casualties`) without rerunning,
+        and makes engine-differential comparisons per-flow exact.
     """
 
     num_nodes: int
@@ -62,6 +68,7 @@ class SimReport:
     window_delivered: int = 0
     short_fct_slots: List[int] = dataclasses.field(default_factory=list)
     bulk_fct_slots: List[int] = dataclasses.field(default_factory=list)
+    flow_completion_slots: Tuple[int, ...] = ()
 
     def short_fct_percentile(self, p: float) -> float:
         """FCT percentile of the short-flow class (needs a threshold at
@@ -162,6 +169,10 @@ class SimReport:
             window_delivered=window_delivered,
             short_fct_slots=sorted(short_fct),
             bulk_fct_slots=sorted(bulk_fct),
+            flow_completion_slots=tuple(
+                -1 if f.completion_slot is None else f.completion_slot
+                for f in flows.values()
+            ),
         )
 
     @classmethod
@@ -221,4 +232,5 @@ class SimReport:
             window_delivered=window_delivered,
             short_fct_slots=sorted(short_fct),
             bulk_fct_slots=sorted(bulk_fct),
+            flow_completion_slots=tuple(int(v) for v in completion),
         )

@@ -110,11 +110,16 @@ class VectorizedEngine:
         router: Router,
         config,
         rng: np.random.Generator,
+        timeline=None,
     ):
         self.schedule = schedule
         self.router = router
         self.config = config
         self.rng = rng
+        #: Optional :class:`repro.sim.failures.FailureTimeline`.  Slots a
+        #: fault touches bypass the periodic active-circuit cache and are
+        #: masked per absolute slot, identically to the reference engine.
+        self.timeline = timeline
 
     def run(
         self,
@@ -128,6 +133,12 @@ class VectorizedEngine:
         config = self.config
         router = self.router
         rng = self.rng
+        timeline = self.timeline
+        checker = None
+        if config.check_invariants:
+            from .invariants import InvariantChecker
+
+            checker = InvariantChecker(self.schedule, config, timeline)
         num_flows = len(flows)
         num_nodes = self.schedule.num_nodes
 
@@ -153,25 +164,31 @@ class VectorizedEngine:
         flow_plen: List[int] = [0] * num_flows
 
         # Cell tables: id-indexed source route (full paths_batch row, -1
-        # padded), route length, hop cursor, owning flow.
+        # padded), route length, hop cursor, owning flow.  Injection slots
+        # (cinj) are tracked only while the invariant checker is on — the
+        # report never needs them, and the extra per-cell append would tax
+        # the hot path for nothing otherwise.
         cpath: List[List[int]] = []
         cplen: List[int] = []
         chop: List[int] = []
         cfid: List[int] = []
+        cinj: List[int] = []
 
         network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
         voqs = network.voqs
         qlen = network.qlen
         active = _ActivePairs(self.schedule)
-        self.schedule.dest_table()  # build the shared dense table up front
+        dest_table = self.schedule.dest_table()  # shared dense table, up front
 
         window = config.injection_window
         budget = config.cells_per_circuit
         num_planes = self.schedule.num_planes
+        period = self.schedule.period
         occupancy_sum = 0
         max_voq = 0
         window_delivered = 0
         delivered_running = 0
+        injected_running = 0
         partial_flows = 0  # flows mid-injection (windowed drain criterion)
         slot = 0
         horizon = duration_slots
@@ -236,11 +253,17 @@ class VectorizedEngine:
         def enqueue_new(fidx: List[int], rows, lens) -> None:
             # Bulk-extend the cell tables and append the fresh ids to the
             # injection lanes (counters are scattered by the caller).
+            nonlocal injected_running
+            injected_running += len(fidx)
             base = len(cfid)
             cfid.extend(fidx)
             cpath.extend(rows)
             cplen.extend(lens)
             chop.extend([0] * len(fidx))
+            if checker is not None:
+                # Injection always happens at the loop's current slot in
+                # every mode (arrival batches, presampled blocks, refills).
+                cinj.extend([slot] * len(fidx))
             if short_l is None:
                 for cid, p in enumerate(rows, base):
                     vr = voqs[p[0]]
@@ -309,9 +332,21 @@ class VectorizedEngine:
             # One matching per plane; circuits drain their VOQs in source
             # order with immediate forwarding, so same-plane cascades
             # behave exactly as in the reference engine.
+            faulted_slot = timeline is not None and timeline.affects(slot)
             delivered_seq: List[int] = []
             for plane in range(num_planes):
-                src_list, dst_list = active.get(slot, plane)
+                if faulted_slot:
+                    # Masked slots bypass the periodic cache: mask the
+                    # dense destination row for this absolute slot exactly
+                    # as the reference engine masks its Matching.
+                    row = timeline.mask_dst_row(
+                        dest_table[slot % period, plane], slot, plane
+                    )
+                    srcs_up = np.nonzero(row >= 0)[0]
+                    src_list = srcs_up.tolist()
+                    dst_list = row[srcs_up].tolist()
+                else:
+                    src_list, dst_list = active.get(slot, plane)
                 for i, s in enumerate(src_list):
                     d = dst_list[i]
                     lanes = voqs[s][d]
@@ -336,6 +371,10 @@ class VectorizedEngine:
                                     window_delivered += 1
                                 if window is not None:
                                     delivered_seq.append(f)
+                                if checker is not None:
+                                    checker.record_delivery(
+                                        slot, cinj[cid], p[: cplen[cid]]
+                                    )
                             else:
                                 h += 1
                                 chop[cid] = h
@@ -361,6 +400,8 @@ class VectorizedEngine:
                         circ_s.append(s)
                         circ_d.append(d)
                         circ_n.append(got)
+                        if checker is not None:
+                            checker.record_transmit(slot, plane, s, d, got)
 
             # Windowed flows refill as their cells deliver.
             if window is not None and delivered_seq:
@@ -382,6 +423,8 @@ class VectorizedEngine:
                 )
             if enq_u:
                 network.add_cells(enq_u, enq_v)
+            if checker is not None:
+                checker.end_slot(slot, network, injected_running, delivered_running)
             occupancy_sum += network.total_occupancy
             voq_now = int(qlen.max())
             if voq_now > max_voq:

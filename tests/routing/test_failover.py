@@ -1,0 +1,146 @@
+"""FailureAwareRouter: dead-intermediate avoidance and distribution math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import FailureAwareRouter, Path, Router, SornRouter, VlbRouter
+from repro.schedules import build_sorn_schedule
+
+
+class TestValidation:
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(RoutingError):
+            FailureAwareRouter(VlbRouter(8), [8])
+
+    def test_rejects_bad_resample_budget(self):
+        with pytest.raises(RoutingError):
+            FailureAwareRouter(VlbRouter(8), [1], max_resamples=0)
+
+    def test_properties_delegate(self):
+        base = VlbRouter(8)
+        router = FailureAwareRouter(base, [1])
+        assert router.num_nodes == base.num_nodes
+        assert router.max_hops == base.max_hops
+
+
+class TestNoFailures:
+    def test_transparent_without_failures(self):
+        base = VlbRouter(8)
+        router = FailureAwareRouter(base, [])
+        assert router.path_options(0, 3) == base.path_options(0, 3)
+
+    def test_rng_stream_identical_without_failures(self):
+        base = VlbRouter(8)
+        router = FailureAwareRouter(base, [])
+        direct = [base.path(0, 3, np.random.default_rng(9)) for _ in range(1)]
+        wrapped = [router.path(0, 3, np.random.default_rng(9)) for _ in range(1)]
+        assert direct == wrapped
+
+
+class TestAvoidance:
+    def test_sampled_paths_avoid_dead_intermediates(self):
+        router = FailureAwareRouter(VlbRouter(10), [4, 7])
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            path = router.path(0, 3, rng)
+            assert not {4, 7} & set(path.nodes[1:-1])
+
+    def test_options_renormalized(self):
+        base = VlbRouter(10)
+        router = FailureAwareRouter(base, [4])
+        options = router.path_options(0, 3)
+        assert all(4 not in p.nodes[1:-1] for _, p in options)
+        assert sum(prob for prob, _ in options) == pytest.approx(1.0)
+        # Surviving paths keep their relative weights: uniform over the
+        # direct path and the 7 live intermediates.
+        assert len(options) == len(base.path_options(0, 3)) - 1
+        probs = {prob for prob, _ in options}
+        assert len(probs) == 1
+
+    def test_dead_endpoints_keep_base_distribution(self):
+        base = VlbRouter(8)
+        router = FailureAwareRouter(base, [2])
+        assert router.path_options(2, 5) == base.path_options(2, 5)
+        assert router.path_options(5, 2) == base.path_options(5, 2)
+        assert router.path(2, 5, np.random.default_rng(0)) == base.path(
+            2, 5, np.random.default_rng(0)
+        )
+
+    def test_sampling_matches_renormalized_options(self):
+        """Rejection sampling equals the renormalized filtered
+        distribution (the consistency the fluid solver relies on)."""
+        router = FailureAwareRouter(VlbRouter(6), [3])
+        options = dict()
+        for prob, path in router.path_options(0, 1):
+            options[path.nodes] = prob
+        rng = np.random.default_rng(42)
+        counts = {nodes: 0 for nodes in options}
+        draws = 4000
+        for _ in range(draws):
+            counts[router.path(0, 1, rng).nodes] += 1
+        for nodes, prob in options.items():
+            assert counts[nodes] / draws == pytest.approx(prob, abs=0.03)
+
+    def test_expected_hops_reflects_filtering(self):
+        base = VlbRouter(6)
+        router = FailureAwareRouter(base, [3])
+        # Removing a 3-hop option shifts mass toward the same-shape
+        # remainder; with one dead intermediate out of 4 the mean drops.
+        assert router.expected_hops(0, 1) < base.expected_hops(0, 1)
+
+    def test_no_live_path_raises(self):
+        """A base scheme whose every path transits the dead node must
+        raise rather than return an empty (or endless-resample)
+        distribution."""
+
+        class RelayOnlyRouter(Router):
+            """Every (src, dst) pair relays through node 2."""
+
+            @property
+            def num_nodes(self):
+                return 4
+
+            @property
+            def max_hops(self):
+                return 2
+
+            def path_options(self, src, dst):
+                return [(1.0, Path((src, 2, dst)))]
+
+            def path(self, src, dst, rng=None):
+                return Path((src, 2, dst))
+
+        router = FailureAwareRouter(RelayOnlyRouter(), [2], max_resamples=8)
+        with pytest.raises(RoutingError, match="no live path"):
+            router.path_options(0, 1)
+        with pytest.raises(RoutingError, match="no live path"):
+            router.path(0, 1, np.random.default_rng(0))
+
+
+class TestSornComposition:
+    def test_sorn_paths_avoid_dead_relay(self):
+        schedule = build_sorn_schedule(16, 4, q=2)
+        base = SornRouter(schedule.layout)
+        dead = 5
+        router = FailureAwareRouter(base, [dead])
+        rng = np.random.default_rng(3)
+        for src in range(4):
+            for dst in range(8, 12):
+                for _ in range(20):
+                    path = router.path(src, dst, rng)
+                    assert dead not in path.nodes[1:-1]
+
+    def test_batch_matches_sequential(self):
+        """The inherited paths_batch consumes the RNG stream exactly as
+        successive path() calls — the vectorized-engine contract."""
+        schedule = build_sorn_schedule(12, 3, q=2)
+        router = FailureAwareRouter(SornRouter(schedule.layout), [4])
+        srcs = np.array([0, 1, 2, 9, 10])
+        dsts = np.array([5, 8, 11, 0, 1])
+        paths, lengths = router.paths_batch(srcs, dsts, np.random.default_rng(7))
+        rng = np.random.default_rng(7)
+        for i in range(srcs.size):
+            nodes = router.path(int(srcs[i]), int(dsts[i]), rng).nodes
+            assert lengths[i] == len(nodes)
+            assert tuple(paths[i, : len(nodes)]) == nodes

@@ -1,0 +1,99 @@
+"""Property test pinning the analytical intrinsic-latency (delta_m) formulas.
+
+The paper's Table 1 formulas are closed forms for the *worst realized*
+hop-wait of the periodic schedules.  These tests enumerate one full
+schedule period — no shortcuts through the schedule's own wait-time
+caches — and assert the worst observed wait **equals** the formula for a
+grid of (N, Nc, q) with integer q, where the ceiling terms are exact:
+
+- intra-clique circuits: ``delta_m = ceil((q+1)/q * (N/Nc - 1))``
+  (:func:`sorn_delta_m_intra`),
+- inter-clique circuits: worst single-hop wait ``(q+1) * (Nc - 1)``, the
+  paper-body inter term of :func:`sorn_delta_m_inter` (variant="text"),
+- the flat 1D ORN baseline: ``delta_m = N - 1`` (:func:`rr_delta_m`).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.latency import (
+    rr_delta_m,
+    sorn_delta_m_inter,
+    sorn_delta_m_intra,
+)
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+
+GRID = [
+    (clique_size, num_cliques, q)
+    for q in (1, 2, 3)
+    for num_cliques in (2, 3, 4)
+    for clique_size in (2, 3, 4)
+]
+
+
+def observed_worst_wait(schedule, src, dst):
+    """Worst realized wait for circuit src->dst over one full period.
+
+    Enumerates every possible arrival slot t and counts the slots until
+    the circuit is next up (inclusive of the transmission slot) — the
+    quantity delta_m bounds.  Returns None for pairs the schedule never
+    connects directly.
+    """
+    period = schedule.period
+    ups = [
+        t for t in range(period) if schedule.matching(t).destination(src) == dst
+    ]
+    if not ups:
+        return None
+    worst = 0
+    for t in range(period):
+        nxt = min((s for s in ups if s >= t), default=ups[0] + period)
+        worst = max(worst, nxt - t + 1)
+    return worst
+
+
+class TestSornDeltaM:
+    @pytest.mark.parametrize("clique_size,num_cliques,q", GRID)
+    def test_worst_waits_equal_formulas(self, clique_size, num_cliques, q):
+        n = clique_size * num_cliques
+        schedule = build_sorn_schedule(n, num_cliques, q=q)
+        layout = schedule.layout
+        intra_worst = 0
+        inter_worst = 0
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                wait = observed_worst_wait(schedule, src, dst)
+                if wait is None:
+                    continue
+                if layout.clique_of(src) == layout.clique_of(dst):
+                    intra_worst = max(intra_worst, wait)
+                else:
+                    inter_worst = max(inter_worst, wait)
+        assert intra_worst == sorn_delta_m_intra(n, num_cliques, q)
+        assert inter_worst == (q + 1) * (num_cliques - 1)
+
+    @pytest.mark.parametrize("clique_size,num_cliques,q", GRID)
+    def test_composed_inter_bound_consistent(self, clique_size, num_cliques, q):
+        """The text-variant inter delta_m is exactly the observed
+        inter-hop worst wait plus the intra relay term."""
+        n = clique_size * num_cliques
+        intra_term = (q + 1.0) / q * (clique_size - 1)
+        assert sorn_delta_m_inter(n, num_cliques, q, variant="text") == math.ceil(
+            (q + 1) * (num_cliques - 1) + intra_term
+        )
+
+
+class TestRoundRobinDeltaM:
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_flat_orn_worst_wait(self, n):
+        schedule = RoundRobinSchedule(n)
+        worst = max(
+            observed_worst_wait(schedule, src, dst)
+            for src in range(n)
+            for dst in range(n)
+            if src != dst
+        )
+        assert worst == rr_delta_m(n)

@@ -1,0 +1,174 @@
+"""Cross-engine differential fuzz harness (hypothesis-driven).
+
+Randomizes the full configuration space the engines support — schedule
+family and size, router (optionally wrapped in the failure-aware
+fallback), simulator knobs, failure timelines, and workloads — and
+asserts the reference and vectorized engines produce *identical* reports
+and traces, with the :class:`repro.sim.invariants.InvariantChecker`
+enabled in every run so any physics violation aborts the example.
+
+Profiles
+--------
+``default`` (local ``pytest``) runs a quick randomized sample.  The CI
+fuzz lane selects the 200-example fixed-seed budget with::
+
+    HYPOTHESIS_PROFILE=ci-fuzz pytest tests/sim/test_differential_fuzz.py
+
+``derandomize=True`` makes that budget reproducible run-to-run.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import FailureAwareRouter, SornRouter, VlbRouter
+from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.sim import (
+    FailureEvent,
+    FailureTimeline,
+    SimConfig,
+    SlotSimulator,
+    TraceRecorder,
+)
+from repro.traffic import FlowSpec
+
+_HEALTH = [
+    HealthCheck.too_slow,
+    HealthCheck.data_too_large,
+    HealthCheck.filter_too_much,
+]
+settings.register_profile(
+    "default", max_examples=25, deadline=None, suppress_health_check=_HEALTH
+)
+settings.register_profile(
+    "ci-fuzz",
+    max_examples=200,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=_HEALTH,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+pytestmark = pytest.mark.fuzz
+
+
+@st.composite
+def fabrics(draw):
+    """A (schedule, base router) pair from both schedule families."""
+    if draw(st.booleans()):
+        n = draw(st.integers(4, 18))
+        planes = draw(st.integers(1, 3))
+        return RoundRobinSchedule(n, num_planes=planes), VlbRouter(n)
+    num_cliques = draw(st.sampled_from([2, 3, 4]))
+    clique_size = draw(st.sampled_from([2, 3, 4]))
+    q = draw(st.sampled_from([1, 2, 3]))
+    planes = draw(st.integers(1, 2))
+    schedule = build_sorn_schedule(
+        num_cliques * clique_size, num_cliques, q=q, num_planes=planes
+    )
+    return schedule, SornRouter(schedule.layout)
+
+
+@st.composite
+def timelines(draw, num_nodes, num_planes):
+    events = []
+    for _ in range(draw(st.integers(0, 3))):
+        kind = draw(st.sampled_from(["node", "link", "plane"]))
+        start = draw(st.integers(0, 60))
+        heal = draw(st.one_of(st.none(), st.integers(start + 1, start + 80)))
+        if kind == "node":
+            events.append(
+                FailureEvent("node", start, heal, node=draw(st.integers(0, num_nodes - 1)))
+            )
+        elif kind == "link":
+            u = draw(st.integers(0, num_nodes - 1))
+            v = draw(st.integers(0, num_nodes - 2))
+            if v >= u:
+                v += 1
+            events.append(FailureEvent("link", start, heal, link=(u, v)))
+        else:
+            events.append(
+                FailureEvent("plane", start, heal, plane=draw(st.integers(0, num_planes - 1)))
+            )
+    return FailureTimeline(events)
+
+
+@st.composite
+def workloads(draw, num_nodes):
+    flows = []
+    for flow_id in range(draw(st.integers(1, 18))):
+        src = draw(st.integers(0, num_nodes - 1))
+        dst = draw(st.integers(0, num_nodes - 2))
+        if dst >= src:
+            dst += 1
+        size = draw(st.integers(1, 6))
+        arrival = draw(st.integers(0, 30))
+        flows.append(FlowSpec(flow_id, src, dst, size, arrival))
+    return flows
+
+
+@st.composite
+def scenarios(draw):
+    schedule, router = draw(fabrics())
+    timeline = draw(timelines(schedule.num_nodes, schedule.num_planes))
+    failed = timeline.failed_nodes_ever()
+    use_failover = bool(failed) and draw(st.booleans())
+    if use_failover:
+        router = FailureAwareRouter(router, failed)
+    flows = draw(workloads(schedule.num_nodes))
+    if use_failover:
+        # Discard the rare scenario where the failed set exhausts every
+        # path option of some pair (both engines would raise identically,
+        # but the example would not exercise the differential contract).
+        try:
+            for spec in flows:
+                router.path_options(spec.src, spec.dst)
+        except RoutingError:
+            assume(False)
+    config = dict(
+        cells_per_circuit=draw(st.integers(1, 3)),
+        per_flow_paths=draw(st.booleans()),
+        injection_window=draw(st.one_of(st.none(), st.integers(1, 4))),
+        drain=True,
+        max_drain_slots=draw(st.sampled_from([50, 150, 300])),
+        short_flow_threshold_cells=draw(st.one_of(st.none(), st.just(2))),
+        check_invariants=True,
+    )
+    duration = draw(st.integers(40, 120))
+    seed = draw(st.integers(0, 2**16))
+    return schedule, router, timeline, flows, config, duration, seed
+
+
+def _run(engine, schedule, router, timeline, flows, config, duration, seed):
+    sim = SlotSimulator(
+        schedule,
+        router,
+        SimConfig(engine=engine, **config),
+        rng=np.random.default_rng(seed),
+        timeline=timeline,
+    )
+    tracer = TraceRecorder(stride=7)
+    report = sim.run(flows, duration, tracer=tracer)
+    return report, tracer
+
+
+class TestDifferentialFuzz:
+    @given(scenario=scenarios())
+    def test_engines_agree_under_fuzz(self, scenario):
+        """Any supported configuration — including active failure
+        timelines and failure-aware routing — must produce bit-identical
+        reports and traces from both engines, with every slot passing the
+        invariant checker."""
+        schedule, router, timeline, flows, config, duration, seed = scenario
+        ref_report, ref_trace = _run(
+            "reference", schedule, router, timeline, flows, config, duration, seed
+        )
+        vec_report, vec_trace = _run(
+            "vectorized", schedule, router, timeline, flows, config, duration, seed
+        )
+        assert vec_report == ref_report
+        assert vec_trace.points == ref_trace.points

@@ -1,11 +1,19 @@
-"""Failure injection: masked schedules and blast-radius simulation."""
+"""Failure injection: masked schedules, failure timelines, blast radius."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
 from repro.routing import SornRouter, VlbRouter
 from repro.schedules import RoundRobinSchedule, build_sorn_schedule
-from repro.sim import FailedNodeSchedule, SimConfig, SlotSimulator, split_casualties
+from repro.sim import (
+    FailedNodeSchedule,
+    FailureEvent,
+    FailureTimeline,
+    SimConfig,
+    SlotSimulator,
+    split_casualties,
+)
 from repro.traffic import FlowSizeDistribution, FlowSpec, Workload, uniform_matrix
 
 
@@ -49,6 +57,36 @@ class TestFailedNodeSchedule:
         schedule = FailedNodeSchedule(RoundRobinSchedule(9, num_planes=3), [2])
         assert schedule.plane_matching(0, 2).destination(2) == -1
 
+    def test_multi_plane_masks_agree(self):
+        """Regression: the combined ``matching`` view must equal the union
+        of the per-plane masked views at every slot, for every plane count
+        (the mask is applied per-matching, so the two entry points can
+        drift if the mask ever depends on mutable per-call state)."""
+        def expect_masked(raw):
+            return [
+                -1 if {src, raw.destination(src)} & {1, 7} else raw.destination(src)
+                for src in range(12)
+            ]
+
+        for planes in (1, 2, 3):
+            inner = RoundRobinSchedule(12, num_planes=planes)
+            schedule = FailedNodeSchedule(inner, [1, 7])
+            for slot in range(schedule.period):
+                combined = schedule.matching(slot)
+                assert list(combined.dst) == expect_masked(inner.matching(slot))
+                for plane in range(planes):
+                    masked = schedule.plane_matching(slot, plane)
+                    raw = inner.plane_matching(slot, plane)
+                    assert list(masked.dst) == expect_masked(raw)
+                assert combined.destination(1) == -1
+                assert combined.destination(7) == -1
+
+    def test_mask_does_not_mutate_inner(self):
+        inner = RoundRobinSchedule(8)
+        before = inner.matching(0).dst.copy()
+        FailedNodeSchedule(inner, [3]).matching(0)
+        assert np.array_equal(inner.matching(0).dst, before)
+
 
 class TestSplitCasualties:
     def test_partition(self):
@@ -60,6 +98,237 @@ class TestSplitCasualties:
         casualties, bystanders = split_casualties(flows, [3])
         assert [f.flow_id for f in casualties] == [0, 1]
         assert [f.flow_id for f in bystanders] == [2]
+
+    def test_empty_flow_list(self):
+        casualties, bystanders = split_casualties([], [3])
+        assert casualties == [] and bystanders == []
+
+    def test_all_flows_casualties(self):
+        flows = [FlowSpec(0, 2, 4, 1, 0), FlowSpec(1, 4, 2, 1, 0)]
+        casualties, bystanders = split_casualties(flows, [2, 4])
+        assert [f.flow_id for f in casualties] == [0, 1]
+        assert bystanders == []
+
+    def test_duplicate_failed_ids(self):
+        flows = [FlowSpec(0, 0, 3, 1, 0), FlowSpec(1, 1, 2, 1, 0)]
+        once = split_casualties(flows, [3])
+        twice = split_casualties(flows, [3, 3, 3])
+        assert [f.flow_id for f in once[0]] == [f.flow_id for f in twice[0]] == [0]
+        assert [f.flow_id for f in once[1]] == [f.flow_id for f in twice[1]] == [1]
+
+
+class TestFailureEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("switch", 0, node=1)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("node", -1, node=1)
+
+    def test_rejects_heal_before_start(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("node", 10, heal_slot=10, node=1)
+
+    def test_rejects_missing_target(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("link", 0)
+
+    def test_rejects_mismatched_target(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("node", 0, node=1, plane=0)
+
+    def test_rejects_self_link(self):
+        with pytest.raises(SimulationError):
+            FailureEvent("link", 0, link=(4, 4))
+
+    def test_active_window(self):
+        e = FailureEvent("node", 10, heal_slot=20, node=1)
+        assert not e.active_at(9)
+        assert e.active_at(10) and e.active_at(19)
+        assert not e.active_at(20)
+
+    def test_never_heals(self):
+        e = FailureEvent("plane", 5, plane=0)
+        assert not e.active_at(4)
+        assert e.active_at(5) and e.active_at(10**6)
+
+
+class TestFailureTimeline:
+    def test_parse_round_trip(self):
+        tl = FailureTimeline.parse("node:3@100-500, link:2-7@50 ,plane:1@10-20")
+        assert len(tl) == 3
+        node, link, plane = tl.events
+        assert (node.kind, node.node, node.start_slot, node.heal_slot) == (
+            "node", 3, 100, 500,
+        )
+        assert (link.kind, link.link, link.start_slot, link.heal_slot) == (
+            "link", (2, 7), 50, None,
+        )
+        assert (plane.kind, plane.plane, plane.start_slot, plane.heal_slot) == (
+            "plane", 1, 10, 20,
+        )
+
+    def test_parse_defaults_whole_run(self):
+        (event,) = FailureTimeline.parse("node:5").events
+        assert event.start_slot == 0 and event.heal_slot is None
+
+    def test_parse_empty_spec(self):
+        assert len(FailureTimeline.parse("")) == 0
+
+    @pytest.mark.parametrize(
+        "spec", ["rack:1@0", "node:x@0", "link:3@0", "node:1@a-b", "node:1@5-5"]
+    )
+    def test_parse_rejects_malformed(self, spec):
+        with pytest.raises(SimulationError):
+            FailureTimeline.parse(spec)
+
+    def test_affects_window(self):
+        tl = FailureTimeline.parse("node:1@10-20,link:0-2@15-30")
+        assert not tl.affects(9)
+        assert tl.affects(10) and tl.affects(29)
+        assert not tl.affects(30)
+
+    def test_affects_never_with_no_events(self):
+        assert not FailureTimeline().affects(0)
+
+    def test_merged(self):
+        tl = FailureTimeline.node_failure(1).merged(FailureTimeline.plane_failure(0))
+        assert [e.kind for e in tl.events] == ["node", "plane"]
+
+    def test_failed_nodes_queries(self):
+        tl = FailureTimeline.parse("node:1@10-20,node:4@15,link:2-3@0")
+        assert tl.failed_nodes_at(5) == frozenset()
+        assert tl.failed_nodes_at(16) == {1, 4}
+        assert tl.failed_nodes_at(25) == {4}
+        assert tl.failed_nodes_ever() == {1, 4}
+
+    def test_bind_rejects_out_of_range(self):
+        schedule = RoundRobinSchedule(8, num_planes=2)
+        for spec in ("node:8", "link:0-9", "plane:2"):
+            with pytest.raises(SimulationError):
+                FailureTimeline.parse(spec).bind(schedule)
+        FailureTimeline.parse("node:7,link:0-7,plane:1").bind(schedule)
+
+    def test_node_mask_matches_failed_node_schedule(self):
+        """A whole-run node failure must mask exactly like the static
+        schedule wrapper on every slot and plane."""
+        inner = RoundRobinSchedule(10, num_planes=2)
+        static = FailedNodeSchedule(inner, [4])
+        tl = FailureTimeline.node_failure(4)
+        for slot in range(inner.period):
+            for plane in range(2):
+                raw = inner.plane_matching(slot, plane)
+                masked = tl.mask_matching(raw, slot, plane)
+                assert np.array_equal(
+                    masked.dst, static.plane_matching(slot, plane).dst
+                )
+
+    def test_link_mask_kills_both_directions(self):
+        inner = RoundRobinSchedule(6)
+        tl = FailureTimeline.link_failure(0, 1)
+        hit_forward = hit_reverse = False
+        for slot in range(inner.period):
+            raw = inner.matching(slot)
+            masked = tl.mask_matching(raw, slot, 0)
+            if raw.destination(0) == 1:
+                hit_forward = True
+                assert masked.destination(0) == -1
+            if raw.destination(1) == 0:
+                hit_reverse = True
+                assert masked.destination(1) == -1
+            for src in range(6):
+                if raw.destination(src) not in (0, 1) or src not in (0, 1):
+                    if {src, raw.destination(src)} != {0, 1}:
+                        assert masked.destination(src) == raw.destination(src)
+        assert hit_forward and hit_reverse
+
+    def test_plane_mask_scoped_to_plane(self):
+        inner = RoundRobinSchedule(9, num_planes=3)
+        tl = FailureTimeline.plane_failure(1)
+        raw0 = inner.plane_matching(0, 0)
+        raw1 = inner.plane_matching(0, 1)
+        assert tl.mask_matching(raw0, 0, 0) is raw0  # untouched plane
+        assert np.all(tl.mask_matching(raw1, 0, 1).dst == -1)
+
+    def test_mask_is_identity_outside_window(self):
+        inner = RoundRobinSchedule(8)
+        tl = FailureTimeline.node_failure(2, start_slot=10, heal_slot=20)
+        raw = inner.matching(0)
+        assert tl.mask_matching(raw, 5, 0) is raw
+        assert tl.mask_matching(raw, 20, 0) is raw
+        assert tl.mask_matching(raw, 15, 0) is not raw
+
+    def test_mask_dst_row_agrees_with_mask_matching(self):
+        inner = RoundRobinSchedule(10, num_planes=2)
+        tl = FailureTimeline.parse("node:3@0,link:0-5@0,plane:1@2-4")
+        table = inner.dest_table()
+        for slot in range(inner.period):
+            for plane in range(2):
+                row = table[slot % inner.period, plane]
+                matching = inner.plane_matching(slot, plane)
+                assert np.array_equal(
+                    tl.mask_dst_row(row, slot, plane),
+                    tl.mask_matching(matching, slot, plane).dst,
+                )
+
+    def test_rejects_non_event(self):
+        with pytest.raises(SimulationError):
+            FailureTimeline(["node:1"])
+
+
+class TestTimelineSimulation:
+    def _flows(self, n, count, size=6):
+        return [
+            FlowSpec(i, i % n, (i + 1 + i // n) % n, size, i % 5)
+            for i in range(count)
+        ]
+
+    def test_transient_failure_heals(self):
+        """Traffic stalled by a transient node failure completes after the
+        heal; the same run without drain headroom loses those flows."""
+        n = 8
+        schedule = RoundRobinSchedule(n)
+        flows = self._flows(n, 24)
+        tl = FailureTimeline.node_failure(2, start_slot=0, heal_slot=120)
+        sim = SlotSimulator(
+            schedule,
+            VlbRouter(n),
+            SimConfig(drain=True, max_drain_slots=400, check_invariants=True),
+            rng=3,
+            timeline=tl,
+        )
+        report = sim.run(flows, 200)
+        assert report.completion_ratio == 1.0
+
+    def test_permanent_failure_strands_casualties(self):
+        n = 8
+        schedule = RoundRobinSchedule(n)
+        flows = self._flows(n, 24)
+        casualties, _ = split_casualties(flows, [2])
+        assert casualties  # scenario must actually include casualties
+        tl = FailureTimeline.node_failure(2)
+        sim = SlotSimulator(
+            schedule,
+            VlbRouter(n),
+            SimConfig(drain=True, max_drain_slots=200),
+            rng=3,
+            timeline=tl,
+        )
+        report = sim.run(flows, 200)
+        done = report.flow_completion_slots
+        assert all(done[f.flow_id] == -1 for f in casualties)
+
+    def test_empty_timeline_is_identity(self):
+        n = 8
+        schedule = RoundRobinSchedule(n)
+        flows = self._flows(n, 16)
+        config = SimConfig(drain=True, max_drain_slots=200)
+        plain = SlotSimulator(schedule, VlbRouter(n), config, rng=7).run(flows, 100)
+        masked = SlotSimulator(
+            schedule, VlbRouter(n), config, rng=7, timeline=FailureTimeline()
+        ).run(flows, 100)
+        assert plain == masked
 
 
 class TestBlastRadiusSimulation:

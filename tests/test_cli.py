@@ -85,6 +85,35 @@ class TestSubcommands:
         assert "flat VLB" in out
         assert "Sync domains" in out
 
+    def test_blast_radius(self, capsys):
+        assert main(
+            ["fig-blast-radius", "--nodes", "16", "--cliques", "4",
+             "--failures", "1", "--slots", "120", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Blast radius" in out
+        assert "SORN" in out and "1D ORN" in out
+        for scenario in ("healthy", "oblivious", "failover"):
+            assert scenario in out
+
+    def test_blast_radius_explicit_timeline(self, capsys):
+        assert main(
+            ["fig-blast-radius", "--nodes", "16", "--cliques", "4",
+             "--timeline", "node:1@0-60,node:2@30", "--slots", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[1, 2]" in out  # failed set parsed from the spec
+
+    def test_blast_radius_engines_agree(self, capsys):
+        outputs = {}
+        for engine in ("reference", "vectorized"):
+            assert main(
+                ["fig-blast-radius", "--nodes", "16", "--cliques", "4",
+                 "--failures", "1", "--slots", "100", "--engine", engine]
+            ) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["reference"] == outputs["vectorized"]
+
     def test_cost(self, capsys):
         assert main(["cost", "--nodes", "1024", "--uplinks", "8"]) == 0
         out = capsys.readouterr().out
