@@ -5,6 +5,7 @@ Usage::
     sorn-repro table1 [--nodes 4096] [--locality 0.56]
     sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate] [--engine vectorized]
     sorn-repro fig-blast-radius [--nodes 32] [--cliques 4] [--failures 2]
+    sorn-repro fig-telemetry [--nodes 32] [--cliques 4] [--jsonl out.jsonl]
     sorn-repro pareto [--nodes 4096]
     sorn-repro design --nodes 128 --cliques 8 --locality 0.56
     sorn-repro adapt [--nodes 64] [--cliques 4] [--cycles 6]
@@ -283,6 +284,114 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig_telemetry(args: argparse.Namespace) -> int:
+    """Instrumented run: the shipped telemetry collectors vs the theory.
+
+    Runs one seeded SORN simulation with the full collector set and
+    compares the measured intra/inter-clique traversal split against the
+    schedule's provisioned q/(q+1) vs 1/(q+1) bandwidth split, then
+    prints the VOQ heatmap, hop histogram, schedule-phase attribution,
+    and wall-clock phase profile.  ``--jsonl``/``--csv`` export the
+    deterministic telemetry streams.
+    """
+    from .analysis import optimal_q
+    from .routing import SornRouter
+    from .schedules import build_sorn_schedule
+    from .sim import (
+        SimConfig,
+        SlotSimulator,
+        TelemetryHub,
+        circuit_class_capacity,
+        standard_collectors,
+    )
+    from .topology import CliqueLayout
+
+    n, x = args.nodes, args.locality
+    layout = CliqueLayout.equal(n, args.cliques)
+    q = optimal_q(x)
+    schedule = build_sorn_schedule(n, args.cliques, q=q, layout=layout)
+    hub = TelemetryHub(
+        standard_collectors(
+            schedule,
+            layout=layout,
+            bucket_slots=max(1, args.slots // 6),
+            profile=True,
+        ),
+        stride=args.stride,
+    )
+    matrix = clustered_matrix(layout, x)
+    workload = Workload(matrix, FlowSizeDistribution.fixed(50), load=args.load)
+    flows = workload.generate(args.slots, rng=args.seed)
+    sim = SlotSimulator(
+        schedule,
+        SornRouter(layout),
+        SimConfig(engine=args.engine, telemetry=hub),
+        rng=args.seed,
+    )
+    report = sim.run(flows, args.slots)
+    print(
+        f"Telemetry run: N={n} Nc={args.cliques} x={x} q={q:.2f} "
+        f"load={args.load} slots={args.slots} engine={args.engine}"
+    )
+    print("  " + report.summary())
+
+    util = hub.get("link_utilization")
+    intra_cap, inter_cap = circuit_class_capacity(schedule, layout)
+    cap_total = intra_cap + inter_cap
+    intra_share, inter_share = util.traversal_split()
+    cycles = args.slots / schedule.period
+    print("\nVirtual-link bandwidth split (intra vs inter clique):")
+    print(f"  {'':<24} {'intra':>8} {'inter':>8}")
+    print(
+        f"  {'provisioned capacity':<24} {intra_cap / cap_total:>8.4f} "
+        f"{inter_cap / cap_total:>8.4f}   theory q/(q+1) = {q / (q + 1):.4f}"
+    )
+    print(
+        f"  {'measured traversals':<24} {intra_share:>8.4f} "
+        f"{inter_share:>8.4f}   theory 2/(3-x) -> {2 / (3 - x):.4f}"
+    )
+    print(
+        f"  {'capacity utilization':<24} "
+        f"{util.intra_cells / (intra_cap * cycles):>8.4f} "
+        f"{util.inter_cells / (inter_cap * cycles):>8.4f}"
+    )
+
+    heat = hub.get("voq_heatmap").matrix()
+    print(
+        f"\nPer-clique VOQ backlog over {heat.shape[0]} samples "
+        f"(stride {args.stride}):"
+    )
+    for clique in range(heat.shape[1]):
+        col = heat[:, clique]
+        print(f"  clique {clique}: mean={col.mean():>8.1f} peak={int(col.max()):>6}")
+
+    hops = hub.get("hop_histogram")
+    hist = hops.histogram()
+    total = sum(hist.values()) or 1
+    print(f"\nHop-count histogram (mean {hops.mean_hops():.3f}):")
+    for h in sorted(hist):
+        print(f"  {h} hop(s): {hist[h]:>8} ({hist[h] / total:.1%})")
+
+    by_phase = hub.get("phase_attribution").delivered_by_phase()
+    busiest = max(range(len(by_phase)), key=by_phase.__getitem__)
+    print(
+        f"\nDelivered cells by schedule phase (period {schedule.period}): "
+        f"busiest phase {busiest} with {by_phase[busiest]} cells"
+    )
+
+    print("\nWall-clock by engine phase:")
+    for name, row in hub.profiler.summary().items():
+        print(f"  {name:<8} {row['seconds']:>8.4f}s ({row['share']:.1%})")
+
+    if args.jsonl:
+        hub.export_jsonl(args.jsonl)
+        print(f"\nwrote JSONL telemetry to {args.jsonl}")
+    if args.csv:
+        paths = hub.export_csv(args.csv)
+        print(f"wrote {len(paths)} CSV file(s) to {args.csv}")
+    return 0
+
+
 def _cmd_adapt(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     sorn = Sorn.optimal(args.nodes, args.cliques, 0.5)
@@ -356,6 +465,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
     )
     p.set_defaults(func=_cmd_blast_radius)
+
+    p = sub.add_parser(
+        "fig-telemetry",
+        help="instrumented run: utilization split, heatmaps, hop/phase stats",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--cliques", type=int, default=4)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument("--slots", type=int, default=600)
+    p.add_argument("--load", type=float, default=0.9)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stride", type=int, default=1,
+                   help="sample fabric state every k-th slot")
+    p.add_argument(
+        "--engine",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+        help="either engine emits bit-identical telemetry",
+    )
+    p.add_argument("--jsonl", type=str, default="",
+                   help="write the telemetry stream as JSON Lines here")
+    p.add_argument("--csv", type=str, default="",
+                   help="write one CSV per collector into this directory")
+    p.set_defaults(func=_cmd_fig_telemetry)
 
     p = sub.add_parser("pareto", help="latency-throughput tradeoff points")
     p.add_argument("--nodes", type=int, default=4096)

@@ -65,6 +65,16 @@ class InvariantViolation(SimulationError):
     """
 
 
+class TelemetryError(ReproError, ValueError):
+    """A telemetry hub or collector was misconfigured.
+
+    Raised eagerly at registration/export time (duplicate collector
+    names, unknown event streams, a layout that does not cover the
+    schedule) — never from inside the engines' slot loops, which only
+    forward events to already-validated collectors.
+    """
+
+
 class ControlPlaneError(ReproError):
     """A control-plane operation (estimation, clustering, schedule
     synthesis, or update planning) failed."""

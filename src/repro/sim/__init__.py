@@ -10,6 +10,12 @@ Two complementary evaluation tools:
   virtual output queues, per-cell VLB, and flow-completion accounting
   (used for the Fig 2f "simulation of 128 nodes and 8 cliques using
   real-world traffic" point set and the FCT benchmarks).
+
+Observability: :mod:`tracing` samples coarse fabric state, and
+:mod:`telemetry` is the pluggable per-slot collector framework (link
+utilization split intra/inter-clique, per-clique VOQ heatmaps, hop
+histograms, schedule-phase delivery attribution, phase profiling) fed
+identically — bit-for-bit — by both engines.
 """
 
 from .flows import Cell, FlowState
@@ -24,6 +30,17 @@ from .failures import (
     split_casualties,
 )
 from .invariants import InvariantChecker
+from .telemetry import (
+    HopCountCollector,
+    LinkUtilizationCollector,
+    PhaseAttributionCollector,
+    PhaseProfiler,
+    TelemetryCollector,
+    TelemetryHub,
+    VoqHeatmapCollector,
+    circuit_class_capacity,
+    standard_collectors,
+)
 from .tracing import TracePoint, TraceRecorder
 from .vectorized import VectorizedEngine
 
@@ -47,4 +64,13 @@ __all__ = [
     "split_casualties",
     "TracePoint",
     "TraceRecorder",
+    "TelemetryCollector",
+    "TelemetryHub",
+    "LinkUtilizationCollector",
+    "VoqHeatmapCollector",
+    "HopCountCollector",
+    "PhaseAttributionCollector",
+    "PhaseProfiler",
+    "standard_collectors",
+    "circuit_class_capacity",
 ]

@@ -32,6 +32,7 @@ from .failures import FailureTimeline
 from .flows import Cell, FlowState
 from .metrics import SimReport
 from .network import SimNetwork
+from .telemetry import TelemetryHub
 
 __all__ = ["SimConfig", "SlotSimulator"]
 
@@ -69,6 +70,14 @@ class SimConfig:
         (:class:`repro.sim.vectorized.VectorizedEngine`), which produces
         identical results slot-for-slot (same RNG draws, same FIFO/lane
         order) at a fraction of the wall-clock cost.
+    telemetry:
+        Optional :class:`repro.sim.telemetry.TelemetryHub`.  Both
+        engines feed the hub's collectors through the same event seam
+        (circuit transmissions, cell deliveries, stride-sampled fabric
+        state), so identical seeded runs emit bit-identical telemetry
+        regardless of the engine.  Strictly read-only — cannot change
+        results.  ``None`` (the default) and empty hubs cost nothing in
+        the slot loop.
     check_invariants:
         Run an :class:`repro.sim.invariants.InvariantChecker` inside the
         slot loop: cell conservation, VOQ non-negativity, circuit
@@ -88,11 +97,17 @@ class SimConfig:
     classify_fct_threshold_cells: Optional[int] = None
     engine: str = "reference"
     check_invariants: bool = False
+    telemetry: Optional["TelemetryHub"] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "vectorized"):
             raise SimulationError(
                 f"engine must be 'reference' or 'vectorized', got {self.engine!r}"
+            )
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetryHub):
+            raise SimulationError(
+                f"telemetry must be a TelemetryHub or None, "
+                f"got {type(self.telemetry).__name__}"
             )
         check_positive_int(self.cells_per_circuit, "cells_per_circuit")
         if self.injection_window is not None:
@@ -222,6 +237,20 @@ class SlotSimulator:
             from .invariants import InvariantChecker
 
             checker = InvariantChecker(self.schedule, config, self.timeline)
+        hub = config.telemetry
+        if hub is not None and hub.is_noop:
+            hub = None
+        # Bound-method locals: one attribute lookup per run, not per event.
+        rec_tx = hub.record_transmit if hub is not None and hub.wants_transmits else None
+        rec_del = (
+            hub.record_delivery_hops
+            if hub is not None and hub.wants_deliveries
+            else None
+        )
+        rec_sample = hub.sample if hub is not None and hub.wants_samples else None
+        prof = hub.profiler if hub is not None else None
+        if prof is not None:
+            from time import perf_counter
         timeline = self.timeline
         if config.short_flow_threshold_cells is not None:
             from .network import short_flow_priority_lane
@@ -251,12 +280,16 @@ class SlotSimulator:
         horizon = duration_slots
 
         while True:
+            if prof is not None:
+                lap = perf_counter()
             if slot < duration_slots:
                 for flow in arrivals.get(slot, ()):  # new arrivals
                     budget = flow.spec.size_cells if window is None else window
                     injected_running += self._inject_cells(
                         flow, network, slot, budget, flow_paths
                     )
+            if prof is not None:
+                lap = prof.lap("inject", lap)
 
             # One matching per plane; each circuit drains its VOQ.
             delivered_this_slot: List[FlowState] = []
@@ -266,8 +299,11 @@ class SlotSimulator:
                     matching = timeline.mask_matching(matching, slot, plane)
                 for src, dst in matching.pairs():
                     cells = network.transmit(src, dst, config.cells_per_circuit)
-                    if checker is not None and cells:
-                        checker.record_transmit(slot, plane, src, dst, len(cells))
+                    if cells:
+                        if checker is not None:
+                            checker.record_transmit(slot, plane, src, dst, len(cells))
+                        if rec_tx is not None:
+                            rec_tx(slot, plane, src, dst, len(cells))
                     for cell in cells:
                         if cell.at_last_hop:
                             hops = len(cell.path) - 1
@@ -280,9 +316,13 @@ class SlotSimulator:
                                 checker.record_delivery(
                                     slot, cell.injected_slot, cell.path
                                 )
+                            if rec_del is not None:
+                                rec_del(slot, cell.injected_slot, hops)
                         else:
                             cell.advance()
                             network.enqueue(cell)
+            if prof is not None:
+                lap = prof.lap("forward", lap)
 
             # Windowed flows refill as their cells deliver.
             if window is not None:
@@ -300,6 +340,10 @@ class SlotSimulator:
                 max_voq = voq
             if tracer is not None:
                 tracer.record(slot, network, delivered_running)
+            if rec_sample is not None:
+                rec_sample(slot, network, delivered_running)
+            if prof is not None:
+                prof.lap("stats", lap)
 
             slot += 1
             if slot >= duration_slots:
@@ -314,6 +358,8 @@ class SlotSimulator:
                     horizon = slot
                     break
 
+        if hub is not None:
+            hub.finalize(horizon)
         return SimReport.from_flows(
             states,
             num_nodes=self.schedule.num_nodes,

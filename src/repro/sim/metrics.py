@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -12,13 +12,28 @@ from .flows import FlowState
 
 __all__ = ["SimReport", "percentile"]
 
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_NO_DEFAULT = object()
 
-def percentile(values: Sequence[float], p: float) -> float:
-    """The p-th percentile of *values* (p in [0, 100]); NaN when empty."""
+
+def percentile(values: Sequence[float], p: float, default=_NO_DEFAULT) -> float:
+    """The p-th percentile of *values* (p in [0, 100]).
+
+    An empty sequence has no percentiles: that case raises
+    :class:`~repro.errors.SimulationError` unless *default* is supplied,
+    in which case *default* is returned instead.  (NaN is never returned
+    silently — it used to be, and poisoned downstream arithmetic and
+    comparisons without a traceback.)
+    """
     if not 0 <= p <= 100:
         raise SimulationError(f"percentile must be in [0, 100], got {p}")
     if len(values) == 0:
-        return float("nan")
+        if default is _NO_DEFAULT:
+            raise SimulationError(
+                "percentile of an empty sequence is undefined; pass "
+                "default=... to choose a fallback value"
+            )
+        return default
     return float(np.percentile(np.asarray(values, dtype=float), p))
 
 
@@ -70,22 +85,23 @@ class SimReport:
     bulk_fct_slots: List[int] = dataclasses.field(default_factory=list)
     flow_completion_slots: Tuple[int, ...] = ()
 
-    def short_fct_percentile(self, p: float) -> float:
+    def short_fct_percentile(self, p: float) -> Optional[float]:
         """FCT percentile of the short-flow class (needs a threshold at
-        report build time)."""
-        return percentile(self.short_fct_slots, p)
+        report build time); ``None`` when no short flow completed."""
+        return percentile(self.short_fct_slots, p, default=None)
 
-    def bulk_fct_percentile(self, p: float) -> float:
-        """FCT percentile of the bulk class."""
-        return percentile(self.bulk_fct_slots, p)
+    def bulk_fct_percentile(self, p: float) -> Optional[float]:
+        """FCT percentile of the bulk class; ``None`` when empty."""
+        return percentile(self.bulk_fct_slots, p, default=None)
 
     @property
-    def window_throughput(self) -> float:
+    def window_throughput(self) -> Optional[float]:
         """Delivered cells per node per slot within the measurement window
-        ``[window_start, duration_slots)`` — excludes warmup ramp."""
+        ``[window_start, duration_slots)`` — excludes warmup ramp.
+        ``None`` when the window is empty (no slots after warmup)."""
         span = self.duration_slots - self.window_start
         if span <= 0:
-            return float("nan")
+            return None
         return self.window_delivered / (self.num_nodes * span)
 
     @property
@@ -103,22 +119,29 @@ class SimReport:
         """Completed / total flows."""
         return self.completed_flows / self.total_flows if self.total_flows else 0.0
 
-    def fct_percentile(self, p: float) -> float:
-        """Percentile of flow completion time in slots."""
-        return percentile(self.fct_slots, p)
+    def fct_percentile(self, p: float) -> Optional[float]:
+        """Percentile of flow completion time in slots; ``None`` when no
+        flow completed within the horizon."""
+        return percentile(self.fct_slots, p, default=None)
 
     @property
-    def mean_fct(self) -> float:
-        return float(np.mean(self.fct_slots)) if self.fct_slots else float("nan")
+    def mean_fct(self) -> Optional[float]:
+        """Mean flow completion time; ``None`` when no flow completed."""
+        return float(np.mean(self.fct_slots)) if self.fct_slots else None
 
     def summary(self) -> str:
-        """One-line human-readable digest."""
+        """One-line human-readable digest.
+
+        Undefined statistics (no completed flows) render as ``-`` rather
+        than ``nan`` so zero-completion runs are visually unmistakable.
+        """
+        p50, p99 = self.fct_percentile(50), self.fct_percentile(99)
+        fct = "-/-" if p50 is None else f"{p50:.0f}/{p99:.0f}"
         return (
             f"N={self.num_nodes} T={self.duration_slots} "
             f"thpt={self.throughput:.4f} hops={self.mean_hops:.2f} "
             f"flows={self.completed_flows}/{self.total_flows} "
-            f"fct(p50/p99)={self.fct_percentile(50):.0f}/"
-            f"{self.fct_percentile(99):.0f} maxVOQ={self.max_voq}"
+            f"fct(p50/p99)={fct} maxVOQ={self.max_voq}"
         )
 
     @classmethod

@@ -11,6 +11,15 @@ The recorder is engine-agnostic: it reads fabric state only through the
 :class:`repro.sim.network.SimNetwork` (reference engine) and
 :class:`repro.sim.network.ArrayVoqState` (vectorized engine) provide, so
 identical runs under either engine produce identical traces.
+
+The same state-access seam now also powers the pluggable telemetry layer
+(:mod:`repro.sim.telemetry`), and :class:`TraceRecorder` doubles as a
+telemetry collector: it can be registered in a
+:class:`repro.sim.telemetry.TelemetryHub` (it consumes the ``sample``
+stream) instead of being passed as ``tracer=``, which lets one
+``SimConfig(telemetry=hub)`` carry traces and telemetry together.  When
+registered in a hub, the hub's stride gates samples first and the
+recorder's own stride applies on top.
 """
 
 from __future__ import annotations
@@ -39,8 +48,15 @@ class TracePoint:
 class TraceRecorder:
     """Samples fabric state every *stride* slots during a simulation.
 
-    Pass as ``tracer=`` to :meth:`repro.sim.engine.SlotSimulator.run`.
+    Pass as ``tracer=`` to :meth:`repro.sim.engine.SlotSimulator.run`,
+    or register in a :class:`repro.sim.telemetry.TelemetryHub` — the
+    class satisfies the :class:`repro.sim.telemetry.TelemetryCollector`
+    protocol (``consumes = {"sample"}``).
     """
+
+    #: Telemetry-collector protocol fields (see module docstring).
+    name = "trace"
+    consumes = frozenset({"sample"})
 
     def __init__(self, stride: int = 10):
         self.stride = check_positive_int(stride, "stride")
@@ -62,6 +78,27 @@ class TraceRecorder:
                 max_voq=network.max_voq_length(),
             )
         )
+
+    # -- telemetry-collector protocol ---------------------------------------
+
+    def on_sample(self, slot: int, network, delivered_cumulative: int) -> None:
+        """Hub-facing alias of :meth:`record`."""
+        self.record(slot, network, delivered_cumulative)
+
+    def finalize(self, horizon_slots: int) -> None:
+        """Nothing to close; the point list is complete as recorded."""
+
+    def rows(self) -> List[dict]:
+        """Points as export rows (JSONL/CSV via the hub)."""
+        return [dataclasses.asdict(p) for p in self.points]
+
+    def snapshot(self) -> dict:
+        """Deterministic summary (telemetry-collector protocol)."""
+        return {"stride": self.stride, "points": self.rows()}
+
+    def reset(self) -> None:
+        """Clear recorded points so the recorder can serve a new run."""
+        self.points.clear()
 
     # -- analysis -----------------------------------------------------------
 

@@ -40,14 +40,16 @@ indexing; all counter arithmetic stays deferred and batched.
 
 **Exactness contract.**  Given the same (schedule, router, config, rng
 seed, workload), the vectorized engine reproduces the reference engine's
-:class:`repro.sim.metrics.SimReport` and
-:class:`repro.sim.tracing.TraceRecorder` series *exactly* — same
-delivered counts, same FCT multiset, same queue traces — because it
-preserves (a) the RNG draw order, (b) per-VOQ FIFO order within each
-strict-priority lane, and (c) the intra-slot ordering (arrivals, planes
-in order, circuits in source order with immediate forwarding, windowed
-refills in delivery order).  ``tests/sim/test_vectorized.py`` enforces
-this differentially.
+:class:`repro.sim.metrics.SimReport`,
+:class:`repro.sim.tracing.TraceRecorder` series, and
+:class:`repro.sim.telemetry.TelemetryHub` streams *exactly* — same
+delivered counts, same FCT multiset, same queue traces, bit-identical
+telemetry snapshots — because it preserves (a) the RNG draw order, (b)
+per-VOQ FIFO order within each strict-priority lane, and (c) the
+intra-slot ordering (arrivals, planes in order, circuits in source order
+with immediate forwarding, windowed refills in delivery order).
+``tests/sim/test_vectorized.py`` and the differential fuzz harness
+enforce this.
 
 Select it with ``SimConfig(engine="vectorized")``; the object engine
 remains the reference implementation and the default.
@@ -139,6 +141,23 @@ class VectorizedEngine:
             from .invariants import InvariantChecker
 
             checker = InvariantChecker(self.schedule, config, timeline)
+        hub = config.telemetry
+        if hub is not None and hub.is_noop:
+            hub = None
+        # Telemetry seam, identical to the reference engine's: bound
+        # methods resolved once, events emitted from the same intra-slot
+        # positions with the same integer arguments — so both engines
+        # feed collectors bit-identical streams (module docstring).
+        rec_tx = hub.record_transmit if hub is not None and hub.wants_transmits else None
+        rec_del = (
+            hub.record_delivery_hops
+            if hub is not None and hub.wants_deliveries
+            else None
+        )
+        rec_sample = hub.sample if hub is not None and hub.wants_samples else None
+        prof = hub.profiler if hub is not None else None
+        if prof is not None:
+            from time import perf_counter
         num_flows = len(flows)
         num_nodes = self.schedule.num_nodes
 
@@ -165,14 +184,16 @@ class VectorizedEngine:
 
         # Cell tables: id-indexed source route (full paths_batch row, -1
         # padded), route length, hop cursor, owning flow.  Injection slots
-        # (cinj) are tracked only while the invariant checker is on — the
-        # report never needs them, and the extra per-cell append would tax
-        # the hot path for nothing otherwise.
+        # (cinj) are tracked only while a consumer needs them (the
+        # invariant checker or a delivery-telemetry collector) — the
+        # report never does, and the extra per-cell append would tax the
+        # hot path for nothing otherwise.
         cpath: List[List[int]] = []
         cplen: List[int] = []
         chop: List[int] = []
         cfid: List[int] = []
         cinj: List[int] = []
+        track_inj = checker is not None or rec_del is not None
 
         network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
         voqs = network.voqs
@@ -260,7 +281,7 @@ class VectorizedEngine:
             cpath.extend(rows)
             cplen.extend(lens)
             chop.extend([0] * len(fidx))
-            if checker is not None:
+            if track_inj:
                 # Injection always happens at the loop's current slot in
                 # every mode (arrival batches, presampled blocks, refills).
                 cinj.extend([slot] * len(fidx))
@@ -304,6 +325,8 @@ class VectorizedEngine:
             circ_d: List[int] = []
             circ_n: List[int] = []
 
+            if prof is not None:
+                lap = perf_counter()
             if slot < duration_slots:
                 if cell_rows is not None:
                     # Per-cell, no window: the arrival batch IS the next
@@ -328,6 +351,8 @@ class VectorizedEngine:
                         batch.extend([f] * quota)
                     if batch:
                         inject(batch)
+            if prof is not None:
+                lap = prof.lap("inject", lap)
 
             # One matching per plane; circuits drain their VOQs in source
             # order with immediate forwarding, so same-plane cascades
@@ -375,6 +400,8 @@ class VectorizedEngine:
                                     checker.record_delivery(
                                         slot, cinj[cid], p[: cplen[cid]]
                                     )
+                                if rec_del is not None:
+                                    rec_del(slot, cinj[cid], cplen[cid] - 1)
                             else:
                                 h += 1
                                 chop[cid] = h
@@ -402,6 +429,11 @@ class VectorizedEngine:
                         circ_n.append(got)
                         if checker is not None:
                             checker.record_transmit(slot, plane, s, d, got)
+                        if rec_tx is not None:
+                            rec_tx(slot, plane, s, d, got)
+
+            if prof is not None:
+                lap = prof.lap("forward", lap)
 
             # Windowed flows refill as their cells deliver.
             if window is not None and delivered_seq:
@@ -431,6 +463,10 @@ class VectorizedEngine:
                 max_voq = voq_now
             if tracer is not None:
                 tracer.record(slot, network, delivered_running)
+            if rec_sample is not None:
+                rec_sample(slot, network, delivered_running)
+            if prof is not None:
+                prof.lap("stats", lap)
 
             slot += 1
             if slot >= duration_slots:
@@ -442,6 +478,8 @@ class VectorizedEngine:
                     horizon = slot
                     break
 
+        if hub is not None:
+            hub.finalize(horizon)
         return SimReport.from_flow_arrays(
             np.asarray(sizes_l, dtype=np.int64),
             np.asarray(arrival_l, dtype=np.int64),

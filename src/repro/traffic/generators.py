@@ -119,6 +119,14 @@ def hotspot_matrix(
     reactive designs chase and fail to catch."""
     num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
     num_hotspots = check_positive_int(num_hotspots, "num_hotspots")
+    max_pairs = num_nodes * (num_nodes - 1)
+    if num_hotspots > max_pairs:
+        # Without this check the rejection-sampling loop below can never
+        # collect enough distinct pairs and spins forever.
+        raise TrafficError(
+            f"num_hotspots={num_hotspots} exceeds the {max_pairs} ordered "
+            f"node pairs of a {num_nodes}-node fabric"
+        )
     frac = check_fraction(hotspot_fraction, "hotspot_fraction")
     gen = ensure_rng(rng)
     base = uniform_matrix(num_nodes).rates * (1.0 - frac)

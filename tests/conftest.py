@@ -3,6 +3,17 @@
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in golden files under "
+        "tests/integration/goldens/ from the current code, instead of "
+        "comparing against them",
+    )
+
 from repro.routing import SornRouter, VlbRouter
 from repro.schedules import RoundRobinSchedule, build_sorn_schedule
 from repro.topology import CliqueLayout

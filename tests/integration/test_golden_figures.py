@@ -1,0 +1,200 @@
+"""Golden regression suite for the paper's headline numbers.
+
+Pins the Table 1 comparison rows (closed-form delta_m / latency /
+throughput values at the published N=4096 scale) and a small-N set of
+Figure 2(f) throughput points (theory, fluid solver, and a seeded
+vectorized-engine simulation) against checked-in JSON files under
+``goldens/``.  Any drift — a formula edit, an engine behavior change, a
+routing tweak — fails with a field-by-field diff of expected vs actual.
+
+To bless intentional changes, regenerate the files and re-run::
+
+    pytest tests/integration/test_golden_figures.py --update-goldens
+    pytest tests/integration/test_golden_figures.py
+
+Integer-derived values must match exactly; floats compare at 1e-9
+relative tolerance (all inputs are deterministic: closed forms and a
+fixed-seed simulation).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import optimal_q, sorn_throughput, table1
+from repro.core import Sorn
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+# ---------------------------------------------------------------------------
+# Golden-file machinery
+# ---------------------------------------------------------------------------
+
+
+def _diff(expected, actual, path=""):
+    """Recursive field-by-field differences between two JSON-ish values."""
+    out = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{path}.{key}" if path else key
+            if key not in expected:
+                out.append(f"  {where}: unexpected new field = {actual[key]!r}")
+            elif key not in actual:
+                out.append(f"  {where}: missing (golden has {expected[key]!r})")
+            else:
+                out.extend(_diff(expected[key], actual[key], where))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(
+                f"  {path}: length {len(actual)} != golden {len(expected)}"
+            )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            out.extend(_diff(e, a, f"{path}[{i}]"))
+    elif isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            out.append(f"  {path}: {actual!r} != golden {expected!r}")
+    elif isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if isinstance(expected, int) and isinstance(actual, int):
+            if expected != actual:
+                out.append(f"  {path}: {actual} != golden {expected}")
+        elif not math.isclose(expected, actual, rel_tol=1e-9, abs_tol=1e-12):
+            out.append(f"  {path}: {actual!r} != golden {expected!r}")
+    elif expected != actual:
+        out.append(f"  {path}: {actual!r} != golden {expected!r}")
+    return out
+
+
+def check_against_golden(request, name, actual):
+    """Compare *actual* to ``goldens/<name>``, or rewrite it under
+    ``--update-goldens``."""
+    path = GOLDEN_DIR / name
+    if request.config.getoption("--update-goldens"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden rewritten: {path}")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} is missing — generate it with "
+            f"`pytest {request.node.nodeid} --update-goldens` and commit it"
+        )
+    expected = json.loads(path.read_text())
+    differences = _diff(expected, actual)
+    if differences:
+        pytest.fail(
+            f"{name} drifted from its golden ({len(differences)} field(s)):\n"
+            + "\n".join(differences)
+            + "\n\nIf this change is intentional, bless it with "
+            "`pytest --update-goldens` and commit the updated golden.",
+            pytrace=False,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Actual-value builders (also used by --update-goldens)
+# ---------------------------------------------------------------------------
+
+
+def table1_actual():
+    """Table 1 at the published scale — pure closed forms, no simulation."""
+    rows = table1(num_nodes=4096, locality=0.56)
+    return {
+        "num_nodes": 4096,
+        "locality": 0.56,
+        "rows": [
+            {
+                "system": row.system,
+                "variant": row.variant,
+                "max_hops": row.max_hops,
+                "delta_m": row.delta_m,
+                "min_latency_us": row.min_latency_us,
+                "throughput": row.throughput,
+                "bandwidth_cost": row.bandwidth_cost,
+            }
+            for row in rows
+        ],
+    }
+
+
+FIG2F_CONFIG = {
+    "nodes": 16,
+    "cliques": 4,
+    "slots": 300,
+    "load": 1.3,
+    "flow_cells": 500,
+    "seed": 2,
+    "engine": "vectorized",
+    "localities": [0.0, 0.3, 0.56, 0.9],
+}
+
+
+def fig2f_actual():
+    """Small-N Figure 2(f) points: theory, fluid, and seeded simulation."""
+    cfg = FIG2F_CONFIG
+    points = []
+    for x in cfg["localities"]:
+        sorn = Sorn.optimal(cfg["nodes"], cfg["cliques"], x)
+        matrix = clustered_matrix(sorn.layout, x)
+        fluid = sorn.fluid_throughput(matrix).throughput
+        schedule = build_sorn_schedule(
+            cfg["nodes"], cfg["cliques"], q=optimal_q(x)
+        )
+        workload = Workload(
+            matrix, FlowSizeDistribution.fixed(cfg["flow_cells"]), load=cfg["load"]
+        )
+        flows = workload.generate(cfg["slots"], rng=cfg["seed"])
+        sim = SlotSimulator(
+            schedule,
+            SornRouter(schedule.layout),
+            SimConfig(engine=cfg["engine"]),
+            rng=cfg["seed"],
+        )
+        report = sim.run(
+            flows, cfg["slots"], measure_from=cfg["slots"] // 2
+        )
+        points.append(
+            {
+                "x": x,
+                "theory": sorn_throughput(x),
+                "fluid": fluid,
+                "simulated": report.window_throughput,
+                "delivered_cells": report.delivered_cells,
+                "mean_hops": report.mean_hops,
+            }
+        )
+    return {"config": cfg, "points": points}
+
+
+# ---------------------------------------------------------------------------
+# The golden tests
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenFigures:
+    def test_table1_delta_m_golden(self, request):
+        check_against_golden(request, "table1_delta_m.json", table1_actual())
+
+    def test_fig2f_points_golden(self, request):
+        check_against_golden(request, "fig2f_points.json", fig2f_actual())
+
+    def test_table1_matches_published_values(self):
+        """The golden itself must carry the paper's published delta_m
+        column — guards against blessing a broken golden."""
+        golden = json.loads((GOLDEN_DIR / "table1_delta_m.json").read_text())
+        delta_by_label = {
+            (r["system"], r["variant"]): r["delta_m"] for r in golden["rows"]
+        }
+        assert delta_by_label[("Optimal ORN 1D (Sirius)", "")] == 4095
+        assert delta_by_label[("Opera", "short flows")] == 0
+        assert delta_by_label[("Opera", "bulk")] == 4095
+        assert delta_by_label[("Optimal ORN 2D", "")] == 252
+        assert delta_by_label[("SORN Nc=64", "intra-clique")] == 77
+        assert delta_by_label[("SORN Nc=64", "inter-clique")] == 364
+        assert delta_by_label[("SORN Nc=32", "intra-clique")] == 155
+        assert delta_by_label[("SORN Nc=32", "inter-clique")] == 296

@@ -47,5 +47,5 @@ class TestReadme:
             if hasattr(action, "choices") and action.choices
         }
         known = set(next(iter(subs.values())).choices)
-        for command in re.findall(r"sorn-repro (\w+)", text):
+        for command in re.findall(r"sorn-repro ([\w-]+)", text):
             assert command in known, f"README mentions unknown subcommand {command}"

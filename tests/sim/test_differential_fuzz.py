@@ -7,6 +7,13 @@ asserts the reference and vectorized engines produce *identical* reports
 and traces, with the :class:`repro.sim.invariants.InvariantChecker`
 enabled in every run so any physics violation aborts the example.
 
+Every run also carries the full shipped telemetry collector set
+(:func:`repro.sim.telemetry.standard_collectors`), and the assertion
+extends to the telemetry layer: both engines must produce equal
+``snapshot()`` dictionaries and byte-identical ``dumps_jsonl()``
+streams — including under active failure timelines, where rerouting and
+plane outages reshape every stream the collectors observe.
+
 Profiles
 --------
 ``default`` (local ``pytest``) runs a quick randomized sample.  The CI
@@ -32,7 +39,9 @@ from repro.sim import (
     FailureTimeline,
     SimConfig,
     SlotSimulator,
+    TelemetryHub,
     TraceRecorder,
+    standard_collectors,
 )
 from repro.traffic import FlowSpec
 
@@ -144,16 +153,19 @@ def scenarios(draw):
 
 
 def _run(engine, schedule, router, timeline, flows, config, duration, seed):
+    hub = TelemetryHub(
+        standard_collectors(schedule, bucket_slots=25), stride=3
+    )
     sim = SlotSimulator(
         schedule,
         router,
-        SimConfig(engine=engine, **config),
+        SimConfig(engine=engine, telemetry=hub, **config),
         rng=np.random.default_rng(seed),
         timeline=timeline,
     )
     tracer = TraceRecorder(stride=7)
     report = sim.run(flows, duration, tracer=tracer)
-    return report, tracer
+    return report, tracer, hub
 
 
 class TestDifferentialFuzz:
@@ -161,14 +173,16 @@ class TestDifferentialFuzz:
     def test_engines_agree_under_fuzz(self, scenario):
         """Any supported configuration — including active failure
         timelines and failure-aware routing — must produce bit-identical
-        reports and traces from both engines, with every slot passing the
-        invariant checker."""
+        reports, traces, and telemetry streams from both engines, with
+        every slot passing the invariant checker."""
         schedule, router, timeline, flows, config, duration, seed = scenario
-        ref_report, ref_trace = _run(
+        ref_report, ref_trace, ref_hub = _run(
             "reference", schedule, router, timeline, flows, config, duration, seed
         )
-        vec_report, vec_trace = _run(
+        vec_report, vec_trace, vec_hub = _run(
             "vectorized", schedule, router, timeline, flows, config, duration, seed
         )
         assert vec_report == ref_report
         assert vec_trace.points == ref_trace.points
+        assert vec_hub.snapshot() == ref_hub.snapshot()
+        assert vec_hub.dumps_jsonl() == ref_hub.dumps_jsonl()

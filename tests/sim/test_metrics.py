@@ -1,7 +1,5 @@
 """SimReport aggregation and percentile helpers."""
 
-import math
-
 import pytest
 
 from repro.errors import SimulationError
@@ -16,12 +14,22 @@ class TestPercentile:
         assert percentile([1, 2, 3, 4, 5], 0) == 1.0
         assert percentile([1, 2, 3, 4, 5], 100) == 5.0
 
-    def test_empty_is_nan(self):
-        assert math.isnan(percentile([], 50))
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty sequence"):
+            percentile([], 50)
+
+    def test_empty_with_default(self):
+        assert percentile([], 50, default=None) is None
+        assert percentile([], 99, default=0.0) == 0.0
 
     def test_range_checked(self):
         with pytest.raises(SimulationError):
             percentile([1], 101)
+
+    def test_range_checked_before_default(self):
+        # An out-of-range p is a caller bug even on empty input.
+        with pytest.raises(SimulationError):
+            percentile([], 101, default=None)
 
 
 def build_report():
@@ -80,3 +88,40 @@ class TestSimReport:
     def test_summary_mentions_key_numbers(self):
         text = build_report().summary()
         assert "N=4" in text and "flows=2/3" in text
+
+
+class TestEmptyReport:
+    """Regression: undefined statistics are explicit None, never NaN."""
+
+    @staticmethod
+    def build_empty():
+        return SimReport.from_flows(
+            {},
+            num_nodes=4,
+            duration_slots=20,
+            max_voq=0,
+            mean_occupancy=0.0,
+        )
+
+    def test_fct_stats_are_none(self):
+        report = self.build_empty()
+        assert report.mean_fct is None
+        assert report.fct_percentile(50) is None
+        assert report.short_fct_percentile(99) is None
+        assert report.bulk_fct_percentile(99) is None
+
+    def test_summary_renders_dash_not_nan(self):
+        text = self.build_empty().summary()
+        assert "fct(p50/p99)=-/-" in text
+        assert "nan" not in text
+
+    def test_empty_window_is_none(self):
+        report = SimReport.from_flows(
+            {},
+            num_nodes=4,
+            duration_slots=20,
+            max_voq=0,
+            mean_occupancy=0.0,
+            window_start=20,
+        )
+        assert report.window_throughput is None

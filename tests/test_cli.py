@@ -114,6 +114,37 @@ class TestSubcommands:
             outputs[engine] = capsys.readouterr().out
         assert outputs["reference"] == outputs["vectorized"]
 
+    def test_fig_telemetry(self, capsys, tmp_path):
+        jsonl = tmp_path / "telemetry.jsonl"
+        csv_dir = tmp_path / "csv"
+        csv_dir.mkdir()
+        assert main(
+            ["fig-telemetry", "--nodes", "16", "--cliques", "4",
+             "--slots", "150", "--stride", "5",
+             "--jsonl", str(jsonl), "--csv", str(csv_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Virtual-link bandwidth split" in out
+        assert "q/(q+1)" in out and "2/(3-x)" in out
+        assert "Hop-count histogram" in out
+        assert "Wall-clock by engine phase" in out
+        assert jsonl.read_text().count("\n") > 10
+        names = {p.name for p in csv_dir.iterdir()}
+        assert "link_utilization.csv" in names
+        assert "voq_heatmap.csv" in names
+
+    def test_fig_telemetry_engines_emit_identical_streams(self, capsys, tmp_path):
+        streams = {}
+        for engine in ("reference", "vectorized"):
+            path = tmp_path / f"{engine}.jsonl"
+            assert main(
+                ["fig-telemetry", "--nodes", "16", "--cliques", "4",
+                 "--slots", "120", "--engine", engine, "--jsonl", str(path)]
+            ) == 0
+            capsys.readouterr()  # wall-clock lines differ; compare the export
+            streams[engine] = path.read_bytes()
+        assert streams["reference"] == streams["vectorized"]
+
     def test_cost(self, capsys):
         assert main(["cost", "--nodes", "1024", "--uplinks", "8"]) == 0
         out = capsys.readouterr().out
