@@ -6,6 +6,7 @@ Usage::
     sorn-repro fig2f [--nodes 128] [--cliques 8] [--simulate] [--engine vectorized]
     sorn-repro fig-blast-radius [--nodes 32] [--cliques 4] [--failures 2]
     sorn-repro fig-telemetry [--nodes 32] [--cliques 4] [--jsonl out.jsonl]
+    sorn-repro fig-adaptive [--epochs 10] [--outages 2,3] [--corrupt 4:nan]
     sorn-repro pareto [--nodes 4096]
     sorn-repro design --nodes 128 --cliques 8 --locality 0.56
     sorn-repro adapt [--nodes 64] [--cliques 4] [--cycles 6]
@@ -392,6 +393,132 @@ def _cmd_fig_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drifting_locality_flows(layout, phases, slots_per_phase, load, seed):
+    """A workload whose locality drifts across phases.
+
+    Each phase draws flows from a clustered matrix with its own
+    intra-clique fraction, shifted to that phase's slot window — the
+    signal the closed loop is supposed to chase.
+    """
+    import dataclasses as _dc
+
+    flows = []
+    next_id = 0
+    for phase, x in enumerate(phases):
+        matrix = clustered_matrix(layout, x)
+        workload = Workload(matrix, FlowSizeDistribution.fixed(7500), load=load)
+        phase_flows = workload.generate(slots_per_phase, rng=seed + phase)
+        offset = phase * slots_per_phase
+        for f in phase_flows:
+            flows.append(
+                _dc.replace(
+                    f, flow_id=next_id, arrival_slot=f.arrival_slot + offset
+                )
+            )
+            next_id += 1
+    return flows
+
+
+def _parse_corruptions(spec: str):
+    """Parse ``"4:nan,9:negative"`` into ``{4: "nan", 9: "negative"}``."""
+    out = {}
+    if not spec:
+        return out
+    for token in spec.split(","):
+        epoch, _, kind = token.partition(":")
+        out[int(epoch)] = kind
+    return out
+
+
+def _cmd_fig_adaptive(args: argparse.Namespace) -> int:
+    """Closed-loop adaptation under a drifting workload, with chaos knobs.
+
+    Runs :class:`repro.control.runtime.AdaptiveSimulation` over a
+    workload whose locality drifts phase by phase, prints the epoch
+    transition table (health state, action, controller reasoning), and
+    compares delivered cells against a static fully oblivious baseline —
+    the graceful-degradation claim in numbers.
+    """
+    from .control import AdaptiveSimulation, RuntimeConfig, ScriptedChaos
+    from .routing import SornRouter, VlbRouter
+    from .schedules import RoundRobinSchedule, build_sorn_schedule
+    from .sim import (
+        EpochTransitionCollector,
+        FailureTimeline,
+        SlotSimulator,
+        TelemetryHub,
+    )
+    from .topology import CliqueLayout
+
+    n = args.nodes
+    layout = CliqueLayout.equal(n, args.cliques)
+    phases = [float(x) for x in args.phases.split(",")]
+    duration = args.epochs * args.epoch_slots
+    slots_per_phase = max(1, duration // len(phases))
+    flows = _drifting_locality_flows(
+        layout, phases, slots_per_phase, args.load, args.seed
+    )
+    chaos = ScriptedChaos(
+        outage_epochs={int(e) for e in args.outages.split(",") if e},
+        corrupt_epochs=_parse_corruptions(args.corrupt),
+        planner_fail_attempts={
+            int(e): 10**6 for e in args.planner_fail.split(",") if e
+        },
+    )
+    timeline = FailureTimeline.parse(args.timeline) if args.timeline else None
+    runtime = RuntimeConfig(
+        epoch_slots=args.epoch_slots,
+        min_dwell_epochs=args.dwell,
+        fallback_after=args.fallback_after,
+    )
+    collector = EpochTransitionCollector()
+    sim = AdaptiveSimulation(
+        build_sorn_schedule(n, args.cliques, q=args.initial_q, layout=layout),
+        SornRouter(layout),
+        runtime,
+        config=SimConfig(
+            engine=args.engine,
+            check_invariants=args.check,
+            telemetry=TelemetryHub([collector]),
+        ),
+        rng=args.seed,
+        timeline=timeline,
+        chaos=chaos,
+    )
+    result = sim.run(flows, duration)
+
+    print(
+        f"Closed-loop adaptation: N={n} Nc={args.cliques} "
+        f"epochs={args.epochs}x{args.epoch_slots} slots, locality drift "
+        f"{' -> '.join(f'{x:.2f}' for x in phases)}, engine={args.engine}"
+    )
+    print(f"  {'ep':>3} {'slots':>11} {'state':<9} {'action':<17} "
+          f"{'x':>5} {'q':>5}  reason")
+    for e in result.epochs:
+        x = f"{e.locality:.2f}" if e.locality is not None else "-"
+        q = f"{e.q:.2f}" if e.q is not None else "-"
+        print(f"  {e.epoch:>3} {e.start_slot:>5}-{e.end_slot:<5} "
+              f"{e.state:<9} {e.action:<17} {x:>5} {q:>5}  {e.reason}")
+    print("  " + result.summary())
+
+    # Static fully oblivious baseline: same flows, same seed, no control
+    # loop at all.  The adaptive run should beat it when healthy and
+    # degrade toward it — not below it — under chaos.
+    baseline = SlotSimulator(
+        RoundRobinSchedule(n),
+        VlbRouter(n),
+        SimConfig(engine=args.engine),
+        rng=args.seed,
+    ).run(flows, duration)
+    adaptive_cells = result.report.delivered_cells
+    print(
+        f"\nDelivered cells: adaptive {adaptive_cells}, static oblivious "
+        f"{baseline.delivered_cells} "
+        f"({adaptive_cells / max(1, baseline.delivered_cells):.2f}x)"
+    )
+    return 0
+
+
 def _cmd_adapt(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     sorn = Sorn.optimal(args.nodes, args.cliques, 0.5)
@@ -520,6 +647,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cliques", type=int, default=64)
     p.add_argument("--locality", type=float, default=0.56)
     p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser(
+        "fig-adaptive",
+        help="closed-loop adaptation runtime with chaos knobs vs a "
+        "static oblivious baseline",
+    )
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--cliques", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--epoch-slots", type=int, default=60)
+    p.add_argument("--phases", type=str, default="0.3,0.7,0.9",
+                   help="comma-separated locality drift across the run")
+    p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--initial-q", type=float, default=1.0)
+    p.add_argument("--dwell", type=int, default=1,
+                   help="min epochs between applied updates")
+    p.add_argument("--fallback-after", type=int, default=3,
+                   help="consecutive failed epochs before oblivious fallback")
+    p.add_argument("--outages", type=str, default="",
+                   help="comma-separated epochs with controller outages")
+    p.add_argument("--corrupt", type=str, default="",
+                   help="estimate corruptions, e.g. '2:nan,5:negative' "
+                        "(kinds: nan, inf, negative, self-traffic, shape)")
+    p.add_argument("--planner-fail", type=str, default="",
+                   help="comma-separated epochs where every planner "
+                        "attempt fails")
+    p.add_argument("--timeline", type=str, default="",
+                   help="fabric failure spec, e.g. 'node:3@100-500'")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="run the per-slot invariant checker")
+    p.add_argument(
+        "--engine",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+        help="either engine produces the identical epoch history",
+    )
+    p.set_defaults(func=_cmd_fig_adaptive)
 
     p = sub.add_parser("adapt", help="run the adaptation loop demo")
     p.add_argument("--nodes", type=int, default=64)

@@ -12,6 +12,9 @@ schedule updates.  Each stage lives in its own module:
   bandwidth matrix (the "Expressivity" machinery of section 5)
 - :mod:`planner` — drain-aware schedule-update planning
 - :mod:`updates` — synchronized update execution against node state
+- :mod:`runtime` — the closed adaptation loop: epoch-segmented simulation
+  driving estimate → plan → update, with health states, validation,
+  retry/backoff and an oblivious fallback (chaos-tested)
 """
 
 from .estimator import DemandEstimator, LocalityEstimator
@@ -25,6 +28,16 @@ from .updates import (
     apply_synchronized_update,
     build_node_states,
     mixed_state_collision_fraction,
+)
+from .runtime import (
+    AdaptiveReport,
+    AdaptiveSimulation,
+    ChaosPolicy,
+    ControllerState,
+    EpochReport,
+    RuntimeConfig,
+    ScriptedChaos,
+    validate_estimate,
 )
 
 __all__ = [
@@ -46,4 +59,12 @@ __all__ = [
     "apply_synchronized_update",
     "build_node_states",
     "mixed_state_collision_fraction",
+    "AdaptiveReport",
+    "AdaptiveSimulation",
+    "ChaosPolicy",
+    "ControllerState",
+    "EpochReport",
+    "RuntimeConfig",
+    "ScriptedChaos",
+    "validate_estimate",
 ]

@@ -138,11 +138,25 @@ class UpdateCampaign:
         self.current_schedule = schedule
         self.history: List[CampaignRecord] = []
         self._last_epoch: Optional[int] = None
+        self._last_requested: Optional[int] = None
 
-    def try_update(self, epoch: int, new_schedule: CircuitSchedule) -> Optional[CampaignRecord]:
-        """Apply an update at *epoch* unless within the dwell window."""
-        if self._last_epoch is not None and epoch - self._last_epoch < self.min_dwell_epochs:
-            return None
+    def _check_epoch(self, epoch: int) -> int:
+        """Epochs are a clock: requests must be non-negative and strictly
+        increasing across :meth:`maybe_apply` and :meth:`force_update`."""
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ControlPlaneError(
+                f"update epoch must be non-negative, got {epoch}"
+            )
+        if self._last_requested is not None and epoch <= self._last_requested:
+            raise ControlPlaneError(
+                f"update epochs must be strictly increasing: got epoch "
+                f"{epoch} after epoch {self._last_requested}"
+            )
+        self._last_requested = epoch
+        return epoch
+
+    def _apply(self, epoch: int, new_schedule: CircuitSchedule) -> CampaignRecord:
         reports = apply_synchronized_update(self.nodes, new_schedule)
         record = CampaignRecord(
             epoch=epoch,
@@ -155,6 +169,42 @@ class UpdateCampaign:
         self.current_schedule = new_schedule
         self._last_epoch = epoch
         return record
+
+    def maybe_apply(
+        self, epoch: int, new_schedule: CircuitSchedule
+    ) -> Optional[CampaignRecord]:
+        """Apply an update at *epoch* unless within the dwell window.
+
+        The dwell boundary is inclusive of the reconfiguration epoch:
+        with ``min_dwell_epochs = d`` and the previous update at epoch
+        ``e``, the first accepted epoch is exactly ``e + d`` (requests at
+        ``e + d - 1`` return None).  Raises
+        :class:`repro.errors.ControlPlaneError` for negative or
+        non-monotonic epochs.
+        """
+        epoch = self._check_epoch(epoch)
+        if (
+            self._last_epoch is not None
+            and epoch - self._last_epoch < self.min_dwell_epochs
+        ):
+            return None
+        return self._apply(epoch, new_schedule)
+
+    def try_update(
+        self, epoch: int, new_schedule: CircuitSchedule
+    ) -> Optional[CampaignRecord]:
+        """Historical name for :meth:`maybe_apply`."""
+        return self.maybe_apply(epoch, new_schedule)
+
+    def force_update(self, epoch: int, new_schedule: CircuitSchedule) -> CampaignRecord:
+        """Apply an update at *epoch* regardless of the dwell window.
+
+        The safety-engagement entry point: engaging the oblivious
+        fallback (or recovering from it) must not be rate-limited by the
+        operator dwell policy.  Epoch validation still applies.
+        """
+        epoch = self._check_epoch(epoch)
+        return self._apply(epoch, new_schedule)
 
     @property
     def updates_applied(self) -> int:

@@ -20,7 +20,7 @@ identically — bit-for-bit — by both engines.
 
 from .flows import Cell, FlowState
 from .network import ArrayVoqState, SimNetwork
-from .engine import SlotSimulator, SimConfig
+from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
 from .failures import (
@@ -31,6 +31,7 @@ from .failures import (
 )
 from .invariants import InvariantChecker
 from .telemetry import (
+    EpochTransitionCollector,
     HopCountCollector,
     LinkUtilizationCollector,
     PhaseAttributionCollector,
@@ -51,6 +52,8 @@ __all__ = [
     "ArrayVoqState",
     "SlotSimulator",
     "SimConfig",
+    "SimSession",
+    "SegmentCheckpoint",
     "VectorizedEngine",
     "SimReport",
     "percentile",
@@ -66,6 +69,7 @@ __all__ = [
     "TraceRecorder",
     "TelemetryCollector",
     "TelemetryHub",
+    "EpochTransitionCollector",
     "LinkUtilizationCollector",
     "VoqHeatmapCollector",
     "HopCountCollector",

@@ -16,6 +16,16 @@ every other engine is judged against.  ``SimConfig(engine="vectorized")``
 dispatches :meth:`SlotSimulator.run` to the array fast path in
 :mod:`repro.sim.vectorized`, which reproduces this loop's results exactly
 (per-seed, per-slot) at a fraction of the wall-clock cost.
+
+Runs are *resumable*: :meth:`SlotSimulator.start` returns a
+:class:`SimSession` that advances the clock in segments
+(:meth:`SimSession.run_segment`), carrying all VOQ contents and in-flight
+cells across segment boundaries, and accepts a schedule swap between
+segments (:meth:`SimSession.swap_schedule`) — the substrate of the
+closed-loop adaptation runtime in :mod:`repro.control.runtime`.
+:meth:`SlotSimulator.run` is exactly ``start(...)`` followed by
+``finish()``, so a monolithic run and any segmentation of it produce
+identical results in both engines.
 """
 
 from __future__ import annotations
@@ -34,7 +44,150 @@ from .metrics import SimReport
 from .network import SimNetwork
 from .telemetry import TelemetryHub
 
-__all__ = ["SimConfig", "SlotSimulator"]
+__all__ = ["SegmentCheckpoint", "SimConfig", "SimSession", "SlotSimulator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentCheckpoint:
+    """Engine-agnostic accounting snapshot at a segment boundary.
+
+    Both engines report the same five integers from the same intra-run
+    position (after the last executed slot), so a reference and a
+    vectorized run of the same seeded workload produce *equal* checkpoint
+    sequences under any segmentation — the per-epoch comparison basis of
+    the chaos harness.
+    """
+
+    slot: int
+    injected_cells: int
+    delivered_cells: int
+    in_flight_cells: int
+    max_voq: int
+    window_delivered: int
+
+    def __post_init__(self) -> None:
+        if self.injected_cells - self.delivered_cells != self.in_flight_cells:
+            raise SimulationError(
+                f"checkpoint at slot {self.slot} violates conservation: "
+                f"injected {self.injected_cells}, delivered "
+                f"{self.delivered_cells}, in flight {self.in_flight_cells}"
+            )
+
+
+class SimSession:
+    """A resumable simulator run (shared engine-session machinery).
+
+    Obtained from :meth:`SlotSimulator.start`; never constructed
+    directly.  The session owns the full mid-run state — VOQ contents,
+    in-flight cells, per-flow ledgers, RNG position, telemetry and
+    invariant-checker hookups — so execution can pause at any main-phase
+    slot boundary and resume later, optionally under a *different*
+    schedule (:meth:`swap_schedule`).  Subclasses implement the actual
+    slot loop (:meth:`_advance`), the report (:meth:`_build_report`),
+    the demand census (:meth:`demand_snapshot`) and the schedule
+    installation hook (:meth:`_install_schedule`).
+    """
+
+    #: Set by subclass __init__.
+    slot: int
+    duration_slots: int
+    measure_from: int
+    horizon: int
+    schedule: CircuitSchedule
+
+    def _advance(self, stop: Optional[int]) -> None:
+        raise NotImplementedError
+
+    def _build_report(self) -> SimReport:
+        raise NotImplementedError
+
+    def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
+        raise NotImplementedError
+
+    def demand_snapshot(self):
+        """Cumulative injected cells per (src, dst) pair as an (N, N)
+        array — the measured demand signal a control plane may read at a
+        segment boundary.  Identical across engines at equal slots."""
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has produced the final report."""
+        return self._report is not None
+
+    @property
+    def main_phase_done(self) -> bool:
+        """Whether the arrival horizon has been reached (drain may remain)."""
+        return self.slot >= self.duration_slots
+
+    def run_segment(self, slots: Optional[int] = None) -> "SegmentCheckpoint":
+        """Advance up to *slots* main-phase slots (default: to the
+        horizon) and return the boundary :class:`SegmentCheckpoint`.
+
+        Segments subdivide only the main phase ``[0, duration_slots)``;
+        the drain phase, if configured, runs inside :meth:`finish`.
+        """
+        if self._report is not None:
+            raise SimulationError("cannot run a segment on a finished run")
+        if slots is None:
+            stop = self.duration_slots
+        else:
+            slots = check_positive_int(slots, "slots")
+            stop = min(self.slot + slots, self.duration_slots)
+        self._advance(stop)
+        return self.checkpoint()
+
+    def checkpoint(self) -> "SegmentCheckpoint":
+        """The accounting snapshot after the last executed slot."""
+        return SegmentCheckpoint(
+            slot=self.slot,
+            injected_cells=self._injected,
+            delivered_cells=self._delivered,
+            in_flight_cells=self.network.total_occupancy,
+            max_voq=self._max_voq,
+            window_delivered=self._window_delivered,
+        )
+
+    def swap_schedule(self, new_schedule: CircuitSchedule) -> None:
+        """Install *new_schedule* at the current slot boundary.
+
+        All in-flight cells and VOQ contents survive the swap (the
+        invariant checker, when enabled, asserts none are lost or
+        duplicated).  The router — and therefore every already-sampled
+        source route — is unchanged, so the swap is safe exactly when
+        the new schedule still opens the circuits routes use; SORN
+        q-retunes on a fixed layout and the uniform fallback schedule
+        both qualify (see :mod:`repro.control.runtime`).
+        """
+        if self._report is not None:
+            raise SimulationError("cannot swap schedule on a finished run")
+        if new_schedule.num_nodes != self.schedule.num_nodes:
+            raise SimulationError(
+                f"new schedule covers {new_schedule.num_nodes} nodes, "
+                f"run has {self.schedule.num_nodes}"
+            )
+        if self._timeline is not None:
+            self._timeline.bind(new_schedule)
+        if self._checker is not None:
+            self._checker.record_schedule_swap(
+                self.slot,
+                new_schedule,
+                self.network,
+                self._injected,
+                self._delivered,
+            )
+        self._install_schedule(new_schedule)
+
+    def finish(self) -> SimReport:
+        """Run all remaining slots (including drain) and build the final
+        :class:`SimReport`.  Idempotent: later calls return the cached
+        report."""
+        if self._report is None:
+            self._advance(None)
+            if self._hub is not None:
+                self._hub.finalize(self.horizon)
+            self._report = self._build_report()
+        return self._report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -206,6 +359,36 @@ class SlotSimulator:
 
     # -- main loop --------------------------------------------------------------
 
+    def start(
+        self,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int = 0,
+        tracer=None,
+    ) -> SimSession:
+        """Begin a resumable run; returns the engine's :class:`SimSession`.
+
+        The session starts at slot 0 with nothing executed — drive it
+        with :meth:`SimSession.run_segment` /
+        :meth:`SimSession.finish`.  Argument semantics match
+        :meth:`run`.
+        """
+        duration_slots = check_positive_int(duration_slots, "duration_slots")
+        if not 0 <= measure_from < duration_slots:
+            raise SimulationError("measure_from must be within the horizon")
+        if self.config.engine == "vectorized":
+            from .vectorized import VectorizedEngine
+
+            engine = VectorizedEngine(
+                self.schedule,
+                self.router,
+                self.config,
+                self.rng,
+                timeline=self.timeline,
+            )
+            return engine.start(flows, duration_slots, measure_from, tracer)
+        return ReferenceSession(self, flows, duration_slots, measure_from, tracer)
+
     def run(
         self,
         flows: Sequence[FlowSpec],
@@ -220,156 +403,10 @@ class SlotSimulator:
         :attr:`SimReport.window_throughput`), excluding the warmup ramp.
         ``tracer`` is an optional
         :class:`repro.sim.tracing.TraceRecorder` sampled every slot.
+
+        Exactly equivalent to ``start(...)`` followed by ``finish()``.
         """
-        duration_slots = check_positive_int(duration_slots, "duration_slots")
-        if not 0 <= measure_from < duration_slots:
-            raise SimulationError("measure_from must be within the horizon")
-        config = self.config
-        if config.engine == "vectorized":
-            from .vectorized import VectorizedEngine
-
-            engine = VectorizedEngine(
-                self.schedule, self.router, config, self.rng, timeline=self.timeline
-            )
-            return engine.run(flows, duration_slots, measure_from, tracer)
-        checker = None
-        if config.check_invariants:
-            from .invariants import InvariantChecker
-
-            checker = InvariantChecker(self.schedule, config, self.timeline)
-        hub = config.telemetry
-        if hub is not None and hub.is_noop:
-            hub = None
-        # Bound-method locals: one attribute lookup per run, not per event.
-        rec_tx = hub.record_transmit if hub is not None and hub.wants_transmits else None
-        rec_del = (
-            hub.record_delivery_hops
-            if hub is not None and hub.wants_deliveries
-            else None
-        )
-        rec_sample = hub.sample if hub is not None and hub.wants_samples else None
-        prof = hub.profiler if hub is not None else None
-        if prof is not None:
-            from time import perf_counter
-        timeline = self.timeline
-        if config.short_flow_threshold_cells is not None:
-            from .network import short_flow_priority_lane
-
-            network = SimNetwork(
-                self.schedule.num_nodes,
-                num_lanes=4,
-                lane_of=short_flow_priority_lane(config.short_flow_threshold_cells),
-            )
-        else:
-            network = SimNetwork(self.schedule.num_nodes)
-        states: Dict[int, FlowState] = {
-            spec.flow_id: FlowState(spec=spec) for spec in flows
-        }
-        arrivals: Dict[int, List[FlowState]] = {}
-        for state in states.values():
-            arrivals.setdefault(state.spec.arrival_slot, []).append(state)
-
-        flow_paths: Dict[int, tuple] = {}
-        window = config.injection_window
-        occupancy_sum = 0
-        max_voq = 0
-        window_delivered = 0
-        delivered_running = 0
-        injected_running = 0
-        slot = 0
-        horizon = duration_slots
-
-        while True:
-            if prof is not None:
-                lap = perf_counter()
-            if slot < duration_slots:
-                for flow in arrivals.get(slot, ()):  # new arrivals
-                    budget = flow.spec.size_cells if window is None else window
-                    injected_running += self._inject_cells(
-                        flow, network, slot, budget, flow_paths
-                    )
-            if prof is not None:
-                lap = prof.lap("inject", lap)
-
-            # One matching per plane; each circuit drains its VOQ.
-            delivered_this_slot: List[FlowState] = []
-            for plane in range(self.schedule.num_planes):
-                matching = self.schedule.plane_matching(slot, plane)
-                if timeline is not None and timeline.affects(slot):
-                    matching = timeline.mask_matching(matching, slot, plane)
-                for src, dst in matching.pairs():
-                    cells = network.transmit(src, dst, config.cells_per_circuit)
-                    if cells:
-                        if checker is not None:
-                            checker.record_transmit(slot, plane, src, dst, len(cells))
-                        if rec_tx is not None:
-                            rec_tx(slot, plane, src, dst, len(cells))
-                    for cell in cells:
-                        if cell.at_last_hop:
-                            hops = len(cell.path) - 1
-                            cell.flow.record_delivery(slot, hops)
-                            delivered_this_slot.append(cell.flow)
-                            delivered_running += 1
-                            if slot >= measure_from:
-                                window_delivered += 1
-                            if checker is not None:
-                                checker.record_delivery(
-                                    slot, cell.injected_slot, cell.path
-                                )
-                            if rec_del is not None:
-                                rec_del(slot, cell.injected_slot, hops)
-                        else:
-                            cell.advance()
-                            network.enqueue(cell)
-            if prof is not None:
-                lap = prof.lap("forward", lap)
-
-            # Windowed flows refill as their cells deliver.
-            if window is not None:
-                for flow in delivered_this_slot:
-                    if not flow.fully_injected:
-                        injected_running += self._inject_cells(
-                            flow, network, slot, 1, flow_paths
-                        )
-
-            if checker is not None:
-                checker.end_slot(slot, network, injected_running, delivered_running)
-            occupancy_sum += network.total_occupancy
-            voq = network.max_voq_length()
-            if voq > max_voq:
-                max_voq = voq
-            if tracer is not None:
-                tracer.record(slot, network, delivered_running)
-            if rec_sample is not None:
-                rec_sample(slot, network, delivered_running)
-            if prof is not None:
-                prof.lap("stats", lap)
-
-            slot += 1
-            if slot >= duration_slots:
-                pending = network.total_occupancy > 0 or any(
-                    not f.fully_injected and f.injected_cells > 0
-                    for f in states.values()
-                )
-                if not (config.drain and pending):
-                    horizon = slot
-                    break
-                if slot >= duration_slots + config.max_drain_slots:
-                    horizon = slot
-                    break
-
-        if hub is not None:
-            hub.finalize(horizon)
-        return SimReport.from_flows(
-            states,
-            num_nodes=self.schedule.num_nodes,
-            duration_slots=horizon,
-            max_voq=max_voq,
-            mean_occupancy=occupancy_sum / horizon if horizon else 0.0,
-            window_start=measure_from,
-            window_delivered=window_delivered,
-            short_threshold_cells=config.report_threshold_cells,
-        )
+        return self.start(flows, duration_slots, measure_from, tracer).finish()
 
     def measure_saturation_throughput(
         self,
@@ -388,3 +425,227 @@ class SlotSimulator:
         warmup = int(duration_slots * warmup_fraction)
         report = self.run(flows, duration_slots, measure_from=warmup)
         return report.window_throughput
+
+
+class ReferenceSession(SimSession):
+    """The reference engine's resumable run state.
+
+    The slot loop is the exact loop the monolithic ``run`` used to
+    inline; pausing happens only at slot boundaries, so any segmentation
+    replays the identical event sequence (same RNG draws, same FIFO
+    order, same telemetry stream).
+    """
+
+    def __init__(
+        self,
+        sim: SlotSimulator,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int,
+        tracer,
+    ):
+        config = sim.config
+        self._sim = sim
+        self.config = config
+        self.schedule = sim.schedule
+        self.duration_slots = duration_slots
+        self.measure_from = measure_from
+        self.horizon = duration_slots
+        self.slot = 0
+        self._done = False
+        self._report: Optional[SimReport] = None
+        self._tracer = tracer
+        self._timeline = sim.timeline
+        checker = None
+        if config.check_invariants:
+            from .invariants import InvariantChecker
+
+            checker = InvariantChecker(self.schedule, config, sim.timeline)
+        self._checker = checker
+        hub = config.telemetry
+        if hub is not None and hub.is_noop:
+            hub = None
+        self._hub = hub
+        # Bound-method locals: one attribute lookup per run, not per event.
+        self._rec_tx = (
+            hub.record_transmit if hub is not None and hub.wants_transmits else None
+        )
+        self._rec_del = (
+            hub.record_delivery_hops
+            if hub is not None and hub.wants_deliveries
+            else None
+        )
+        self._rec_sample = (
+            hub.sample if hub is not None and hub.wants_samples else None
+        )
+        self._prof = hub.profiler if hub is not None else None
+        if config.short_flow_threshold_cells is not None:
+            from .network import short_flow_priority_lane
+
+            self.network = SimNetwork(
+                self.schedule.num_nodes,
+                num_lanes=4,
+                lane_of=short_flow_priority_lane(config.short_flow_threshold_cells),
+            )
+        else:
+            self.network = SimNetwork(self.schedule.num_nodes)
+        self._states: Dict[int, FlowState] = {
+            spec.flow_id: FlowState(spec=spec) for spec in flows
+        }
+        self._arrivals: Dict[int, List[FlowState]] = {}
+        for state in self._states.values():
+            self._arrivals.setdefault(state.spec.arrival_slot, []).append(state)
+        self._flow_paths: Dict[int, tuple] = {}
+        self._occupancy_sum = 0
+        self._max_voq = 0
+        self._window_delivered = 0
+        self._delivered = 0
+        self._injected = 0
+
+    def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
+        self.schedule = new_schedule
+
+    def demand_snapshot(self):
+        import numpy as np
+
+        n = self.schedule.num_nodes
+        demand = np.zeros((n, n), dtype=np.int64)
+        for state in self._states.values():
+            if state.injected_cells:
+                demand[state.spec.src, state.spec.dst] += state.injected_cells
+        return demand
+
+    def _advance(self, stop: Optional[int]) -> None:
+        if self._done:
+            return
+        config = self.config
+        schedule = self.schedule
+        network = self.network
+        states = self._states
+        arrivals = self._arrivals
+        flow_paths = self._flow_paths
+        timeline = self._timeline
+        checker = self._checker
+        rec_tx = self._rec_tx
+        rec_del = self._rec_del
+        rec_sample = self._rec_sample
+        prof = self._prof
+        if prof is not None:
+            from time import perf_counter
+        tracer = self._tracer
+        inject_cells = self._sim._inject_cells
+        duration_slots = self.duration_slots
+        measure_from = self.measure_from
+        window = config.injection_window
+        occupancy_sum = self._occupancy_sum
+        max_voq = self._max_voq
+        window_delivered = self._window_delivered
+        delivered_running = self._delivered
+        injected_running = self._injected
+        slot = self.slot
+
+        try:
+            while stop is None or slot < stop:
+                if prof is not None:
+                    lap = perf_counter()
+                if slot < duration_slots:
+                    for flow in arrivals.get(slot, ()):  # new arrivals
+                        budget = flow.spec.size_cells if window is None else window
+                        injected_running += inject_cells(
+                            flow, network, slot, budget, flow_paths
+                        )
+                if prof is not None:
+                    lap = prof.lap("inject", lap)
+
+                # One matching per plane; each circuit drains its VOQ.
+                delivered_this_slot: List[FlowState] = []
+                for plane in range(schedule.num_planes):
+                    matching = schedule.plane_matching(slot, plane)
+                    if timeline is not None and timeline.affects(slot):
+                        matching = timeline.mask_matching(matching, slot, plane)
+                    for src, dst in matching.pairs():
+                        cells = network.transmit(src, dst, config.cells_per_circuit)
+                        if cells:
+                            if checker is not None:
+                                checker.record_transmit(
+                                    slot, plane, src, dst, len(cells)
+                                )
+                            if rec_tx is not None:
+                                rec_tx(slot, plane, src, dst, len(cells))
+                        for cell in cells:
+                            if cell.at_last_hop:
+                                hops = len(cell.path) - 1
+                                cell.flow.record_delivery(slot, hops)
+                                delivered_this_slot.append(cell.flow)
+                                delivered_running += 1
+                                if slot >= measure_from:
+                                    window_delivered += 1
+                                if checker is not None:
+                                    checker.record_delivery(
+                                        slot, cell.injected_slot, cell.path
+                                    )
+                                if rec_del is not None:
+                                    rec_del(slot, cell.injected_slot, hops)
+                            else:
+                                cell.advance()
+                                network.enqueue(cell)
+                if prof is not None:
+                    lap = prof.lap("forward", lap)
+
+                # Windowed flows refill as their cells deliver.
+                if window is not None:
+                    for flow in delivered_this_slot:
+                        if not flow.fully_injected:
+                            injected_running += inject_cells(
+                                flow, network, slot, 1, flow_paths
+                            )
+
+                if checker is not None:
+                    checker.end_slot(
+                        slot, network, injected_running, delivered_running
+                    )
+                occupancy_sum += network.total_occupancy
+                voq = network.max_voq_length()
+                if voq > max_voq:
+                    max_voq = voq
+                if tracer is not None:
+                    tracer.record(slot, network, delivered_running)
+                if rec_sample is not None:
+                    rec_sample(slot, network, delivered_running)
+                if prof is not None:
+                    prof.lap("stats", lap)
+
+                slot += 1
+                if slot >= duration_slots:
+                    pending = network.total_occupancy > 0 or any(
+                        not f.fully_injected and f.injected_cells > 0
+                        for f in states.values()
+                    )
+                    if not (config.drain and pending):
+                        self.horizon = slot
+                        self._done = True
+                        break
+                    if slot >= duration_slots + config.max_drain_slots:
+                        self.horizon = slot
+                        self._done = True
+                        break
+        finally:
+            self._occupancy_sum = occupancy_sum
+            self._max_voq = max_voq
+            self._window_delivered = window_delivered
+            self._delivered = delivered_running
+            self._injected = injected_running
+            self.slot = slot
+
+    def _build_report(self) -> SimReport:
+        horizon = self.horizon
+        return SimReport.from_flows(
+            self._states,
+            num_nodes=self.schedule.num_nodes,
+            duration_slots=horizon,
+            max_voq=self._max_voq,
+            mean_occupancy=self._occupancy_sum / horizon if horizon else 0.0,
+            window_start=self.measure_from,
+            window_delivered=self._window_delivered,
+            short_threshold_cells=self.config.report_threshold_cells,
+        )

@@ -167,42 +167,67 @@ class FailureTimeline:
 
         Each comma-separated entry is ``kind:target@start[-heal]``; a
         missing ``@`` clause means the fault is active from slot 0 and
-        never heals.  Link targets are ``u-v`` node pairs.
+        never heals.  Link targets are ``u-v`` node pairs.  Malformed
+        specs raise :class:`~repro.errors.SimulationError` naming the
+        offending token and its character position in *spec*.
         """
+
+        def fail(pos: int, entry: str, detail: str) -> None:
+            raise SimulationError(
+                f"bad failure spec at character {pos}, entry {entry!r}: "
+                f"{detail}"
+            )
+
+        def parse_int(value: str, pos: int, entry: str, what: str) -> int:
+            try:
+                return int(value)
+            except ValueError:
+                fail(pos, entry, f"{what} {value!r} is not an integer")
+
         events: List[FailureEvent] = []
+        cursor = 0
         for raw in spec.split(","):
             entry = raw.strip()
+            pos = cursor + len(raw) - len(raw.lstrip())
+            cursor += len(raw) + 1
             if not entry:
                 continue
-            try:
-                head, _, when = entry.partition("@")
-                kind, _, target = head.partition(":")
-                start, heal = 0, None
-                if when:
-                    start_s, _, heal_s = when.partition("-")
-                    start = int(start_s)
-                    heal = int(heal_s) if heal_s else None
-                if kind == "node":
-                    events.append(
-                        FailureEvent("node", start, heal, node=int(target))
+            head, _, when = entry.partition("@")
+            kind, sep, target = head.partition(":")
+            if not sep:
+                fail(
+                    pos, entry,
+                    f"missing ':' between kind and target in {head!r} "
+                    f"(expected kind:target[@start[-heal]])",
+                )
+            if kind not in ("node", "link", "plane"):
+                fail(
+                    pos, entry,
+                    f"unknown failure kind {kind!r} "
+                    f"(expected node, link or plane)",
+                )
+            start, heal = 0, None
+            if when:
+                start_s, _, heal_s = when.partition("-")
+                start = parse_int(start_s, pos, entry, "start slot")
+                if heal_s:
+                    heal = parse_int(heal_s, pos, entry, "heal slot")
+            if kind == "link":
+                u_s, sep, v_s = target.partition("-")
+                if not sep:
+                    fail(
+                        pos, entry,
+                        f"link target {target!r} must name a node pair "
+                        f"'u-v'",
                     )
-                elif kind == "link":
-                    u, v = target.split("-")
-                    events.append(
-                        FailureEvent("link", start, heal, link=(int(u), int(v)))
-                    )
-                elif kind == "plane":
-                    events.append(
-                        FailureEvent("plane", start, heal, plane=int(target))
-                    )
-                else:
-                    raise SimulationError(
-                        f"unknown failure kind {kind!r} in {entry!r}"
-                    )
-            except (ValueError, SimulationError) as exc:
-                if isinstance(exc, SimulationError):
-                    raise
-                raise SimulationError(f"cannot parse failure spec {entry!r}") from exc
+                u = parse_int(u_s, pos, entry, "link endpoint")
+                v = parse_int(v_s, pos, entry, "link endpoint")
+                events.append(FailureEvent("link", start, heal, link=(u, v)))
+            else:
+                ident = parse_int(target, pos, entry, f"{kind} target")
+                events.append(
+                    FailureEvent(kind, start, heal, **{kind: ident})
+                )
         return cls(events)
 
     # -- validation ----------------------------------------------------------

@@ -75,6 +75,11 @@ class InvariantChecker:
         # Per-(src, dst) sorted slot indices (one period, all planes
         # unioned) at which the circuit is up; memoized lazily.
         self._up_slots: Dict[Tuple[int, int], np.ndarray] = {}
+        # First slot governed by the most recent mid-run schedule swap
+        # (None = the run never swapped).  Cells injected earlier crossed
+        # a schedule change, so their delta_m bound — computed against a
+        # single schedule — is not applicable to them.
+        self._swap_slot: Optional[int] = None
 
     def _fail(self, message: str) -> None:
         raise InvariantViolation(message)
@@ -152,6 +157,11 @@ class InvariantChecker:
                 f"cell delivered at slot {slot} before its injection at "
                 f"slot {injected_slot}"
             )
+        if self._swap_slot is not None and injected_slot < self._swap_slot:
+            # The cell crossed a schedule swap; a single-schedule
+            # earliest-feasible chain does not bound it.  Causality
+            # (checked above) and conservation still apply.
+            return
         earliest = injected_slot
         for u, v in zip(path, path[1:]):
             # Same-slot multi-hop cascades are legal (a later circuit of
@@ -164,6 +174,46 @@ class InvariantChecker:
                 f"{injected_slot} delivered at slot {slot}, before its "
                 f"earliest feasible slot {earliest} (delta_m bound)"
             )
+
+    # -- schedule swaps --------------------------------------------------------
+
+    def record_schedule_swap(
+        self,
+        slot: int,
+        new_schedule: CircuitSchedule,
+        network,
+        injected_total: int,
+        delivered_total: int,
+    ) -> None:
+        """Validate and adopt a mid-run schedule swap at a slot boundary.
+
+        Asserts no cell is lost or duplicated across the swap — the same
+        conservation + VOQ-census check as :meth:`end_slot`, taken at the
+        instant of the swap — then rebases every schedule-derived cache
+        (capacity rows, circuit up-slots) onto *new_schedule*.  Cells
+        injected before *slot* are exempted from the delta_m bound from
+        here on (their feasibility chain spans two schedules); cells
+        injected after are checked against the new schedule.
+        """
+        self.checks_run += 1
+        if new_schedule.num_nodes != self.schedule.num_nodes:
+            self._fail(
+                f"slot {slot}: schedule swap changes the node count "
+                f"({self.schedule.num_nodes} -> {new_schedule.num_nodes})"
+            )
+        occupancy = network.total_occupancy
+        if injected_total - delivered_total != occupancy:
+            self._fail(
+                f"slot {slot}: cells lost or duplicated across schedule "
+                f"swap — injected {injected_total}, delivered "
+                f"{delivered_total}, but {occupancy} cells in flight"
+            )
+        self.end_slot(slot, network, injected_total, delivered_total)
+        self.schedule = new_schedule
+        self._row_key = None
+        self._row = None
+        self._up_slots.clear()
+        self._swap_slot = slot
 
     # -- conservation ----------------------------------------------------------
 

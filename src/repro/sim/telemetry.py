@@ -54,6 +54,7 @@ from ..util import check_positive_int
 __all__ = [
     "TelemetryCollector",
     "TelemetryHub",
+    "EpochTransitionCollector",
     "LinkUtilizationCollector",
     "VoqHeatmapCollector",
     "HopCountCollector",
@@ -94,6 +95,19 @@ class TelemetryCollector:
     def on_sample(self, slot: int, network, delivered_cumulative: int) -> None:
         """Stride-gated fabric-state sample (see :class:`TelemetryHub`)."""
 
+    def on_epoch(
+        self,
+        epoch: int,
+        slot: int,
+        state: str,
+        action: str,
+        reason: str,
+        locality: Optional[float],
+        q: Optional[float],
+    ) -> None:
+        """One control-plane epoch boundary (emitted by the adaptation
+        runtime, not by the engines; see :mod:`repro.control.runtime`)."""
+
     def finalize(self, horizon_slots: int) -> None:
         """Called once when the run ends (*horizon_slots* includes drain)."""
 
@@ -112,7 +126,7 @@ class TelemetryCollector:
         raise NotImplementedError
 
 
-_VALID_STREAMS = frozenset({"transmit", "delivery", "sample"})
+_VALID_STREAMS = frozenset({"transmit", "delivery", "sample", "epoch"})
 
 
 class TelemetryHub:
@@ -143,6 +157,7 @@ class TelemetryHub:
         self._transmit: List[TelemetryCollector] = []
         self._delivery: List[TelemetryCollector] = []
         self._sample: List[TelemetryCollector] = []
+        self._epoch: List[TelemetryCollector] = []
         #: The registered :class:`PhaseProfiler`, if any — engines grab
         #: this directly so timer laps skip the dispatch machinery.
         self.profiler: Optional[PhaseProfiler] = None
@@ -172,6 +187,8 @@ class TelemetryHub:
             self._delivery.append(collector)
         if "sample" in streams:
             self._sample.append(collector)
+        if "epoch" in streams:
+            self._epoch.append(collector)
         if isinstance(collector, PhaseProfiler):
             self.profiler = collector
         return collector
@@ -192,9 +209,14 @@ class TelemetryHub:
     @property
     def is_noop(self) -> bool:
         """True when no collector consumes anything (engines then skip
-        every hook for the whole run)."""
+        every hook for the whole run).  A hub with only epoch collectors
+        is *not* a no-op: the engines still owe it ``finalize``."""
         return not (
-            self._transmit or self._delivery or self._sample or self.profiler
+            self._transmit
+            or self._delivery
+            or self._sample
+            or self._epoch
+            or self.profiler
         )
 
     @property
@@ -208,6 +230,10 @@ class TelemetryHub:
     @property
     def wants_samples(self) -> bool:
         return bool(self._sample)
+
+    @property
+    def wants_epochs(self) -> bool:
+        return bool(self._epoch)
 
     # -- engine-facing event seam --------------------------------------------
 
@@ -225,6 +251,20 @@ class TelemetryHub:
         """Path-carrying variant of :meth:`record_delivery_hops` (the
         invariant-checker seam signature); hops = ``len(path) - 1``."""
         self.record_delivery_hops(slot, injected_slot, len(path) - 1)
+
+    def record_epoch(
+        self,
+        epoch: int,
+        slot: int,
+        state: str,
+        action: str,
+        reason: str,
+        locality: Optional[float],
+        q: Optional[float],
+    ) -> None:
+        """One adaptation-runtime epoch boundary (control-plane stream)."""
+        for collector in self._epoch:
+            collector.on_epoch(epoch, slot, state, action, reason, locality, q)
 
     def sample(self, slot: int, network, delivered_cumulative: int) -> None:
         """Per-slot fabric-state sample; forwarded on the stride grid."""
@@ -524,6 +564,47 @@ class PhaseAttributionCollector(TelemetryCollector):
 
     def reset(self):
         self._delivered = [0] * self.period
+
+
+class EpochTransitionCollector(TelemetryCollector):
+    """Event log of the adaptation runtime's epoch transitions.
+
+    One row per control epoch: the controller health state after the
+    control step, the action taken (retune, keep, degrade, fallback,
+    recovery), the reason, and the measured locality / chosen q.  The
+    stream is a deterministic function of the runtime's decisions, so
+    identical seeded adaptive runs — under either engine — produce
+    bit-identical rows (the chaos harness asserts this).
+    """
+
+    name = "epoch_transitions"
+    consumes = frozenset({"epoch"})
+
+    def __init__(self):
+        self._rows: List[dict] = []
+
+    def on_epoch(self, epoch, slot, state, action, reason, locality, q):
+        self._rows.append(
+            {
+                "epoch": epoch,
+                "slot": slot,
+                "state": state,
+                "action": action,
+                "reason": reason,
+                "locality": locality,
+                "q": q,
+            }
+        )
+
+    def states(self) -> List[str]:
+        """Controller state per epoch, in order."""
+        return [row["state"] for row in self._rows]
+
+    def rows(self):
+        return [dict(row) for row in self._rows]
+
+    def reset(self):
+        self._rows.clear()
 
 
 class PhaseProfiler(TelemetryCollector):

@@ -65,6 +65,7 @@ import numpy as np
 from ..routing.base import Router
 from ..schedules.schedule import CircuitSchedule
 from ..traffic.workload import FlowSpec
+from .engine import SimSession
 from .metrics import SimReport
 from .network import ArrayVoqState
 
@@ -123,6 +124,18 @@ class VectorizedEngine:
         #: masked per absolute slot, identically to the reference engine.
         self.timeline = timeline
 
+    def start(
+        self,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int = 0,
+        tracer=None,
+    ) -> "VectorizedSession":
+        """Begin a resumable run (see :meth:`repro.sim.engine.
+        SlotSimulator.start`); the session's segmentation is exactly
+        equivalent to one monolithic :meth:`run`."""
+        return VectorizedSession(self, flows, duration_slots, measure_from, tracer)
+
     def run(
         self,
         flows: Sequence[FlowSpec],
@@ -132,55 +145,103 @@ class VectorizedEngine:
     ) -> SimReport:
         """Run the workload; argument semantics match the reference
         :meth:`repro.sim.engine.SlotSimulator.run` exactly."""
-        config = self.config
-        router = self.router
-        rng = self.rng
-        timeline = self.timeline
+        return self.start(flows, duration_slots, measure_from, tracer).finish()
+
+
+class VectorizedSession(SimSession):
+    """The vectorized engine's resumable run state.
+
+    All flat tables (cell routes, hop cursors, per-flow ledgers, the
+    dense VOQ counters) live on the session, so pausing at a slot
+    boundary is free; :meth:`_advance` rebinds them as locals and runs
+    the identical hot loop the monolithic engine used.  Presampled path
+    blocks stay valid across schedule swaps because the *router* — the
+    only RNG consumer — never changes mid-run.
+    """
+
+    def __init__(
+        self,
+        engine: VectorizedEngine,
+        flows: Sequence[FlowSpec],
+        duration_slots: int,
+        measure_from: int,
+        tracer,
+    ):
+        config = engine.config
+        router = engine.router
+        rng = engine.rng
+        timeline = engine.timeline
+        self.config = config
+        self.router = router
+        self.rng = rng
+        self.schedule = engine.schedule
+        self.duration_slots = duration_slots
+        self.measure_from = measure_from
+        self.horizon = duration_slots
+        self.slot = 0
+        self._done = False
+        self._report: Optional[SimReport] = None
+        self._tracer = tracer
+        self._timeline = timeline
         checker = None
         if config.check_invariants:
             from .invariants import InvariantChecker
 
             checker = InvariantChecker(self.schedule, config, timeline)
+        self._checker = checker
         hub = config.telemetry
         if hub is not None and hub.is_noop:
             hub = None
+        self._hub = hub
         # Telemetry seam, identical to the reference engine's: bound
         # methods resolved once, events emitted from the same intra-slot
         # positions with the same integer arguments — so both engines
         # feed collectors bit-identical streams (module docstring).
-        rec_tx = hub.record_transmit if hub is not None and hub.wants_transmits else None
-        rec_del = (
+        self._rec_tx = (
+            hub.record_transmit if hub is not None and hub.wants_transmits else None
+        )
+        self._rec_del = (
             hub.record_delivery_hops
             if hub is not None and hub.wants_deliveries
             else None
         )
-        rec_sample = hub.sample if hub is not None and hub.wants_samples else None
-        prof = hub.profiler if hub is not None else None
-        if prof is not None:
-            from time import perf_counter
+        self._rec_sample = (
+            hub.sample if hub is not None and hub.wants_samples else None
+        )
+        self._prof = hub.profiler if hub is not None else None
         num_flows = len(flows)
         num_nodes = self.schedule.num_nodes
+        self.num_nodes = num_nodes
 
         src_arr = np.fromiter((f.src for f in flows), dtype=np.int64, count=num_flows)
         dst_arr = np.fromiter((f.dst for f in flows), dtype=np.int64, count=num_flows)
         sizes_l: List[int] = [f.size_cells for f in flows]
         arrival_l: List[int] = [f.arrival_slot for f in flows]
+        self._src_arr = src_arr
+        self._dst_arr = dst_arr
+        self._sizes_l = sizes_l
+        self._arrival_l = arrival_l
 
         # Per-flow ledgers (indexed by flow position, finalized at the end).
         inj: List[int] = [0] * num_flows
-        dcount: List[int] = [0] * num_flows
-        hoptot: List[int] = [0] * num_flows
-        completion: List[int] = [-1] * num_flows
+        self._dcount = [0] * num_flows
+        self._hoptot = [0] * num_flows
+        self._completion = [-1] * num_flows
 
         short_threshold = config.short_flow_threshold_cells
         num_lanes = 2 if short_threshold is None else 4
+        self._num_lanes = num_lanes
         short_l: Optional[List[bool]] = None
         if short_threshold is not None:
             short_l = [s <= short_threshold for s in sizes_l]
+        self._short_l = short_l
 
         per_flow = config.per_flow_paths
-        flow_path: List[Optional[List[int]]] = [None] * num_flows
-        flow_plen: List[int] = [0] * num_flows
+        self._per_flow = per_flow
+        self._flow_path: List[Optional[List[int]]] = [None] * num_flows
+        self._flow_plen: List[int] = [0] * num_flows
+        flow_path = self._flow_path
+        flow_plen = self._flow_plen
 
         # Cell tables: id-indexed source route (full paths_batch row, -1
         # padded), route length, hop cursor, owning flow.  Injection slots
@@ -188,31 +249,23 @@ class VectorizedEngine:
         # invariant checker or a delivery-telemetry collector) — the
         # report never does, and the extra per-cell append would tax the
         # hot path for nothing otherwise.
-        cpath: List[List[int]] = []
-        cplen: List[int] = []
-        chop: List[int] = []
-        cfid: List[int] = []
-        cinj: List[int] = []
-        track_inj = checker is not None or rec_del is not None
+        self._cpath: List[List[int]] = []
+        self._cplen: List[int] = []
+        self._chop: List[int] = []
+        self._cfid: List[int] = []
+        self._cinj: List[int] = []
+        self._track_inj = checker is not None or self._rec_del is not None
 
-        network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
-        voqs = network.voqs
-        qlen = network.qlen
-        active = _ActivePairs(self.schedule)
-        dest_table = self.schedule.dest_table()  # shared dense table, up front
+        self.network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
+        self._install_schedule(engine.schedule)
 
+        self._occupancy_sum = 0
+        self._max_voq = 0
+        self._window_delivered = 0
+        self._delivered = 0
+        self._injected = 0
+        self._partial_flows = 0  # flows mid-injection (windowed drain criterion)
         window = config.injection_window
-        budget = config.cells_per_circuit
-        num_planes = self.schedule.num_planes
-        period = self.schedule.period
-        occupancy_sum = 0
-        max_voq = 0
-        window_delivered = 0
-        delivered_running = 0
-        injected_running = 0
-        partial_flows = 0  # flows mid-injection (windowed drain criterion)
-        slot = 0
-        horizon = duration_slots
 
         # --- Path presampling -------------------------------------------
         # The reference engine touches the RNG only when sampling paths:
@@ -222,12 +275,14 @@ class VectorizedEngine:
         # before the clock starts and one paths_batch call replaces
         # hundreds of per-slot calls.  Only per-cell *windowed* runs
         # interleave refill draws with arrivals and must sample per slot.
+        # Presampling consumes the RNG *before* slot 0 and the router is
+        # immutable for the whole session, so the presampled blocks stay
+        # valid across mid-run schedule swaps.
         cell_rows: Optional[List[List[int]]] = None
         cell_lens: List[int] = []
         order_l: List[int] = []  # owning flow per presampled cell
         slot_end: List[int] = []  # presample cursor position after each slot
         arr_u = arr_v = None  # presampled first-hop columns (counter scatter)
-        cursor = 0
         if per_flow or window is None:
             arr_np = np.asarray(arrival_l, dtype=np.int64)
             sz_np = np.asarray(sizes_l, dtype=np.int64)
@@ -265,11 +320,104 @@ class VectorizedEngine:
                 # arrival, so the ledger is known up front and the per-slot
                 # arrival loop reduces to consuming the presampled block.
                 inj = np.where(arr_np < duration_slots, sz_np, 0).tolist()
+        self._inj = inj
+        self._cell_rows = cell_rows
+        self._cell_lens = cell_lens
+        self._order_l = order_l
+        self._slot_end = slot_end
+        self._arr_u = arr_u
+        self._arr_v = arr_v
+        self._cursor = 0
 
         arrivals: Dict[int, List[int]] = {}
         if cell_rows is None:  # per-slot arrival loop still needed
             for i, spec in enumerate(flows):
                 arrivals.setdefault(spec.arrival_slot, []).append(i)
+        self._arrivals = arrivals
+
+    def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
+        # Everything slot-periodic is derived from the schedule and must
+        # be rebuilt on a swap; the VOQ state, cell tables and presampled
+        # paths are schedule-independent and survive untouched.
+        self.schedule = new_schedule
+        self._active = _ActivePairs(new_schedule)
+        self._dest_table = new_schedule.dest_table()
+
+    def demand_snapshot(self):
+        injected: np.ndarray
+        if self._cell_rows is not None:
+            # This mode presets the inj ledger during presampling, so
+            # reconstruct injected-so-far from arrival slots instead
+            # (every cell of a flow injects at its arrival slot here).
+            arr = np.asarray(self._arrival_l, dtype=np.int64)
+            sizes = np.asarray(self._sizes_l, dtype=np.int64)
+            bound = min(self.slot, self.duration_slots)
+            injected = np.where(arr < bound, sizes, 0)
+        else:
+            injected = np.asarray(self._inj, dtype=np.int64)
+        demand = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int64)
+        np.add.at(demand, (self._src_arr, self._dst_arr), injected)
+        return demand
+
+    def _advance(self, stop: Optional[int]) -> None:
+        if self._done:
+            return
+        config = self.config
+        router = self.router
+        rng = self.rng
+        timeline = self._timeline
+        checker = self._checker
+        rec_tx = self._rec_tx
+        rec_del = self._rec_del
+        rec_sample = self._rec_sample
+        prof = self._prof
+        if prof is not None:
+            from time import perf_counter
+        tracer = self._tracer
+        duration_slots = self.duration_slots
+        measure_from = self.measure_from
+        src_arr = self._src_arr
+        dst_arr = self._dst_arr
+        sizes_l = self._sizes_l
+        inj = self._inj
+        dcount = self._dcount
+        hoptot = self._hoptot
+        completion = self._completion
+        short_l = self._short_l
+        num_lanes = self._num_lanes
+        per_flow = self._per_flow
+        flow_path = self._flow_path
+        flow_plen = self._flow_plen
+        cpath = self._cpath
+        cplen = self._cplen
+        chop = self._chop
+        cfid = self._cfid
+        cinj = self._cinj
+        track_inj = self._track_inj
+        network = self.network
+        voqs = network.voqs
+        qlen = network.qlen
+        active = self._active
+        dest_table = self._dest_table
+        window = config.injection_window
+        budget = config.cells_per_circuit
+        num_planes = self.schedule.num_planes
+        period = self.schedule.period
+        cell_rows = self._cell_rows
+        cell_lens = self._cell_lens
+        order_l = self._order_l
+        slot_end = self._slot_end
+        arr_u = self._arr_u
+        arr_v = self._arr_v
+        arrivals = self._arrivals
+        occupancy_sum = self._occupancy_sum
+        max_voq = self._max_voq
+        window_delivered = self._window_delivered
+        delivered_running = self._delivered
+        injected_running = self._injected
+        partial_flows = self._partial_flows
+        cursor = self._cursor
+        slot = self.slot
 
         def enqueue_new(fidx: List[int], rows, lens) -> None:
             # Bulk-extend the cell tables and append the fresh ids to the
@@ -317,6 +465,8 @@ class VectorizedEngine:
             enqueue_new(fidx, rows, lens)
 
         while True:
+            if stop is not None and slot >= stop:
+                break
             # Per-slot counter deltas, batch-applied before stats sampling:
             # forwarded-cell enqueues and per-circuit drain counts.
             enq_u: List[int] = []
@@ -472,26 +622,37 @@ class VectorizedEngine:
             if slot >= duration_slots:
                 pending = network.total_occupancy > 0 or partial_flows > 0
                 if not (config.drain and pending):
-                    horizon = slot
+                    self.horizon = slot
+                    self._done = True
                     break
                 if slot >= duration_slots + config.max_drain_slots:
-                    horizon = slot
+                    self.horizon = slot
+                    self._done = True
                     break
 
-        if hub is not None:
-            hub.finalize(horizon)
+        self._occupancy_sum = occupancy_sum
+        self._max_voq = max_voq
+        self._window_delivered = window_delivered
+        self._delivered = delivered_running
+        self._injected = injected_running
+        self._partial_flows = partial_flows
+        self._cursor = cursor
+        self.slot = slot
+
+    def _build_report(self) -> SimReport:
+        horizon = self.horizon
         return SimReport.from_flow_arrays(
-            np.asarray(sizes_l, dtype=np.int64),
-            np.asarray(arrival_l, dtype=np.int64),
-            np.asarray(inj, dtype=np.int64),
-            np.asarray(dcount, dtype=np.int64),
-            np.asarray(completion, dtype=np.int64),
-            np.asarray(hoptot, dtype=np.int64),
-            num_nodes=num_nodes,
+            np.asarray(self._sizes_l, dtype=np.int64),
+            np.asarray(self._arrival_l, dtype=np.int64),
+            np.asarray(self._inj, dtype=np.int64),
+            np.asarray(self._dcount, dtype=np.int64),
+            np.asarray(self._completion, dtype=np.int64),
+            np.asarray(self._hoptot, dtype=np.int64),
+            num_nodes=self.num_nodes,
             duration_slots=horizon,
-            max_voq=max_voq,
-            mean_occupancy=occupancy_sum / horizon if horizon else 0.0,
-            window_start=measure_from,
-            window_delivered=window_delivered,
-            short_threshold_cells=config.report_threshold_cells,
+            max_voq=self._max_voq,
+            mean_occupancy=self._occupancy_sum / horizon if horizon else 0.0,
+            window_start=self.measure_from,
+            window_delivered=self._window_delivered,
+            short_threshold_cells=self.config.report_threshold_cells,
         )

@@ -129,3 +129,78 @@ class TestUpdateCampaign:
     def test_rejects_bad_dwell(self):
         with pytest.raises(ControlPlaneError):
             UpdateCampaign(build_sorn_schedule(8, 2, q=1), min_dwell_epochs=0)
+
+
+class TestMaybeApplyBoundaries:
+    """Dwell off-by-one and epoch-clock validation of maybe_apply."""
+
+    def make_campaign(self, dwell):
+        return UpdateCampaign(
+            build_sorn_schedule(8, 2, q=1), min_dwell_epochs=dwell
+        )
+
+    def test_try_update_is_maybe_apply(self):
+        campaign = self.make_campaign(3)
+        assert campaign.try_update(0, build_sorn_schedule(8, 2, q=2))
+        assert campaign.try_update(2, build_sorn_schedule(8, 2, q=3)) is None
+        with pytest.raises(ControlPlaneError):
+            campaign.try_update(-2, build_sorn_schedule(8, 2, q=3))
+
+    def test_rejected_exactly_one_epoch_before_dwell(self):
+        campaign = self.make_campaign(4)
+        campaign.maybe_apply(10, build_sorn_schedule(8, 2, q=2))
+        assert campaign.maybe_apply(13, build_sorn_schedule(8, 2, q=3)) is None
+
+    def test_accepted_at_exactly_min_dwell_epochs(self):
+        campaign = self.make_campaign(4)
+        campaign.maybe_apply(10, build_sorn_schedule(8, 2, q=2))
+        record = campaign.maybe_apply(14, build_sorn_schedule(8, 2, q=3))
+        assert record is not None and record.epoch == 14
+
+    def test_dwell_one_accepts_every_epoch(self):
+        campaign = self.make_campaign(1)
+        for epoch, q in enumerate((2, 3, 4)):
+            assert campaign.maybe_apply(epoch, build_sorn_schedule(8, 2, q=q))
+        assert campaign.updates_applied == 3
+
+    def test_dwell_measured_from_last_applied_not_last_rejected(self):
+        campaign = self.make_campaign(3)
+        campaign.maybe_apply(0, build_sorn_schedule(8, 2, q=2))
+        assert campaign.maybe_apply(2, build_sorn_schedule(8, 2, q=3)) is None
+        # Epoch 3 = 0 + dwell: accepted even though epoch 2 was rejected
+        # in between (rejections must not reset the dwell clock).
+        assert campaign.maybe_apply(3, build_sorn_schedule(8, 2, q=3))
+
+    def test_negative_epoch_rejected(self):
+        campaign = self.make_campaign(1)
+        with pytest.raises(ControlPlaneError, match="non-negative"):
+            campaign.maybe_apply(-1, build_sorn_schedule(8, 2, q=2))
+
+    def test_non_monotonic_epoch_rejected(self):
+        campaign = self.make_campaign(1)
+        campaign.maybe_apply(5, build_sorn_schedule(8, 2, q=2))
+        with pytest.raises(
+            ControlPlaneError, match="strictly increasing.*3.*after.*5"
+        ):
+            campaign.maybe_apply(3, build_sorn_schedule(8, 2, q=3))
+
+    def test_repeated_epoch_rejected(self):
+        campaign = self.make_campaign(1)
+        campaign.maybe_apply(5, build_sorn_schedule(8, 2, q=2))
+        with pytest.raises(ControlPlaneError, match="strictly increasing"):
+            campaign.maybe_apply(5, build_sorn_schedule(8, 2, q=3))
+
+    def test_rejected_request_still_advances_the_clock(self):
+        campaign = self.make_campaign(5)
+        campaign.maybe_apply(0, build_sorn_schedule(8, 2, q=2))
+        assert campaign.maybe_apply(2, build_sorn_schedule(8, 2, q=3)) is None
+        with pytest.raises(ControlPlaneError, match="strictly increasing"):
+            campaign.maybe_apply(1, build_sorn_schedule(8, 2, q=3))
+
+    def test_force_update_bypasses_dwell_but_validates_epochs(self):
+        campaign = self.make_campaign(10)
+        campaign.maybe_apply(0, build_sorn_schedule(8, 2, q=2))
+        record = campaign.force_update(1, build_sorn_schedule(8, 2, q=3))
+        assert record is not None and campaign.updates_applied == 2
+        with pytest.raises(ControlPlaneError, match="strictly increasing"):
+            campaign.force_update(1, build_sorn_schedule(8, 2, q=4))

@@ -183,6 +183,39 @@ class TestFailureTimeline:
         with pytest.raises(SimulationError):
             FailureTimeline.parse(spec)
 
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("node3", "missing ':' between kind and target in 'node3'"),
+            ("gpu:1@0", "unknown failure kind 'gpu'"),
+            ("node:x@0", "node target 'x' is not an integer"),
+            ("plane:z", "plane target 'z' is not an integer"),
+            ("link:3@0", "link target '3' must name a node pair 'u-v'"),
+            ("link:a-2", "link endpoint 'a' is not an integer"),
+            ("link:1-b", "link endpoint 'b' is not an integer"),
+            ("node:1@ten", "start slot 'ten' is not an integer"),
+            ("node:1@5-y", "heal slot 'y' is not an integer"),
+        ],
+    )
+    def test_parse_error_names_offending_token(self, spec, fragment):
+        with pytest.raises(SimulationError, match="bad failure spec") as exc:
+            FailureTimeline.parse(spec)
+        assert fragment in str(exc.value)
+
+    def test_parse_error_reports_character_position(self):
+        # The second entry starts after "node:1@5," (9 chars) plus one
+        # leading space.
+        with pytest.raises(SimulationError) as exc:
+            FailureTimeline.parse("node:1@5, rack:2")
+        message = str(exc.value)
+        assert "at character 10" in message
+        assert "entry 'rack:2'" in message
+
+    def test_parse_error_quotes_full_entry(self):
+        with pytest.raises(SimulationError) as exc:
+            FailureTimeline.parse("link:1-2@5,node:oops@9-12")
+        assert "entry 'node:oops@9-12'" in str(exc.value)
+
     def test_affects_window(self):
         tl = FailureTimeline.parse("node:1@10-20,link:0-2@15-30")
         assert not tl.affects(9)

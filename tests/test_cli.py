@@ -160,3 +160,44 @@ class TestSubcommands:
             ln for ln in out.splitlines() if ln.strip().startswith(("1 ", "2 "))
         ]
         assert len(lines) == 2
+
+    def test_fig_adaptive(self, capsys):
+        assert main(
+            ["fig-adaptive", "--nodes", "12", "--cliques", "3",
+             "--epochs", "4", "--epoch-slots", "40", "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop adaptation" in out
+        assert "retuned" in out or "kept" in out
+        assert "static oblivious" in out
+
+    def test_fig_adaptive_chaos_flags(self, capsys):
+        assert main(
+            ["fig-adaptive", "--nodes", "12", "--cliques", "3",
+             "--epochs", "6", "--epoch-slots", "40", "--check",
+             "--fallback-after", "2", "--outages", "1,2,3",
+             "--corrupt", "0:nan", "--planner-fail", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "fallback-engaged" in out
+        assert "adaptive run:" in out
+
+    def test_fig_adaptive_engines_agree(self, capsys):
+        outputs = {}
+        for engine in ("reference", "vectorized"):
+            assert main(
+                ["fig-adaptive", "--nodes", "12", "--cliques", "3",
+                 "--epochs", "4", "--epoch-slots", "30",
+                 "--outages", "1", "--engine", engine]
+            ) == 0
+            outputs[engine] = capsys.readouterr().out.replace(engine, "ENGINE")
+        assert outputs["reference"] == outputs["vectorized"]
+
+    def test_fig_adaptive_fabric_timeline(self, capsys):
+        assert main(
+            ["fig-adaptive", "--nodes", "12", "--cliques", "3",
+             "--epochs", "4", "--epoch-slots", "30", "--check",
+             "--timeline", "node:2@20-50"]
+        ) == 0
+        assert "Closed-loop adaptation" in capsys.readouterr().out
