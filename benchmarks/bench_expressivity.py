@@ -12,10 +12,8 @@ import pytest
 
 from repro.analysis import optimal_q, sorn_throughput
 from repro.control import weighted_sorn_schedule
-from repro.routing import SornRouter
-from repro.schedules import build_sorn_schedule
+from repro.exp import factory
 from repro.sim import saturation_throughput
-from repro.topology import CliqueLayout
 from repro.traffic import TrafficMatrix
 
 X = 0.5
@@ -44,11 +42,11 @@ def skewed_demand(layout, heavy):
 
 
 def compare(heavy):
-    layout = CliqueLayout.equal(N, NC)
+    layout = factory.layout(N, NC)
     demand, weights = skewed_demand(layout, heavy)
     q = optimal_q(X)
-    router = SornRouter(layout)
-    uniform = build_sorn_schedule(N, NC, q=q, layout=layout)
+    router = factory.sorn_router(N, NC)
+    uniform = factory.sorn_schedule(N, NC, q)
     r_uniform = saturation_throughput(uniform, router, demand).throughput
     # inter_slots = 120 resolves the BvN weights of every sweep point
     # exactly (0.5/0.25, 2/3 / 1/6, 0.8/0.1 all quantize without error).

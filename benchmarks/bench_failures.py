@@ -13,20 +13,18 @@ from repro.analysis import (
     node_blast_radius,
     sorn_sync_domain_size,
 )
-from repro.routing import SornRouter, VlbRouter
-from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.exp import factory
 from repro.sim import FailedNodeSchedule, SimConfig, SlotSimulator, split_casualties
-from repro.topology import CliqueLayout
-from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+from repro.traffic import FlowSizeDistribution, Workload
 
 N = 24
 
 
 def analytic_radii():
-    flat = node_blast_radius(VlbRouter(N), 0)
+    flat = node_blast_radius(factory.vlb_router(N), 0)
     rows = [("flat VLB", flat)]
     for nc in (2, 4, 6):
-        router = SornRouter(CliqueLayout.equal(N, nc))
+        router = factory.sorn_router(N, nc)
         rows.append((f"SORN Nc={nc}", node_blast_radius(router, 0)))
     return rows
 
@@ -45,20 +43,25 @@ def test_analytic_blast_radius(benchmark, report):
 
 def empirical_blast():
     n, nc = 16, 4
-    layout = CliqueLayout.equal(n, nc)
     workload = Workload(
-        clustered_matrix(layout, 0.8), FlowSizeDistribution.fixed(3000), load=0.15
+        factory.clustered(n, nc, 0.8), FlowSizeDistribution.fixed(3000), load=0.15
     )
     flows = workload.generate(500, rng=9)
     _, bystanders = split_casualties(flows, [0])
     config = SimConfig(drain=True, max_drain_slots=300)
 
     flat = SlotSimulator(
-        FailedNodeSchedule(RoundRobinSchedule(n), [0]), VlbRouter(n), config, rng=5
+        FailedNodeSchedule(factory.round_robin_schedule(n), [0]),
+        factory.vlb_router(n),
+        config,
+        rng=5,
     ).run(bystanders, 600)
-    schedule = build_sorn_schedule(n, nc, q=2, layout=layout)
+    schedule = factory.sorn_schedule(n, nc, 2)
     sorn = SlotSimulator(
-        FailedNodeSchedule(schedule, [0]), SornRouter(layout), config, rng=5
+        FailedNodeSchedule(schedule, [0]),
+        factory.sorn_router(n, nc),
+        config,
+        rng=5,
     ).run(bystanders, 600)
     return flat.completion_ratio, sorn.completion_ratio
 
@@ -79,7 +82,7 @@ def test_sync_domains(benchmark, report):
         for nc in (16, 32, 64, 256):
             rows.append(
                 (f"SORN Nc={nc}",
-                 sorn_sync_domain_size(SornRouter(CliqueLayout.equal(4096, nc))))
+                 sorn_sync_domain_size(factory.sorn_router(4096, nc)))
             )
         return rows
 

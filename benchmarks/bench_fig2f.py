@@ -17,8 +17,7 @@ import pytest
 
 from repro.analysis import optimal_q, sorn_throughput
 from repro.core import Sorn
-from repro.routing import SornRouter
-from repro.schedules import build_sorn_schedule
+from repro.exp import factory
 from repro.sim import SimConfig, SlotSimulator
 from repro.traffic import WEB_SEARCH, Workload, clustered_matrix
 
@@ -50,12 +49,15 @@ def test_fig2f_theory_and_fluid(benchmark, report):
 
 
 def simulate_point(x, num_nodes=64, num_cliques=8, slots=2000, seed=3, engine="reference"):
-    schedule = build_sorn_schedule(num_nodes, num_cliques, q=optimal_q(x))
-    matrix = clustered_matrix(schedule.layout, x)
+    schedule = factory.sorn_schedule(num_nodes, num_cliques, optimal_q(x))
+    matrix = factory.clustered(num_nodes, num_cliques, x)
     workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
     flows = workload.generate(slots, rng=seed)
     sim = SlotSimulator(
-        schedule, SornRouter(schedule.layout), SimConfig(engine=engine), rng=seed
+        schedule,
+        factory.sorn_router(num_nodes, num_cliques),
+        SimConfig(engine=engine),
+        rng=seed,
     )
     return sim.measure_saturation_throughput(flows, slots)
 

@@ -22,21 +22,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import optimal_q
-from repro.routing import MultiDimRouter, OperaRouter, SornRouter, VlbRouter
-from repro.schedules import (
-    ExpanderSchedule,
-    MultiDimSchedule,
-    RoundRobinSchedule,
-    build_sorn_schedule,
-)
+from repro.exp import factory
 from repro.sim import SimConfig, SlotSimulator
-from repro.topology import CliqueLayout
-from repro.traffic import (
-    FlowSizeDistribution,
-    WEB_SEARCH,
-    Workload,
-    clustered_matrix,
-)
+from repro.traffic import FlowSizeDistribution, WEB_SEARCH, Workload
 
 N = 64
 NC = 8
@@ -46,26 +34,12 @@ SLOTS = 1500
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_flow_sim.json"
 
 
-def build_systems():
-    layout = CliqueLayout.equal(N, NC)
-    sorn = build_sorn_schedule(N, NC, q=optimal_q(X), layout=layout)
-    md = MultiDimSchedule(N, 2)
-    expander = ExpanderSchedule(N, 8, seed=1)
-    return {
-        "SORN": (sorn, SornRouter(layout)),
-        "ORN 1D": (RoundRobinSchedule(N), VlbRouter(N)),
-        "ORN 2D": (md, MultiDimRouter(md)),
-        "Opera": (expander, OperaRouter(expander, short_fraction=0.75)),
-    }
-
-
 def run_fct(load=0.3, engine="reference"):
-    layout = CliqueLayout.equal(N, NC)
-    matrix = clustered_matrix(layout, X)
+    matrix = factory.clustered(N, NC, X)
     workload = Workload(matrix, FlowSizeDistribution.fixed(6000), load=load)
     flows = workload.generate(SLOTS, rng=21)
     results = {}
-    for name, (schedule, router) in build_systems().items():
+    for name, (schedule, router) in factory.build_systems(N, NC, X).items():
         sim = SlotSimulator(
             schedule, router, SimConfig(drain=True, engine=engine), rng=4
         )
@@ -108,10 +82,9 @@ def run_saturation(engine="reference"):
     provisioned planes — the same normalization as Table 1's throughput
     column (delivered traffic over total node bandwidth).
     """
-    layout = CliqueLayout.equal(N, NC)
-    matrix = clustered_matrix(layout, X)
+    matrix = factory.clustered(N, NC, X)
     out = {}
-    for name, (schedule, router) in build_systems().items():
+    for name, (schedule, router) in factory.build_systems(N, NC, X).items():
         planes = schedule.num_planes
         workload = Workload(
             matrix, FlowSizeDistribution.fixed(7500), load=1.4 * planes
@@ -157,8 +130,8 @@ def test_vectorized_speedup(report, smoke):
     else:
         num_nodes, num_cliques, slots, threshold = 128, 8, 1200, 5.0
     x = 0.56
-    schedule = build_sorn_schedule(num_nodes, num_cliques, q=optimal_q(x))
-    matrix = clustered_matrix(schedule.layout, x)
+    schedule = factory.sorn_schedule(num_nodes, num_cliques, optimal_q(x))
+    matrix = factory.clustered(num_nodes, num_cliques, x)
     workload = Workload(matrix, WEB_SEARCH, load=1.4, cell_bytes=150_000)
     flows = workload.generate(slots, rng=9)
 
@@ -169,7 +142,7 @@ def test_vectorized_speedup(report, smoke):
         for _ in range(2):
             sim = SlotSimulator(
                 schedule,
-                SornRouter(schedule.layout),
+                factory.sorn_router(num_nodes, num_cliques),
                 SimConfig(engine=engine),
                 rng=5,
             )

@@ -12,10 +12,8 @@ and throughput toward the 1/3 end.
 import numpy as np
 
 from repro.analysis import optimal_q, sorn_throughput
-from repro.routing import SornRouter
-from repro.schedules import build_sorn_schedule
+from repro.exp import factory
 from repro.sim import saturation_throughput
-from repro.topology import CliqueLayout
 from repro.traffic import (
     hierarchical_allreduce_matrix,
     training_cluster_matrix,
@@ -25,15 +23,15 @@ N, NC = 32, 4
 
 
 def placement_comparison():
-    layout = CliqueLayout.equal(N, NC)
-    router = SornRouter(layout)
+    layout = factory.layout(N, NC)
+    router = factory.sorn_router(N, NC)
     rows = []
     for label, aligned in [("clique-aligned", True), ("scattered", False)]:
         demand = training_cluster_matrix(
             layout, num_jobs=8, workers_per_job=8, aligned=aligned, rng=5
         )
         x = min(demand.locality(layout), 0.95)
-        schedule = build_sorn_schedule(N, NC, q=optimal_q(x), layout=layout)
+        schedule = factory.sorn_schedule(N, NC, optimal_q(x))
         result = saturation_throughput(schedule, router, demand)
         rows.append((label, x, result.throughput, result.mean_hops))
     return rows
@@ -69,14 +67,13 @@ def test_hierarchical_allreduce_needs_weighted_inter(benchmark, report):
     from repro.control import weighted_sorn_schedule
 
     def run():
-        layout = CliqueLayout.equal(N, NC)
+        layout = factory.layout(N, NC)
+        router = factory.sorn_router(N, NC)
         demand = hierarchical_allreduce_matrix(layout, [0, 1, 2, 3]).saturated()
         x = min(demand.locality(layout), 0.95)
         q = optimal_q(x)
-        uniform = build_sorn_schedule(N, NC, q=q, layout=layout)
-        r_uniform = saturation_throughput(
-            uniform, SornRouter(layout), demand
-        ).throughput
+        uniform = factory.sorn_schedule(N, NC, q)
+        r_uniform = saturation_throughput(uniform, router, demand).throughput
         aggregate = demand.aggregate(layout)
         np.fill_diagonal(aggregate, 0.0)
         # Keep a sliver of bandwidth on unused pairs (the router needs a
@@ -84,9 +81,7 @@ def test_hierarchical_allreduce_needs_weighted_inter(benchmark, report):
         aggregate = aggregate + 0.01 * aggregate.max()
         np.fill_diagonal(aggregate, 0.0)
         weighted = weighted_sorn_schedule(layout, q, aggregate, inter_slots=96)
-        r_weighted = saturation_throughput(
-            weighted, SornRouter(layout), demand
-        ).throughput
+        r_weighted = saturation_throughput(weighted, router, demand).throughput
         return x, r_uniform, r_weighted
 
     x, r_uniform, r_weighted = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -10,11 +10,9 @@ class separation the paper's comparison presumes.
 
 
 from repro.analysis import optimal_q
-from repro.routing import SornRouter
-from repro.schedules import build_sorn_schedule
+from repro.exp import factory
 from repro.sim import SimConfig, SlotSimulator
-from repro.topology import CliqueLayout
-from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+from repro.traffic import FlowSizeDistribution, Workload
 
 N, NC, X = 32, 4, 0.7
 THRESHOLD = 5  # cells
@@ -27,9 +25,8 @@ BIMODAL = FlowSizeDistribution(
 
 
 def run(prioritized):
-    layout = CliqueLayout.equal(N, NC)
-    schedule = build_sorn_schedule(N, NC, q=optimal_q(X), layout=layout)
-    workload = Workload(clustered_matrix(layout, X), BIMODAL, load=0.5)
+    schedule = factory.sorn_schedule(N, NC, optimal_q(X))
+    workload = Workload(factory.clustered(N, NC, X), BIMODAL, load=0.5)
     flows = workload.generate(2500, rng=31)
     config = SimConfig(
         drain=True,
@@ -37,7 +34,7 @@ def run(prioritized):
         short_flow_threshold_cells=THRESHOLD if prioritized else None,
         classify_fct_threshold_cells=THRESHOLD,
     )
-    sim = SlotSimulator(schedule, SornRouter(layout), config, rng=7)
+    sim = SlotSimulator(schedule, factory.sorn_router(N, NC), config, rng=7)
     return sim.run(flows, 2500)
 
 

@@ -10,11 +10,9 @@ then follows the model's hockey stick.
 
 
 from repro.analysis import expected_circuit_wait_slots, optimal_q, sorn_throughput
-from repro.routing import SornRouter
-from repro.schedules import build_sorn_schedule
+from repro.exp import factory
 from repro.sim import SimConfig, SlotSimulator
-from repro.topology import CliqueLayout
-from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+from repro.traffic import FlowSizeDistribution, Workload
 
 N, NC, X = 32, 4, 0.56
 LOADS = [0.1, 0.2, 0.3, 0.38]  # fractions of injection bandwidth
@@ -22,13 +20,12 @@ SATURATION = sorn_throughput(X)  # ~0.41
 
 
 def sweep():
-    layout = CliqueLayout.equal(N, NC)
-    schedule = build_sorn_schedule(N, NC, q=optimal_q(X), layout=layout)
-    router = SornRouter(layout)
+    schedule = factory.sorn_schedule(N, NC, optimal_q(X))
+    router = factory.sorn_router(N, NC)
     rows = []
     for load in LOADS:
         workload = Workload(
-            clustered_matrix(layout, X), FlowSizeDistribution.fixed(1500),
+            factory.clustered(N, NC, X), FlowSizeDistribution.fixed(1500),
             load=load,
         )
         flows = workload.generate(4000, rng=17)

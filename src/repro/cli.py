@@ -13,6 +13,13 @@ Usage::
 
 Every subcommand prints plain text tables; the benchmark suite under
 ``benchmarks/`` produces the same numbers with full provenance.
+
+The experiment subcommands (``table1``, ``fig2f``, ``fig-blast-radius``,
+``fig-adaptive``) execute through :class:`repro.exp.SweepRunner` and
+accept ``--workers N`` (process fan-out) and ``--no-cache`` (bypass the
+content-addressed result cache under ``.repro-cache/``).  Both are pure
+speed knobs: output is bit-identical across worker counts and cache
+temperature.
 """
 
 from __future__ import annotations
@@ -24,14 +31,15 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import (
+    SystemRow,
     format_table,
     orn_tradeoff_points,
     pareto_frontier,
     sorn_throughput,
     sorn_tradeoff_curve,
-    table1,
 )
 from .core import AdaptationLoop, Sorn
+from .exp import ResultCache, SweepPoint, SweepRunner
 from .sim.engine import SimConfig
 from .traffic import (
     FlowSizeDistribution,
@@ -43,8 +51,40 @@ from .traffic import (
 __all__ = ["main"]
 
 
+def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
+    """The sweep executor the experiment subcommands share.
+
+    ``--workers`` fans points out over processes (0 = in-process
+    serial); ``--no-cache`` bypasses the content-addressed result cache.
+    Either way the results — and therefore the printed tables — are
+    bit-identical, so the flags are pure speed knobs.
+    """
+    cache = None if args.no_cache else ResultCache()
+    return SweepRunner(workers=args.workers, cache=cache)
+
+
+def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` / ``--no-cache`` sweep flags."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the sweep (0 = in-process serial; "
+        "results are identical either way)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache "
+        "($REPRO_CACHE_DIR, default .repro-cache/)",
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = table1(num_nodes=args.nodes, locality=args.locality)
+    [result] = _sweep_runner(args).run(
+        [SweepPoint("table1", {"nodes": args.nodes, "locality": args.locality})]
+    )
+    rows = [SystemRow(**row) for row in result["rows"]]
     print(f"Table 1 reproduction (N={args.nodes}, x={args.locality}):")
     print(format_table(rows))
     return 0
@@ -60,24 +100,28 @@ def _cmd_fig2f(args: argparse.Namespace) -> int:
         header += f" {'fluid':>8} {'simulated':>10}"
     print(header)
     xs = [i / 10 for i in range(0, 10)]
-    for x in xs:
+    results = [None] * len(xs)
+    if args.simulate:
+        results = _sweep_runner(args).run(
+            [
+                SweepPoint(
+                    "fig2f_point",
+                    {
+                        "nodes": args.nodes,
+                        "cliques": args.cliques,
+                        "locality": x,
+                        "slots": args.slots,
+                        "engine": args.engine,
+                    },
+                    args.seed,
+                )
+                for x in xs
+            ]
+        )
+    for x, result in zip(xs, results):
         line = f"{x:>5.2f} {sorn_throughput(x):>15.4f}"
         if args.simulate:
-            sorn = Sorn.optimal(args.nodes, args.cliques, x)
-            matrix = clustered_matrix(sorn.layout, x)
-            fluid = sorn.fluid_throughput(matrix).throughput
-            workload = Workload(
-                matrix, FlowSizeDistribution.fixed(15000), load=1.3
-            )
-            flows = workload.generate(args.slots, rng=args.seed)
-            report = sorn.simulate(
-                flows,
-                args.slots,
-                config=SimConfig(engine=args.engine),
-                rng=args.seed,
-                measure_from=args.slots // 2,
-            )
-            line += f" {fluid:>8.4f} {report.window_throughput:>10.4f}"
+            line += f" {result['fluid']:>8.4f} {result['simulated']:>10.4f}"
         print(line)
     return 0
 
@@ -194,11 +238,10 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
     baseline, oblivious routing through the failure, and the
     failure-aware fallback modelling the minutes-scale control loop.
     Collateral damage is the bystander completion shortfall vs healthy.
+    The six runs go through the sweep runner, so they parallelize with
+    ``--workers`` and reuse cached completions across invocations.
     """
-    from .analysis import optimal_q
-    from .routing import FailureAwareRouter, SornRouter, VlbRouter
-    from .schedules import RoundRobinSchedule, build_sorn_schedule
-    from .sim import FailureTimeline, SimConfig, SlotSimulator, split_casualties
+    from .sim import FailureTimeline, split_casualties
     from .topology import CliqueLayout
 
     n, x = args.nodes, args.locality
@@ -233,9 +276,9 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
         "far": {f.flow_id for f in bystanders} - near_ids,
     }
 
-    def completion_split(report):
+    def completion_split(completion_slots):
         done = {name: 0 for name in populations}
-        for spec, slot in zip(flows, report.flow_completion_slots):
+        for spec, slot in zip(flows, completion_slots):
             if slot < 0:
                 continue
             for name, ids in populations.items():
@@ -254,28 +297,38 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
     )
     print(f"  {'system':<8} {'scenario':<10} {'casualty':>9} {'near':>7} "
           f"{'far':>7} {'near-coll':>10} {'far-coll':>9}")
-    systems = [
-        ("SORN", build_sorn_schedule(n, args.cliques, q=optimal_q(x), layout=layout),
-         SornRouter(layout)),
-        ("1D ORN", RoundRobinSchedule(n), VlbRouter(n)),
-    ]
-    for label, schedule, router in systems:
-        scenarios = [
-            ("healthy", router, None),
-            ("oblivious", router, timeline),
-            ("failover", FailureAwareRouter(router, failed), timeline),
-        ]
+    systems = ["SORN", "1D ORN"]
+    scenarios = ["healthy", "oblivious", "failover"]
+    base = {
+        "nodes": n,
+        "cliques": args.cliques,
+        "locality": x,
+        "load": args.load,
+        "slots": args.slots,
+        "failures": args.failures,
+        "fail_at": args.fail_at,
+        "heal_at": args.heal_at,
+        "timeline": args.timeline,
+        "engine": args.engine,
+        "check": args.check,
+    }
+    results = iter(
+        _sweep_runner(args).run(
+            [
+                SweepPoint(
+                    "blast_radius",
+                    dict(base, system=label, scenario=scenario),
+                    args.seed,
+                )
+                for label in systems
+                for scenario in scenarios
+            ]
+        )
+    )
+    for label in systems:
         healthy = None
-        for scenario, active_router, active_timeline in scenarios:
-            sim = SlotSimulator(
-                schedule,
-                active_router,
-                SimConfig(engine=args.engine, check_invariants=args.check),
-                rng=args.seed,
-                timeline=active_timeline,
-            )
-            report = sim.run(flows, args.slots)
-            ratios = completion_split(report)
+        for scenario in scenarios:
+            ratios = completion_split(next(results)["flow_completion_slots"])
             if healthy is None:
                 healthy = ratios
             print(f"  {label:<8} {scenario:<10} {ratios['casualty']:>9.1%} "
@@ -393,43 +446,6 @@ def _cmd_fig_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
-def _drifting_locality_flows(layout, phases, slots_per_phase, load, seed):
-    """A workload whose locality drifts across phases.
-
-    Each phase draws flows from a clustered matrix with its own
-    intra-clique fraction, shifted to that phase's slot window — the
-    signal the closed loop is supposed to chase.
-    """
-    import dataclasses as _dc
-
-    flows = []
-    next_id = 0
-    for phase, x in enumerate(phases):
-        matrix = clustered_matrix(layout, x)
-        workload = Workload(matrix, FlowSizeDistribution.fixed(7500), load=load)
-        phase_flows = workload.generate(slots_per_phase, rng=seed + phase)
-        offset = phase * slots_per_phase
-        for f in phase_flows:
-            flows.append(
-                _dc.replace(
-                    f, flow_id=next_id, arrival_slot=f.arrival_slot + offset
-                )
-            )
-            next_id += 1
-    return flows
-
-
-def _parse_corruptions(spec: str):
-    """Parse ``"4:nan,9:negative"`` into ``{4: "nan", 9: "negative"}``."""
-    out = {}
-    if not spec:
-        return out
-    for token in spec.split(","):
-        epoch, _, kind = token.partition(":")
-        out[int(epoch)] = kind
-    return out
-
-
 def _cmd_fig_adaptive(args: argparse.Namespace) -> int:
     """Closed-loop adaptation under a drifting workload, with chaos knobs.
 
@@ -437,55 +453,38 @@ def _cmd_fig_adaptive(args: argparse.Namespace) -> int:
     workload whose locality drifts phase by phase, prints the epoch
     transition table (health state, action, controller reasoning), and
     compares delivered cells against a static fully oblivious baseline —
-    the graceful-degradation claim in numbers.
+    the graceful-degradation claim in numbers.  Both runs execute as
+    sweep points (families ``fig_adaptive`` / ``oblivious_baseline``),
+    so ``--workers 2`` overlaps them and reruns hit the result cache.
     """
-    from .control import AdaptiveSimulation, RuntimeConfig, ScriptedChaos
-    from .routing import SornRouter, VlbRouter
-    from .schedules import RoundRobinSchedule, build_sorn_schedule
-    from .sim import (
-        EpochTransitionCollector,
-        FailureTimeline,
-        SlotSimulator,
-        TelemetryHub,
-    )
-    from .topology import CliqueLayout
-
     n = args.nodes
-    layout = CliqueLayout.equal(n, args.cliques)
     phases = [float(x) for x in args.phases.split(",")]
-    duration = args.epochs * args.epoch_slots
-    slots_per_phase = max(1, duration // len(phases))
-    flows = _drifting_locality_flows(
-        layout, phases, slots_per_phase, args.load, args.seed
-    )
-    chaos = ScriptedChaos(
-        outage_epochs={int(e) for e in args.outages.split(",") if e},
-        corrupt_epochs=_parse_corruptions(args.corrupt),
-        planner_fail_attempts={
-            int(e): 10**6 for e in args.planner_fail.split(",") if e
-        },
-    )
-    timeline = FailureTimeline.parse(args.timeline) if args.timeline else None
-    runtime = RuntimeConfig(
-        epoch_slots=args.epoch_slots,
-        min_dwell_epochs=args.dwell,
+    base = {
+        "nodes": n,
+        "cliques": args.cliques,
+        "epochs": args.epochs,
+        "epoch_slots": args.epoch_slots,
+        "phases": args.phases,
+        "load": args.load,
+        "engine": args.engine,
+    }
+    adaptive_params = dict(
+        base,
+        initial_q=args.initial_q,
+        dwell=args.dwell,
         fallback_after=args.fallback_after,
+        outages=args.outages,
+        corrupt=args.corrupt,
+        planner_fail=args.planner_fail,
+        timeline=args.timeline,
+        check=args.check,
     )
-    collector = EpochTransitionCollector()
-    sim = AdaptiveSimulation(
-        build_sorn_schedule(n, args.cliques, q=args.initial_q, layout=layout),
-        SornRouter(layout),
-        runtime,
-        config=SimConfig(
-            engine=args.engine,
-            check_invariants=args.check,
-            telemetry=TelemetryHub([collector]),
-        ),
-        rng=args.seed,
-        timeline=timeline,
-        chaos=chaos,
+    adaptive, baseline = _sweep_runner(args).run(
+        [
+            SweepPoint("fig_adaptive", adaptive_params, args.seed),
+            SweepPoint("oblivious_baseline", base, args.seed),
+        ]
     )
-    result = sim.run(flows, duration)
 
     print(
         f"Closed-loop adaptation: N={n} Nc={args.cliques} "
@@ -494,27 +493,21 @@ def _cmd_fig_adaptive(args: argparse.Namespace) -> int:
     )
     print(f"  {'ep':>3} {'slots':>11} {'state':<9} {'action':<17} "
           f"{'x':>5} {'q':>5}  reason")
-    for e in result.epochs:
-        x = f"{e.locality:.2f}" if e.locality is not None else "-"
-        q = f"{e.q:.2f}" if e.q is not None else "-"
-        print(f"  {e.epoch:>3} {e.start_slot:>5}-{e.end_slot:<5} "
-              f"{e.state:<9} {e.action:<17} {x:>5} {q:>5}  {e.reason}")
-    print("  " + result.summary())
+    for e in adaptive["epochs"]:
+        x = f"{e['locality']:.2f}" if e["locality"] is not None else "-"
+        q = f"{e['q']:.2f}" if e["q"] is not None else "-"
+        print(f"  {e['epoch']:>3} {e['start_slot']:>5}-{e['end_slot']:<5} "
+              f"{e['state']:<9} {e['action']:<17} {x:>5} {q:>5}  {e['reason']}")
+    print("  " + adaptive["summary"])
 
     # Static fully oblivious baseline: same flows, same seed, no control
     # loop at all.  The adaptive run should beat it when healthy and
     # degrade toward it — not below it — under chaos.
-    baseline = SlotSimulator(
-        RoundRobinSchedule(n),
-        VlbRouter(n),
-        SimConfig(engine=args.engine),
-        rng=args.seed,
-    ).run(flows, duration)
-    adaptive_cells = result.report.delivered_cells
+    adaptive_cells = adaptive["delivered_cells"]
     print(
         f"\nDelivered cells: adaptive {adaptive_cells}, static oblivious "
-        f"{baseline.delivered_cells} "
-        f"({adaptive_cells / max(1, baseline.delivered_cells):.2f}x)"
+        f"{baseline['delivered_cells']} "
+        f"({adaptive_cells / max(1, baseline['delivered_cells']):.2f}x)"
     )
     return 0
 
@@ -548,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="reproduce Table 1")
     p.add_argument("--nodes", type=int, default=4096)
     p.add_argument("--locality", type=float, default=0.56)
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig2f", help="reproduce Figure 2(f)")
@@ -563,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator engine for --simulate (identical results; "
         "vectorized is the fast path)",
     )
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_fig2f)
 
     p = sub.add_parser(
@@ -591,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("reference", "vectorized"),
         default="vectorized",
     )
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_blast_radius)
 
     p = sub.add_parser(
@@ -684,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="either engine produces the identical epoch history",
     )
+    _add_sweep_flags(p)
     p.set_defaults(func=_cmd_fig_adaptive)
 
     p = sub.add_parser("adapt", help="run the adaptation loop demo")

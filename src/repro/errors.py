@@ -95,3 +95,29 @@ class DecompositionError(ControlPlaneError):
 class HardwareModelError(ReproError, ValueError):
     """A physical-layer constraint was violated (ports, wavelengths,
     reconfiguration timing)."""
+
+
+class SweepError(ReproError):
+    """The sweep-execution layer (:mod:`repro.exp`) failed.
+
+    Base class for everything the :class:`repro.exp.runner.SweepRunner`
+    can raise; subclasses distinguish worker crashes from per-point
+    timeouts so callers can retry selectively.
+    """
+
+
+class SweepWorkerCrash(SweepError):
+    """A sweep worker process died without raising a Python exception.
+
+    Raised when a :class:`~repro.exp.runner.SweepRunner` worker is
+    killed hard (``os._exit``, OOM killer, segfault).  The message names
+    the failing point's family and content hash — never a bare
+    ``BrokenProcessPool`` — so the offending configuration can be
+    reproduced serially.
+    """
+
+
+class SweepTimeout(SweepError):
+    """A sweep point exceeded the runner's per-point timeout.
+
+    The message carries the point's family and content hash."""

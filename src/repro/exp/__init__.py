@@ -1,0 +1,55 @@
+"""Sweep execution: parallel fan-out, content-addressed caching, batching.
+
+The experiment layer turns "run this grid of configs × seeds" from an
+ad-hoc loop in every CLI subcommand and benchmark into one subsystem:
+
+- :mod:`families` — the registry of named sweep families; each maps
+  ``(params, seed)`` to a JSON-safe result dict, optionally with a
+  batched multi-seed fast path riding
+  :func:`repro.sim.vectorized.run_replicas`.
+- :mod:`cache` — canonical-JSON → SHA-256 content addressing and the
+  on-disk :class:`ResultCache` (``.repro-cache/``), with hit/miss/
+  store/invalidate counters surfaced through the telemetry ``sweep``
+  stream.
+- :mod:`runner` — :class:`SweepRunner`, the
+  ``ProcessPoolExecutor``-based executor with deterministic point
+  ordering, per-point timeout/retry, crash isolation that names the
+  failing point's content hash, and a merge bit-identical to serial
+  execution.
+- :mod:`factory` — memoized construction of schedules, routers, and
+  traffic matrices shared by sweep families, benchmarks, and tests.
+
+Typical use::
+
+    from repro.exp import ResultCache, SweepPoint, SweepRunner
+
+    points = [SweepPoint("sorn_sim", {"nodes": 32, ...}, seed=s)
+              for s in range(8)]
+    results = SweepRunner(workers=4, cache=ResultCache()).run(points)
+"""
+
+from . import factory
+from .cache import SCHEMA_VERSION, ResultCache, canonical_json, point_key
+from .families import (
+    Family,
+    drifting_locality_flows,
+    family_names,
+    get_family,
+    register_family,
+)
+from .runner import SweepPoint, SweepRunner
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "canonical_json",
+    "point_key",
+    "Family",
+    "register_family",
+    "get_family",
+    "family_names",
+    "drifting_locality_flows",
+    "SweepPoint",
+    "SweepRunner",
+    "factory",
+]

@@ -1,0 +1,199 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every sweep point — a ``(family, params, seed)`` triple — is identified
+by the SHA-256 of its *canonical* JSON form: dict keys sorted, tuples
+and NumPy arrays normalized to lists, NumPy scalars to Python scalars,
+and floats serialized by value (``repr`` round-trip), never by source
+formatting.  Two configs that compare equal therefore hash equal no
+matter how they were spelled, while any semantic change — a different
+parameter value, seed, family, or family schema version — produces a
+distinct key (``tests/exp/test_cache.py`` property-tests both
+directions).
+
+Entries live under ``<root>/<first-2-hex>/<key>.json`` (root defaults to
+``$REPRO_CACHE_DIR`` or ``.repro-cache/``) and carry the schema version
+plus their own key, so corrupt or stale files are detected, counted as
+invalidations, and recomputed rather than trusted.  All cache
+transactions (hit / miss / store / invalidate) are surfaced through the
+:class:`repro.sim.telemetry.TelemetryHub` ``sweep`` stream when a hub is
+attached — see :class:`repro.sim.telemetry.SweepCacheCollector`.
+
+Because results are stored as JSON, the cold path round-trips fresh
+results through ``json.dumps``/``json.loads`` too (the runner does
+this), making a cached-warm rerun bit-identical to the cold run that
+populated it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import SweepError
+
+__all__ = ["SCHEMA_VERSION", "canonical_json", "point_key", "ResultCache"]
+
+#: On-disk entry schema; bump to invalidate every existing cache entry.
+SCHEMA_VERSION = 1
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize *value* to plain JSON types, canonically."""
+    if isinstance(value, dict):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise SweepError(
+                    f"cache keys must use string dict keys, got {key!r}"
+                )
+            out[key] = _canonical_value(value[key])
+        return {k: out[k] for k in sorted(out)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_canonical_value(v) for v in value.tolist()]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    raise SweepError(
+        f"value of type {type(value).__name__} is not cache-canonicalizable"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """*value* as canonical JSON text.
+
+    Dict ordering, tuple-vs-list spelling, and NumPy scalar/array types
+    never affect the output; equal values always serialize identically.
+    """
+    return json.dumps(
+        _canonical_value(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def point_key(family: str, params: dict, seed, version: int = 1) -> str:
+    """The content hash (SHA-256 hex) addressing one sweep point.
+
+    Covers the family name and schema *version*, the canonicalized
+    *params*, and the *seed* — everything that determines the result.
+    """
+    text = canonical_json(
+        {
+            "family": family,
+            "version": int(version),
+            "schema": SCHEMA_VERSION,
+            "params": params,
+            "seed": seed,
+        }
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed result store under a cache root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache`` relative to the working directory.
+    telemetry:
+        Optional :class:`repro.sim.telemetry.TelemetryHub`; every
+        transaction is emitted on its ``sweep`` stream.
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``invalidations``)
+    accumulate over the cache object's lifetime; :meth:`stats` snapshots
+    them.
+    """
+
+    def __init__(self, root: Optional[str] = None, telemetry=None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+        self.root = str(root)
+        self.telemetry = telemetry
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    def _emit(self, event: str, key: str) -> None:
+        if self.telemetry is not None and self.telemetry.wants_sweeps:
+            self.telemetry.record_sweep(event, key)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str):
+        """The cached result for *key*, or ``None`` on a miss.
+
+        Corrupt entries (unreadable JSON, schema or key mismatch) are
+        deleted, counted as invalidations, and reported as misses so the
+        caller recomputes them.
+        """
+        path = self._path(key)
+        payload = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError):
+            payload = {"schema": None}  # unreadable -> invalidate below
+        if payload is not None:
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == SCHEMA_VERSION
+                and payload.get("key") == key
+                and "result" in payload
+            ):
+                self.hits += 1
+                self._emit("hit", key)
+                return payload["result"]
+            self.invalidations += 1
+            self._emit("invalidate", key)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.misses += 1
+        self._emit("miss", key)
+        return None
+
+    def put(self, key: str, result) -> None:
+        """Store *result* (JSON-safe plain data) under *key* atomically."""
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = {"schema": SCHEMA_VERSION, "key": key, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self._emit("store", key)
+
+    def stats(self) -> dict:
+        """Current counter values as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }

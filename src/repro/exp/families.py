@@ -1,0 +1,389 @@
+"""Sweep-point families: named, versioned result-producing functions.
+
+A *family* is the unit of work a :class:`repro.exp.runner.SweepRunner`
+executes: a named function from ``(params, seed)`` to a JSON-safe plain
+result, registered in a process-wide registry so worker processes can
+resolve it by name (the runner ships only ``(family, params, seed)``
+across the process boundary, never closures).  Each family carries a
+``version`` that participates in the content hash — bump it whenever
+the function's semantics change and every cached result of the family
+invalidates itself.
+
+Families must be **deterministic** (same params + seed ⇒ same result)
+and return only JSON-safe data: the runner round-trips every fresh
+result through JSON before anyone sees it, which is what makes a
+cached-warm rerun bit-identical to the cold run.  Rich objects
+(:class:`repro.sim.metrics.SimReport`, telemetry snapshots) go through
+their dict forms.
+
+The built-in families cover the CLI figure sweeps (``table1``,
+``fig2f_point``, ``blast_radius``, ``fig_adaptive`` and its
+``oblivious_baseline``) plus the generic ``sorn_sim`` benchmark family,
+which also implements the batched multi-seed fast path
+(:func:`repro.sim.vectorized.run_replicas`) via ``run_batch``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SweepError
+from . import factory
+
+__all__ = [
+    "Family",
+    "register_family",
+    "get_family",
+    "family_names",
+    "drifting_locality_flows",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Family:
+    """One registered sweep-point family.
+
+    ``run(params, seed)`` computes a single point; the optional
+    ``run_batch(params, seeds)`` computes many seeds of one config in a
+    single pass and must return results bit-identical to ``run`` called
+    per seed (the replica-batching contract).  ``version`` feeds the
+    content hash.
+    """
+
+    name: str
+    run: Callable[[dict, object], dict]
+    run_batch: Optional[Callable[[dict, list], List[dict]]] = None
+    version: int = 1
+
+
+_REGISTRY: Dict[str, Family] = {}
+
+
+def register_family(
+    name: str,
+    run: Callable[[dict, object], dict],
+    run_batch: Optional[Callable[[dict, list], List[dict]]] = None,
+    version: int = 1,
+) -> Family:
+    """Register (or replace) a family under *name*; returns it.
+
+    Re-registration replaces the previous entry — tests rely on this to
+    install throwaway families.  Workers resolve families by name, so a
+    family used with a parallel runner must be registered at *import*
+    time of its defining module (module top level), not inside a test
+    body, unless the platform forks workers (Linux does).
+    """
+    family = Family(name=name, run=run, run_batch=run_batch, version=version)
+    _REGISTRY[name] = family
+    return family
+
+
+def get_family(name: str) -> Family:
+    """The registered family called *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SweepError(
+            f"no sweep family named {name!r}; registered: {family_names()}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    """Sorted names of all registered families."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Workload helpers shared by the CLI and the families
+# ---------------------------------------------------------------------------
+
+
+def drifting_locality_flows(layout, phases, slots_per_phase, load, seed):
+    """A workload whose locality drifts across phases.
+
+    Each phase draws flows from a clustered matrix with its own
+    intra-clique fraction, shifted to that phase's slot window — the
+    signal the closed-loop adaptation runtime is supposed to chase.
+    Deterministic in (*layout*, *phases*, *slots_per_phase*, *load*,
+    *seed*).
+    """
+    from ..traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+    flows = []
+    next_id = 0
+    for phase, x in enumerate(phases):
+        matrix = clustered_matrix(layout, x)
+        workload = Workload(matrix, FlowSizeDistribution.fixed(7500), load=load)
+        phase_flows = workload.generate(slots_per_phase, rng=seed + phase)
+        offset = phase * slots_per_phase
+        for f in phase_flows:
+            flows.append(
+                dataclasses.replace(
+                    f, flow_id=next_id, arrival_slot=f.arrival_slot + offset
+                )
+            )
+            next_id += 1
+    return flows
+
+
+def _parse_corruptions(spec: str) -> Dict[int, str]:
+    """Parse ``"4:nan,9:negative"`` into ``{4: "nan", 9: "negative"}``."""
+    out: Dict[int, str] = {}
+    if not spec:
+        return out
+    for token in spec.split(","):
+        epoch, _, kind = token.partition(":")
+        out[int(epoch)] = kind
+    return out
+
+
+def _blast_radius_timeline(params: dict):
+    """Rebuild the failure timeline a blast-radius point runs under."""
+    from ..sim import FailureTimeline
+
+    if params["timeline"]:
+        return FailureTimeline.parse(params["timeline"])
+    timeline = FailureTimeline()
+    for node in range(params["failures"]):
+        timeline = timeline.merged(
+            FailureTimeline.node_failure(
+                node, params["fail_at"], params["heal_at"]
+            )
+        )
+    return timeline
+
+
+# ---------------------------------------------------------------------------
+# Built-in families
+# ---------------------------------------------------------------------------
+
+
+def _run_table1(params: dict, seed) -> dict:
+    """Family ``table1``: the closed-form comparison rows as dicts."""
+    from ..analysis import table1
+
+    rows = table1(num_nodes=params["nodes"], locality=params["locality"])
+    return {"rows": [dataclasses.asdict(row) for row in rows]}
+
+
+def _run_fig2f_point(params: dict, seed) -> dict:
+    """Family ``fig2f_point``: fluid + simulated throughput at one x."""
+    from ..core import Sorn
+    from ..sim.engine import SimConfig
+    from ..traffic import FlowSizeDistribution, Workload, clustered_matrix
+
+    nodes, cliques, x = params["nodes"], params["cliques"], params["locality"]
+    slots = params["slots"]
+    sorn = Sorn.optimal(nodes, cliques, x)
+    matrix = clustered_matrix(sorn.layout, x)
+    fluid = sorn.fluid_throughput(matrix).throughput
+    workload = Workload(matrix, FlowSizeDistribution.fixed(15000), load=1.3)
+    flows = workload.generate(slots, rng=seed)
+    report = sorn.simulate(
+        flows,
+        slots,
+        config=SimConfig(engine=params["engine"]),
+        rng=seed,
+        measure_from=slots // 2,
+    )
+    return {"fluid": fluid, "simulated": report.window_throughput}
+
+
+def _run_blast_radius(params: dict, seed) -> dict:
+    """Family ``blast_radius``: per-flow completions for one scenario."""
+    from ..analysis import optimal_q
+    from ..routing import FailureAwareRouter
+    from ..sim import SimConfig, SlotSimulator
+    from ..traffic import FlowSizeDistribution, Workload
+
+    n, nc, x = params["nodes"], params["cliques"], params["locality"]
+    timeline = _blast_radius_timeline(params)
+    failed = sorted(timeline.failed_nodes_ever())
+    matrix = factory.clustered(n, nc, x)
+    workload = Workload(matrix, FlowSizeDistribution.fixed(20), load=params["load"])
+    flows = workload.generate(params["slots"] // 2, rng=seed)
+    if params["system"] == "SORN":
+        schedule = factory.sorn_schedule(n, nc, optimal_q(x))
+        router = factory.sorn_router(n, nc)
+    else:
+        schedule = factory.round_robin_schedule(n)
+        router = factory.vlb_router(n)
+    scenario = params["scenario"]
+    active_timeline = None if scenario == "healthy" else timeline
+    active_router = (
+        FailureAwareRouter(router, failed) if scenario == "failover" else router
+    )
+    sim = SlotSimulator(
+        schedule,
+        active_router,
+        SimConfig(engine=params["engine"], check_invariants=params["check"]),
+        rng=seed,
+        timeline=active_timeline,
+    )
+    report = sim.run(flows, params["slots"])
+    return {"flow_completion_slots": list(report.flow_completion_slots)}
+
+
+def _adaptive_workload(params: dict, seed):
+    """The drifting workload + duration a fig-adaptive point runs."""
+    lay = factory.layout(params["nodes"], params["cliques"])
+    phases = [float(x) for x in params["phases"].split(",")]
+    duration = params["epochs"] * params["epoch_slots"]
+    slots_per_phase = max(1, duration // len(phases))
+    flows = drifting_locality_flows(
+        lay, phases, slots_per_phase, params["load"], seed
+    )
+    return lay, flows, duration
+
+
+def _run_fig_adaptive(params: dict, seed) -> dict:
+    """Family ``fig_adaptive``: epoch history + totals of one adaptive run."""
+    from ..control import AdaptiveSimulation, RuntimeConfig, ScriptedChaos
+    from ..sim import EpochTransitionCollector, FailureTimeline, TelemetryHub
+    from ..sim.engine import SimConfig
+
+    lay, flows, duration = _adaptive_workload(params, seed)
+    chaos = ScriptedChaos(
+        outage_epochs={int(e) for e in params["outages"].split(",") if e},
+        corrupt_epochs=_parse_corruptions(params["corrupt"]),
+        planner_fail_attempts={
+            int(e): 10**6 for e in params["planner_fail"].split(",") if e
+        },
+    )
+    timeline = (
+        FailureTimeline.parse(params["timeline"]) if params["timeline"] else None
+    )
+    runtime = RuntimeConfig(
+        epoch_slots=params["epoch_slots"],
+        min_dwell_epochs=params["dwell"],
+        fallback_after=params["fallback_after"],
+    )
+    collector = EpochTransitionCollector()
+    sim = AdaptiveSimulation(
+        factory.sorn_schedule(
+            params["nodes"], params["cliques"], params["initial_q"]
+        ),
+        factory.sorn_router(params["nodes"], params["cliques"]),
+        runtime,
+        config=SimConfig(
+            engine=params["engine"],
+            check_invariants=params["check"],
+            telemetry=TelemetryHub([collector]),
+        ),
+        rng=seed,
+        timeline=timeline,
+        chaos=chaos,
+    )
+    result = sim.run(flows, duration)
+    return {
+        "epochs": [dataclasses.asdict(e) for e in result.epochs],
+        "summary": result.summary(),
+        "delivered_cells": result.report.delivered_cells,
+    }
+
+
+def _run_oblivious_baseline(params: dict, seed) -> dict:
+    """Family ``oblivious_baseline``: the static no-control-loop run the
+    adaptive figure compares against (same drifting workload)."""
+    from ..sim import SimConfig, SlotSimulator
+
+    _, flows, duration = _adaptive_workload(params, seed)
+    report = SlotSimulator(
+        factory.round_robin_schedule(params["nodes"]),
+        factory.vlb_router(params["nodes"]),
+        SimConfig(engine=params["engine"]),
+        rng=seed,
+    ).run(flows, duration)
+    return {"delivered_cells": report.delivered_cells}
+
+
+def _sorn_sim_setup(params: dict):
+    """Shared construction for the ``sorn_sim`` family's two paths."""
+    from ..analysis import optimal_q
+    from ..traffic import FlowSizeDistribution, Workload
+
+    n, nc, x = params["nodes"], params["cliques"], params["locality"]
+    lay = factory.layout(n, nc)
+    schedule = factory.sorn_schedule(n, nc, optimal_q(x))
+    router = factory.sorn_router(n, nc)
+    matrix = factory.clustered(n, nc, x)
+    workload = Workload(
+        matrix,
+        FlowSizeDistribution.fixed(params["size_cells"]),
+        load=params["load"],
+    )
+    flows = workload.generate(params["slots"], rng=params["flow_seed"])
+    return lay, schedule, router, flows
+
+
+def _sorn_sim_hub(params: dict, schedule, lay):
+    """A fresh standard-collector hub when the point asks for telemetry."""
+    from ..sim import TelemetryHub, standard_collectors
+
+    return TelemetryHub(
+        standard_collectors(
+            schedule, layout=lay, bucket_slots=max(1, params["slots"] // 6)
+        )
+    )
+
+
+def _run_sorn_sim(params: dict, seed) -> dict:
+    """Family ``sorn_sim``: one seeded SORN run on a clustered workload.
+
+    The flow population is seeded separately (``flow_seed`` in params)
+    so a multi-seed sweep of the same config shares one workload — the
+    precondition for the batched replica fast path in ``run_batch``.
+    """
+    from ..sim import SimConfig, SlotSimulator
+
+    lay, schedule, router, flows = _sorn_sim_setup(params)
+    hub = _sorn_sim_hub(params, schedule, lay) if params["telemetry"] else None
+    slots = params["slots"]
+    report = SlotSimulator(
+        schedule,
+        router,
+        SimConfig(engine=params["engine"], telemetry=hub),
+        rng=seed,
+    ).run(flows, slots, measure_from=slots // 2)
+    result = {"report": report.to_dict()}
+    if hub is not None:
+        result["telemetry"] = hub.snapshot()
+    return result
+
+
+def _run_sorn_sim_batch(params: dict, seeds: list) -> List[dict]:
+    """``sorn_sim`` batched over seeds via :func:`repro.sim.vectorized.
+    run_replicas` — bit-identical to :func:`_run_sorn_sim` per seed."""
+    from ..sim import SimConfig, run_replicas
+
+    lay, schedule, router, flows = _sorn_sim_setup(params)
+    hubs = None
+    if params["telemetry"]:
+        hubs = [_sorn_sim_hub(params, schedule, lay) for _ in seeds]
+    slots = params["slots"]
+    reports = run_replicas(
+        schedule,
+        router,
+        SimConfig(engine=params["engine"]),
+        flows,
+        slots,
+        seeds,
+        measure_from=slots // 2,
+        telemetry=hubs,
+    )
+    out = []
+    for i, report in enumerate(reports):
+        result = {"report": report.to_dict()}
+        if hubs is not None:
+            result["telemetry"] = hubs[i].snapshot()
+        out.append(result)
+    return out
+
+
+register_family("table1", _run_table1)
+register_family("fig2f_point", _run_fig2f_point)
+register_family("blast_radius", _run_blast_radius)
+register_family("fig_adaptive", _run_fig_adaptive)
+register_family("oblivious_baseline", _run_oblivious_baseline)
+register_family("sorn_sim", _run_sorn_sim, run_batch=_run_sorn_sim_batch)

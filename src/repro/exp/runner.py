@@ -1,0 +1,312 @@
+"""Parallel sweep execution with deterministic, cache-aware merging.
+
+:class:`SweepRunner` executes a declarative list of
+:class:`SweepPoint`\\ s — ``(family, params, seed)`` triples resolved
+against the :mod:`repro.exp.families` registry — and returns their
+JSON-safe results **in input order**, regardless of how the work was
+scheduled.  Execution composes three layers:
+
+1. **Cache resolution.**  With a :class:`repro.exp.cache.ResultCache`
+   attached, every point's content hash is looked up first and only
+   misses are computed; fresh results are stored back.  Because the
+   cold path round-trips fresh results through JSON before returning
+   them, a warm rerun is bit-identical to the cold run that filled the
+   cache.
+2. **Seed batching.**  Misses of the *same* (family, params) whose
+   family implements ``run_batch`` are grouped into one task, letting
+   the batched multi-seed engine path
+   (:func:`repro.sim.vectorized.run_replicas`) amortize the config
+   across R seeds.  The batching contract — ``run_batch`` bit-identical
+   to per-seed ``run`` — keeps the merge equal to serial execution.
+3. **Process fan-out.**  With ``workers > 1``, tasks are sharded over a
+   ``concurrent.futures.ProcessPoolExecutor``.  Ordinary exceptions
+   inside a family are caught *inside* the worker and returned tagged,
+   so they never poison the pool; they surface as
+   :class:`repro.errors.SweepError` naming the point's family and
+   content hash, after ``retries`` in-process retries.  A worker that
+   dies without raising (``os._exit``, OOM kill, segfault) breaks the
+   pool — the runner then re-executes the unfinished tasks one by one
+   in fresh single-worker pools to identify the culprit and raises
+   :class:`repro.errors.SweepWorkerCrash` naming its family and content
+   hash, never a bare ``BrokenProcessPool``.
+
+Determinism: the task list, its order, and the result merge depend only
+on the input points, so serial (``workers=0``) and parallel runs return
+identical lists (``tests/exp/test_runner.py`` proves it
+differentially).  Workers resolve families by name from the registry;
+families registered at module import time work everywhere, while
+test-local registrations rely on fork-start worker processes (Linux).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SweepError, SweepTimeout, SweepWorkerCrash
+from .cache import ResultCache, canonical_json, point_key
+from .families import get_family
+
+__all__ = ["SweepPoint", "SweepRunner"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: a family name, its params, and a seed."""
+
+    family: str
+    params: dict
+    seed: object = 0
+
+    def key(self) -> str:
+        """The point's content hash (includes the family's version)."""
+        return point_key(
+            self.family, self.params, self.seed, version=get_family(self.family).version
+        )
+
+
+def _roundtrip(result):
+    """JSON round-trip a fresh result so cold == warm bit-identically."""
+    return json.loads(json.dumps(result))
+
+
+def _execute_task(task: Tuple[str, dict, tuple, bool]):
+    """Worker entry point: compute one task, never raise.
+
+    *task* is ``(family, params, seeds, batched)``.  Returns
+    ``("ok", [result, ...])`` — one result per seed — or
+    ``("err", exc_type_name, message)`` for ordinary exceptions, so a
+    failing point degrades into a tagged value instead of breaking the
+    process pool.  Top-level (picklable) by design.
+    """
+    family_name, params, seeds, batched = task
+    try:
+        family = get_family(family_name)
+        if batched:
+            results = family.run_batch(params, list(seeds))
+            if len(results) != len(seeds):
+                raise SweepError(
+                    f"family {family_name!r} run_batch returned "
+                    f"{len(results)} results for {len(seeds)} seeds"
+                )
+        else:
+            results = [family.run(params, seed) for seed in seeds]
+        return ("ok", results)
+    except Exception as exc:  # noqa: BLE001 - tagged and re-raised by the runner
+        return ("err", type(exc).__name__, str(exc))
+
+
+@dataclasses.dataclass
+class _Task:
+    """Internal unit of scheduling: one or more points of one config."""
+
+    family: str
+    params: dict
+    seeds: list
+    batched: bool
+    indices: list  # positions in the input point list
+    keys: list  # content hashes, aligned with seeds/indices
+
+    def spec(self) -> Tuple[str, dict, tuple, bool]:
+        """The picklable payload handed to :func:`_execute_task`."""
+        return (self.family, self.params, tuple(self.seeds), self.batched)
+
+    def describe(self) -> str:
+        """``family=... hash=...`` of the task's first point, for errors."""
+        return f"family={self.family!r} hash={self.keys[0]}"
+
+
+class SweepRunner:
+    """Executes sweep points serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``0`` or ``1`` runs everything in-process in
+        input order (the reference behavior parallel runs must match).
+    cache:
+        Optional :class:`~repro.exp.cache.ResultCache`; hits skip
+        computation, fresh results are stored back.
+    timeout:
+        Per-task wall-clock bound in seconds (parallel mode only —
+        serial execution cannot preempt a running point).  Exceeding it
+        raises :class:`~repro.errors.SweepTimeout` naming the point.
+    retries:
+        Additional in-process attempts for a point whose family raised
+        an ordinary exception, before giving up with
+        :class:`~repro.errors.SweepError`.
+    batch_seeds:
+        Group same-config misses into one ``run_batch`` task when the
+        family supports it (bit-identical by the batching contract);
+        disable to force one task per point.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        batch_seeds: bool = True,
+    ):
+        if workers < 0:
+            raise SweepError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise SweepError(f"retries must be >= 0, got {retries}")
+        self.workers = int(workers)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.batch_seeds = bool(batch_seeds)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(self, points: Sequence[SweepPoint], out: list) -> List[_Task]:
+        """Resolve cache hits into *out*; group the misses into tasks."""
+        tasks: List[_Task] = []
+        by_config: Dict[Tuple[str, str], _Task] = {}
+        for index, point in enumerate(points):
+            family = get_family(point.family)
+            key = point_key(
+                point.family, point.params, point.seed, version=family.version
+            )
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    out[index] = hit
+                    continue
+            groupable = self.batch_seeds and family.run_batch is not None
+            if groupable:
+                config = (point.family, canonical_json(point.params))
+                task = by_config.get(config)
+                if task is not None:
+                    task.seeds.append(point.seed)
+                    task.indices.append(index)
+                    task.keys.append(key)
+                    continue
+            task = _Task(
+                family=point.family,
+                params=dict(point.params),
+                seeds=[point.seed],
+                batched=groupable,
+                indices=[index],
+                keys=[key],
+            )
+            tasks.append(task)
+            if groupable:
+                by_config[(point.family, canonical_json(point.params))] = task
+        for task in tasks:
+            # A single-seed "batch" gains nothing; run it through the
+            # plain path so worker-side behavior is the simplest one.
+            if task.batched and len(task.seeds) == 1:
+                task.batched = False
+        return tasks
+
+    # -- execution -----------------------------------------------------------
+
+    def _attempt_serially(self, task: _Task):
+        """One in-process execution of *task* (also the retry path)."""
+        return _execute_task(task.spec())
+
+    def _settle(self, task: _Task, payload, out: list) -> None:
+        """Unpack a task payload into *out*, retrying tagged errors."""
+        attempts = 0
+        while payload[0] == "err" and attempts < self.retries:
+            attempts += 1
+            payload = self._attempt_serially(task)
+        if payload[0] == "err":
+            raise SweepError(
+                f"sweep point {task.describe()} failed after "
+                f"{attempts + 1} attempt(s): {payload[1]}: {payload[2]}"
+            )
+        results = payload[1]
+        for position, index in enumerate(task.indices):
+            result = _roundtrip(results[position])
+            if self.cache is not None:
+                self.cache.put(task.keys[position], result)
+            out[index] = result
+
+    @staticmethod
+    def _abandon(pool) -> None:
+        """Tear a pool down without joining its (possibly stuck) workers.
+
+        A plain ``shutdown(wait=True)`` — what the context-manager exit
+        does — would block on a worker that is still inside a
+        long-running point, defeating the timeout.  Terminating the
+        worker processes first makes the teardown prompt.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _timeout_error(self, task: _Task) -> SweepTimeout:
+        return SweepTimeout(
+            f"sweep point {task.describe()} exceeded the "
+            f"{self.timeout}s per-point timeout"
+        )
+
+    def _run_parallel(self, tasks: List[_Task], out: list) -> None:
+        """Shard *tasks* across a process pool; settle in task order."""
+        broken: List[_Task] = []
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            futures = [pool.submit(_execute_task, task.spec()) for task in tasks]
+            for task, future in zip(tasks, futures):
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    raise self._timeout_error(task) from None
+                except concurrent.futures.process.BrokenProcessPool:
+                    broken.append(task)
+                    continue
+                self._settle(task, payload, out)
+        except SweepTimeout:
+            self._abandon(pool)
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        for task in broken:
+            # Isolate the culprit: each unfinished task gets a fresh
+            # single-worker pool.  Innocent victims of someone else's
+            # crash complete here; the culprit breaks its own pool and
+            # is named — family and content hash, never a bare
+            # BrokenProcessPool.
+            solo = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+            try:
+                payload = solo.submit(_execute_task, task.spec()).result(
+                    timeout=self.timeout
+                )
+            except concurrent.futures.TimeoutError:
+                self._abandon(solo)
+                raise self._timeout_error(task) from None
+            except concurrent.futures.process.BrokenProcessPool:
+                raise SweepWorkerCrash(
+                    f"worker process died while computing sweep point "
+                    f"{task.describe()} (killed without raising — "
+                    f"os._exit, OOM kill, or segfault)"
+                ) from None
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
+            self._settle(task, payload, out)
+
+    def run(self, points: Sequence[SweepPoint]) -> list:
+        """Execute *points*; returns their results in input order.
+
+        The returned list contains JSON-safe plain data (whatever the
+        families produced, post JSON round-trip) and is bit-identical
+        across ``workers`` settings and cache temperature.
+        """
+        points = list(points)
+        out: list = [None] * len(points)
+        tasks = self._plan(points, out)
+        if not tasks:
+            return out
+        if self.workers <= 1:
+            for task in tasks:
+                self._settle(task, self._attempt_serially(task), out)
+        else:
+            self._run_parallel(tasks, out)
+        return out

@@ -19,7 +19,7 @@ identically — bit-for-bit — by both engines.
 """
 
 from .flows import Cell, FlowState
-from .network import ArrayVoqState, SimNetwork
+from .network import ArrayVoqState, ReplicaVoqState, SimNetwork
 from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
@@ -36,6 +36,7 @@ from .telemetry import (
     LinkUtilizationCollector,
     PhaseAttributionCollector,
     PhaseProfiler,
+    SweepCacheCollector,
     TelemetryCollector,
     TelemetryHub,
     VoqHeatmapCollector,
@@ -43,18 +44,20 @@ from .telemetry import (
     standard_collectors,
 )
 from .tracing import TracePoint, TraceRecorder
-from .vectorized import VectorizedEngine
+from .vectorized import VectorizedEngine, run_replicas
 
 __all__ = [
     "Cell",
     "FlowState",
     "SimNetwork",
     "ArrayVoqState",
+    "ReplicaVoqState",
     "SlotSimulator",
     "SimConfig",
     "SimSession",
     "SegmentCheckpoint",
     "VectorizedEngine",
+    "run_replicas",
     "SimReport",
     "percentile",
     "FluidResult",
@@ -75,6 +78,7 @@ __all__ = [
     "HopCountCollector",
     "PhaseAttributionCollector",
     "PhaseProfiler",
+    "SweepCacheCollector",
     "standard_collectors",
     "circuit_class_capacity",
 ]

@@ -144,6 +144,29 @@ class SimReport:
             f"fct(p50/p99)={fct} maxVOQ={self.max_voq}"
         )
 
+    def to_dict(self) -> dict:
+        """The report as a JSON-safe plain dict.
+
+        Every value is a Python int, float, or list thereof, so
+        ``json.dumps`` needs no custom encoder and
+        ``SimReport.from_dict(json.loads(...))`` round-trips to an
+        *equal* report — the property the content-addressed sweep cache
+        (:mod:`repro.exp.cache`) relies on for cold/warm bit-identity.
+        """
+        out = dataclasses.asdict(self)
+        out["flow_completion_slots"] = list(self.flow_completion_slots)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimReport":
+        """Rebuild a report from :meth:`to_dict` output (or its JSON
+        round-trip)."""
+        data = dict(data)
+        data["flow_completion_slots"] = tuple(
+            int(v) for v in data.get("flow_completion_slots", ())
+        )
+        return cls(**data)
+
     @classmethod
     def from_flows(
         cls,

@@ -60,6 +60,7 @@ __all__ = [
     "HopCountCollector",
     "PhaseAttributionCollector",
     "PhaseProfiler",
+    "SweepCacheCollector",
     "standard_collectors",
     "circuit_class_capacity",
 ]
@@ -108,6 +109,12 @@ class TelemetryCollector:
         """One control-plane epoch boundary (emitted by the adaptation
         runtime, not by the engines; see :mod:`repro.control.runtime`)."""
 
+    def on_sweep(self, event: str, key: str) -> None:
+        """One sweep-cache transaction (emitted by the sweep-execution
+        layer, not by the engines; see :mod:`repro.exp.cache`).  *event*
+        is one of ``hit`` / ``miss`` / ``store`` / ``invalidate`` and
+        *key* is the point's content hash."""
+
     def finalize(self, horizon_slots: int) -> None:
         """Called once when the run ends (*horizon_slots* includes drain)."""
 
@@ -126,7 +133,7 @@ class TelemetryCollector:
         raise NotImplementedError
 
 
-_VALID_STREAMS = frozenset({"transmit", "delivery", "sample", "epoch"})
+_VALID_STREAMS = frozenset({"transmit", "delivery", "sample", "epoch", "sweep"})
 
 
 class TelemetryHub:
@@ -158,6 +165,7 @@ class TelemetryHub:
         self._delivery: List[TelemetryCollector] = []
         self._sample: List[TelemetryCollector] = []
         self._epoch: List[TelemetryCollector] = []
+        self._sweep: List[TelemetryCollector] = []
         #: The registered :class:`PhaseProfiler`, if any — engines grab
         #: this directly so timer laps skip the dispatch machinery.
         self.profiler: Optional[PhaseProfiler] = None
@@ -189,6 +197,8 @@ class TelemetryHub:
             self._sample.append(collector)
         if "epoch" in streams:
             self._epoch.append(collector)
+        if "sweep" in streams:
+            self._sweep.append(collector)
         if isinstance(collector, PhaseProfiler):
             self.profiler = collector
         return collector
@@ -216,6 +226,7 @@ class TelemetryHub:
             or self._delivery
             or self._sample
             or self._epoch
+            or self._sweep
             or self.profiler
         )
 
@@ -234,6 +245,10 @@ class TelemetryHub:
     @property
     def wants_epochs(self) -> bool:
         return bool(self._epoch)
+
+    @property
+    def wants_sweeps(self) -> bool:
+        return bool(self._sweep)
 
     # -- engine-facing event seam --------------------------------------------
 
@@ -265,6 +280,12 @@ class TelemetryHub:
         """One adaptation-runtime epoch boundary (control-plane stream)."""
         for collector in self._epoch:
             collector.on_epoch(epoch, slot, state, action, reason, locality, q)
+
+    def record_sweep(self, event: str, key: str) -> None:
+        """One sweep-cache transaction (sweep-layer stream; see
+        :mod:`repro.exp.cache`)."""
+        for collector in self._sweep:
+            collector.on_sweep(event, key)
 
     def sample(self, slot: int, network, delivered_cumulative: int) -> None:
         """Per-slot fabric-state sample; forwarded on the stride grid."""
@@ -605,6 +626,65 @@ class EpochTransitionCollector(TelemetryCollector):
 
     def reset(self):
         self._rows.clear()
+
+
+class SweepCacheCollector(TelemetryCollector):
+    """Hit/miss/store/invalidate counters for the sweep result cache.
+
+    The sweep-execution layer (:mod:`repro.exp`) emits one ``sweep``
+    event per cache transaction; this collector aggregates them into
+    per-event counters plus an ordered transaction log, so a sweep's
+    telemetry snapshot records exactly which points were recomputed and
+    which were served from disk.  Deterministic for a fixed cache state:
+    a warm rerun of the same sweep yields all hits, and the differential
+    suite asserts the *results* are bit-identical either way.
+    """
+
+    name = "sweep_cache"
+    consumes = frozenset({"sweep"})
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+        self._log: List[Tuple[str, str]] = []
+
+    def on_sweep(self, event, key):
+        self._counts[event] = self._counts.get(event, 0) + 1
+        self._log.append((event, key))
+
+    @property
+    def hits(self) -> int:
+        """Points served from the cache."""
+        return self._counts.get("hit", 0)
+
+    @property
+    def misses(self) -> int:
+        """Points that had to be computed."""
+        return self._counts.get("miss", 0)
+
+    @property
+    def stores(self) -> int:
+        """Fresh results written to the cache."""
+        return self._counts.get("store", 0)
+
+    @property
+    def invalidations(self) -> int:
+        """Cached entries discarded (corrupt or stale schema)."""
+        return self._counts.get("invalidate", 0)
+
+    def rows(self):
+        return [
+            {"event": event, "key": key} for event, key in self._log
+        ]
+
+    def snapshot(self):
+        return {
+            "counts": {e: self._counts[e] for e in sorted(self._counts)},
+            "rows": self.rows(),
+        }
+
+    def reset(self):
+        self._counts.clear()
+        self._log.clear()
 
 
 class PhaseProfiler(TelemetryCollector):

@@ -4,6 +4,16 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the sweep result cache at a per-test directory.
+
+    Keeps CLI/runner tests from writing ``.repro-cache/`` into the repo
+    and from seeing entries another test stored.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-goldens",

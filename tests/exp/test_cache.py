@@ -1,0 +1,177 @@
+"""Content-addressed cache: canonicalization, keys, and the disk store.
+
+The property tests pin the cache-key contract from both directions:
+representation never matters (dict ordering, tuple-vs-list spelling,
+NumPy scalar types, float formatting), semantics always do (any change
+to a leaf value, the seed, the family, or the version flips the key).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SweepError
+from repro.exp import (
+    SCHEMA_VERSION,
+    ResultCache,
+    canonical_json,
+    point_key,
+)
+from repro.sim import SweepCacheCollector, TelemetryHub
+
+# JSON-safe leaf values, then nested params dicts built from them.
+leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+params_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(
+        leaves,
+        st.lists(leaves, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), leaves, max_size=3),
+    ),
+    max_size=5,
+)
+
+
+class TestCanonicalJson:
+    def test_dict_ordering_is_irrelevant(self):
+        a = {"nodes": 16, "locality": 0.7, "nested": {"x": 1, "y": 2}}
+        b = {"nested": {"y": 2, "x": 1}, "locality": 0.7, "nodes": 16}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_tuple_list_and_numpy_spellings_collapse(self):
+        assert canonical_json({"v": (1, 2)}) == canonical_json({"v": [1, 2]})
+        assert canonical_json({"v": np.array([1, 2])}) == canonical_json(
+            {"v": [1, 2]}
+        )
+        assert canonical_json({"v": np.int64(3)}) == canonical_json({"v": 3})
+        assert canonical_json({"v": np.float64(0.5)}) == canonical_json(
+            {"v": 0.5}
+        )
+        assert canonical_json({"v": np.bool_(True)}) == canonical_json(
+            {"v": True}
+        )
+
+    def test_float_formatting_is_by_value(self):
+        # 0.1 spelled three different ways is one value — one canon.
+        assert canonical_json(0.1) == canonical_json(1 / 10)
+        assert canonical_json(0.1) == canonical_json(float("0.1000"))
+        # ...but a genuinely different value is a different canon.
+        assert canonical_json(0.1) != canonical_json(0.1 + 1e-12)
+
+    def test_bool_is_not_int(self):
+        assert canonical_json(True) != canonical_json(1)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(SweepError, match="string dict keys"):
+            canonical_json({1: "x"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SweepError, match="not cache-canonicalizable"):
+            canonical_json({"f": object()})
+
+    @given(params=params_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_key_invariant_under_reordering(self, params):
+        shuffled = dict(reversed(list(params.items())))
+        assert point_key("fam", params, 0) == point_key("fam", shuffled, 0)
+
+    @given(params=params_dicts, seed=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_key_distinct_on_semantic_change(self, params, seed):
+        base = point_key("fam", params, seed)
+        assert base != point_key("fam", params, seed + 1)
+        assert base != point_key("other", params, seed)
+        assert base != point_key("fam", params, seed, version=2)
+        changed = dict(params, __extra__=1)
+        assert base != point_key("fam", changed, seed)
+
+    @given(a=params_dicts, b=params_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_key_equality_tracks_canonical_equality(self, a, b):
+        same_canon = canonical_json(a) == canonical_json(b)
+        same_key = point_key("fam", a, 0) == point_key("fam", b, 0)
+        assert same_canon == same_key
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        key = point_key("fam", {"a": 1}, 0)
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "invalidations": 0,
+        }
+
+    def test_corrupt_entry_invalidated_and_recomputed(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        key = point_key("fam", {"a": 1}, 0)
+        cache.put(key, {"value": 1})
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+        assert not os.path.exists(path)
+
+    def test_key_mismatch_treated_as_corrupt(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        key = point_key("fam", {"a": 1}, 0)
+        other = point_key("fam", {"a": 2}, 0)
+        cache.put(key, {"value": 1})
+        src = os.path.join(str(tmp_path), key[:2], key + ".json")
+        dst = os.path.join(str(tmp_path), other[:2], other + ".json")
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        os.replace(src, dst)  # entry now lies about its own key
+        assert cache.get(other) is None
+        assert cache.invalidations == 1
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        key = point_key("fam", {"a": 1}, 0)
+        cache.put(key, {"value": 1})
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        payload = json.loads(open(path).read())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == str(tmp_path / "envcache")
+
+    def test_telemetry_stream(self, tmp_path):
+        collector = SweepCacheCollector()
+        hub = TelemetryHub([collector])
+        cache = ResultCache(root=str(tmp_path), telemetry=hub)
+        key = point_key("fam", {"a": 1}, 0)
+        cache.get(key)
+        cache.put(key, {"value": 1})
+        cache.get(key)
+        assert collector.misses == 1
+        assert collector.stores == 1
+        assert collector.hits == 1
+        snap = hub.snapshot()["sweep_cache"]
+        assert snap["counts"] == {"hit": 1, "miss": 1, "store": 1}
+        assert [row["event"] for row in snap["rows"]] == [
+            "miss",
+            "store",
+            "hit",
+        ]
+        assert all(row["key"] == key for row in snap["rows"])
