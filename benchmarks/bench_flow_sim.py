@@ -21,6 +21,8 @@ from pathlib import Path
 
 import pytest
 
+from conftest import bench_environment
+
 from repro.analysis import optimal_q
 from repro.exp import factory
 from repro.sim import SimConfig, SlotSimulator
@@ -156,6 +158,7 @@ def test_vectorized_speedup(report, smoke):
     speedup = timings["reference"] / timings["vectorized"]
     payload = {
         "benchmark": "flow_sim_vectorized_speedup",
+        "environment": bench_environment(),
         "config": {
             "num_nodes": num_nodes,
             "num_cliques": num_cliques,

@@ -25,6 +25,8 @@ import os
 import time
 from pathlib import Path
 
+from conftest import bench_environment
+
 from repro.exp import ResultCache, SweepPoint, SweepRunner
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
@@ -97,6 +99,7 @@ def test_sweep_execution_speedup(report, smoke, tmp_path):
     gate_parallel = cores >= 2 and not smoke
     payload = {
         "benchmark": "sweep_execution_speedup",
+        "environment": bench_environment(),
         "config": {
             "num_seeds": num_seeds,
             "nodes": nodes,

@@ -20,9 +20,36 @@ All collected benchmark items carry the ``bench`` marker (registered in
 ``pyproject.toml``) so they can be selected or excluded with ``-m``.
 """
 
+import os
+import platform
 import sys
 
 import pytest
+
+
+def bench_environment():
+    """Host metadata stamped into every ``BENCH_*.json`` payload.
+
+    CI compares measurements across runners; without the python/numpy
+    versions, core count, and numba availability recorded alongside the
+    numbers, a cross-runner delta is uninterpretable.
+    """
+    import numpy
+
+    from repro.sim.kernels import HAVE_NUMBA
+
+    env = {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "numba": None,
+    }
+    if HAVE_NUMBA:
+        import numba
+
+        env["numba"] = numba.__version__
+    return env
 
 
 def pytest_addoption(parser):

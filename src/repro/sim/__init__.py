@@ -19,7 +19,7 @@ identically — bit-for-bit — by both engines.
 """
 
 from .flows import Cell, FlowState
-from .network import ArrayVoqState, ReplicaVoqState, SimNetwork
+from .network import ArrayVoqState, LinkedVoqState, ReplicaVoqState, SimNetwork
 from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
@@ -51,6 +51,7 @@ __all__ = [
     "FlowState",
     "SimNetwork",
     "ArrayVoqState",
+    "LinkedVoqState",
     "ReplicaVoqState",
     "SlotSimulator",
     "SimConfig",

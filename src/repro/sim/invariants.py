@@ -40,7 +40,7 @@ import numpy as np
 
 from ..errors import InvariantViolation
 from ..schedules.schedule import CircuitSchedule
-from .network import ArrayVoqState, SimNetwork
+from .network import ArrayVoqState, LinkedVoqState, SimNetwork
 
 __all__ = ["InvariantChecker"]
 
@@ -231,7 +231,7 @@ class InvariantChecker:
                 f"{injected_total}, delivered {delivered_total}, but "
                 f"{occupancy} cells in flight"
             )
-        if isinstance(network, ArrayVoqState):
+        if isinstance(network, (ArrayVoqState, LinkedVoqState)):
             qlen = network.qlen
             if qlen.size and int(qlen.min()) < 0:
                 self._fail(f"slot {slot}: negative VOQ counter (min {qlen.min()})")

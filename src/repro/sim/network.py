@@ -31,6 +31,7 @@ from .flows import Cell
 __all__ = [
     "SimNetwork",
     "ArrayVoqState",
+    "LinkedVoqState",
     "ReplicaVoqState",
     "transit_priority_lane",
     "short_flow_priority_lane",
@@ -226,6 +227,74 @@ class ArrayVoqState:
         itself during the (order-sensitive) drain; counters batch here."""
         np.add.at(self.qlen, (srcs, dsts), np.negative(counts))
         self._occupancy -= int(counts.sum())
+
+    def queue_length(self, node: int, neighbor: int) -> int:
+        """Cells queued at *node* toward *neighbor* (all lanes)."""
+        return int(self.qlen[node, neighbor])
+
+    def node_backlog(self, node: int) -> int:
+        """Total cells queued at *node* across all VOQs."""
+        return int(self.qlen[node].sum())
+
+    @property
+    def total_occupancy(self) -> int:
+        """Cells in flight anywhere in the fabric."""
+        return self._occupancy
+
+    def max_voq_length(self) -> int:
+        """Longest single VOQ in the fabric (burst/buffering metric)."""
+        return int(self.qlen.max())
+
+    def backlogs(self) -> List[int]:
+        """Per-node total backlogs."""
+        return [int(v) for v in self.qlen.sum(axis=1)]
+
+
+class LinkedVoqState:
+    """Array-linked-list VOQ state for the fused-kernel engine.
+
+    Queue contents are intrusive singly-linked lists over the engine's
+    flat cell tables: ``head``/``tail`` give, per (lane, node, neighbor),
+    the first and last queued cell id (``-1`` = empty), and the engine's
+    shared ``nxt`` array chains cell to cell.  Everything — enqueues,
+    drains, statistics — is array arithmetic; no deque, dict, or per-cell
+    Python object appears anywhere on the hot path (see
+    :mod:`repro.sim.kernels` for the kernels that operate on this state).
+
+    FIFO-per-lane and strict lane priority are preserved exactly:
+    ``head → nxt → ... → tail`` *is* the deque order
+    :class:`ArrayVoqState` keeps, so the fused engine inherits the
+    reference engine's service discipline unchanged.
+
+    Exposes the same statistics accessors as :class:`SimNetwork` /
+    :class:`ArrayVoqState` (``total_occupancy``, ``max_voq_length``,
+    ``queue_length``, ``node_backlog``, ``backlogs``) so tracers,
+    telemetry collectors and the invariant checker observe it unchanged.
+    """
+
+    def __init__(self, num_nodes: int, num_lanes: int = 2):
+        if num_nodes < 2:
+            raise SimulationError("need at least 2 nodes")
+        if num_lanes < 1:
+            raise SimulationError("need at least one lane")
+        self.num_nodes = int(num_nodes)
+        self.num_lanes = int(num_lanes)
+        shape = (self.num_lanes, self.num_nodes, self.num_nodes)
+        #: First queued cell id per (lane, node, neighbor); -1 = empty.
+        self.head = np.full(shape, -1, dtype=np.int32)
+        #: Last queued cell id per (lane, node, neighbor); -1 = empty.
+        self.tail = np.full(shape, -1, dtype=np.int32)
+        #: Dense per-(node, neighbor) queue lengths, all lanes summed.
+        self.qlen = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int64)
+        self._occupancy = 0
+
+    def credit(self, count: int) -> None:
+        """Account *count* cells entering the fabric (injection batch)."""
+        self._occupancy += count
+
+    def debit(self, count: int) -> None:
+        """Account *count* cells leaving the fabric (deliveries)."""
+        self._occupancy -= count
 
     def queue_length(self, node: int, neighbor: int) -> int:
         """Cells queued at *node* toward *neighbor* (all lanes)."""

@@ -23,20 +23,27 @@ object machinery stripped out:
   dest_table`) and are cached as circuit pair lists per
   (slot-in-period, plane) rather than rebuilt as ``Matching`` objects
   every slot;
-- VOQ occupancy counters are a dense ``(N, N)`` NumPy matrix
-  (:class:`repro.sim.network.ArrayVoqState`) updated in one batch per
-  slot, so the per-slot max-VOQ / occupancy statistics are array
-  reductions instead of fabric-wide scans over every deque — the second
-  hottest loop of the reference engine at scale.
+- the VOQ fabric is :class:`repro.sim.network.LinkedVoqState` — array
+  intrusive linked lists (per-lane ``head``/``tail`` cubes plus one
+  shared ``nxt`` chain over the cell table) with a dense ``(N, N)``
+  ``qlen`` matrix — so batch enqueues, the per-plane drain, and the
+  per-slot occupancy statistics are all array kernels
+  (:mod:`repro.sim.kernels`) over preallocated scratch, with no per-cell
+  Python objects or deques anywhere on the hot path.
 
-One part intentionally stays sequential: the per-plane drain processes
-circuits one at a time in source order, forwarding each transmitted cell
-immediately.  That is not an implementation convenience — the reference
-semantics allow a cell forwarded by one circuit to be drained by a
-*later* circuit of the same plane matching (a same-slot multi-hop
-cascade), and any "pop everything, then forward" batching changes
-delivery timing.  The sequential part touches only deque pops and list
-indexing; all counter arithmetic stays deferred and batched.
+The delicate part is the per-plane drain: the reference semantics allow
+a cell forwarded by one circuit to be drained by a *later* circuit of
+the same plane matching (a same-slot multi-hop cascade), so a naive
+"pop everything, then forward" batch changes delivery timing.  The fused
+engine drains optimistically (:func:`repro.sim.kernels.walk_candidates`)
+and detects, *before committing*, whether any forwarded cell lands on a
+circuit drained later in the same plane.  Cascade-free planes — the
+overwhelming majority — commit entirely in array code; cascade planes
+are either repaired in place (single-cell circuits with no event
+consumers: a tiny Python pass over exactly the affected circuits) or
+replayed through the exact sequential kernel
+(:func:`repro.sim.kernels.drain_plane_seq`, also the optional
+``SimConfig(kernels="numba")`` njit path).  All paths are bit-exact.
 
 **Exactness contract.**  Given the same (schedule, router, config, rng
 seed, workload), the vectorized engine reproduces the reference engine's
@@ -68,8 +75,16 @@ from ..schedules.schedule import CircuitSchedule
 from ..traffic.workload import FlowSpec
 from ..util import check_positive_int, ensure_rng
 from .engine import SimSession
+from .kernels import (
+    HAVE_NUMBA,
+    _EMPTY32,
+    append_cells,
+    commit_pops,
+    get_seq_kernel,
+    walk_candidates,
+)
 from .metrics import SimReport
-from .network import ArrayVoqState, ReplicaVoqState
+from .network import LinkedVoqState, ReplicaVoqState
 
 __all__ = ["VectorizedEngine", "run_replicas"]
 
@@ -151,14 +166,29 @@ class VectorizedEngine:
 
 
 class VectorizedSession(SimSession):
-    """The vectorized engine's resumable run state.
+    """The fused-kernel engine's resumable run state.
 
-    All flat tables (cell routes, hop cursors, per-flow ledgers, the
-    dense VOQ counters) live on the session, so pausing at a slot
-    boundary is free; :meth:`_advance` rebinds them as locals and runs
-    the identical hot loop the monolithic engine used.  Presampled path
-    blocks stay valid across schedule swaps because the *router* — the
-    only RNG consumer — never changes mid-run.
+    All cell state lives in flat int32 tables on the session (shared
+    route rows + per-cell route index, hop cursor, owning flow, intrusive
+    ``nxt`` link) and all queue state in the array linked lists of
+    :class:`repro.sim.network.LinkedVoqState`; the per-slot work is the
+    kernel set in :mod:`repro.sim.kernels` plus a handful of gathers.
+    Scratch buffers (candidate matrix, sequential-drain staging) are
+    allocated once here and reused every slot, so the steady-state loop
+    allocates only small result arrays.  Pausing at a slot boundary is
+    free; presampled path blocks stay valid across schedule swaps because
+    the *router* — the only RNG consumer — never changes mid-run.
+
+    Drain strategy per plane: the optimistic candidate walk + commit
+    handles the common cascade-free case entirely in array code.  When a
+    same-slot multi-hop cascade is possible, the engine either repairs
+    the walk in place (``cells_per_circuit == 1`` with no event
+    consumers attached — the cascade set is tiny, so the repair is a
+    few-element Python pass over exactly the affected circuits) or
+    replays the whole plane through the exact sequential kernel
+    (:func:`repro.sim.kernels.drain_plane_seq`).  All three paths are
+    bit-exact; ``SimConfig(kernels="numba")`` forces the sequential
+    kernel (njit-compiled when numba is installed) for every plane.
     """
 
     def __init__(
@@ -223,42 +253,45 @@ class VectorizedSession(SimSession):
         self._dst_arr = dst_arr
         self._sizes_l = sizes_l
         self._arrival_l = arrival_l
+        sz_np = np.asarray(sizes_l, dtype=np.int64)
+        arr_np = np.asarray(arrival_l, dtype=np.int64)
+        self._fsizes = sz_np
 
-        # Per-flow ledgers (indexed by flow position, finalized at the end).
-        inj: List[int] = [0] * num_flows
-        self._dcount = [0] * num_flows
-        self._hoptot = [0] * num_flows
-        self._completion = [-1] * num_flows
+        # Per-flow ledgers (flow-indexed, finalized by the report).
+        self._fdcount = np.zeros(num_flows, dtype=np.int64)
+        self._fhoptot = np.zeros(num_flows, dtype=np.int64)
+        self._fcompletion = np.full(num_flows, -1, dtype=np.int64)
 
         short_threshold = config.short_flow_threshold_cells
         num_lanes = 2 if short_threshold is None else 4
         self._num_lanes = num_lanes
-        short_l: Optional[List[bool]] = None
-        if short_threshold is not None:
-            short_l = [s <= short_threshold for s in sizes_l]
-        self._short_l = short_l
+        if short_threshold is None:
+            fresh_lane = np.ones(num_flows, dtype=np.int32)
+            fwd_lane = np.zeros(num_flows, dtype=np.int32)
+        else:
+            short = sz_np <= short_threshold
+            fresh_lane = np.where(short, 1, 3).astype(np.int32)
+            fwd_lane = np.where(short, 0, 2).astype(np.int32)
+        self._fresh_lane = fresh_lane
+        self._fwd_lane = fwd_lane
 
         per_flow = config.per_flow_paths
         self._per_flow = per_flow
-        self._flow_path: List[Optional[List[int]]] = [None] * num_flows
-        self._flow_plen: List[int] = [0] * num_flows
-        flow_path = self._flow_path
-        flow_plen = self._flow_plen
-
-        # Cell tables: id-indexed source route (full paths_batch row, -1
-        # padded), route length, hop cursor, owning flow.  Injection slots
-        # (cinj) are tracked only while a consumer needs them (the
-        # invariant checker or a delivery-telemetry collector) — the
-        # report never does, and the extra per-cell append would tax the
-        # hot path for nothing otherwise.
-        self._cpath: List[List[int]] = []
-        self._cplen: List[int] = []
-        self._chop: List[int] = []
-        self._cfid: List[int] = []
-        self._cinj: List[int] = []
+        window = config.injection_window
+        self._window = window
+        self._budget = config.cells_per_circuit
         self._track_inj = checker is not None or self._rec_del is not None
+        # Event consumers force the exact sequential kernel on cascade
+        # slots (the repair path does not emit) — see _drain_plane.
+        self._emit = (
+            checker is not None
+            or self._rec_tx is not None
+            or self._rec_del is not None
+        )
+        self._force_seq = config.kernels == "numba" and HAVE_NUMBA
+        self._seq_kernel = get_seq_kernel(config.kernels == "numba")
 
-        self.network = ArrayVoqState(num_nodes, num_lanes=num_lanes)
+        self.network = LinkedVoqState(num_nodes, num_lanes=num_lanes)
         self._install_schedule(engine.schedule)
 
         self._occupancy_sum = 0
@@ -267,7 +300,7 @@ class VectorizedSession(SimSession):
         self._delivered = 0
         self._injected = 0
         self._partial_flows = 0  # flows mid-injection (windowed drain criterion)
-        window = config.injection_window
+        self._slot_pairs: List = []  # (u, v) arrays appended this slot
 
         # --- Path presampling -------------------------------------------
         # The reference engine touches the RNG only when sampling paths:
@@ -275,82 +308,113 @@ class VectorizedSession(SimSession):
         # and in per-cell mode at every injection.  Without an injection
         # window there are no refills, so the full draw sequence is known
         # before the clock starts and one paths_batch call replaces
-        # hundreds of per-slot calls.  Only per-cell *windowed* runs
-        # interleave refill draws with arrivals and must sample per slot.
-        # Presampling consumes the RNG *before* slot 0 and the router is
-        # immutable for the whole session, so the presampled blocks stay
-        # valid across mid-run schedule swaps.
-        cell_rows: Optional[List[List[int]]] = None
-        cell_lens: List[int] = []
-        order_l: List[int] = []  # owning flow per presampled cell
-        slot_end: List[int] = []  # presample cursor position after each slot
-        arr_u = arr_v = None  # presampled first-hop columns (counter scatter)
-        if per_flow or window is None:
-            arr_np = np.asarray(arrival_l, dtype=np.int64)
-            sz_np = np.asarray(sizes_l, dtype=np.int64)
-            # Reference never samples flows that miss the run entirely.
-            fl = np.flatnonzero(arr_np < duration_slots)
-            # Stable sort by arrival slot == reference injection order
-            # (flow index order within a slot).
-            ordflows = fl[np.argsort(arr_np[fl], kind="stable")]
-            if per_flow:
-                if ordflows.size:
-                    paths, lengths = router.paths_batch(
-                        src_arr[ordflows], dst_arr[ordflows], rng
-                    )
-                    for f, row, ln in zip(
-                        ordflows.tolist(), paths.tolist(), lengths.tolist()
-                    ):
-                        flow_path[f] = row
-                        flow_plen[f] = ln
+        # hundreds of per-slot calls; the injection schedule itself then
+        # collapses to consuming precomputed block slices.  Only per-cell
+        # *windowed* runs interleave refill draws with arrivals and must
+        # sample per slot.  Presampling consumes the RNG *before* slot 0
+        # and the router is immutable for the whole session, so the
+        # presampled blocks stay valid across mid-run schedule swaps.
+        fl = np.flatnonzero(arr_np < duration_slots)
+        ordflows = fl[np.argsort(arr_np[fl], kind="stable")]
+        self._fprow = None
+        if per_flow:
+            if ordflows.size:
+                paths, lengths = router.paths_batch(
+                    src_arr[ordflows], dst_arr[ordflows], rng
+                )
+                self._routes = np.ascontiguousarray(paths, dtype=np.int32)
+                self._rowlen = lengths.astype(np.int32)
             else:
-                order = np.repeat(ordflows, sz_np[ordflows])
-                cell_rows = []
-                if order.size:
+                self._routes = np.full((0, 2), -1, dtype=np.int32)
+                self._rowlen = np.empty(0, dtype=np.int32)
+            self._nroutes = self._rowlen.shape[0]
+            fprow = np.full(num_flows, -1, dtype=np.int32)
+            fprow[ordflows] = np.arange(ordflows.size, dtype=np.int32)
+            self._fprow = fprow
+
+        inj = None
+        self._slot_end = None
+        arrivals: Dict[int, List[int]] = {}
+        if window is None:
+            # Block mode: every in-run flow injects its full size at its
+            # arrival slot, so the whole injection stream (cells, routes,
+            # first-hop VOQs, lanes) is laid out up front and the per-slot
+            # arrival step is one kernel call over a block slice.
+            order = np.repeat(ordflows, sz_np[ordflows])
+            total = int(order.size)
+            if per_flow:
+                blk_ridx = self._fprow[order]
+            else:
+                if total:
                     paths, lengths = router.paths_batch(
                         src_arr[order], dst_arr[order], rng
                     )
-                    cell_rows = paths.tolist()
-                    cell_lens = lengths.tolist()
-                    arr_u = paths[:, 0]
-                    arr_v = paths[:, 1]
-                    order_l = order.tolist()
-                counts = np.zeros(duration_slots, dtype=np.int64)
-                np.add.at(counts, arr_np[fl], sz_np[fl])
-                slot_end = np.cumsum(counts).tolist()
-                # No windows: every in-run flow injects its full size on
-                # arrival, so the ledger is known up front and the per-slot
-                # arrival loop reduces to consuming the presampled block.
-                inj = np.where(arr_np < duration_slots, sz_np, 0).tolist()
-        self._inj = inj
-        self._cell_rows = cell_rows
-        self._cell_lens = cell_lens
-        self._order_l = order_l
-        self._slot_end = slot_end
-        self._arr_u = arr_u
-        self._arr_v = arr_v
-        self._cursor = 0
-
-        arrivals: Dict[int, List[int]] = {}
-        if cell_rows is None:  # per-slot arrival loop still needed
+                    self._routes = np.ascontiguousarray(paths, dtype=np.int32)
+                    self._rowlen = lengths.astype(np.int32)
+                else:
+                    self._routes = np.full((0, 2), -1, dtype=np.int32)
+                    self._rowlen = np.empty(0, dtype=np.int32)
+                self._nroutes = total
+                blk_ridx = np.arange(total, dtype=np.int32)
+            counts = np.zeros(duration_slots, dtype=np.int64)
+            np.add.at(counts, arr_np[fl], sz_np[fl])
+            self._slot_end = np.cumsum(counts).tolist()
+            self._blk_u = self._routes[blk_ridx, 0]
+            self._blk_v = self._routes[blk_ridx, 1]
+            self._blk_lane = fresh_lane[order]
+            self._cid_range = np.arange(total, dtype=np.int32)
+            self._ridx = blk_ridx.astype(np.int32, copy=False)
+            self._rhop = np.zeros(total, dtype=np.int32)
+            self._rfid = order.astype(np.int32)
+            self._nxt = np.full(total, -1, dtype=np.int32)
+            self._cinj = (
+                arr_np[order].astype(np.int32) if self._track_inj else None
+            )
+            self._ncells = total
+            inj = np.where(arr_np < duration_slots, sz_np, 0)
+        else:
+            # Windowed: per-slot arrival/refill batches; cell tables grow
+            # on demand (amortized doubling).
+            if not per_flow:
+                self._routes = np.full((0, 0), -1, dtype=np.int32)
+                self._rowlen = np.empty(0, dtype=np.int32)
+                self._nroutes = 0
+            self._ridx = np.empty(0, dtype=np.int32)
+            self._rhop = np.empty(0, dtype=np.int32)
+            self._rfid = np.empty(0, dtype=np.int32)
+            self._nxt = np.empty(0, dtype=np.int32)
+            self._cinj = np.empty(0, dtype=np.int32) if self._track_inj else None
+            self._ncells = 0
+            inj = [0] * num_flows
             for i, spec in enumerate(flows):
                 arrivals.setdefault(spec.arrival_slot, []).append(i)
+        self._inj = inj
         self._arrivals = arrivals
+        self._cursor = 0
+
+        # Preallocated kernel scratch: candidate matrix, walk index
+        # buffer, sequential-drain staging (cell ids, delivery flags,
+        # per-circuit counts).
+        budget = self._budget
+        self._cand = np.empty((budget, num_nodes), dtype=np.int32)
+        self._ar = np.arange(num_nodes)
+        self._out_cids = np.empty(num_nodes * budget, dtype=np.int32)
+        self._out_del = np.empty(num_nodes * budget, dtype=np.uint8)
+        self._out_got = np.zeros(num_nodes, dtype=np.int64)
 
     def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
         # Everything slot-periodic is derived from the schedule and must
         # be rebuilt on a swap; the VOQ state, cell tables and presampled
         # paths are schedule-independent and survive untouched.
         self.schedule = new_schedule
-        self._active = _ActivePairs(new_schedule)
         self._dest_table = new_schedule.dest_table()
 
     def demand_snapshot(self):
         injected: np.ndarray
-        if self._cell_rows is not None:
-            # This mode presets the inj ledger during presampling, so
-            # reconstruct injected-so-far from arrival slots instead
-            # (every cell of a flow injects at its arrival slot here).
+        if self._window is None:
+            # Block mode presets the inj ledger, so reconstruct
+            # injected-so-far from arrival slots instead (every cell of a
+            # flow injects at its arrival slot here).
             arr = np.asarray(self._arrival_l, dtype=np.int64)
             sizes = np.asarray(self._sizes_l, dtype=np.int64)
             bound = min(self.slot, self.duration_slots)
@@ -361,16 +425,427 @@ class VectorizedSession(SimSession):
         np.add.at(demand, (self._src_arr, self._dst_arr), injected)
         return demand
 
+    # -- cell table management ------------------------------------------------
+
+    @staticmethod
+    def _grown(arr: np.ndarray, newcap: int) -> np.ndarray:
+        out = np.empty(newcap, dtype=arr.dtype)
+        out[: arr.shape[0]] = arr
+        return out
+
+    def _alloc_cells(self, count: int) -> int:
+        """Reserve *count* fresh cell ids; returns the base id."""
+        base = self._ncells
+        need = base + count
+        cap = self._ridx.shape[0]
+        if need > cap:
+            newcap = max(need, cap * 2, 1024)
+            self._ridx = self._grown(self._ridx, newcap)
+            self._rhop = self._grown(self._rhop, newcap)
+            self._rfid = self._grown(self._rfid, newcap)
+            self._nxt = self._grown(self._nxt, newcap)
+            if self._cinj is not None:
+                self._cinj = self._grown(self._cinj, newcap)
+        self._ncells = need
+        return base
+
+    def _append_routes(self, paths: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Store freshly sampled route rows; returns their row indices."""
+        count, width = paths.shape
+        base = self._nroutes
+        cap, cur_width = self._routes.shape
+        if width > cur_width or base + count > cap:
+            newcap = max(base + count, cap * 2, 256)
+            new_width = max(width, cur_width)
+            grown = np.full((newcap, new_width), -1, dtype=np.int32)
+            grown[:base, :cur_width] = self._routes[:base]
+            self._routes = grown
+            self._rowlen = self._grown(self._rowlen, newcap)
+        self._routes[base : base + count, :width] = paths
+        self._rowlen[base : base + count] = lengths
+        self._nroutes = base + count
+        return np.arange(base, base + count, dtype=np.int32)
+
+    # -- injection ------------------------------------------------------------
+
+    def _inject_batch(self, fids: List[int], slot: int) -> int:
+        """Inject one cell per entry of *fids* (windowed arrivals and
+        refills).  RNG order matches sequential path() calls per the
+        paths_batch contract."""
+        fa = np.asarray(fids, dtype=np.int64)
+        count = fa.size
+        if self._per_flow:
+            rows_new = self._fprow[fa]
+        else:
+            paths, lengths = self.router.paths_batch(
+                self._src_arr[fa], self._dst_arr[fa], self.rng
+            )
+            rows_new = self._append_routes(
+                paths.astype(np.int32, copy=False), lengths
+            )
+        base = self._alloc_cells(count)
+        span = slice(base, base + count)
+        self._ridx[span] = rows_new
+        self._rfid[span] = fa
+        self._rhop[span] = 0
+        if self._cinj is not None:
+            self._cinj[span] = slot
+        cids = np.arange(base, base + count, dtype=np.int32)
+        state = self.network
+        pu, pv = append_cells(
+            state.head,
+            state.tail,
+            self._nxt,
+            state.qlen,
+            cids,
+            self._routes[rows_new, 0],
+            self._routes[rows_new, 1],
+            self._fresh_lane[fa],
+            state.num_lanes,
+            self.num_nodes,
+        )
+        self._slot_pairs.append((pu, pv))
+        state.credit(count)
+        return count
+
+    # -- per-plane drain ------------------------------------------------------
+
+    def _drain_seq(self, slot: int, plane: int, srcs, dsts) -> np.ndarray:
+        """Exact sequential drain of one plane (fallback / numba path)."""
+        state = self.network
+        npop = self._seq_kernel(
+            state.head,
+            state.tail,
+            self._nxt,
+            state.qlen,
+            self._routes,
+            self._rowlen,
+            self._ridx,
+            self._rhop,
+            self._rfid,
+            self._fwd_lane,
+            srcs,
+            dsts,
+            self._budget,
+            self._out_cids,
+            self._out_del,
+            self._out_got,
+        )
+        if npop == 0:
+            return _EMPTY32
+        popped = self._out_cids[:npop]
+        delm = self._out_del[:npop].astype(bool)
+        if self._emit:
+            self._emit_events(
+                slot, plane, srcs, dsts, popped, delm, self._out_got[: srcs.shape[0]]
+            )
+        forwarded = popped[~delm]
+        if forwarded.size:
+            rows = self._ridx[forwarded]
+            hops = self._rhop[forwarded]  # already advanced by the kernel
+            self._slot_pairs.append(
+                (self._routes[rows, hops], self._routes[rows, hops + 1])
+            )
+        return popped[delm]
+
+    def _drain_plane(self, slot: int, plane: int, srcs, dsts, dst_row) -> np.ndarray:
+        """Drain one plane's active circuits; returns the delivered cell
+        ids in exact delivery (circuit-major pop) order."""
+        if srcs.shape[0] == 0:
+            return _EMPTY32
+        if self._force_seq:
+            return self._drain_seq(slot, plane, srcs, dsts)
+        state = self.network
+        head = state.head
+        nxt = self._nxt
+        routes = self._routes
+        rowlen = self._rowlen
+        ridx = self._ridx
+        rhop = self._rhop
+        budget = self._budget
+        num_circuits = srcs.shape[0]
+        cur = walk_candidates(head, nxt, srcs, dsts, budget, self._cand, self._ar)
+        sub = self._cand[:budget, :num_circuits]
+        flat = sub.T.ravel()  # circuit-major: pop order of the plane
+        valid = flat >= 0
+        popped = flat[valid]
+        if popped.size == 0:
+            return _EMPTY32
+        rows = ridx[popped]
+        hops = rhop[popped]
+        delm = hops == rowlen[rows] - 2
+        fwm = ~delm
+        fw = popped[fwm]
+        extra = None
+        if fw.size:
+            fh = hops[fwm] + 1
+            frow = rows[fwm]
+            fu = routes[frow, fh]
+            fv = routes[frow, fh + 1]
+            hit = dst_row[fu] == fv
+            if np.any(hit):
+                # A forwarded cell lands in a VOQ this same plane still
+                # (or already) drains: possible same-slot cascade.
+                if budget != 1 or self._emit:
+                    return self._drain_seq(slot, plane, srcs, dsts)
+                fpos = np.flatnonzero(valid)[fwm]
+                tpos = np.searchsorted(srcs, fu)
+                real = hit & (tpos > fpos)
+                if np.any(real):
+                    extra = self._repair_cascades(
+                        srcs, dsts, dst_row, sub, cur, fw, fpos, real, tpos
+                    )
+                    flat = sub.T.ravel()
+                    valid = flat >= 0
+                    popped = flat[valid]
+                    rows = ridx[popped]
+                    hops = rhop[popped]
+                    delm = hops == rowlen[rows] - 2
+                    fwm = ~delm
+                    fw = popped[fwm]
+                    fh = hops[fwm] + 1
+                    frow = rows[fwm]
+                    fu = routes[frow, fh]
+                    fv = routes[frow, fh + 1]
+        got = (sub >= 0).sum(axis=0)
+        commit_pops(head, state.tail, state.qlen, srcs, dsts, cur, got)
+        if fw.size:
+            rhop[fw] = fh
+        if extra is None:
+            if self._emit and popped.size:
+                self._emit_events(slot, plane, srcs, dsts, popped, delm, got)
+            if fw.size:
+                pu, pv = append_cells(
+                    head,
+                    state.tail,
+                    nxt,
+                    state.qlen,
+                    fw,
+                    fu,
+                    fv,
+                    self._fwd_lane[self._rfid[fw]],
+                    state.num_lanes,
+                    self.num_nodes,
+                )
+                self._slot_pairs.append((pu, pv))
+            return popped[delm]
+        # Merge the repair results: passthrough cells skip the append
+        # (they were popped again by their target circuit), their extra
+        # hop advances apply on top, and extra appends/deliveries splice
+        # into the plane's circuit-major order at their positions.
+        passthrough = extra["passthrough"]
+        for cid, bumps in extra["advances"].items():
+            rhop[cid] += bumps
+        fpos = np.flatnonzero(valid)[fwm]
+        if passthrough:
+            keep = np.fromiter(
+                (int(c) not in passthrough for c in fw),
+                dtype=bool,
+                count=fw.size,
+            )
+            app_cids, app_u, app_v, app_pos = fw[keep], fu[keep], fv[keep], fpos[keep]
+        else:
+            app_cids, app_u, app_v, app_pos = fw, fu, fv, fpos
+        if extra["appends"]:
+            e_pos = np.asarray([e[0] for e in extra["appends"]], dtype=np.int64)
+            e_cid = np.asarray([e[1] for e in extra["appends"]], dtype=np.int32)
+            e_u = np.asarray([e[2] for e in extra["appends"]], dtype=np.int32)
+            e_v = np.asarray([e[3] for e in extra["appends"]], dtype=np.int32)
+            order = np.argsort(
+                np.concatenate([app_pos, e_pos]), kind="stable"
+            )
+            app_cids = np.concatenate([app_cids, e_cid])[order]
+            app_u = np.concatenate([app_u, e_u])[order]
+            app_v = np.concatenate([app_v, e_v])[order]
+        if app_cids.size:
+            pu, pv = append_cells(
+                head,
+                state.tail,
+                nxt,
+                state.qlen,
+                app_cids,
+                app_u,
+                app_v,
+                self._fwd_lane[self._rfid[app_cids]],
+                state.num_lanes,
+                self.num_nodes,
+            )
+            self._slot_pairs.append((pu, pv))
+        deliv_cids = popped[delm]
+        if extra["deliveries"]:
+            d_pos = np.asarray([e[0] for e in extra["deliveries"]], dtype=np.int64)
+            d_cid = np.asarray([e[1] for e in extra["deliveries"]], dtype=np.int32)
+            order = np.argsort(
+                np.concatenate([np.flatnonzero(valid)[delm], d_pos]),
+                kind="stable",
+            )
+            deliv_cids = np.concatenate([deliv_cids, d_cid])[order]
+        return deliv_cids
+
+    def _repair_cascades(
+        self, srcs, dsts, dst_row, sub, cur, fw, fpos, real, tpos
+    ) -> dict:
+        """Exactly replay the cascade set of one plane (budget == 1).
+
+        The optimistic walk is wrong only at circuits that *receive* a
+        same-plane forward from an earlier circuit: the arriving cell can
+        preempt (strictly by lane priority, or by landing in an empty
+        queue) what the snapshot walk popped there.  This pass processes
+        exactly those target circuits in source order against the
+        untouched snapshot state, cancelling preempted snapshot pops,
+        marking pass-through cells (popped again by their target, so
+        never appended), recording their extra hop advances and any
+        chained deliveries/appends.  Everything outside the cascade set
+        keeps its walk result — the vectorized commit stays valid.
+        """
+        head = self.network.head
+        ridx = self._ridx
+        rhop = self._rhop
+        rfid = self._rfid
+        routes = self._routes
+        rowlen = self._rowlen
+        fwd_lane = self._fwd_lane
+        num_lanes = self.network.num_lanes
+        # target position -> [(forwarder position, cid, u, v, chained)]
+        arrivals: Dict[int, List] = {}
+        for k in np.flatnonzero(real):
+            j = int(tpos[k])
+            cid = int(fw[k])
+            arrivals.setdefault(j, []).append(
+                (int(fpos[k]), cid, int(srcs[j]), int(dsts[j]), False)
+            )
+        passthrough: set = set()
+        cancelled: set = set()
+        advances: Dict[int, int] = {}
+        extra_del: List = []
+        extra_app: List = []
+        done: set = set()
+        while True:
+            todo = [t for t in arrivals if t not in done]
+            if not todo:
+                break
+            j = min(todo)
+            done.add(j)
+            entries = sorted(
+                entry for entry in arrivals[j] if entry[1] not in cancelled
+            )
+            if not entries:
+                continue
+            s = int(srcs[j])
+            d = int(dsts[j])
+            snap_cid = int(sub[0, j])
+            if snap_cid >= 0:
+                snap_lane = 0
+                for lane in range(num_lanes):
+                    if int(head[lane, s, d]) == snap_cid:
+                        snap_lane = lane
+                        break
+            else:
+                snap_lane = num_lanes
+            best = None  # (lane, forwarder position, cid)
+            for entry in entries:
+                lane = int(fwd_lane[rfid[entry[1]]])
+                if lane >= snap_lane:
+                    continue  # cannot beat the snapshot pop
+                if int(head[lane, s, d]) >= 0:
+                    continue  # lane nonempty: the arrival tails, head wins
+                if best is None or lane < best[0]:
+                    best = (lane, entry[0], entry[1])
+            # Chained arrivals that do not win still need their append
+            # recorded (vector-walk arrivals are already in the forward
+            # set; chained ones exist only in this pass).
+            winner = best[2] if best is not None else -1
+            for entry in entries:
+                if entry[4] and entry[1] != winner:
+                    extra_app.append((entry[0], entry[1], entry[2], entry[3]))
+            if best is None:
+                continue
+            cell = best[2]
+            if snap_cid >= 0:
+                cancelled.add(snap_cid)
+                cur[:, j] = head[:, s, d]
+            sub[0, j] = -1
+            passthrough.add(cell)
+            row = int(ridx[cell])
+            h1 = int(rhop[cell]) + 1  # after the committed first advance
+            if h1 == int(rowlen[row]) - 2:
+                extra_del.append((j, cell))
+                continue
+            advances[cell] = advances.get(cell, 0) + 1
+            h2 = h1 + 1
+            u2 = int(routes[row, h2])
+            v2 = int(routes[row, h2 + 1])
+            if int(dst_row[u2]) == v2:
+                k2 = int(np.searchsorted(srcs, u2))
+                if k2 > j:
+                    arrivals.setdefault(k2, []).append((j, cell, u2, v2, True))
+                    continue
+            extra_app.append((j, cell, u2, v2))
+        return {
+            "passthrough": passthrough,
+            "advances": advances,
+            "deliveries": extra_del,
+            "appends": extra_app,
+        }
+
+    # -- event emission and flow accounting -----------------------------------
+
+    def _emit_events(self, slot, plane, srcs, dsts, popped, delm, got) -> None:
+        """Re-emit the reference engine's per-circuit event stream from
+        the drain results: each circuit's deliveries in pop order, then
+        its transmit — the exact interleave collectors see from the
+        object loop."""
+        checker = self._checker
+        rec_tx = self._rec_tx
+        rec_del = self._rec_del
+        routes = self._routes
+        rowlen = self._rowlen
+        ridx = self._ridx
+        cinj = self._cinj
+        src_l = srcs.tolist()
+        dst_l = dsts.tolist()
+        pop_l = popped.tolist()
+        del_l = delm.tolist()
+        offset = 0
+        for i, count in enumerate(got.tolist()):
+            if not count:
+                continue
+            for p in range(offset, offset + count):
+                if del_l[p]:
+                    cid = pop_l[p]
+                    row = int(ridx[cid])
+                    length = int(rowlen[row])
+                    if checker is not None:
+                        checker.record_delivery(
+                            slot, int(cinj[cid]), routes[row, :length]
+                        )
+                    if rec_del is not None:
+                        rec_del(slot, int(cinj[cid]), length - 1)
+            offset += count
+            if checker is not None:
+                checker.record_transmit(slot, plane, src_l[i], dst_l[i], count)
+            if rec_tx is not None:
+                rec_tx(slot, plane, src_l[i], dst_l[i], count)
+
+    def _account_deliveries(self, slot: int, deliv_cids: np.ndarray) -> None:
+        """Fold one plane's deliveries into the per-flow ledgers."""
+        fids = self._rfid[deliv_cids]
+        hops = self._rowlen[self._ridx[deliv_cids]].astype(np.int64) - 1
+        uniq, inverse = np.unique(fids, return_inverse=True)
+        self._fdcount[uniq] += np.bincount(inverse)
+        self._fhoptot[uniq] += np.bincount(inverse, weights=hops).astype(np.int64)
+        completed = uniq[self._fdcount[uniq] == self._fsizes[uniq]]
+        if completed.size:
+            self._fcompletion[completed] = slot
+
+    # -- the slot loop ---------------------------------------------------------
+
     def _advance(self, stop: Optional[int]) -> None:
         if self._done:
             return
         config = self.config
-        router = self.router
-        rng = self.rng
         timeline = self._timeline
         checker = self._checker
-        rec_tx = self._rec_tx
-        rec_del = self._rec_del
         rec_sample = self._rec_sample
         prof = self._prof
         if prof is not None:
@@ -378,40 +853,18 @@ class VectorizedSession(SimSession):
         tracer = self._tracer
         duration_slots = self.duration_slots
         measure_from = self.measure_from
-        src_arr = self._src_arr
-        dst_arr = self._dst_arr
         sizes_l = self._sizes_l
         inj = self._inj
-        dcount = self._dcount
-        hoptot = self._hoptot
-        completion = self._completion
-        short_l = self._short_l
-        num_lanes = self._num_lanes
-        per_flow = self._per_flow
-        flow_path = self._flow_path
-        flow_plen = self._flow_plen
-        cpath = self._cpath
-        cplen = self._cplen
-        chop = self._chop
-        cfid = self._cfid
-        cinj = self._cinj
-        track_inj = self._track_inj
         network = self.network
-        voqs = network.voqs
         qlen = network.qlen
-        active = self._active
-        dest_table = self._dest_table
-        window = config.injection_window
-        budget = config.cells_per_circuit
+        window = self._window
         num_planes = self.schedule.num_planes
         period = self.schedule.period
-        cell_rows = self._cell_rows
-        cell_lens = self._cell_lens
-        order_l = self._order_l
+        dest_table = self._dest_table
+        schedule = self.schedule
         slot_end = self._slot_end
-        arr_u = self._arr_u
-        arr_v = self._arr_v
         arrivals = self._arrivals
+        slot_pairs = self._slot_pairs
         occupancy_sum = self._occupancy_sum
         max_voq = self._max_voq
         window_delivered = self._window_delivered
@@ -421,176 +874,90 @@ class VectorizedSession(SimSession):
         cursor = self._cursor
         slot = self.slot
 
-        def enqueue_new(fidx: List[int], rows, lens) -> None:
-            # Bulk-extend the cell tables and append the fresh ids to the
-            # injection lanes (counters are scattered by the caller).
-            nonlocal injected_running
-            injected_running += len(fidx)
-            base = len(cfid)
-            cfid.extend(fidx)
-            cpath.extend(rows)
-            cplen.extend(lens)
-            chop.extend([0] * len(fidx))
-            if track_inj:
-                # Injection always happens at the loop's current slot in
-                # every mode (arrival batches, presampled blocks, refills).
-                cinj.extend([slot] * len(fidx))
-            if short_l is None:
-                for cid, p in enumerate(rows, base):
-                    vr = voqs[p[0]]
-                    voq = vr[p[1]]
-                    if voq is None:
-                        voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
-                    voq[1].append(cid)
-            else:
-                for cid, f, p in zip(range(base, base + len(fidx)), fidx, rows):
-                    vr = voqs[p[0]]
-                    voq = vr[p[1]]
-                    if voq is None:
-                        voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
-                    voq[1 if short_l[f] else 3].append(cid)
-
-        def inject(fidx: List[int]) -> None:
-            # Per-slot injection for whichever mode applies.  RNG order is
-            # identical to sequential path() calls per the paths_batch
-            # contract / the presampling argument above.
-            if per_flow:
-                rows = [flow_path[f] for f in fidx]
-                lens = [flow_plen[f] for f in fidx]
-                network.add_cells([p[0] for p in rows], [p[1] for p in rows])
-            else:
-                fa = np.asarray(fidx, dtype=np.int64)
-                paths, lengths = router.paths_batch(src_arr[fa], dst_arr[fa], rng)
-                rows = paths.tolist()
-                lens = lengths.tolist()
-                network.add_cells(paths[:, 0], paths[:, 1])
-            enqueue_new(fidx, rows, lens)
-
         while True:
             if stop is not None and slot >= stop:
                 break
-            # Per-slot counter deltas, batch-applied before stats sampling:
-            # forwarded-cell enqueues and per-circuit drain counts.
-            enq_u: List[int] = []
-            enq_v: List[int] = []
-            circ_s: List[int] = []
-            circ_d: List[int] = []
-            circ_n: List[int] = []
-
             if prof is not None:
                 lap = perf_counter()
             if slot < duration_slots:
-                if cell_rows is not None:
-                    # Per-cell, no window: the arrival batch IS the next
-                    # presampled block (ledger set during presampling).
+                if slot_end is not None:
+                    # Block mode: the arrival batch IS the next block
+                    # slice (ledger preset during presampling).
                     end = slot_end[slot]
                     if end > cursor:
-                        network.add_cells(arr_u[cursor:end], arr_v[cursor:end])
-                        enqueue_new(
-                            order_l[cursor:end],
-                            cell_rows[cursor:end],
-                            cell_lens[cursor:end],
+                        count = end - cursor
+                        state = network
+                        pu, pv = append_cells(
+                            state.head,
+                            state.tail,
+                            self._nxt,
+                            state.qlen,
+                            self._cid_range[cursor:end],
+                            self._blk_u[cursor:end],
+                            self._blk_v[cursor:end],
+                            self._blk_lane[cursor:end],
+                            state.num_lanes,
+                            self.num_nodes,
                         )
+                        slot_pairs.append((pu, pv))
+                        state.credit(count)
+                        injected_running += count
                         cursor = end
                 else:
                     batch: List[int] = []
                     for f in arrivals.get(slot, ()):  # new arrivals
                         sz = sizes_l[f]
-                        quota = sz if window is None else min(window, sz)
+                        quota = min(window, sz)
                         inj[f] = quota
                         if quota < sz:
                             partial_flows += 1
                         batch.extend([f] * quota)
                     if batch:
-                        inject(batch)
+                        injected_running += self._inject_batch(batch, slot)
             if prof is not None:
                 lap = prof.lap("inject", lap)
 
-            # One matching per plane; circuits drain their VOQs in source
-            # order with immediate forwarding, so same-plane cascades
-            # behave exactly as in the reference engine.
+            # One matching per plane; the kernels preserve source-order
+            # drain with immediate forwarding (module docstring), so
+            # same-plane cascades behave exactly as in the reference
+            # engine.
             faulted_slot = timeline is not None and timeline.affects(slot)
-            delivered_seq: List[int] = []
+            deliv_chunks: List[np.ndarray] = []
             for plane in range(num_planes):
                 if faulted_slot:
-                    # Masked slots bypass the periodic cache: mask the
-                    # dense destination row for this absolute slot exactly
-                    # as the reference engine masks its Matching.
-                    row = timeline.mask_dst_row(
+                    # Masked slots bypass the periodic table row: mask
+                    # the dense destination row for this absolute slot
+                    # exactly as the reference engine masks its Matching.
+                    dst_row = timeline.mask_dst_row(
                         dest_table[slot % period, plane], slot, plane
                     )
-                    srcs_up = np.nonzero(row >= 0)[0]
-                    src_list = srcs_up.tolist()
-                    dst_list = row[srcs_up].tolist()
+                    srcs = np.flatnonzero(dst_row >= 0)
+                    dsts = dst_row[srcs]
                 else:
-                    src_list, dst_list = active.get(slot, plane)
-                for i, s in enumerate(src_list):
-                    d = dst_list[i]
-                    lanes = voqs[s][d]
-                    if lanes is None:
-                        continue
-                    got = 0
-                    for lane_q in lanes:
-                        while lane_q and got < budget:
-                            cid = lane_q.popleft()
-                            got += 1
-                            p = cpath[cid]
-                            h = chop[cid]
-                            f = cfid[cid]
-                            if h == cplen[cid] - 2:
-                                dc = dcount[f] + 1
-                                dcount[f] = dc
-                                hoptot[f] += cplen[cid] - 1
-                                if dc == sizes_l[f]:
-                                    completion[f] = slot
-                                delivered_running += 1
-                                if slot >= measure_from:
-                                    window_delivered += 1
-                                if window is not None:
-                                    delivered_seq.append(f)
-                                if checker is not None:
-                                    checker.record_delivery(
-                                        slot, cinj[cid], p[: cplen[cid]]
-                                    )
-                                if rec_del is not None:
-                                    rec_del(slot, cinj[cid], cplen[cid] - 1)
-                            else:
-                                h += 1
-                                chop[cid] = h
-                                u = p[h]
-                                v = p[h + 1]
-                                vr = voqs[u]
-                                voq = vr[v]
-                                if voq is None:
-                                    voq = vr[v] = [
-                                        deque() for _ in range(num_lanes)
-                                    ]
-                                lane = (
-                                    0
-                                    if short_l is None or short_l[f]
-                                    else 2
-                                )
-                                voq[lane].append(cid)
-                                enq_u.append(u)
-                                enq_v.append(v)
-                        if got >= budget:
-                            break
-                    if got:
-                        circ_s.append(s)
-                        circ_d.append(d)
-                        circ_n.append(got)
-                        if checker is not None:
-                            checker.record_transmit(slot, plane, s, d, got)
-                        if rec_tx is not None:
-                            rec_tx(slot, plane, s, d, got)
+                    srcs, dsts = schedule.active_circuits(slot % period, plane)
+                    dst_row = dest_table[slot % period, plane]
+                deliv = self._drain_plane(slot, plane, srcs, dsts, dst_row)
+                if deliv.size:
+                    network.debit(deliv.size)
+                    delivered_running += deliv.size
+                    if slot >= measure_from:
+                        window_delivered += deliv.size
+                    self._account_deliveries(slot, deliv)
+                    if window is not None:
+                        deliv_chunks.append(self._rfid[deliv])
 
             if prof is not None:
                 lap = prof.lap("forward", lap)
 
             # Windowed flows refill as their cells deliver.
-            if window is not None and delivered_seq:
+            if window is not None and deliv_chunks:
+                delivered_fids = (
+                    deliv_chunks[0]
+                    if len(deliv_chunks) == 1
+                    else np.concatenate(deliv_chunks)
+                )
                 refill: List[int] = []
-                for f in delivered_seq:
+                for f in delivered_fids.tolist():
                     x = inj[f]
                     if x < sizes_l[f]:
                         x += 1
@@ -599,20 +966,24 @@ class VectorizedSession(SimSession):
                             partial_flows -= 1
                         refill.append(f)
                 if refill:
-                    inject(refill)
+                    injected_running += self._inject_batch(refill, slot)
 
-            if circ_s:
-                network.drain_circuits(
-                    circ_s, circ_d, np.asarray(circ_n, dtype=np.int64)
-                )
-            if enq_u:
-                network.add_cells(enq_u, enq_v)
             if checker is not None:
                 checker.end_slot(slot, network, injected_running, delivered_running)
             occupancy_sum += network.total_occupancy
-            voq_now = int(qlen.max())
-            if voq_now > max_voq:
-                max_voq = voq_now
+            if slot_pairs:
+                # Only VOQs that received cells this slot can set a new
+                # max; gather those instead of scanning the (N, N) grid.
+                if len(slot_pairs) == 1:
+                    gu, gv = slot_pairs[0]
+                else:
+                    gu = np.concatenate([p[0] for p in slot_pairs])
+                    gv = np.concatenate([p[1] for p in slot_pairs])
+                if gu.size:
+                    voq_now = int(qlen[gu, gv].max())
+                    if voq_now > max_voq:
+                        max_voq = voq_now
+                slot_pairs.clear()
             if tracer is not None:
                 tracer.record(slot, network, delivered_running)
             if rec_sample is not None:
@@ -647,9 +1018,9 @@ class VectorizedSession(SimSession):
             np.asarray(self._sizes_l, dtype=np.int64),
             np.asarray(self._arrival_l, dtype=np.int64),
             np.asarray(self._inj, dtype=np.int64),
-            np.asarray(self._dcount, dtype=np.int64),
-            np.asarray(self._completion, dtype=np.int64),
-            np.asarray(self._hoptot, dtype=np.int64),
+            self._fdcount,
+            self._fcompletion,
+            self._fhoptot,
             num_nodes=self.num_nodes,
             duration_slots=horizon,
             max_voq=self._max_voq,

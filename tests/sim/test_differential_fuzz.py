@@ -2,17 +2,22 @@
 
 Randomizes the full configuration space the engines support — schedule
 family and size, router (optionally wrapped in the failure-aware
-fallback), simulator knobs, failure timelines, and workloads — and
-asserts the reference and vectorized engines produce *identical* reports
-and traces, with the :class:`repro.sim.invariants.InvariantChecker`
-enabled in every run so any physics violation aborts the example.
+fallback), simulator knobs (including the ``kernels="numpy"/"numba"``
+axis of the fused vectorized engine), failure timelines, and workloads —
+and asserts the reference and vectorized engines produce *identical*
+reports and traces.
 
-Every run also carries the full shipped telemetry collector set
+Each example also draws a ``lean`` bit.  Instrumented examples carry the
+:class:`repro.sim.invariants.InvariantChecker` plus the full shipped
+telemetry collector set
 (:func:`repro.sim.telemetry.standard_collectors`), and the assertion
 extends to the telemetry layer: both engines must produce equal
 ``snapshot()`` dictionaries and byte-identical ``dumps_jsonl()``
 streams — including under active failure timelines, where rerouting and
-plane outages reshape every stream the collectors observe.
+plane outages reshape every stream the collectors observe.  Lean
+examples attach *no* event consumers, which routes the vectorized
+engine through its fastest drain tiers (vectorized commit with in-place
+cascade repair) — the code paths instrumented runs can never reach.
 
 Profiles
 --------
@@ -138,6 +143,12 @@ def scenarios(draw):
                 router.path_options(spec.src, spec.dst)
         except RoutingError:
             assume(False)
+    # ``lean`` drops the invariant checker and telemetry entirely: with
+    # no event consumers attached the vectorized engine takes its fastest
+    # drain tiers (vectorized commit + in-place cascade repair), which
+    # the fully-instrumented runs never reach.  Both halves of the config
+    # space must agree with the reference engine bit-for-bit.
+    lean = draw(st.booleans())
     config = dict(
         cells_per_circuit=draw(st.integers(1, 3)),
         per_flow_paths=draw(st.booleans()),
@@ -145,20 +156,25 @@ def scenarios(draw):
         drain=True,
         max_drain_slots=draw(st.sampled_from([50, 150, 300])),
         short_flow_threshold_cells=draw(st.one_of(st.none(), st.just(2))),
-        check_invariants=True,
+        check_invariants=not lean,
+        kernels=draw(st.sampled_from(["numpy", "numba"])),
     )
     duration = draw(st.integers(40, 120))
     seed = draw(st.integers(0, 2**16))
-    return schedule, router, timeline, flows, config, duration, seed
+    return schedule, router, timeline, flows, config, duration, seed, lean
 
 
-def _run(engine, schedule, router, timeline, flows, config, duration, seed):
-    hub = TelemetryHub(
-        standard_collectors(schedule, bucket_slots=25), stride=3
+def _run(engine, schedule, router, timeline, flows, config, duration, seed, lean):
+    hub = (
+        None
+        if lean
+        else TelemetryHub(standard_collectors(schedule, bucket_slots=25), stride=3)
     )
     sim = SlotSimulator(
         schedule,
         router,
+        # The reference engine ignores ``kernels``; the axis varies how
+        # the vectorized engine computes the same run.
         SimConfig(engine=engine, telemetry=hub, **config),
         rng=np.random.default_rng(seed),
         timeline=timeline,
@@ -175,14 +191,15 @@ class TestDifferentialFuzz:
         timelines and failure-aware routing — must produce bit-identical
         reports, traces, and telemetry streams from both engines, with
         every slot passing the invariant checker."""
-        schedule, router, timeline, flows, config, duration, seed = scenario
+        schedule, router, timeline, flows, config, duration, seed, lean = scenario
         ref_report, ref_trace, ref_hub = _run(
-            "reference", schedule, router, timeline, flows, config, duration, seed
+            "reference", schedule, router, timeline, flows, config, duration, seed, lean
         )
         vec_report, vec_trace, vec_hub = _run(
-            "vectorized", schedule, router, timeline, flows, config, duration, seed
+            "vectorized", schedule, router, timeline, flows, config, duration, seed, lean
         )
         assert vec_report == ref_report
         assert vec_trace.points == ref_trace.points
-        assert vec_hub.snapshot() == ref_hub.snapshot()
-        assert vec_hub.dumps_jsonl() == ref_hub.dumps_jsonl()
+        if not lean:
+            assert vec_hub.snapshot() == ref_hub.snapshot()
+            assert vec_hub.dumps_jsonl() == ref_hub.dumps_jsonl()

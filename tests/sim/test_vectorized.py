@@ -12,8 +12,16 @@ from repro.errors import SimulationError
 from repro.routing import SornRouter, VlbRouter
 from repro.schedules import RoundRobinSchedule, build_sorn_schedule
 from repro.sim import ArrayVoqState, SimConfig, SlotSimulator, TraceRecorder
+from repro.sim.kernels import HAVE_NUMBA
 from repro.topology import CliqueLayout
 from repro.traffic import WEB_SEARCH, Workload, clustered_matrix, uniform_matrix
+
+KERNEL_MODES = [
+    "numpy",
+    pytest.param(
+        "numba", marks=pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    ),
+]
 
 
 def _uniform_flows(num_nodes, seed, duration=250, load=0.4):
@@ -69,13 +77,13 @@ COMBOS = {
 }
 
 
-def _run(combo, engine, seed, duration=250, measure_from=80):
+def _run(combo, engine, seed, duration=250, measure_from=80, kernels="numpy"):
     schedule, router, cfg, n = combo()
     flows = _uniform_flows(n, seed, duration=duration)
     sim = SlotSimulator(
         schedule,
         router,
-        SimConfig(engine=engine, **cfg),
+        SimConfig(engine=engine, kernels=kernels, **cfg),
         rng=np.random.default_rng(seed + 1),
     )
     tracer = TraceRecorder(stride=5)
@@ -86,12 +94,13 @@ def _run(combo, engine, seed, duration=250, measure_from=80):
 class TestDifferentialEquality:
     @pytest.mark.parametrize("combo", sorted(COMBOS), ids=sorted(COMBOS))
     @pytest.mark.parametrize("seed", [7, 42])
-    def test_reports_and_traces_identical(self, combo, seed):
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_reports_and_traces_identical(self, combo, seed, kernels):
         """Same seed, same workload: the two engines must agree on the
         full report (delivered counts, FCT lists, occupancy statistics)
-        and on every sampled trace point."""
+        and on every sampled trace point — in every kernel mode."""
         ref_report, ref_trace = _run(COMBOS[combo], "reference", seed)
-        vec_report, vec_trace = _run(COMBOS[combo], "vectorized", seed)
+        vec_report, vec_trace = _run(COMBOS[combo], "vectorized", seed, kernels=kernels)
         assert vec_report == ref_report
         assert vec_trace.points == ref_trace.points
         # Sanity: the runs actually exercised the fabric.
@@ -127,6 +136,13 @@ class TestEngineSelection:
     def test_default_is_reference(self):
         assert SimConfig().engine == "reference"
 
+    def test_unknown_kernels_rejected(self):
+        with pytest.raises(SimulationError):
+            SimConfig(kernels="fortran")
+
+    def test_default_kernels_is_numpy(self):
+        assert SimConfig().kernels == "numpy"
+
 
 class TestArrayVoqState:
     def test_counters_track_enqueues_and_deltas(self):
@@ -154,3 +170,63 @@ class TestArrayVoqState:
             ArrayVoqState(1)
         with pytest.raises(SimulationError):
             ArrayVoqState(4, num_lanes=0)
+
+
+class TestLinkedVoqState:
+    def test_accessors_track_qlen(self):
+        from repro.sim import LinkedVoqState
+
+        state = LinkedVoqState(4, num_lanes=2)
+        state.qlen[0, 1] = 2
+        state.qlen[1, 2] = 1
+        state.credit(3)
+        assert state.total_occupancy == 3
+        assert state.queue_length(0, 1) == 2
+        assert state.queue_length(1, 2) == 1
+        assert state.max_voq_length() == 2
+        assert state.node_backlog(0) == 2
+        assert state.backlogs() == [2, 1, 0, 0]
+        state.debit(1)
+        assert state.total_occupancy == 2
+
+    def test_validation(self):
+        from repro.sim import LinkedVoqState
+
+        with pytest.raises(SimulationError):
+            LinkedVoqState(1)
+        with pytest.raises(SimulationError):
+            LinkedVoqState(4, num_lanes=0)
+
+
+class TestCascadeRepair:
+    def test_high_load_vlb_exercises_repair_tier(self, monkeypatch):
+        """A saturated multi-plane VLB run with no event consumers must
+        route cascade slots through the in-place repair tier (not the
+        sequential fallback) and still match the reference engine
+        bit-for-bit."""
+        from repro.sim import vectorized as V
+
+        calls = {"repair": 0}
+        orig = V.VectorizedSession._repair_cascades
+
+        def counting(self, *args, **kwargs):
+            calls["repair"] += 1
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(V.VectorizedSession, "_repair_cascades", counting)
+        n = 32
+        workload = Workload(
+            uniform_matrix(n), WEB_SEARCH, load=1.3, cell_bytes=4096.0
+        )
+        flows = workload.generate(220, rng=np.random.default_rng(3))
+        reports = {}
+        for engine in ("reference", "vectorized"):
+            sim = SlotSimulator(
+                RoundRobinSchedule(n, num_planes=4),
+                VlbRouter(n),
+                SimConfig(engine=engine, cells_per_circuit=1, drain=True),
+                rng=np.random.default_rng(4),
+            )
+            reports[engine] = sim.run(flows, 220, measure_from=40)
+        assert reports["vectorized"] == reports["reference"]
+        assert calls["repair"] > 0, "stress run never hit the cascade-repair tier"
