@@ -1,0 +1,204 @@
+"""Benchmark: paper-scale slot-sim memory/throughput + flow-model speed.
+
+Runs the fused vectorized engine on SORN fabrics at N ∈ {1024, 2048,
+4096} — the largest being the paper's Table 1 fabric (N=4096, Nc=64 at
+the optimal q for x=0.56) — and writes the measurement to
+``BENCH_scale.json`` for CI regression tracking:
+
+- **slots/s**: end-to-end wall clock of an untraced run (the schedule,
+  its dense destination table, the router and the workload are built
+  outside the timed region, exactly like ``bench_kernel.py``).
+- **peak memory**: a second, identical run under ``tracemalloc`` (numpy
+  registers its buffers with the tracer, so the dominant VOQ cubes,
+  qlen counter and cell tables are all seen); ``reset_peak`` before
+  each run makes the peaks per-N rather than monotonic.  The hard gate
+  is a per-N byte budget sized ~30% above the measured footprint of the
+  chunked-presampling + int32 engine, so dtype or chunking regressions
+  (e.g. qlen back to int64, whole-run presample blocks) fail CI.
+- **flow-level model**: builds :class:`repro.sim.flowlevel.
+  FlowLevelModel` for both Table 1 rows (Nc=64 *and* Nc=32 — the Nc=32
+  realized schedule's period is ~240k slots, far beyond what the slot
+  engine can hold, which is exactly the regime the flow model exists
+  for) and evaluates one million sampled flows per row, recording
+  model-build and evaluate seconds plus flows/s.  Never gated on speed;
+  the evaluated reports must be stable and finite.
+
+The two slot-engine runs must produce identical reports (determinism
+assert), so a memory measurement can never hide a correctness change.
+``--smoke`` runs a reduced ladder and records without gating.
+"""
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from conftest import bench_environment
+
+from repro.analysis import optimal_q
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator
+from repro.sim.flowlevel import FlowLevelModel, sample_flow_arrays
+from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
+from repro.util import ensure_rng
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: The paper's Table 1 operating point.
+LOCALITY = 0.56
+LOAD = 0.30
+
+#: (num_nodes, num_cliques, q, slots, peak-byte budget).  q is the
+#: optimal 2/(1-x) wherever the realized schedule period stays small;
+#: N=2048 has no such Nc (every option lands near a ~119k-slot period,
+#: a ~1 GiB destination table), so that rung uses q=2 — the memory
+#: ladder cares about N, not q.  Budgets are ~30% above the measured
+#: footprint of the int32 + chunked-presampling engine (N=4096 measured
+#: ~334 MiB: 268 MiB head/tail cubes + 64 MiB qlen + cell tables).
+FULL_SCALE = [
+    (1024, 32, optimal_q(LOCALITY), 200, 64 * 2**20),
+    (2048, 32, 2.0, 120, 160 * 2**20),
+    (4096, 64, optimal_q(LOCALITY), 80, 448 * 2**20),
+]
+SMOKE_SCALE = [(256, 16, optimal_q(LOCALITY), 120, None)]
+
+#: Flow-model rows: the two Table 1 clique counts at paper scale.
+FLOW_MODEL_NODES = 4096
+FLOW_MODEL_CLIQUES = (64, 32)
+FLOW_MODEL_FLOWS = 1_000_000
+
+
+def _fabric(num_nodes, num_cliques, q):
+    schedule = build_sorn_schedule(num_nodes, num_cliques, q=q)
+    schedule.dest_table()  # warm the shared cache outside the measured region
+    return schedule, SornRouter(schedule.layout)
+
+
+def _flows(schedule, slots):
+    workload = Workload(
+        clustered_matrix(schedule.layout, LOCALITY),
+        FlowSizeDistribution.fixed(4500),
+        load=LOAD,
+        cell_bytes=1500.0,
+    )
+    return workload.generate(slots, rng=1)
+
+
+def _run(schedule, router, flows, slots):
+    sim = SlotSimulator(
+        schedule, router, SimConfig(engine="vectorized"), rng=2
+    )
+    return sim.run(flows, slots, measure_from=slots // 2)
+
+
+def test_scale_memory_and_throughput(report, smoke):
+    """Slot engine at N ∈ {1024, 2048, 4096}: slots/s + gated peak RSS."""
+    scales = SMOKE_SCALE if smoke else FULL_SCALE
+    results = []
+    lines = []
+    for num_nodes, num_cliques, q, slots, budget in scales:
+        schedule, router = _fabric(num_nodes, num_cliques, q)
+        flows = _flows(schedule, slots)
+        start = time.perf_counter()
+        timed_report = _run(schedule, router, flows, slots)
+        elapsed = time.perf_counter() - start
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        traced_report = _run(schedule, router, flows, slots)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert traced_report == timed_report, "non-deterministic benchmark run"
+        results.append(
+            {
+                "num_nodes": num_nodes,
+                "num_cliques": num_cliques,
+                "q": round(schedule.q, 4),
+                "slots": slots,
+                "num_flows": len(flows),
+                "delivered_cells": timed_report.delivered_cells,
+                "seconds": round(elapsed, 4),
+                "slots_per_s": round(slots / elapsed, 1),
+                "peak_bytes": peak,
+                "peak_mib": round(peak / 2**20, 1),
+                "budget_bytes": budget,
+            }
+        )
+        lines.append(
+            f"N={num_nodes:>5} Nc={num_cliques:>3}  "
+            f"{slots / elapsed:>7.1f} slots/s   peak {peak / 2**20:>7.1f} MiB"
+            + (f" (budget {budget / 2**20:.0f} MiB)" if budget else "")
+        )
+
+    flow_results = []
+    if not smoke:
+        rng = ensure_rng(3)
+        for nc in FLOW_MODEL_CLIQUES:
+            start = time.perf_counter()
+            schedule = build_sorn_schedule(
+                FLOW_MODEL_NODES, nc, q=optimal_q(LOCALITY)
+            )
+            model = FlowLevelModel(
+                schedule,
+                SornRouter(schedule.layout),
+                load=LOAD,
+                locality=LOCALITY,
+            )
+            build_s = time.perf_counter() - start
+            srcs, dsts, sizes = sample_flow_arrays(
+                schedule.layout, LOCALITY, FLOW_MODEL_FLOWS, rng
+            )
+            start = time.perf_counter()
+            flow_report = model.evaluate(srcs, dsts, sizes)
+            eval_s = time.perf_counter() - start
+            assert flow_report.stable, "Table 1 operating point went unstable"
+            assert flow_report.mean_fct is not None
+            flow_results.append(
+                {
+                    "num_nodes": FLOW_MODEL_NODES,
+                    "num_cliques": nc,
+                    "num_flows": FLOW_MODEL_FLOWS,
+                    "build_seconds": round(build_s, 4),
+                    "evaluate_seconds": round(eval_s, 4),
+                    "flows_per_s": round(FLOW_MODEL_FLOWS / eval_s, 1),
+                    "mean_fct_slots": round(flow_report.mean_fct, 2),
+                    "p99_fct_slots": round(flow_report.fct_percentile(99.0), 2),
+                    "mean_slowdown": round(flow_report.mean_slowdown, 3),
+                    "saturation_throughput": round(
+                        flow_report.saturation_throughput, 6
+                    ),
+                }
+            )
+            lines.append(
+                f"flow model N={FLOW_MODEL_NODES} Nc={nc:>3}  "
+                f"{FLOW_MODEL_FLOWS / eval_s:>11.1f} flows/s   "
+                f"mean FCT {flow_report.mean_fct:>9.1f} slots"
+            )
+
+    payload = {
+        "benchmark": "scale",
+        "environment": bench_environment(),
+        "config": {
+            "locality": LOCALITY,
+            "load": LOAD,
+            "smoke": smoke,
+        },
+        "results": results,
+        "flow_model": flow_results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "Paper-scale ladder: slot engine memory/throughput + flow model"
+        + (" (smoke)" if smoke else ""),
+        lines + [f"written to {BENCH_JSON.name}"],
+    )
+
+    if smoke:
+        return
+    for entry in results:
+        assert entry["peak_bytes"] <= entry["budget_bytes"], (
+            f"N={entry['num_nodes']}: peak {entry['peak_mib']} MiB over the "
+            f"{entry['budget_bytes'] / 2**20:.0f} MiB budget — a dtype or "
+            f"presampling-chunk regression?"
+        )

@@ -87,6 +87,46 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     rows = [SystemRow(**row) for row in result["rows"]]
     print(f"Table 1 reproduction (N={args.nodes}, x={args.locality}):")
     print(format_table(rows))
+    if args.model == "flow":
+        print()
+        print(
+            f"Flow-level model (load={args.load:.2f}, "
+            f"{args.flows} flows/point, seed={args.seed}):"
+        )
+        cliques = [int(c) for c in args.cliques.split(",")]
+        points = [
+            SweepPoint(
+                "flowlevel",
+                {
+                    "nodes": args.nodes,
+                    "cliques": nc,
+                    "locality": args.locality,
+                    "load": args.load,
+                    "flows": args.flows,
+                },
+                args.seed,
+            )
+            for nc in cliques
+        ]
+        results = _sweep_runner(args).run(points)
+        header = (
+            f"{'Nc':>4} {'dm_intra':>8} {'dm_inter':>8} {'mean FCT':>10} "
+            f"{'p99 FCT':>10} {'slowdown':>9} {'sat thpt':>9}"
+        )
+        print(header)
+        for nc, res in zip(cliques, results):
+            mean_fct = res["mean_fct_slots"]
+            p99 = res["p99_fct_slots"]
+            slow = res["mean_slowdown"]
+            if not res["stable"] or mean_fct is None:
+                print(f"{nc:>4} {'-- unstable at this load --':>48}")
+                continue
+            print(
+                f"{nc:>4} {res['delta_m_intra']:>8} "
+                f"{res['delta_m_inter']:>8} {mean_fct:>10.1f} "
+                f"{p99:>10.1f} {slow:>9.2f} "
+                f"{res['saturation_throughput']:>9.4f}"
+            )
     return 0
 
 
@@ -541,6 +581,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="reproduce Table 1")
     p.add_argument("--nodes", type=int, default=4096)
     p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument(
+        "--model",
+        choices=("analytic", "flow"),
+        default="analytic",
+        help="'flow' appends per-Nc flow-level FCT/slowdown rows from "
+        "repro.sim.flowlevel at true paper scale (one sweep point per "
+        "Nc, shardable over --workers)",
+    )
+    p.add_argument(
+        "--cliques",
+        default="64,32",
+        help="comma-separated Nc values for --model flow (default: the "
+        "paper's 64,32)",
+    )
+    p.add_argument("--load", type=float, default=0.30)
+    p.add_argument("--flows", type=int, default=1_000_000)
+    p.add_argument("--seed", type=int, default=0)
     _add_sweep_flags(p)
     p.set_defaults(func=_cmd_table1)
 

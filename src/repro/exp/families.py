@@ -18,9 +18,11 @@ their dict forms.
 
 The built-in families cover the CLI figure sweeps (``table1``,
 ``fig2f_point``, ``blast_radius``, ``fig_adaptive`` and its
-``oblivious_baseline``) plus the generic ``sorn_sim`` benchmark family,
+``oblivious_baseline``), the generic ``sorn_sim`` benchmark family —
 which also implements the batched multi-seed fast path
-(:func:`repro.sim.vectorized.run_replicas`) via ``run_batch``.
+(:func:`repro.sim.vectorized.run_replicas`) via ``run_batch`` — and the
+``flowlevel`` analytic family (paper-scale FCT/slowdown points with no
+per-cell state).
 """
 
 from __future__ import annotations
@@ -381,7 +383,52 @@ def _run_sorn_sim_batch(params: dict, seeds: list) -> List[dict]:
     return out
 
 
+def _run_flowlevel(params: dict, seed) -> dict:
+    """Family ``flowlevel``: analytic per-flow FCT/slowdown at any scale.
+
+    Builds the SORN fabric for ``(nodes, cliques)`` at the optimal q for
+    ``locality`` (or an explicit ``q``), samples ``flows`` clustered
+    flows as arrays, and evaluates them through
+    :class:`repro.sim.flowlevel.FlowLevelModel` — no per-cell state, so
+    ``nodes=4096`` with millions of flows is a sub-second point.
+    """
+    from ..analysis import optimal_q
+    from ..analysis.latency import sorn_delta_m_inter, sorn_delta_m_intra
+    from ..sim.flowlevel import FlowLevelModel, sample_flow_arrays
+    from ..util import ensure_rng
+
+    n, nc, x = params["nodes"], params["cliques"], params["locality"]
+    q = params.get("q") or optimal_q(x)
+    schedule = factory.sorn_schedule(n, nc, q)
+    router = factory.sorn_router(n, nc)
+    model = FlowLevelModel(
+        schedule,
+        router,
+        load=params["load"],
+        locality=x,
+        mode=params.get("mode", "auto"),
+    )
+    srcs, dsts, sizes = sample_flow_arrays(
+        schedule.layout,
+        x,
+        params["flows"],
+        ensure_rng(seed),
+        cell_bytes=params.get("cell_bytes", 16384.0),
+    )
+    report = model.evaluate(srcs, dsts, sizes)
+    summary = report.summary()
+    summary["q_realized"] = schedule.q
+    summary["num_cliques"] = nc
+    # Closed-form Table-1 delta_m (the realized-schedule scan is
+    # O(period * N) at paper scale; the closed forms are what the
+    # analytic table prints anyway).
+    summary["delta_m_intra"] = sorn_delta_m_intra(n, nc, q)
+    summary["delta_m_inter"] = sorn_delta_m_inter(n, nc, q)
+    return summary
+
+
 register_family("table1", _run_table1)
+register_family("flowlevel", _run_flowlevel)
 register_family("fig2f_point", _run_fig2f_point)
 register_family("blast_radius", _run_blast_radius)
 register_family("fig_adaptive", _run_fig_adaptive)

@@ -132,8 +132,10 @@ class CircuitSchedule(abc.ABC):
         entirely.  The returned array is read-only.
         """
         if self._dest_table is None:
+            # int32 holds any node id (N < 2**31) and halves the table:
+            # ~60 MiB saved at N=4096 with the SORN period of ~3843.
             base = np.stack(
-                [self.matching(t).dst for t in range(self._period)]
+                [self.matching(t).dst.astype(np.int32) for t in range(self._period)]
             )
             slots = np.arange(self._period)
             table = np.stack(

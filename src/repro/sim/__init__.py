@@ -10,6 +10,10 @@ Two complementary evaluation tools:
   virtual output queues, per-cell VLB, and flow-completion accounting
   (used for the Fig 2f "simulation of 128 nodes and 8 cliques using
   real-world traffic" point set and the FCT benchmarks).
+- :mod:`flowlevel` is the analytic fast model: per-flow FCT/slowdown
+  expectations from circuit timing + fluid utilizations with no
+  per-cell state, differentially validated against the slot engines at
+  small N and trusted at paper scale (N=4096, millions of flows).
 
 Observability: :mod:`tracing` samples coarse fabric state, and
 :mod:`telemetry` is the pluggable per-slot collector framework (link
@@ -19,10 +23,17 @@ identically — bit-for-bit — by both engines.
 """
 
 from .flows import Cell, FlowState
-from .network import ArrayVoqState, LinkedVoqState, ReplicaVoqState, SimNetwork
+from .network import ArrayVoqState, LinkedVoqState, SimNetwork
 from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
+from .flowlevel import (
+    FlowLevelModel,
+    FlowLevelReport,
+    PairLatency,
+    flow_level_report,
+    sample_flow_arrays,
+)
 from .failures import (
     FailedNodeSchedule,
     FailureEvent,
@@ -52,7 +63,6 @@ __all__ = [
     "SimNetwork",
     "ArrayVoqState",
     "LinkedVoqState",
-    "ReplicaVoqState",
     "SlotSimulator",
     "SimConfig",
     "SimSession",
@@ -64,6 +74,11 @@ __all__ = [
     "FluidResult",
     "link_loads",
     "saturation_throughput",
+    "FlowLevelModel",
+    "FlowLevelReport",
+    "PairLatency",
+    "flow_level_report",
+    "sample_flow_arrays",
     "FailedNodeSchedule",
     "FailureEvent",
     "FailureTimeline",

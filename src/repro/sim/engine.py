@@ -248,6 +248,14 @@ class SimConfig:
         :class:`repro.errors.InvariantViolation` on the first breach.
         Read-only — cannot change results, only abort bad ones.  Meant
         for tests and fuzzing; off by default for speed.
+    presample_chunk_cells:
+        Vectorized-engine block mode (``injection_window=None``)
+        presamples injected cells in bounded chunks of at most this many
+        cells instead of one whole-run block, keeping peak memory flat
+        in run length (the chunks refill strictly in arrival order, so
+        RNG draws and results are bit-identical for any chunk size).
+        The default keeps refill overhead negligible; tests force tiny
+        chunks to exercise boundary crossings.
     """
 
     cells_per_circuit: int = 1
@@ -261,6 +269,7 @@ class SimConfig:
     kernels: str = "numpy"
     check_invariants: bool = False
     telemetry: Optional["TelemetryHub"] = None
+    presample_chunk_cells: int = 65536
 
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "vectorized"):
@@ -288,6 +297,7 @@ class SimConfig:
             check_positive_int(
                 self.classify_fct_threshold_cells, "classify_fct_threshold_cells"
             )
+        check_positive_int(self.presample_chunk_cells, "presample_chunk_cells")
 
     @property
     def report_threshold_cells(self) -> int:

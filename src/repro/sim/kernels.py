@@ -35,7 +35,11 @@ kernels over :class:`repro.sim.network.LinkedVoqState`:
 All kernels are allocation-conscious: scratch buffers (candidate
 matrices, pop/delivery staging) are preallocated once per session and
 passed in; dtypes are int32 throughout the cell tables (cell ids, route
-rows, hop cursors) with int64 only where sums can overflow (``qlen``).
+rows, hop cursors) *and* the dense ``qlen`` counter — a single VOQ can
+never accumulate 2**31 cells before the cell tables exhaust memory, and
+the narrow counter matters at paper scale (N=4096).  Per-slot group
+sums that could overflow int32 in principle (``pcounts`` in
+:func:`append_cells`) stay int64 before the in-place scatter.
 
 ``SimConfig(kernels="numba")`` selects the njit-compiled sequential
 kernel for every plane; when numba is absent the engine falls back

@@ -32,7 +32,6 @@ __all__ = [
     "SimNetwork",
     "ArrayVoqState",
     "LinkedVoqState",
-    "ReplicaVoqState",
     "transit_priority_lane",
     "short_flow_priority_lane",
 ]
@@ -285,7 +284,11 @@ class LinkedVoqState:
         #: Last queued cell id per (lane, node, neighbor); -1 = empty.
         self.tail = np.full(shape, -1, dtype=np.int32)
         #: Dense per-(node, neighbor) queue lengths, all lanes summed.
-        self.qlen = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int64)
+        #: int32: a single VOQ holding 2**31 cells is unreachable (the
+        #: cell tables would exhaust memory long before), and the
+        #: narrower dtype halves the dominant N x N counter at paper
+        #: scale (64 MiB saved at N=4096).
+        self.qlen = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int32)
         self._occupancy = 0
 
     def credit(self, count: int) -> None:
@@ -316,106 +319,3 @@ class LinkedVoqState:
     def backlogs(self) -> List[int]:
         """Per-node total backlogs."""
         return [int(v) for v in self.qlen.sum(axis=1)]
-
-
-class ReplicaVoqState:
-    """VOQ bookkeeping for R independent replicas of one fabric.
-
-    The multi-seed fast path (:func:`repro.sim.vectorized.run_replicas`)
-    runs R seeds of the same configuration in a single pass.  Queue
-    *contents* stay per-replica (each replica owns its own lazy
-    (node, neighbor) grid of strict-priority lane deques, exactly as
-    :class:`ArrayVoqState` keeps them), but all *counters* carry a
-    leading replica axis: one dense ``(R, N, N)`` occupancy tensor
-    updated with replica-indexed scatter batches, so the per-slot
-    statistics of all R replicas (occupancy totals, max VOQ lengths)
-    collapse into single array reductions instead of R separate ones.
-
-    :meth:`view` exposes one replica through the same accessor set the
-    single-run states provide (``total_occupancy``, ``max_voq_length``,
-    ``backlogs``, ...) so per-replica telemetry collectors observe a
-    replica exactly as they would a solo run.
-    """
-
-    def __init__(self, num_replicas: int, num_nodes: int, num_lanes: int = 2):
-        if num_replicas < 1:
-            raise SimulationError("need at least one replica")
-        if num_nodes < 2:
-            raise SimulationError("need at least 2 nodes")
-        if num_lanes < 1:
-            raise SimulationError("need at least one lane")
-        self.num_replicas = int(num_replicas)
-        self.num_nodes = int(num_nodes)
-        self.num_lanes = int(num_lanes)
-        #: Per-replica lazy (node, neighbor) grids of lane-deque lists.
-        self.voqs: List[List[List[Optional[List[Deque[int]]]]]] = [
-            [[None] * self.num_nodes for _ in range(self.num_nodes)]
-            for _ in range(self.num_replicas)
-        ]
-        #: Dense (replica, node, neighbor) queue lengths, all lanes summed.
-        self.qlen = np.zeros(
-            (self.num_replicas, self.num_nodes, self.num_nodes), dtype=np.int64
-        )
-
-    def add_cells(self, replicas, nodes, neighbors) -> None:
-        """Counter-account a batch of enqueued cells across replicas.
-
-        Index-aligned sequences: cell ``i`` joined VOQ
-        ``(replicas[i], nodes[i], neighbors[i])``.  The caller appends
-        the cell ids to the lane deques itself (order matters there).
-        """
-        np.add.at(self.qlen, (replicas, nodes, neighbors), 1)
-
-    def drain_circuits(self, replicas, srcs, dsts, counts: np.ndarray) -> None:
-        """Counter-account one slot's circuit transmissions across all
-        replicas: ``counts[i]`` cells left VOQ (replicas[i], srcs[i],
-        dsts[i]).  The caller pops the deques itself during the
-        (order-sensitive) drain; counters batch here."""
-        np.add.at(self.qlen, (replicas, srcs, dsts), np.negative(counts))
-
-    def occupancies(self) -> np.ndarray:
-        """Per-replica total in-flight cells, shape ``(R,)``."""
-        return self.qlen.sum(axis=(1, 2))
-
-    def max_voq_lengths(self) -> np.ndarray:
-        """Per-replica longest single VOQ, shape ``(R,)``."""
-        return self.qlen.reshape(self.num_replicas, -1).max(axis=1)
-
-    def view(self, replica: int) -> "_ReplicaView":
-        """A single replica exposed through the solo-state accessors."""
-        return _ReplicaView(self, replica)
-
-
-class _ReplicaView:
-    """Read-only single-replica adapter over :class:`ReplicaVoqState`.
-
-    Provides the statistics accessor set of :class:`ArrayVoqState` for
-    one replica, so telemetry collectors and tracers written against the
-    solo engines observe a replica of the batched run unchanged.
-    """
-
-    def __init__(self, state: ReplicaVoqState, replica: int):
-        self._qlen = state.qlen[replica]
-        self.num_nodes = state.num_nodes
-        self.num_lanes = state.num_lanes
-
-    def queue_length(self, node: int, neighbor: int) -> int:
-        """Cells queued at *node* toward *neighbor* (all lanes)."""
-        return int(self._qlen[node, neighbor])
-
-    def node_backlog(self, node: int) -> int:
-        """Total cells queued at *node* across all VOQs."""
-        return int(self._qlen[node].sum())
-
-    @property
-    def total_occupancy(self) -> int:
-        """Cells in flight anywhere in this replica's fabric."""
-        return int(self._qlen.sum())
-
-    def max_voq_length(self) -> int:
-        """Longest single VOQ in this replica's fabric."""
-        return int(self._qlen.max())
-
-    def backlogs(self) -> List[int]:
-        """Per-node total backlogs."""
-        return [int(v) for v in self._qlen.sum(axis=1)]

@@ -64,7 +64,7 @@ remains the reference implementation and the default.
 
 from __future__ import annotations
 
-from collections import deque
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,34 +84,9 @@ from .kernels import (
     walk_candidates,
 )
 from .metrics import SimReport
-from .network import LinkedVoqState, ReplicaVoqState
+from .network import LinkedVoqState
 
 __all__ = ["VectorizedEngine", "run_replicas"]
-
-
-class _ActivePairs:
-    """Per-(slot-in-period, plane) active circuit endpoint lists.
-
-    Materialized lazily from the schedule's dense destination table as a
-    pair of plain int lists (sources, destinations) in source order —
-    indexed side by side by the drain loop, which avoids allocating a
-    tuple per circuit per slot when the schedule period exceeds the run
-    length (every lookup a cache miss).
-    """
-
-    def __init__(self, schedule: CircuitSchedule):
-        self._schedule = schedule
-        self._cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = {}
-
-    def get(self, slot: int, plane: int) -> Tuple[List[int], List[int]]:
-        """Active circuit (sources, destinations) at *slot* on *plane*."""
-        key = (slot % self._schedule.period, plane)
-        pairs = self._cache.get(key)
-        if pairs is None:
-            srcs, dsts = self._schedule.active_circuits(key[0], plane)
-            pairs = (srcs.tolist(), dsts.tolist())
-            self._cache[key] = pairs
-        return pairs
 
 
 class VectorizedEngine:
@@ -338,39 +313,37 @@ class VectorizedSession(SimSession):
         if window is None:
             # Block mode: every in-run flow injects its full size at its
             # arrival slot, so the whole injection stream (cells, routes,
-            # first-hop VOQs, lanes) is laid out up front and the per-slot
-            # arrival step is one kernel call over a block slice.
-            order = np.repeat(ordflows, sz_np[ordflows])
-            total = int(order.size)
-            if per_flow:
-                blk_ridx = self._fprow[order]
-            else:
-                if total:
-                    paths, lengths = router.paths_batch(
-                        src_arr[order], dst_arr[order], rng
-                    )
-                    self._routes = np.ascontiguousarray(paths, dtype=np.int32)
-                    self._rowlen = lengths.astype(np.int32)
-                else:
-                    self._routes = np.full((0, 2), -1, dtype=np.int32)
-                    self._rowlen = np.empty(0, dtype=np.int32)
-                self._nroutes = total
-                blk_ridx = np.arange(total, dtype=np.int32)
+            # first-hop VOQs, lanes) is determined before the clock
+            # starts — but it is *presampled in bounded chunks* of at
+            # most ``config.presample_chunk_cells`` cells rather than
+            # materialized whole, keeping the transient footprint (path
+            # scratch, flow-repeat order, first-hop/lane blocks) flat in
+            # run length.  Chunks refill strictly in arrival order, so
+            # per-cell path draws hit the RNG in exactly the whole-run
+            # order (paths_batch draws are stream-identical however the
+            # batch is split) and results are bit-identical for any
+            # chunk size.  Cell ids are allocated in order too, so a
+            # chunk's ids are the global cell indices [lo, hi).
             counts = np.zeros(duration_slots, dtype=np.int64)
             np.add.at(counts, arr_np[fl], sz_np[fl])
             self._slot_end = np.cumsum(counts).tolist()
-            self._blk_u = self._routes[blk_ridx, 0]
-            self._blk_v = self._routes[blk_ridx, 1]
-            self._blk_lane = fresh_lane[order]
-            self._cid_range = np.arange(total, dtype=np.int32)
-            self._ridx = blk_ridx.astype(np.int32, copy=False)
-            self._rhop = np.zeros(total, dtype=np.int32)
-            self._rfid = order.astype(np.int32)
-            self._nxt = np.full(total, -1, dtype=np.int32)
-            self._cinj = (
-                arr_np[order].astype(np.int32) if self._track_inj else None
-            )
-            self._ncells = total
+            self._ordflows = ordflows
+            self._ord_cum = np.cumsum(sz_np[ordflows])
+            self._blk_total = int(self._ord_cum[-1]) if ordflows.size else 0
+            self._blk_base = 0
+            self._blk_hi = 0
+            self._blk_cid = self._blk_u = self._blk_v = self._blk_lane = None
+            self._arr_np = arr_np
+            if not per_flow:
+                self._routes = np.full((0, 0), -1, dtype=np.int32)
+                self._rowlen = np.empty(0, dtype=np.int32)
+                self._nroutes = 0
+            self._ridx = np.empty(0, dtype=np.int32)
+            self._rhop = np.empty(0, dtype=np.int32)
+            self._rfid = np.empty(0, dtype=np.int32)
+            self._nxt = np.empty(0, dtype=np.int32)
+            self._cinj = np.empty(0, dtype=np.int32) if self._track_inj else None
+            self._ncells = 0
             inj = np.where(arr_np < duration_slots, sz_np, 0)
         else:
             # Windowed: per-slot arrival/refill batches; cell tables grow
@@ -465,6 +438,51 @@ class VectorizedSession(SimSession):
         self._rowlen[base : base + count] = lengths
         self._nroutes = base + count
         return np.arange(base, base + count, dtype=np.int32)
+
+    def _refill_block_chunk(self) -> None:
+        """Presample the next block chunk (global cells [lo, hi)).
+
+        Finds the arrival-ordered flows covering the chunk via one
+        searchsorted on the cumulative size array, repeats them into the
+        per-cell order, trims the partial first/last flows, and samples
+        exactly those cells' paths.  Because refills happen strictly
+        sequentially, the RNG consumes draws in the whole-run order and
+        ``_alloc_cells`` hands back exactly the ids [lo, hi).
+        """
+        lo = self._blk_hi
+        hi = min(self._blk_total, lo + self.config.presample_chunk_cells)
+        cum = self._ord_cum
+        first = int(np.searchsorted(cum, lo, side="right"))
+        last = int(np.searchsorted(cum, hi - 1, side="right"))
+        flows_slice = self._ordflows[first : last + 1]
+        order = np.repeat(flows_slice, self._fsizes[flows_slice])
+        start = int(cum[first - 1]) if first > 0 else 0
+        order = order[lo - start : hi - start]
+        count = hi - lo
+        if self._per_flow:
+            rows = self._fprow[order]
+        else:
+            paths, lengths = self.router.paths_batch(
+                self._src_arr[order], self._dst_arr[order], self.rng
+            )
+            rows = self._append_routes(
+                np.ascontiguousarray(paths, dtype=np.int32),
+                lengths.astype(np.int32),
+            )
+        base = self._alloc_cells(count)
+        span = slice(base, base + count)
+        self._ridx[span] = rows
+        self._rhop[span] = 0
+        self._rfid[span] = order
+        self._nxt[span] = -1
+        if self._cinj is not None:
+            self._cinj[span] = self._arr_np[order]
+        self._blk_cid = np.arange(lo, hi, dtype=np.int32)
+        self._blk_u = self._routes[rows, 0]
+        self._blk_v = self._routes[rows, 1]
+        self._blk_lane = self._fresh_lane[order]
+        self._blk_base = lo
+        self._blk_hi = hi
 
     # -- injection ------------------------------------------------------------
 
@@ -882,27 +900,35 @@ class VectorizedSession(SimSession):
             if slot < duration_slots:
                 if slot_end is not None:
                     # Block mode: the arrival batch IS the next block
-                    # slice (ledger preset during presampling).
+                    # slice (ledger preset during presampling).  A slot
+                    # whose batch crosses a chunk boundary appends in
+                    # pieces — FIFO order, credits and scatter pairs are
+                    # unaffected by the split.
                     end = slot_end[slot]
-                    if end > cursor:
-                        count = end - cursor
+                    while end > cursor:
+                        if cursor >= self._blk_hi:
+                            self._refill_block_chunk()
+                        stop_at = min(end, self._blk_hi)
+                        count = stop_at - cursor
+                        b = cursor - self._blk_base
+                        e = stop_at - self._blk_base
                         state = network
                         pu, pv = append_cells(
                             state.head,
                             state.tail,
                             self._nxt,
                             state.qlen,
-                            self._cid_range[cursor:end],
-                            self._blk_u[cursor:end],
-                            self._blk_v[cursor:end],
-                            self._blk_lane[cursor:end],
+                            self._blk_cid[b:e],
+                            self._blk_u[b:e],
+                            self._blk_v[b:e],
+                            self._blk_lane[b:e],
                             state.num_lanes,
                             self.num_nodes,
                         )
                         slot_pairs.append((pu, pv))
                         state.credit(count)
                         injected_running += count
-                        cursor = end
+                        cursor = stop_at
                 else:
                     batch: List[int] = []
                     for f in arrivals.get(slot, ()):  # new arrivals
@@ -1042,38 +1068,33 @@ def run_replicas(
     telemetry: Optional[Sequence] = None,
     timeline=None,
 ) -> List[SimReport]:
-    """Run R seeds of one (schedule, router, config, workload) in one pass.
+    """Run R seeds of one (schedule, router, config, workload) batch.
 
-    The batched multi-seed fast path: a replica axis is carried through
-    the VOQ counters (:class:`repro.sim.network.ReplicaVoqState`'s dense
-    ``(R, N, N)`` tensor) and everything that is seed-*independent* —
-    flow arrays, the arrival ordering, the presample block layout, the
-    per-(slot, plane) active-circuit lists and dense destination rows —
-    is computed once and shared by every replica, so R seeds of the same
-    configuration cost far less than R independent sessions.
+    One fused :class:`VectorizedEngine` session per seed, run to
+    completion in seed order.  Since PR 6 the solo vectorized session
+    *is* the fast path — allocation-free fused kernels over array
+    linked-list VOQs — so the earlier deque-based replica tensor
+    (``ReplicaVoqState``) no longer paid for itself: R solo sessions
+    share the schedule's memoized dense destination table and
+    active-circuit lists through the schedule instance, and the
+    per-replica state stays in the cache-friendly kernel layout instead
+    of Python deques.
 
     **Exactness contract.**  For each ``seeds[r]`` the returned
     ``reports[r]`` — and, when per-replica telemetry hubs are supplied,
     replica ``r``'s snapshot — is bit-identical to a solo
     ``SlotSimulator(schedule, router, config, seeds[r]).run(...)`` with
-    the same arguments.  The argument is the same as the vectorized
-    engine's (module docstring): each replica owns its RNG, cell tables,
-    lane deques and ledgers, and the slot loop processes replicas
-    independently inside every intra-slot stage in the solo stage order
-    (arrivals, planes in order with circuits in source order and
-    immediate forwarding, windowed refills in delivery order), so a
-    replica's event and RNG-draw sequence never depends on its
-    neighbors.  ``tests/sim/test_replicas.py`` enforces this
-    differentially.
+    the same arguments (trivially so: it *is* that run).
+    ``tests/sim/test_replicas.py`` enforces this differentially.
 
     Parameters mirror :meth:`repro.sim.engine.SlotSimulator.run` with
     two additions: *seeds* (one replica per entry; anything
     :func:`repro.util.ensure_rng` accepts) and *telemetry* (optional
     sequence of one :class:`~repro.sim.telemetry.TelemetryHub` or
-    ``None`` per seed — ``config.telemetry`` must stay unset because a
-    single hub cannot receive R interleaved streams).  Invariant
-    checking and tracing are unsupported in batched mode; run seeds
-    individually for those.
+    ``None`` per seed — ``config.telemetry`` must stay unset because the
+    shared config cannot carry R distinct hubs).  Invariant checking
+    and tracing are unsupported in batched mode; run seeds individually
+    for those.
     """
     num_replicas = len(seeds)
     duration_slots = check_positive_int(duration_slots, "duration_slots")
@@ -1107,341 +1128,16 @@ def run_replicas(
         timeline.bind(schedule)
 
     rngs = [ensure_rng(seed) for seed in seeds]
-    hubs: List = []
+    reports: List[SimReport] = []
     for r in range(num_replicas):
         hub = telemetry[r] if telemetry is not None else None
-        if hub is not None and hub.is_noop:
-            hub = None
-        hubs.append(hub)
-    rec_tx = [h.record_transmit if h is not None and h.wants_transmits else None for h in hubs]
-    rec_del = [
-        h.record_delivery_hops if h is not None and h.wants_deliveries else None for h in hubs
-    ]
-    rec_sample = [h.sample if h is not None and h.wants_samples else None for h in hubs]
-
-    num_flows = len(flows)
-    num_nodes = schedule.num_nodes
-    src_arr = np.fromiter((f.src for f in flows), dtype=np.int64, count=num_flows)
-    dst_arr = np.fromiter((f.dst for f in flows), dtype=np.int64, count=num_flows)
-    sizes_l: List[int] = [f.size_cells for f in flows]
-    arrival_l: List[int] = [f.arrival_slot for f in flows]
-
-    short_threshold = config.short_flow_threshold_cells
-    num_lanes = 2 if short_threshold is None else 4
-    short_l: Optional[List[bool]] = None
-    if short_threshold is not None:
-        short_l = [s <= short_threshold for s in sizes_l]
-
-    per_flow = config.per_flow_paths
-    window = config.injection_window
-    budget = config.cells_per_circuit
-    num_planes = schedule.num_planes
-    period = schedule.period
-    active = _ActivePairs(schedule)
-    dest_table = schedule.dest_table()
-    replicas = range(num_replicas)
-
-    # --- Shared arrival layout + per-replica presampling ----------------
-    # The arrival ordering and presample block boundaries depend only on
-    # the workload, so they are computed once; the path *draws* consume
-    # each replica's own RNG, in seed order, exactly as that replica's
-    # solo session would before its slot 0.
-    cell_mode = (not per_flow) and window is None
-    order_l: List[int] = []
-    slot_end: List[int] = []
-    inj_template: List[int] = [0] * num_flows
-    ordflows = np.empty(0, dtype=np.int64)
-    order = np.empty(0, dtype=np.int64)
-    if per_flow or window is None:
-        arr_np = np.asarray(arrival_l, dtype=np.int64)
-        sz_np = np.asarray(sizes_l, dtype=np.int64)
-        fl = np.flatnonzero(arr_np < duration_slots)
-        ordflows = fl[np.argsort(arr_np[fl], kind="stable")]
-        if cell_mode:
-            order = np.repeat(ordflows, sz_np[ordflows])
-            order_l = order.tolist()
-            counts = np.zeros(duration_slots, dtype=np.int64)
-            np.add.at(counts, arr_np[fl], sz_np[fl])
-            slot_end = np.cumsum(counts).tolist()
-            inj_template = np.where(arr_np < duration_slots, sz_np, 0).tolist()
-    arrivals: Dict[int, List[int]] = {}
-    if not cell_mode:
-        for i, spec in enumerate(flows):
-            arrivals.setdefault(spec.arrival_slot, []).append(i)
-
-    flow_path: List[List[Optional[List[int]]]] = [[None] * num_flows for _ in replicas]
-    flow_plen: List[List[int]] = [[0] * num_flows for _ in replicas]
-    cell_rows: List[List[List[int]]] = [[] for _ in replicas]
-    cell_lens: List[List[int]] = [[] for _ in replicas]
-    for r in replicas:
-        rng = rngs[r]
-        if per_flow:
-            if ordflows.size:
-                paths, lengths = router.paths_batch(src_arr[ordflows], dst_arr[ordflows], rng)
-                fp = flow_path[r]
-                fpl = flow_plen[r]
-                for f, row, ln in zip(ordflows.tolist(), paths.tolist(), lengths.tolist()):
-                    fp[f] = row
-                    fpl[f] = ln
-        elif cell_mode and order.size:
-            paths, lengths = router.paths_batch(src_arr[order], dst_arr[order], rng)
-            cell_rows[r] = paths.tolist()
-            cell_lens[r] = lengths.tolist()
-
-    # --- Per-replica mutable state --------------------------------------
-    state = ReplicaVoqState(num_replicas, num_nodes, num_lanes=num_lanes)
-    views = [state.view(r) for r in replicas]
-    inj = [list(inj_template) for _ in replicas]
-    dcount = [[0] * num_flows for _ in replicas]
-    hoptot = [[0] * num_flows for _ in replicas]
-    completion = [[-1] * num_flows for _ in replicas]
-    cpath: List[List[List[int]]] = [[] for _ in replicas]
-    cplen: List[List[int]] = [[] for _ in replicas]
-    chop: List[List[int]] = [[] for _ in replicas]
-    cfid: List[List[int]] = [[] for _ in replicas]
-    cinj: List[List[int]] = [[] for _ in replicas]
-    track_inj = [rec_del[r] is not None for r in replicas]
-    delivered = [0] * num_replicas
-    injected = [0] * num_replicas
-    window_delivered = [0] * num_replicas
-    partial = [0] * num_replicas
-    horizon = [duration_slots] * num_replicas
-    occupancy_sum = np.zeros(num_replicas, dtype=np.int64)
-    max_voq = np.zeros(num_replicas, dtype=np.int64)
-    alive = list(replicas)
-    drain = config.drain
-    max_drain = config.max_drain_slots
-    slot = 0
-    cursor = 0  # shared: all replicas consume identical presample ranges
-
-    # Per-slot counter deltas across all replicas, batch-applied before
-    # stats exactly like the solo engine's per-slot scatters: +1 per
-    # enqueue (injection or forward), -count per drained circuit.
-    plus_r: List[int] = []
-    plus_u: List[int] = []
-    plus_v: List[int] = []
-    circ_r: List[int] = []
-    circ_s: List[int] = []
-    circ_d: List[int] = []
-    circ_n: List[int] = []
-    dseq: List[List[int]] = [[] for _ in replicas]
-
-    def enqueue_new(r: int, fidx: List[int], rows, lens) -> None:
-        # Replica r's clone of the solo enqueue_new + counter scatter.
-        injected[r] += len(fidx)
-        cfid_r = cfid[r]
-        base = len(cfid_r)
-        cfid_r.extend(fidx)
-        cpath[r].extend(rows)
-        cplen[r].extend(lens)
-        chop[r].extend([0] * len(fidx))
-        if track_inj[r]:
-            cinj[r].extend([slot] * len(fidx))
-        voqs_r = state.voqs[r]
-        if short_l is None:
-            for cid, p in enumerate(rows, base):
-                vr = voqs_r[p[0]]
-                voq = vr[p[1]]
-                if voq is None:
-                    voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
-                voq[1].append(cid)
-        else:
-            for cid, f, p in zip(range(base, base + len(fidx)), fidx, rows):
-                vr = voqs_r[p[0]]
-                voq = vr[p[1]]
-                if voq is None:
-                    voq = vr[p[1]] = [deque() for _ in range(num_lanes)]
-                voq[1 if short_l[f] else 3].append(cid)
-        plus_r.extend([r] * len(fidx))
-        plus_u.extend(p[0] for p in rows)
-        plus_v.extend(p[1] for p in rows)
-
-    def inject(r: int, fidx: List[int]) -> None:
-        if per_flow:
-            fp = flow_path[r]
-            fpl = flow_plen[r]
-            rows = [fp[f] for f in fidx]
-            lens = [fpl[f] for f in fidx]
-        else:
-            fa = np.asarray(fidx, dtype=np.int64)
-            paths, lengths = router.paths_batch(src_arr[fa], dst_arr[fa], rngs[r])
-            rows = paths.tolist()
-            lens = lengths.tolist()
-        enqueue_new(r, fidx, rows, lens)
-
-    while alive:
-        del plus_r[:], plus_u[:], plus_v[:]
-        del circ_r[:], circ_s[:], circ_d[:], circ_n[:]
-
-        if slot < duration_slots:
-            if cell_mode:
-                end = slot_end[slot]
-                if end > cursor:
-                    block_f = order_l[cursor:end]
-                    for r in alive:
-                        enqueue_new(
-                            r, block_f, cell_rows[r][cursor:end], cell_lens[r][cursor:end]
-                        )
-                    cursor = end
-            else:
-                batch: List[int] = []
-                quotas: List[Tuple[int, int]] = []
-                fresh_partials = 0
-                for f in arrivals.get(slot, ()):
-                    sz = sizes_l[f]
-                    quota = sz if window is None else min(window, sz)
-                    quotas.append((f, quota))
-                    if quota < sz:
-                        fresh_partials += 1
-                    batch.extend([f] * quota)
-                if batch:
-                    for r in alive:
-                        inj_r = inj[r]
-                        for f, quota in quotas:
-                            inj_r[f] = quota
-                        partial[r] += fresh_partials
-                        inject(r, batch)
-
-        faulted_slot = timeline is not None and timeline.affects(slot)
-        for plane in range(num_planes):
-            if faulted_slot:
-                row = timeline.mask_dst_row(dest_table[slot % period, plane], slot, plane)
-                srcs_up = np.nonzero(row >= 0)[0]
-                src_list = srcs_up.tolist()
-                dst_list = row[srcs_up].tolist()
-            else:
-                src_list, dst_list = active.get(slot, plane)
-            for r in alive:
-                voqs_r = state.voqs[r]
-                cpath_r = cpath[r]
-                cplen_r = cplen[r]
-                chop_r = chop[r]
-                cfid_r = cfid[r]
-                cinj_r = cinj[r]
-                dcount_r = dcount[r]
-                hoptot_r = hoptot[r]
-                completion_r = completion[r]
-                dseq_r = dseq[r]
-                rtx = rec_tx[r]
-                rdel = rec_del[r]
-                delivered_r = delivered[r]
-                window_delivered_r = window_delivered[r]
-                for i, s in enumerate(src_list):
-                    d = dst_list[i]
-                    lanes = voqs_r[s][d]
-                    if lanes is None:
-                        continue
-                    got = 0
-                    for lane_q in lanes:
-                        while lane_q and got < budget:
-                            cid = lane_q.popleft()
-                            got += 1
-                            p = cpath_r[cid]
-                            h = chop_r[cid]
-                            f = cfid_r[cid]
-                            if h == cplen_r[cid] - 2:
-                                dc = dcount_r[f] + 1
-                                dcount_r[f] = dc
-                                hoptot_r[f] += cplen_r[cid] - 1
-                                if dc == sizes_l[f]:
-                                    completion_r[f] = slot
-                                delivered_r += 1
-                                if slot >= measure_from:
-                                    window_delivered_r += 1
-                                if window is not None:
-                                    dseq_r.append(f)
-                                if rdel is not None:
-                                    rdel(slot, cinj_r[cid], cplen_r[cid] - 1)
-                            else:
-                                h += 1
-                                chop_r[cid] = h
-                                u = p[h]
-                                v = p[h + 1]
-                                vr = voqs_r[u]
-                                voq = vr[v]
-                                if voq is None:
-                                    voq = vr[v] = [deque() for _ in range(num_lanes)]
-                                lane = 0 if short_l is None or short_l[f] else 2
-                                voq[lane].append(cid)
-                                plus_r.append(r)
-                                plus_u.append(u)
-                                plus_v.append(v)
-                        if got >= budget:
-                            break
-                    if got:
-                        circ_r.append(r)
-                        circ_s.append(s)
-                        circ_d.append(d)
-                        circ_n.append(got)
-                        if rtx is not None:
-                            rtx(slot, plane, s, d, got)
-                delivered[r] = delivered_r
-                window_delivered[r] = window_delivered_r
-
-        if window is not None:
-            for r in alive:
-                dseq_r = dseq[r]
-                if not dseq_r:
-                    continue
-                inj_r = inj[r]
-                refill: List[int] = []
-                for f in dseq_r:
-                    x = inj_r[f]
-                    if x < sizes_l[f]:
-                        x += 1
-                        inj_r[f] = x
-                        if x == sizes_l[f]:
-                            partial[r] -= 1
-                        refill.append(f)
-                if refill:
-                    inject(r, refill)
-                del dseq_r[:]
-
-        if circ_s:
-            state.drain_circuits(circ_r, circ_s, circ_d, np.asarray(circ_n, dtype=np.int64))
-        if plus_u:
-            state.add_cells(plus_r, plus_u, plus_v)
-        occ = state.occupancies()
-        np.maximum(max_voq, state.max_voq_lengths(), out=max_voq)
-        for r in alive:
-            occupancy_sum[r] += occ[r]
-            rs = rec_sample[r]
-            if rs is not None:
-                rs(slot, views[r], delivered[r])
-
-        slot += 1
-        if slot >= duration_slots:
-            still: List[int] = []
-            for r in alive:
-                pending = occ[r] > 0 or partial[r] > 0
-                if (drain and pending) and slot < duration_slots + max_drain:
-                    still.append(r)
-                    continue
-                horizon[r] = slot
-                if hubs[r] is not None:
-                    hubs[r].finalize(slot)
-            alive = still
-
-    sizes_np = np.asarray(sizes_l, dtype=np.int64)
-    arrival_np = np.asarray(arrival_l, dtype=np.int64)
-    reports: List[SimReport] = []
-    for r in replicas:
-        hr = horizon[r]
+        replica_config = config
+        if hub is not None:
+            replica_config = dataclasses.replace(config, telemetry=hub)
+        engine = VectorizedEngine(
+            schedule, router, replica_config, rngs[r], timeline
+        )
         reports.append(
-            SimReport.from_flow_arrays(
-                sizes_np,
-                arrival_np,
-                np.asarray(inj[r], dtype=np.int64),
-                np.asarray(dcount[r], dtype=np.int64),
-                np.asarray(completion[r], dtype=np.int64),
-                np.asarray(hoptot[r], dtype=np.int64),
-                num_nodes=num_nodes,
-                duration_slots=hr,
-                max_voq=int(max_voq[r]),
-                mean_occupancy=int(occupancy_sum[r]) / hr if hr else 0.0,
-                window_start=measure_from,
-                window_delivered=window_delivered[r],
-                short_threshold_cells=config.report_threshold_cells,
-            )
+            engine.run(flows, duration_slots, measure_from=measure_from)
         )
     return reports

@@ -27,7 +27,7 @@ from repro.analysis import optimal_q, sorn_throughput, table1
 from repro.core import Sorn
 from repro.routing import SornRouter
 from repro.schedules import build_sorn_schedule
-from repro.sim import SimConfig, SlotSimulator
+from repro.sim import FlowLevelModel, SimConfig, SlotSimulator
 from repro.traffic import FlowSizeDistribution, Workload, clustered_matrix
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -171,6 +171,61 @@ def fig2f_actual():
     return {"config": cfg, "points": points}
 
 
+FLOWLEVEL_CONFIG = {
+    "nodes": 4096,
+    "cliques": [64, 32],
+    "locality": 0.56,
+    "load": 0.30,
+}
+
+
+def flowlevel_actual():
+    """Paper-scale flow-level model outputs: closed-form symmetric-mode
+    per-class latency structure and stability at both Table 1 clique
+    counts — fully analytic, no sampling, so every field is exact."""
+    cfg = FLOWLEVEL_CONFIG
+    rows = []
+    for nc in cfg["cliques"]:
+        schedule = build_sorn_schedule(
+            cfg["nodes"], nc, q=optimal_q(cfg["locality"])
+        )
+        model = FlowLevelModel(
+            schedule,
+            SornRouter(schedule.layout),
+            load=cfg["load"],
+            locality=cfg["locality"],
+            mode="symmetric",
+        )
+        size = schedule.layout.clique_size
+        classes = {}
+        # Representative pairs of each symmetric class: clique-mates,
+        # position-aligned inter, and generic inter.
+        for name, (src, dst) in {
+            "intra": (0, 1),
+            "inter_aligned": (0, size),
+            "inter": (0, size + 1),
+        }.items():
+            pair = model.pair_latency(src, dst)
+            classes[name] = {
+                "wait_slots": pair.wait_slots,
+                "hops": pair.hops,
+                "serialization_slots": pair.serialization_slots,
+                "fct_8_cells": pair.fct(8),
+            }
+        rows.append(
+            {
+                "num_cliques": nc,
+                "schedule_period": schedule.period,
+                "classes": classes,
+                "saturation_throughput": model.saturation_throughput,
+                "bottleneck_utilization": model.bottleneck_utilization,
+                "bottleneck": model.bottleneck,
+                "stable": model.stable,
+            }
+        )
+    return {"config": cfg, "rows": rows}
+
+
 # ---------------------------------------------------------------------------
 # The golden tests
 # ---------------------------------------------------------------------------
@@ -182,6 +237,12 @@ class TestGoldenFigures:
 
     def test_fig2f_points_golden(self, request):
         check_against_golden(request, "fig2f_points.json", fig2f_actual())
+
+    def test_flowlevel_4096_golden(self, request):
+        """Paper-scale (N=4096) flow-level outputs — including the Nc=32
+        fabric whose ~240k-slot realized period the slot engine cannot
+        hold, which only the analytic model covers."""
+        check_against_golden(request, "flowlevel_4096.json", flowlevel_actual())
 
     def test_table1_matches_published_values(self):
         """The golden itself must carry the paper's published delta_m

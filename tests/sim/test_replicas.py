@@ -55,6 +55,13 @@ CONFIG_AXES = {
     ),
     "short_priority": dict(short_flow_threshold_cells=4, cells_per_circuit=2),
     "drain": dict(drain=True, max_drain_slots=400),
+    "chunked": dict(presample_chunk_cells=13),
+    "chunked_per_flow": dict(
+        per_flow_paths=True,
+        presample_chunk_cells=5,
+        drain=True,
+        max_drain_slots=400,
+    ),
 }
 
 
@@ -107,6 +114,28 @@ def test_replicas_match_reference_engine():
         schedule,
         router,
         SimConfig(engine="vectorized"),
+        flows,
+        SLOTS,
+        seeds,
+        measure_from=SLOTS // 2,
+    )
+    solo = _solo_reports(
+        schedule, router, SimConfig(engine="reference"), flows, seeds
+    )
+    assert batched == solo
+
+
+def test_replicas_chunked_presampling_matches_reference():
+    """A tiny presample chunk through the replica entry point still
+    equals the reference engine: chunk size stays invisible across the
+    batched path too."""
+    schedule, router, layout = _sorn_systems()
+    flows = _flows(clustered_matrix(layout, 0.7))
+    seeds = SEEDS[:2]
+    batched = run_replicas(
+        schedule,
+        router,
+        SimConfig(engine="vectorized", presample_chunk_cells=3),
         flows,
         SLOTS,
         seeds,

@@ -77,13 +77,13 @@ COMBOS = {
 }
 
 
-def _run(combo, engine, seed, duration=250, measure_from=80, kernels="numpy"):
+def _run(combo, engine, seed, duration=250, measure_from=80, kernels="numpy", **overrides):
     schedule, router, cfg, n = combo()
     flows = _uniform_flows(n, seed, duration=duration)
     sim = SlotSimulator(
         schedule,
         router,
-        SimConfig(engine=engine, kernels=kernels, **cfg),
+        SimConfig(engine=engine, kernels=kernels, **cfg, **overrides),
         rng=np.random.default_rng(seed + 1),
     )
     tracer = TraceRecorder(stride=5)
@@ -230,3 +230,71 @@ class TestCascadeRepair:
             reports[engine] = sim.run(flows, 220, measure_from=40)
         assert reports["vectorized"] == reports["reference"]
         assert calls["repair"] > 0, "stress run never hit the cascade-repair tier"
+
+
+class TestChunkedPresampling:
+    """Chunked slot-batch presampling (``SimConfig.presample_chunk_cells``)
+    must be bit-invisible: the refills draw from the same RNG stream in
+    the same order as a whole-run presample, so any chunk size — even one
+    cell at a time — reproduces the reference engine exactly, in both
+    shared-path and per-flow-path modes."""
+
+    @pytest.mark.parametrize(
+        "combo", ["rr-vlb-drain", "sorn-short-priority", "sorn-perflow-window"]
+    )
+    @pytest.mark.parametrize("chunk", [1, 97])
+    def test_chunk_size_is_invisible(self, combo, chunk):
+        """Tiny and misaligned chunk sizes reproduce the reference
+        engine's report and trace bit-for-bit."""
+        ref_report, ref_trace = _run(COMBOS[combo], "reference", 7)
+        vec_report, vec_trace = _run(
+            COMBOS[combo], "vectorized", 7, presample_chunk_cells=chunk
+        )
+        assert vec_report == ref_report
+        assert vec_trace.points == ref_trace.points
+
+    def test_invalid_chunk_rejected(self):
+        """A non-positive chunk size fails config validation."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimConfig(presample_chunk_cells=0)
+
+
+@pytest.mark.scale
+class TestMemoryRegression:
+    """Peak traced allocation of the memory-lean slot path at N=1024."""
+
+    def test_n1024_peak_allocation_under_budget(self):
+        """A short vectorized N=1024 run must stay under the 64 MiB
+        budget of ``benchmarks/bench_scale.py`` — catches dtype
+        widenings (int64 ``qlen`` or destination table) and a return to
+        whole-run injection presampling, each of which alone pushes the
+        footprint past the budget."""
+        import tracemalloc
+
+        budget_bytes = 64 * 2**20
+        schedule = build_sorn_schedule(1024, 32, q=optimal_q(0.56))
+        router = SornRouter(schedule.layout)
+        schedule.dest_table()  # shared cache, warmed outside the trace
+        workload = Workload(
+            clustered_matrix(schedule.layout, 0.56),
+            WEB_SEARCH,
+            load=0.3,
+            cell_bytes=4096.0,
+        )
+        slots = 80
+        flows = workload.generate(slots, rng=np.random.default_rng(5))
+        sim = SlotSimulator(
+            schedule, router, SimConfig(engine="vectorized"), rng=6
+        )
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        report = sim.run(flows, slots, measure_from=slots // 2)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert report.delivered_cells > 0
+        assert peak <= budget_bytes, (
+            f"N=1024 peak {peak / 2**20:.1f} MiB over the "
+            f"{budget_bytes / 2**20:.0f} MiB budget"
+        )

@@ -23,6 +23,18 @@ class TestSubcommands:
         assert "SORN Nc=64" in out
         assert "26.59" in out
 
+    def test_table1_flow_model(self, capsys):
+        """The flow-level rows at true paper scale: published closed-form
+        delta_m values next to finite model FCTs for both clique counts."""
+        assert (
+            main(["table1", "--model", "flow", "--flows", "2000"]) == 0
+        )
+        out = capsys.readouterr().out
+        # Published Table 1 delta_m columns (N=4096).
+        assert "77" in out and "364" in out  # Nc=64
+        assert "155" in out and "296" in out  # Nc=32
+        assert "unstable" not in out
+
     def test_fig2f_theory_only(self, capsys):
         assert main(["fig2f"]) == 0
         out = capsys.readouterr().out
