@@ -183,6 +183,109 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from .analysis.pareto import TradeoffPoint
+    from .exp.families import FRONTIER_SYSTEMS
+    from .hardware import TABLE1_TIMING
+
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in FRONTIER_SYSTEMS]
+    if unknown:
+        print(
+            f"unknown system(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(FRONTIER_SYSTEMS)}",
+            file=sys.stderr,
+        )
+        return 2
+    base = {
+        "nodes": args.nodes,
+        "cliques": args.cliques,
+        "locality": args.locality,
+        "slots": args.slots,
+        "size_cells": args.size_cells,
+        "engine": args.engine,
+        "flow_seed": args.flow_seed,
+    }
+    # Two points per system: a light-load run fixes the latency axis, a
+    # saturating run fixes the throughput axis.  Same workload process
+    # (flow_seed) everywhere, so the columns are comparable.
+    points = [
+        SweepPoint("frontier_point", dict(base, system=s, load=load), args.seed)
+        for s in systems
+        for load in (args.latency_load, args.saturation_load)
+    ]
+    results = _sweep_runner(args).run(points)
+    by_system = {
+        s: (results[2 * i], results[2 * i + 1]) for i, s in enumerate(systems)
+    }
+
+    slot_us = TABLE1_TIMING.slot_ns / 1000.0
+    tradeoff = []
+    rows = []
+    for s in systems:
+        low, sat = by_system[s]
+        latency_us = low["mean_fct_slots"] * slot_us
+        tradeoff.append(
+            TradeoffPoint(label=s, latency_us=latency_us, throughput=sat["throughput"])
+        )
+        rows.append(
+            {
+                "system": s,
+                "planes": sat["planes"],
+                "latency_us": latency_us,
+                "latency_fct_slots": low["mean_fct_slots"],
+                "p99_fct_slots": low["p99_fct_slots"],
+                "throughput": sat["throughput"],
+                "mean_hops": sat["mean_hops"],
+                "coverage": sat["coverage"],
+            }
+        )
+    frontier = pareto_frontier(tradeoff)
+    on_frontier = {p.label for p in frontier}
+
+    print(
+        f"Latency-throughput-cost frontier "
+        f"(N={args.nodes}, Nc={args.cliques}, x={args.locality}, "
+        f"latency load={args.latency_load}, "
+        f"saturation load={args.saturation_load}):"
+    )
+    header = (
+        f"{'system':<12} {'planes':>6} {'latency':>10} {'thpt/plane':>10} "
+        f"{'hops':>6} {'coverage':>8}  frontier"
+    )
+    print(header)
+    for row in rows:
+        mark = "*" if row["system"] in on_frontier else ""
+        print(
+            f"{row['system']:<12} {row['planes']:>6} "
+            f"{row['latency_us']:>8.2f}us {row['throughput']:>10.2%} "
+            f"{row['mean_hops']:>6.2f} {row['coverage']:>8.2%}  {mark}"
+        )
+    print(
+        "Pareto frontier: "
+        + ", ".join(p.label for p in frontier)
+        + "  (hops = measured bandwidth tax; thpt is per plane)"
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "config": dict(
+                base,
+                latency_load=args.latency_load,
+                saturation_load=args.saturation_load,
+                seed=args.seed,
+            ),
+            "rows": rows,
+            "pareto_frontier": sorted(on_frontier),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_design(args: argparse.Namespace) -> int:
     sorn = Sorn.optimal(args.nodes, args.cliques, args.locality)
     print(sorn.model().describe())
@@ -675,6 +778,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--locality", type=float, default=0.56)
     p.add_argument("--plot", action="store_true", help="render a text scatter")
     p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser(
+        "frontier",
+        help="simulated latency-throughput-cost frontier across "
+        "oblivious, semi-oblivious, and demand-aware families",
+    )
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--cliques", type=int, default=4)
+    p.add_argument("--locality", type=float, default=0.56)
+    p.add_argument("--slots", type=int, default=400)
+    p.add_argument("--size-cells", type=int, default=60, dest="size_cells")
+    p.add_argument("--latency-load", type=float, default=0.25,
+                   help="offered load for the latency axis (light load)")
+    p.add_argument("--saturation-load", type=float, default=1.3,
+                   help="offered load for the throughput axis (saturating)")
+    p.add_argument(
+        "--systems",
+        default="rr_vlb,orn2d,expander,sorn,beyond_vlb,mixed,bvn",
+        help="comma-separated subset of the frontier families",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("reference", "vectorized"),
+        default="vectorized",
+    )
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--flow-seed", type=int, default=11, dest="flow_seed")
+    p.add_argument("--json", type=str, default="",
+                   help="write rows + frontier labels as JSON here")
+    _add_sweep_flags(p)
+    p.set_defaults(func=_cmd_frontier)
 
     p = sub.add_parser("design", help="describe one SORN design point")
     p.add_argument("--nodes", type=int, required=True)

@@ -20,9 +20,19 @@ from functools import lru_cache
 from typing import Dict, Tuple
 
 from ..analysis import optimal_q
-from ..routing import MultiDimRouter, OperaRouter, SornRouter, VlbRouter
+from ..routing import (
+    BeyondVlbRouter,
+    DirectRouter,
+    MixedPoolRouter,
+    MultiDimRouter,
+    OperaRouter,
+    SornRouter,
+    VlbRouter,
+)
 from ..schedules import (
+    DemandAwareSchedule,
     ExpanderSchedule,
+    MixedPoolSchedule,
     MultiDimSchedule,
     RoundRobinSchedule,
     build_sorn_schedule,
@@ -41,6 +51,11 @@ __all__ = [
     "expander_schedule",
     "opera_router",
     "clustered",
+    "demand_aware_schedule",
+    "direct_router",
+    "beyond_vlb_router",
+    "mixed_pool_schedule",
+    "mixed_pool_router",
     "build_systems",
 ]
 
@@ -109,6 +124,75 @@ def opera_router(
 def clustered(num_nodes: int, num_cliques: int, locality: float):
     """The clustered traffic matrix at *locality* on the shared layout."""
     return clustered_matrix(layout(num_nodes, num_cliques), locality)
+
+
+@lru_cache(maxsize=None)
+def demand_aware_schedule(
+    num_nodes: int, num_cliques: int, locality: float, period: int
+) -> DemandAwareSchedule:
+    """The BvN demand-aware schedule for the shared clustered matrix."""
+    return DemandAwareSchedule.from_demand(
+        clustered(num_nodes, num_cliques, locality), period
+    )
+
+
+@lru_cache(maxsize=None)
+def direct_router(num_nodes: int) -> DirectRouter:
+    """The 1-hop direct router demand-aware schedules pair with."""
+    return DirectRouter(num_nodes)
+
+
+@lru_cache(maxsize=None)
+def beyond_vlb_router(num_nodes: int, direct_fraction: float) -> BeyondVlbRouter:
+    """The Wilson et al. beyond-VLB router at the given direct fraction."""
+    return BeyondVlbRouter(num_nodes, direct_fraction)
+
+
+@lru_cache(maxsize=None)
+def mixed_pool_schedule(
+    num_nodes: int,
+    num_cliques: int,
+    locality: float,
+    static_planes: int = 1,
+    rotor_planes: int = 1,
+    demand_planes: int = 1,
+    seed: int = 0,
+) -> MixedPoolSchedule:
+    """The Cerberus-style mixed-pool schedule over the clustered matrix."""
+    return MixedPoolSchedule(
+        num_nodes,
+        static_planes=static_planes,
+        rotor_planes=rotor_planes,
+        demand_planes=demand_planes,
+        demand=clustered(num_nodes, num_cliques, locality)
+        if demand_planes > 0
+        else None,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=None)
+def mixed_pool_router(
+    num_nodes: int,
+    num_cliques: int,
+    locality: float,
+    static_planes: int = 1,
+    rotor_planes: int = 1,
+    demand_planes: int = 1,
+    seed: int = 0,
+) -> MixedPoolRouter:
+    """The per-pool dispatch router over the shared mixed-pool schedule."""
+    return MixedPoolRouter(
+        mixed_pool_schedule(
+            num_nodes,
+            num_cliques,
+            locality,
+            static_planes,
+            rotor_planes,
+            demand_planes,
+            seed,
+        )
+    )
 
 
 def build_systems(

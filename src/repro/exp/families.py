@@ -427,6 +427,124 @@ def _run_flowlevel(params: dict, seed) -> dict:
     return summary
 
 
+FRONTIER_SYSTEMS = (
+    "rr_vlb",
+    "orn2d",
+    "expander",
+    "sorn",
+    "beyond_vlb",
+    "mixed",
+    "bvn",
+)
+
+
+def _frontier_fabric(params: dict):
+    """(schedule, router) for one frontier system label."""
+    from ..analysis import optimal_q
+
+    name = params["system"]
+    n, nc, x = params["nodes"], params["cliques"], params["locality"]
+    if name == "sorn":
+        return (
+            factory.sorn_schedule(n, nc, optimal_q(x)),
+            factory.sorn_router(n, nc),
+        )
+    if name == "rr_vlb":
+        return factory.round_robin_schedule(n), factory.vlb_router(n)
+    if name == "orn2d":
+        return factory.multidim_schedule(n, 2), factory.multidim_router(n, 2)
+    if name == "expander":
+        degree = params.get("expander_degree", 4)
+        eseed = params.get("expander_seed", 1)
+        return (
+            factory.expander_schedule(n, degree, eseed),
+            factory.opera_router(n, degree, eseed),
+        )
+    if name == "beyond_vlb":
+        return (
+            factory.round_robin_schedule(n),
+            factory.beyond_vlb_router(n, params.get("direct_fraction", 0.6)),
+        )
+    if name == "bvn":
+        period = params.get("bvn_period", 4 * (n - 1))
+        return (
+            factory.demand_aware_schedule(n, nc, x, period),
+            factory.direct_router(n),
+        )
+    if name == "mixed":
+        pools = (
+            params.get("static_planes", 1),
+            params.get("rotor_planes", 1),
+            params.get("demand_planes", 1),
+            params.get("pool_seed", 0),
+        )
+        return (
+            factory.mixed_pool_schedule(n, nc, x, *pools),
+            factory.mixed_pool_router(n, nc, x, *pools),
+        )
+    raise SweepError(
+        f"unknown frontier system {name!r}; expected one of {FRONTIER_SYSTEMS}"
+    )
+
+
+def _run_frontier_point(params: dict, seed) -> dict:
+    """Family ``frontier_point``: one system's latency/throughput/cost point.
+
+    Every system sees the same clustered workload (flows seeded by
+    ``flow_seed``) at the same offered load, so points are comparable.
+    Throughput is normalized per plane — systems provision different
+    plane counts (the mixed pool runs 3, the expander one per rotor), and
+    matched cost means matched per-plane port bandwidth.  The measured
+    mean hop count IS the paper's normalized bandwidth cost.  For the
+    demand-aware system the workload is masked to pairs the quantized
+    BvN schedule actually connects (direct-only routing cannot deliver
+    the rest); ``coverage`` records the demand mass that survived, 1.0
+    meaning the mask was a no-op.
+    """
+    from ..sim import SimConfig, SlotSimulator
+    from ..traffic import FlowSizeDistribution, TrafficMatrix, Workload
+
+    schedule, router = _frontier_fabric(params)
+    n, nc, x = params["nodes"], params["cliques"], params["locality"]
+    matrix = factory.clustered(n, nc, x)
+    coverage = 1.0
+    if params["system"] == "bvn":
+        coverage = schedule.demand_coverage()
+        if coverage < 1.0:
+            import numpy as np
+
+            mask = np.zeros((n, n), dtype=bool)
+            for (u, v) in schedule.connected_pairs():
+                mask[u, v] = True
+            matrix = TrafficMatrix(np.where(mask, matrix.rates, 0.0))
+    workload = Workload(
+        matrix,
+        FlowSizeDistribution.fixed(params["size_cells"]),
+        load=params["load"],
+    )
+    slots = params["slots"]
+    flows = workload.generate(slots, rng=params["flow_seed"])
+    report = SlotSimulator(
+        schedule,
+        router,
+        SimConfig(engine=params["engine"]),
+        rng=seed,
+    ).run(flows, slots, measure_from=slots // 2)
+    planes = schedule.num_planes
+    return {
+        "system": params["system"],
+        "planes": planes,
+        "throughput": report.window_throughput / planes,
+        "throughput_raw": report.window_throughput,
+        "mean_hops": report.mean_hops,
+        "mean_fct_slots": report.mean_fct,
+        "p99_fct_slots": report.fct_percentile(99),
+        "delivered_cells": report.delivered_cells,
+        "completed_flows": len(report.flow_completion_slots),
+        "coverage": coverage,
+    }
+
+
 register_family("table1", _run_table1)
 register_family("flowlevel", _run_flowlevel)
 register_family("fig2f_point", _run_fig2f_point)
@@ -434,3 +552,4 @@ register_family("blast_radius", _run_blast_radius)
 register_family("fig_adaptive", _run_fig_adaptive)
 register_family("oblivious_baseline", _run_oblivious_baseline)
 register_family("sorn_sim", _run_sorn_sim, run_batch=_run_sorn_sim_batch)
+register_family("frontier_point", _run_frontier_point)

@@ -13,6 +13,9 @@ from .sorn_routing import SornRouter
 from .hierarchical_routing import HierarchicalSornRouter
 from .multidim_routing import MultiDimRouter
 from .opera_routing import OperaRouter
+from .direct import DirectRouter
+from .beyond_vlb import BeyondVlbRouter
+from .mixed_pool_routing import MixedPoolRouter
 from .paths import timed_vlb_route, timed_sorn_route, worst_case_intrinsic_latency
 
 __all__ = [
@@ -24,6 +27,9 @@ __all__ = [
     "HierarchicalSornRouter",
     "MultiDimRouter",
     "OperaRouter",
+    "DirectRouter",
+    "BeyondVlbRouter",
+    "MixedPoolRouter",
     "timed_vlb_route",
     "timed_sorn_route",
     "worst_case_intrinsic_latency",

@@ -1,0 +1,46 @@
+"""Single-hop direct routing for demand-aware schedules.
+
+The demand-aware end of the spectrum routes every cell over the direct
+circuit src -> dst that the BvN schedule provisioned for it — no
+intermediate hops, so the bandwidth tax is exactly 1.0.  The flip side:
+a pair whose demand rounded to zero slots in the quantized schedule has
+no circuit at all, and a direct-routed cell for it can never drain.
+Callers pair this router with a :class:`repro.schedules.DemandAwareSchedule`
+and should restrict offered traffic to its ``connected_pairs()`` (the
+frontier experiments and the differential fuzz harness both do).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..util import check_positive_int
+from .base import Path, Router
+
+__all__ = ["DirectRouter"]
+
+
+class DirectRouter(Router):
+    """Route every pair over its direct one-hop circuit."""
+
+    def __init__(self, num_nodes: int):
+        self._num_nodes = check_positive_int(num_nodes, "num_nodes", minimum=2)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def max_hops(self) -> int:
+        return 1
+
+    def path_options(self, src: int, dst: int) -> List[Tuple[float, Path]]:
+        self._check_pair(src, dst)
+        return [(1.0, Path((src, dst)))]
+
+    def expected_hops(self, src: int, dst: int) -> float:
+        self._check_pair(src, dst)
+        return 1.0
+
+    def mean_hops_uniform(self) -> float:
+        return 1.0

@@ -1,0 +1,158 @@
+"""Per-pool routing dispatch for Cerberus-style mixed-pool schedules.
+
+Cerberus serves each traffic class on the switch pool that suits it;
+our cell-level simulator routes probabilistically, so the dispatch
+becomes a weighted mixture over per-pool path distributions (the same
+composition idiom as :class:`repro.routing.OperaRouter`):
+
+- ``static`` pool: the deterministic shortest path over the static
+  circulant expander — circuits that are always up, so zero circuit
+  wait at the price of multiple hops;
+- ``rotor`` pool: classic 2-hop VLB over the round-robin rotation
+  planes (universal coverage, bandwidth tax 2);
+- ``demand`` pool: the 1-hop direct circuit, available only for pairs
+  the quantized BvN schedule actually connected; the dispatch weight of
+  unconnected pairs falls back to the rotor pool (or static, if no
+  rotor planes exist).
+
+Default pool weights are proportional to plane counts, i.e. traffic is
+spread in proportion to provisioned pool bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import RoutingError
+from ..schedules.mixed_pool import MixedPoolSchedule
+from .base import Path, Router
+
+__all__ = ["MixedPoolRouter"]
+
+
+class MixedPoolRouter(Router):
+    """Weighted per-pool dispatch over a :class:`MixedPoolSchedule`."""
+
+    def __init__(
+        self,
+        schedule: MixedPoolSchedule,
+        weights: Optional[Dict[str, float]] = None,
+    ):
+        if not isinstance(schedule, MixedPoolSchedule):
+            raise RoutingError("MixedPoolRouter requires a MixedPoolSchedule")
+        self._schedule = schedule
+        counts = schedule.pool_counts
+        if weights is None:
+            weights = {pool: float(c) for pool, c in counts.items() if c > 0}
+        for pool, w in weights.items():
+            if pool not in counts:
+                raise RoutingError(f"unknown pool {pool!r} in weights")
+            if w < 0:
+                raise RoutingError(f"pool weight {pool}={w} must be non-negative")
+            if w > 0 and counts[pool] == 0:
+                raise RoutingError(f"pool {pool!r} has weight but no planes")
+        total = sum(weights.values())
+        if total <= 0:
+            raise RoutingError("pool weights must have positive total")
+        self._weights = {
+            pool: weights.get(pool, 0.0) / total for pool in ("static", "rotor", "demand")
+        }
+        if self._weights["rotor"] == 0.0 and self._weights["static"] == 0.0:
+            raise RoutingError(
+                "need a rotor or static pool with positive weight: the demand "
+                "pool alone cannot reach pairs its schedule dropped"
+            )
+        # Shortest shift-sequences over the static circulant, from residue 0
+        # (vertex-transitive, so one BFS covers every pair).
+        self._static_seq: Dict[int, Tuple[int, ...]] = {}
+        if self._weights["static"] > 0.0:
+            self._static_seq = self._bfs_shift_sequences(
+                schedule.num_nodes, schedule.static_shifts
+            )
+        self._max_hops = max(
+            [1]
+            + ([2] if self._weights["rotor"] > 0.0 else [])
+            + (
+                [max(len(seq) for seq in self._static_seq.values())]
+                if self._static_seq
+                else []
+            )
+        )
+
+    @staticmethod
+    def _bfs_shift_sequences(
+        num_nodes: int, shifts: Tuple[int, ...]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Shortest shift composition reaching each residue r = dst - src."""
+        seq: Dict[int, Tuple[int, ...]] = {0: ()}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for r in frontier:
+                for s in shifts:
+                    t = (r + s) % num_nodes
+                    if t not in seq:
+                        seq[t] = seq[r] + (s,)
+                        nxt.append(t)
+            frontier = nxt
+        if len(seq) != num_nodes:
+            raise RoutingError(
+                f"static shifts {shifts} do not connect all {num_nodes} nodes"
+            )
+        return seq
+
+    @property
+    def num_nodes(self) -> int:
+        return self._schedule.num_nodes
+
+    @property
+    def max_hops(self) -> int:
+        return self._max_hops
+
+    @property
+    def pool_weights(self) -> Dict[str, float]:
+        """Normalized dispatch weight per pool (before per-pair fallback)."""
+        return dict(self._weights)
+
+    def static_path(self, src: int, dst: int) -> Path:
+        """The deterministic shortest path over the static pool."""
+        self._check_pair(src, dst)
+        if not self._static_seq:
+            raise RoutingError("router has no static pool")
+        n = self.num_nodes
+        nodes = [src]
+        for s in self._static_seq[(dst - src) % n]:
+            nodes.append((nodes[-1] + s) % n)
+        return Path(tuple(nodes))
+
+    def path_options(self, src: int, dst: int) -> List[Tuple[float, Path]]:
+        self._check_pair(src, dst)
+        n = self.num_nodes
+        w_static = self._weights["static"]
+        w_rotor = self._weights["rotor"]
+        w_demand = self._weights["demand"]
+        if w_demand > 0.0 and not self._schedule.demand_connected(src, dst):
+            # Quantization dropped this pair's circuit: its share rides the
+            # universal pool instead.
+            if w_rotor > 0.0:
+                w_rotor += w_demand
+            else:
+                w_static += w_demand
+            w_demand = 0.0
+
+        merged: Dict[Tuple[int, ...], float] = {}
+
+        def add(prob: float, nodes: Tuple[int, ...]) -> None:
+            merged[nodes] = merged.get(nodes, 0.0) + prob
+
+        if w_demand > 0.0:
+            add(w_demand, (src, dst))
+        if w_rotor > 0.0:
+            vlb_share = w_rotor / (n - 1)
+            add(vlb_share, (src, dst))
+            for mid in range(n):
+                if mid != src and mid != dst:
+                    add(vlb_share, (src, mid, dst))
+        if w_static > 0.0:
+            add(w_static, self.static_path(src, dst).nodes)
+        return [(prob, Path(nodes)) for nodes, prob in merged.items()]

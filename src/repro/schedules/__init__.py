@@ -18,6 +18,8 @@ from .round_robin import RoundRobinSchedule
 from .multidim import MultiDimSchedule
 from .expander import ExpanderSchedule
 from .hierarchical import HierarchicalSornSchedule
+from .demand_aware import DemandAwareSchedule
+from .mixed_pool import MixedPoolSchedule
 from .sorn_schedule import (
     SornSchedule,
     build_sorn_schedule,
@@ -34,6 +36,8 @@ __all__ = [
     "MultiDimSchedule",
     "ExpanderSchedule",
     "HierarchicalSornSchedule",
+    "DemandAwareSchedule",
+    "MixedPoolSchedule",
     "SornSchedule",
     "build_sorn_schedule",
     "figure2_topology_a",

@@ -124,30 +124,71 @@ class CircuitSchedule(abc.ABC):
         """Dense destination table ``T[t, p, src] -> dst`` (-1 = idle).
 
         Shape ``(period, num_planes, num_nodes)``; plane ``p``'s row at
-        slot ``t`` is the base matching at ``(t + plane_offset(p)) %
-        period``.  Built once and cached on the schedule instance (shared
-        by every consumer), so :meth:`plane_matching` callers are
-        untouched while array-level consumers — the vectorized simulator
-        engine above all — skip per-slot :class:`Matching` construction
-        entirely.  The returned array is read-only.
+        slot ``t`` is exactly ``plane_matching(t, p)``, so schedules whose
+        planes are *not* offset copies of the base plane (expander rotor
+        staggering, mixed static/rotor/demand pools) are represented
+        faithfully.  For the common offset-copy case the base matchings
+        are built once and gathered per plane.  Built once and cached on
+        the schedule instance (shared by every consumer), so
+        :meth:`plane_matching` callers are untouched while array-level
+        consumers — the vectorized simulator engine above all — skip
+        per-slot :class:`Matching` construction entirely.  The returned
+        array is read-only.
         """
         if self._dest_table is None:
             # int32 holds any node id (N < 2**31) and halves the table:
             # ~60 MiB saved at N=4096 with the SORN period of ~3843.
-            base = np.stack(
-                [self.matching(t).dst.astype(np.int32) for t in range(self._period)]
-            )
-            slots = np.arange(self._period)
-            table = np.stack(
-                [
-                    base[(slots + self.plane_offset(p)) % self._period]
-                    for p in range(self._num_planes)
-                ],
-                axis=1,
-            )
+            if self._planes_are_offset_copies():
+                base = np.stack(
+                    [self.matching(t).dst.astype(np.int32) for t in range(self._period)]
+                )
+                slots = np.arange(self._period)
+                table = np.stack(
+                    [
+                        base[(slots + self.plane_offset(p)) % self._period]
+                        for p in range(self._num_planes)
+                    ],
+                    axis=1,
+                )
+            else:
+                table = np.stack(
+                    [
+                        np.stack(
+                            [
+                                self.plane_matching(t, p).dst.astype(np.int32)
+                                for p in range(self._num_planes)
+                            ]
+                        )
+                        for t in range(self._period)
+                    ]
+                )
             table.setflags(write=False)
             self._dest_table = table
         return self._dest_table
+
+    def _planes_are_offset_copies(self) -> bool:
+        """Whether every plane is the base matching sequence shifted by
+        :meth:`plane_offset` — true for the base class, overridden to
+        ``False`` by plane-heterogeneous schedules so array consumers
+        (:meth:`dest_table`, the invariant checker) fall back to the
+        general per-plane construction."""
+        plane_matching = type(self).plane_matching
+        plane_offset = type(self).plane_offset
+        return (
+            plane_matching is CircuitSchedule.plane_matching
+            and plane_offset is CircuitSchedule.plane_offset
+        )
+
+    def circuit_up_slots(self, src: int, dst: int) -> np.ndarray:
+        """Sorted slot indices (one period) where src -> dst is up on *any*
+        plane — the union :meth:`circuit_slots` over planes, computed from
+        :meth:`dest_table` so plane-heterogeneous schedules are exact.
+        The returned array is read-only."""
+        if not 0 <= src < self._num_nodes:
+            raise ScheduleError(f"node {src} out of range [0, {self._num_nodes})")
+        up = np.nonzero((self.dest_table()[:, :, src] == dst).any(axis=1))[0]
+        up.setflags(write=False)
+        return up
 
     def active_circuits(self, slot: int, plane: int = 0) -> Tuple[np.ndarray, np.ndarray]:
         """Active ``(srcs, dsts)`` arrays at *slot* on *plane*, in source
@@ -202,18 +243,23 @@ class CircuitSchedule(abc.ABC):
         return int(max(gaps.max(), wrap))
 
     def validate(self) -> None:
-        """Check every slot is a valid matching of the right size.
+        """Check every slot on every plane is a valid matching of the
+        right size.
 
         :class:`Matching` construction already enforces per-slot invariants;
         this re-checks sizes and is the hook for subclass invariants.
+        Offset-copy planes repeat the base sequence, so only plane 0 is
+        walked for them; plane-heterogeneous schedules check every plane.
         """
-        for slot in range(self._period):
-            m = self.matching(slot)
-            if m.num_nodes != self._num_nodes:
-                raise ScheduleError(
-                    f"slot {slot} matching covers {m.num_nodes} nodes, "
-                    f"expected {self._num_nodes}"
-                )
+        planes = 1 if self._planes_are_offset_copies() else self._num_planes
+        for plane in range(planes):
+            for slot in range(self._period):
+                m = self.plane_matching(slot, plane)
+                if m.num_nodes != self._num_nodes:
+                    raise ScheduleError(
+                        f"slot {slot} plane {plane} matching covers "
+                        f"{m.num_nodes} nodes, expected {self._num_nodes}"
+                    )
 
     def materialize(self) -> "ExplicitSchedule":
         """Copy into an :class:`ExplicitSchedule` (for mutation/simulation)."""

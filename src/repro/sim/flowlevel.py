@@ -82,6 +82,14 @@ __all__ = [
 #: expectation differs from the generic inter pair's.
 _INTRA, _INTER, _INTER_ALIGNED = 0, 1, 2
 
+#: Utilizations within one part in 1e12 of 1.0 count as saturated.  The
+#: two backends reach rho through different arithmetic (closed form vs
+#: per-link enumeration), so at a load sitting exactly on the saturation
+#: throughput one can round to 1.0 and the other to 1 - O(ulp); a wait of
+#: ~1e12 slots and "unstable" are the same physical answer, and the
+#: shared threshold makes both backends agree on which to report.
+_RHO_SATURATED = 1.0 - 1e-12
+
 
 @dataclasses.dataclass(frozen=True)
 class PairLatency:
@@ -345,7 +353,7 @@ class FlowLevelModel:
         self.saturation_throughput = (
             min(1.0, load / worst) if worst > 0 else 1.0
         )
-        self.stable = worst < 1.0
+        self.stable = worst < _RHO_SATURATED
         self._wait = [self._edge_wait(k) for k in (_INTRA, _INTER)]
         self._class_stats = [
             self._symmetric_pair(kind)
@@ -360,7 +368,7 @@ class FlowLevelModel:
         gap = self._gap[kind]
         if not math.isfinite(gap):
             return math.inf
-        if rho >= 1.0:
+        if rho >= _RHO_SATURATED:
             return math.inf
         return expected_circuit_wait_slots(gap, rho) + 1.0
 
@@ -435,7 +443,7 @@ class FlowLevelModel:
         self.saturation_throughput = (
             min(1.0, self.load / worst) if worst > 0 else 1.0
         )
-        self.stable = worst < 1.0
+        self.stable = worst < _RHO_SATURATED
 
     # -- per-pair expectations -------------------------------------------------
 
@@ -470,7 +478,7 @@ class FlowLevelModel:
             for u, v in path.links():
                 rho = rho_m[u, v]
                 gap = gap_m[u, v]
-                if rho >= 1.0 or not math.isfinite(gap):
+                if rho >= _RHO_SATURATED or not math.isfinite(gap):
                     w = math.inf
                 else:
                     w += expected_circuit_wait_slots(gap, rho) + 1.0

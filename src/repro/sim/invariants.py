@@ -118,17 +118,17 @@ class InvariantChecker:
     # -- delivery latency ------------------------------------------------------
 
     def _circuit_up_slots(self, u: int, v: int) -> np.ndarray:
-        """Sorted period-slot indices where u->v is up on *any* plane."""
+        """Sorted period-slot indices where u->v is up on *any* plane.
+
+        Read from the schedule's dense destination table rather than
+        shifting base-plane slots by plane offsets, so schedules whose
+        planes are not offset copies (expander rotors, mixed pools) are
+        checked against what the planes actually connect.
+        """
         key = (u, v)
         slots = self._up_slots.get(key)
         if slots is None:
-            base = self.schedule.circuit_slots(u, v)
-            period = self.schedule.period
-            shifted = [
-                (base - self.schedule.plane_offset(p)) % period
-                for p in range(self.schedule.num_planes)
-            ]
-            slots = np.unique(np.concatenate(shifted)) if shifted else base
+            slots = self.schedule.circuit_up_slots(u, v)
             self._up_slots[key] = slots
         return slots
 

@@ -785,7 +785,11 @@ class VectorizedSession(SimSession):
             sub[0, j] = -1
             passthrough.add(cell)
             row = int(ridx[cell])
-            h1 = int(rhop[cell]) + 1  # after the committed first advance
+            # Position after the committed first advance plus any chained
+            # advances already recorded this pass — a cell can win several
+            # cascade hops in one slot, and rhop itself is only updated
+            # after this pass returns.
+            h1 = int(rhop[cell]) + 1 + advances.get(cell, 0)
             if h1 == int(rowlen[row]) - 2:
                 extra_del.append((j, cell))
                 continue

@@ -113,6 +113,85 @@ class TestDecomposition:
         terms = birkhoff_von_neumann(m)
         assert len(terms) <= (n - 1) ** 2 + 1
 
+    def test_dust_residual_survives_capped_budget(self):
+        """Regression: sub-tolerance dust entries used to hijack the
+        greedy matchings (the bottleneck min landed on a 5e-9 entry) and
+        each dust peel burned one term of a caller-capped budget, so this
+        two-rotation matrix raised ``did not converge in 6 terms`` with a
+        residual of 0.5 — half the real mass still unexpressed.  Dust
+        peels are now discarded without spending a term."""
+        n = 6
+        target = np.zeros((n, n))
+        support = np.zeros((n, n), dtype=bool)
+        for shift in (1, 2):
+            for s, d in Matching.rotation(n, shift).pairs():
+                target[s, d] += 0.5
+                support[s, d] = True
+        off_support = ~support & ~np.eye(n, dtype=bool)
+        target[off_support] += 5e-9  # uniform: row/col sums stay equal
+        terms = birkhoff_von_neumann(target, max_terms=6)
+        assert sorted(w for w, _ in terms) == pytest.approx([0.5, 0.5], abs=1e-6)
+
+    def test_genuine_budget_exhaustion_still_raises(self):
+        """The dust discard must not mask a real under-budget failure: a
+        five-rotation mixture cannot fit in two terms."""
+        n = 8
+        target = np.zeros((n, n))
+        for shift, weight in [(1, 0.3), (2, 0.25), (3, 0.2), (4, 0.15), (5, 0.1)]:
+            for s, d in Matching.rotation(n, shift).pairs():
+                target[s, d] += weight
+        with pytest.raises(DecompositionError) as excinfo:
+            birkhoff_von_neumann(target, max_terms=2)
+        assert excinfo.value.residual > 0.01
+
+
+class TestBvnProperties:
+    """Hypothesis sweep over random demand matrices (satellite contract)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 9), seed=st.integers(0, 2**16))
+    def test_weights_sum_to_one(self, n, seed):
+        m = doubly_stochastic_zero_diag(n, np.random.default_rng(seed))
+        terms = birkhoff_von_neumann(m)
+        assert sum(w for w, _ in terms) == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 9), seed=st.integers(0, 2**16))
+    def test_reconstruction_below_tolerance(self, n, seed):
+        m = doubly_stochastic_zero_diag(n, np.random.default_rng(seed))
+        terms = birkhoff_von_neumann(m)
+        assert np.abs(reconstruct(terms, n) - m).max() < 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 9), seed=st.integers(0, 2**16))
+    def test_sinkhorn_deterministic_and_permutation_equivariant(self, n, seed):
+        """Same input -> bit-identical output, and scaling commutes with a
+        seeded row/column relabeling (Sinkhorn normalizes rows and
+        columns independently, so node identity cannot matter)."""
+        rng = np.random.default_rng(seed)
+        raw = rng.random((n, n)) + 0.05
+        np.fill_diagonal(raw, 0.0)
+        scaled = sinkhorn_scale(raw)
+        assert np.array_equal(scaled, sinkhorn_scale(raw))
+        perm = rng.permutation(n)
+        permuted = raw[np.ix_(perm, perm)]
+        assert np.allclose(
+            sinkhorn_scale(permuted), scaled[np.ix_(perm, perm)], atol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 7), idx=st.integers(0, 6), col=st.booleans())
+    def test_zero_row_or_column_rejected_clearly(self, n, idx, col):
+        idx = idx % n
+        m = np.ones((n, n))
+        np.fill_diagonal(m, 0.0)
+        if col:
+            m[:, idx] = 0.0
+        else:
+            m[idx, :] = 0.0
+        with pytest.raises(ControlPlaneError, match="positive mass"):
+            sinkhorn_scale(m)
+
 
 class TestScheduleSynthesis:
     def test_slot_counts_proportional(self):

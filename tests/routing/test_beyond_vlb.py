@@ -1,0 +1,89 @@
+"""Beyond-VLB oblivious routing (Wilson et al. elongated-direct mix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import BeyondVlbRouter, VlbRouter
+
+
+class TestDistribution:
+    def test_option_count(self):
+        """1 direct + (N-2) two-hop paths, as in plain VLB."""
+        assert len(BeyondVlbRouter(8, 0.5).path_options(0, 5)) == 7
+
+    def test_direct_share_carries_beta(self):
+        router = BeyondVlbRouter(10, direct_fraction=0.6)
+        options = router.path_options(2, 7)
+        direct = [p for p, path in options if path.nodes == (2, 7)]
+        assert direct == [pytest.approx(0.6 + 0.4 / 9)]
+
+    def test_beta_zero_is_vlb(self):
+        beyond = sorted(
+            (path.nodes, p) for p, path in BeyondVlbRouter(9, 0.0).path_options(1, 4)
+        )
+        vlb = sorted(
+            (path.nodes, p) for p, path in VlbRouter(9).path_options(1, 4)
+        )
+        assert [nodes for nodes, _ in beyond] == [nodes for nodes, _ in vlb]
+        for (_, bp), (_, vp) in zip(beyond, vlb):
+            assert bp == pytest.approx(vp)
+
+    def test_beta_one_all_direct(self):
+        router = BeyondVlbRouter(7, 1.0)
+        for prob, path in router.path_options(0, 3):
+            if path.nodes != (0, 3):
+                assert prob == 0.0
+        assert router.mean_hops_uniform() == pytest.approx(1.0)
+
+    @given(
+        n=st.integers(3, 12),
+        beta=st.floats(0.0, 1.0),
+        src=st.integers(0, 11),
+        dst=st.integers(0, 11),
+    )
+    def test_distribution_always_valid(self, n, beta, src, dst):
+        src, dst = src % n, dst % n
+        if src == dst:
+            dst = (dst + 1) % n
+        options = BeyondVlbRouter(n, beta).path_options(src, dst)
+        probs = [p for p, _ in options]
+        assert sum(probs) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probs)
+        for _, path in options:
+            assert path.nodes[0] == src and path.nodes[-1] == dst
+
+
+class TestThroughputLatencyKnob:
+    def test_mean_hops_formula(self):
+        n, beta = 16, 0.4
+        router = BeyondVlbRouter(n, beta)
+        assert router.mean_hops_uniform() == pytest.approx(
+            2 - beta - (1 - beta) / (n - 1)
+        )
+        assert router.expected_hops(0, 5) == pytest.approx(router.mean_hops_uniform())
+
+    def test_guaranteed_throughput_beats_vlb_half(self):
+        """The beyond-VLB regime: any beta > 0 clears the 1/2 bound."""
+        n = 32
+        previous = BeyondVlbRouter(n, 0.0).guaranteed_throughput()
+        assert previous == pytest.approx(1 / (2 - 1 / (n - 1)))
+        for beta in (0.25, 0.5, 0.75, 1.0):
+            current = BeyondVlbRouter(n, beta).guaranteed_throughput()
+            assert current > previous
+            assert current > 0.5
+            previous = current
+
+    def test_rejects_bad_beta(self):
+        for beta in (-0.1, 1.5, float("nan")):
+            with pytest.raises(RoutingError):
+                BeyondVlbRouter(8, beta)
+
+    def test_sampling_respects_direct_share(self):
+        rng = np.random.default_rng(7)
+        router = BeyondVlbRouter(12, 0.8)
+        direct = sum(
+            router.path(0, 5, rng).nodes == (0, 5) for _ in range(2000)
+        )
+        assert direct / 2000 == pytest.approx(0.8 + 0.2 / 11, abs=0.04)

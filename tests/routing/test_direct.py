@@ -1,0 +1,34 @@
+"""Single-hop direct routing (demand-aware end of the spectrum)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import DirectRouter
+
+
+class TestDirectRouter:
+    def test_single_option(self):
+        router = DirectRouter(8)
+        options = router.path_options(2, 6)
+        assert len(options) == 1
+        prob, path = options[0]
+        assert prob == 1.0
+        assert path.nodes == (2, 6)
+
+    def test_hop_metrics(self):
+        router = DirectRouter(8)
+        assert router.max_hops == 1
+        assert router.expected_hops(0, 5) == 1.0
+        assert router.mean_hops_uniform() == 1.0
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(RoutingError):
+            DirectRouter(8).path_options(3, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RoutingError):
+            DirectRouter(4).path_options(0, 4)
+
+    def test_path_deterministic(self, rng):
+        router = DirectRouter(6)
+        assert router.path(1, 4, rng).nodes == (1, 4)

@@ -1,0 +1,119 @@
+"""Per-pool dispatch routing over the Cerberus-style mixed schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import MixedPoolRouter
+from repro.schedules import MixedPoolSchedule, RoundRobinSchedule
+
+
+def dense_demand(n, seed=0):
+    rng = np.random.default_rng(seed)
+    demand = rng.random((n, n)) + 0.05
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def build_schedule(n=8, static=1, rotor=1, demand_planes=1, **kw):
+    demand = dense_demand(n) if demand_planes else None
+    return MixedPoolSchedule(
+        n,
+        static_planes=static,
+        rotor_planes=rotor,
+        demand_planes=demand_planes,
+        demand=demand,
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_requires_mixed_schedule(self):
+        with pytest.raises(RoutingError):
+            MixedPoolRouter(RoundRobinSchedule(8))
+
+    def test_default_weights_follow_plane_counts(self):
+        router = MixedPoolRouter(build_schedule(static=2, rotor=1, demand_planes=1))
+        assert router.pool_weights == pytest.approx(
+            {"static": 0.5, "rotor": 0.25, "demand": 0.25}
+        )
+
+    def test_weight_on_empty_pool_rejected(self):
+        schedule = build_schedule(static=0, rotor=1, demand_planes=1)
+        with pytest.raises(RoutingError, match="no planes"):
+            MixedPoolRouter(schedule, weights={"static": 1.0, "rotor": 1.0})
+
+    def test_demand_only_weights_rejected(self):
+        """The demand pool alone cannot reach pairs quantization dropped."""
+        schedule = build_schedule(static=1, rotor=1, demand_planes=1)
+        with pytest.raises(RoutingError, match="rotor or static"):
+            MixedPoolRouter(schedule, weights={"demand": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RoutingError):
+            MixedPoolRouter(build_schedule(), weights={"rotor": -1.0})
+
+
+class TestDispatch:
+    def test_distribution_valid_everywhere(self):
+        router = MixedPoolRouter(build_schedule(n=9, static=2))
+        for src in range(9):
+            for dst in range(9):
+                if src == dst:
+                    continue
+                options = router.path_options(src, dst)
+                assert sum(p for p, _ in options) == pytest.approx(1.0)
+                for _, path in options:
+                    assert path.nodes[0] == src and path.nodes[-1] == dst
+                    assert len(path.nodes) - 1 <= router.max_hops
+
+    def test_demand_share_goes_direct_when_connected(self):
+        schedule = build_schedule(n=6, static=0, rotor=1, demand_planes=1)
+        router = MixedPoolRouter(schedule)
+        src, dst = next(iter(schedule.demand_schedule.connected_pairs()))
+        direct = sum(
+            p for p, path in router.path_options(src, dst) if path.nodes == (src, dst)
+        )
+        # demand weight 0.5 entirely direct + the rotor pool's collapsed
+        # 2-hop share 0.5/(n-1)
+        assert direct == pytest.approx(0.5 + 0.5 / 5)
+
+    def test_unconnected_demand_falls_back_to_rotor(self):
+        n = 8
+        schedule = build_schedule(n=n, static=0, rotor=1, demand_planes=1)
+        router = MixedPoolRouter(schedule)
+        dropped = [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not schedule.demand_connected(u, v)
+        ]
+        assert dropped, "expected quantization to drop some pair at this size"
+        src, dst = dropped[0]
+        options = router.path_options(src, dst)
+        # All mass rides the rotor pool: uniform VLB shares.
+        direct = sum(p for p, path in options if path.nodes == (src, dst))
+        assert direct == pytest.approx(1.0 / (n - 1))
+        assert sum(p for p, _ in options) == pytest.approx(1.0)
+
+    def test_static_path_composes_shifts(self):
+        schedule = build_schedule(n=9, static=2, rotor=0, demand_planes=0)
+        router = MixedPoolRouter(schedule)
+        shifts = set(schedule.static_shifts)
+        for dst in range(1, 9):
+            path = router.static_path(0, dst)
+            assert path.nodes[0] == 0 and path.nodes[-1] == dst
+            for a, b in zip(path.nodes, path.nodes[1:]):
+                assert (b - a) % 9 in shifts
+
+    def test_static_only_router_deterministic(self, rng):
+        schedule = build_schedule(n=7, static=1, rotor=0, demand_planes=0)
+        router = MixedPoolRouter(schedule)
+        options = router.path_options(2, 5)
+        assert len(options) == 1
+        assert router.path(2, 5, rng).nodes == options[0][1].nodes
+
+    def test_no_static_pool_static_path_raises(self):
+        router = MixedPoolRouter(build_schedule(static=0, rotor=1, demand_planes=1))
+        with pytest.raises(RoutingError, match="no static pool"):
+            router.static_path(0, 1)

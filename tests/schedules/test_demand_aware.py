@@ -1,0 +1,107 @@
+"""BvN demand-aware schedule synthesis (the spectrum's demand-aware end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ControlPlaneError, ScheduleError
+from repro.schedules import DemandAwareSchedule
+from repro.traffic import TrafficMatrix
+
+
+def dense_demand(n, rng, floor=0.05):
+    demand = rng.random((n, n)) + floor
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestFromDemand:
+    def test_period_and_nodes(self, rng):
+        schedule = DemandAwareSchedule.from_demand(dense_demand(6, rng), 10)
+        assert schedule.period == 10
+        assert schedule.num_nodes == 6
+        assert schedule.num_planes == 1
+
+    def test_accepts_traffic_matrix(self, rng):
+        raw = dense_demand(5, rng)
+        from_matrix = DemandAwareSchedule.from_demand(TrafficMatrix(raw), 8)
+        from_array = DemandAwareSchedule.from_demand(raw, 8)
+        for slot in range(8):
+            assert np.array_equal(
+                from_matrix.matching(slot).dst, from_array.matching(slot).dst
+            )
+
+    def test_validates(self, rng):
+        DemandAwareSchedule.from_demand(dense_demand(6, rng), 12).validate()
+
+    def test_heavy_pairs_get_more_slots(self, rng):
+        """A pair carrying most of its row's demand owns most of its slots."""
+        n = 5
+        demand = dense_demand(n, rng, floor=0.01) * 0.05
+        demand[0, 1] = 10.0
+        schedule = DemandAwareSchedule.from_demand(demand, 20)
+        fractions = schedule.edge_fractions()
+        assert fractions.get((0, 1), 0.0) >= 0.5
+
+    def test_zero_row_demand_rejected(self):
+        demand = np.ones((4, 4))
+        np.fill_diagonal(demand, 0.0)
+        demand[2, :] = 0.0
+        with pytest.raises(ControlPlaneError):
+            DemandAwareSchedule.from_demand(demand, 6)
+
+    def test_demand_shape_mismatch_rejected(self, rng):
+        schedule = DemandAwareSchedule.from_demand(dense_demand(4, rng), 6)
+        with pytest.raises(ScheduleError):
+            DemandAwareSchedule(
+                list(schedule.matchings()), np.ones((5, 5)), schedule.terms
+            )
+
+
+class TestDemandAccessors:
+    def test_demand_read_only(self, rng):
+        schedule = DemandAwareSchedule.from_demand(dense_demand(5, rng), 8)
+        with pytest.raises(ValueError):
+            schedule.demand[0, 1] = 99.0
+
+    def test_terms_weights_positive(self, rng):
+        schedule = DemandAwareSchedule.from_demand(dense_demand(6, rng), 10)
+        assert schedule.terms
+        assert all(w > 0 for w, _ in schedule.terms)
+
+    def test_connected_pairs_match_matchings(self, rng):
+        schedule = DemandAwareSchedule.from_demand(dense_demand(6, rng), 9)
+        pairs = schedule.connected_pairs()
+        expected = set()
+        for slot in range(schedule.period):
+            expected.update(schedule.matching(slot).pairs())
+        assert pairs == expected
+        u, v = next(iter(pairs))
+        assert schedule.pair_connected(u, v)
+
+    def test_coverage_one_when_nothing_dropped(self):
+        """A demand matrix that IS a rotation mixture quantizes exactly."""
+        from repro.schedules import Matching
+
+        n = 6
+        demand = np.zeros((n, n))
+        for shift, weight in [(1, 0.5), (2, 0.5)]:
+            for s, d in Matching.rotation(n, shift).pairs():
+                demand[s, d] += weight
+        schedule = DemandAwareSchedule.from_demand(demand, 8)
+        assert schedule.demand_coverage() == pytest.approx(1.0)
+
+    def test_coverage_drops_with_starved_pairs(self, rng):
+        """With fewer slots than matchings, low-weight terms get dropped
+        and their demand mass goes uncovered."""
+        n = 8
+        demand = dense_demand(n, rng)
+        schedule = DemandAwareSchedule.from_demand(demand, 4)
+        coverage = schedule.demand_coverage()
+        assert 0.0 < coverage < 1.0
+        uncovered = [
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not schedule.pair_connected(u, v)
+        ]
+        assert uncovered

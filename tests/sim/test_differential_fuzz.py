@@ -1,8 +1,10 @@
 """Cross-engine differential fuzz harness (hypothesis-driven).
 
-Randomizes the full configuration space the engines support — schedule
-family and size, router (optionally wrapped in the failure-aware
-fallback), simulator knobs (including the ``kernels="numpy"/"numba"``
+Randomizes the full configuration space the engines support — all six
+schedule/routing families (round-robin+VLB, SORN, Opera expander,
+beyond-VLB, BvN demand-aware, Cerberus-style mixed pool), fabric size,
+router (optionally wrapped in the failure-aware fallback), simulator
+knobs (including the ``kernels="numpy"/"numba"``
 axis of the fused vectorized engine), failure timelines, and workloads —
 and asserts the reference and vectorized engines produce *identical*
 reports and traces.
@@ -37,8 +39,22 @@ from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import RoutingError
-from repro.routing import FailureAwareRouter, SornRouter, VlbRouter
-from repro.schedules import RoundRobinSchedule, build_sorn_schedule
+from repro.routing import (
+    BeyondVlbRouter,
+    DirectRouter,
+    FailureAwareRouter,
+    MixedPoolRouter,
+    OperaRouter,
+    SornRouter,
+    VlbRouter,
+)
+from repro.schedules import (
+    DemandAwareSchedule,
+    ExpanderSchedule,
+    MixedPoolSchedule,
+    RoundRobinSchedule,
+    build_sorn_schedule,
+)
 from repro.sim import (
     FailureEvent,
     FailureTimeline,
@@ -70,21 +86,76 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 pytestmark = pytest.mark.fuzz
 
 
+FAMILIES = ("round_robin", "sorn", "expander", "beyond_vlb", "demand_aware", "mixed")
+
+
+def _random_demand(n, seed):
+    """A dense positive off-diagonal demand matrix (Sinkhorn-scalable)."""
+    rng = np.random.default_rng(seed)
+    demand = rng.random((n, n)) + 0.05
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
 @st.composite
 def fabrics(draw):
-    """A (schedule, base router) pair from both schedule families."""
-    if draw(st.booleans()):
+    """A (schedule, base router, allowed_pairs) triple across every family.
+
+    ``allowed_pairs`` is None for families whose router can reach any
+    pair; the demand-aware family restricts workloads to pairs the
+    quantized BvN schedule actually connects — its direct-only router
+    cannot deliver the rest, and undeliverable flows would just pin the
+    drain loop (identically in both engines, but without exercising the
+    differential contract).
+    """
+    family = draw(st.sampled_from(FAMILIES))
+    if family == "round_robin":
         n = draw(st.integers(4, 18))
         planes = draw(st.integers(1, 3))
-        return RoundRobinSchedule(n, num_planes=planes), VlbRouter(n)
-    num_cliques = draw(st.sampled_from([2, 3, 4]))
-    clique_size = draw(st.sampled_from([2, 3, 4]))
-    q = draw(st.sampled_from([1, 2, 3]))
-    planes = draw(st.integers(1, 2))
-    schedule = build_sorn_schedule(
-        num_cliques * clique_size, num_cliques, q=q, num_planes=planes
+        return RoundRobinSchedule(n, num_planes=planes), VlbRouter(n), None
+    if family == "sorn":
+        num_cliques = draw(st.sampled_from([2, 3, 4]))
+        clique_size = draw(st.sampled_from([2, 3, 4]))
+        q = draw(st.sampled_from([1, 2, 3]))
+        planes = draw(st.integers(1, 2))
+        schedule = build_sorn_schedule(
+            num_cliques * clique_size, num_cliques, q=q, num_planes=planes
+        )
+        return schedule, SornRouter(schedule.layout), None
+    if family == "expander":
+        n = draw(st.integers(6, 12))
+        rotors = draw(st.integers(2, 4))
+        schedule = ExpanderSchedule(n, rotors, seed=draw(st.integers(0, 3)))
+        return schedule, OperaRouter(schedule), None
+    if family == "beyond_vlb":
+        n = draw(st.integers(4, 14))
+        planes = draw(st.integers(1, 2))
+        beta = draw(st.sampled_from([0.0, 0.4, 0.75, 1.0]))
+        schedule = RoundRobinSchedule(n, num_planes=planes)
+        return schedule, BeyondVlbRouter(n, beta), None
+    if family == "demand_aware":
+        n = draw(st.integers(4, 8))
+        period = draw(st.integers(n - 1, 2 * n))
+        schedule = DemandAwareSchedule.from_demand(
+            _random_demand(n, draw(st.integers(0, 2**10))), period
+        )
+        return schedule, DirectRouter(n), sorted(schedule.connected_pairs())
+    assert family == "mixed"
+    n = draw(st.integers(5, 10))
+    static = draw(st.integers(0, 2))
+    rotor = draw(st.integers(0 if static else 1, 2))
+    demand_planes = draw(st.integers(0, 1))
+    schedule = MixedPoolSchedule(
+        n,
+        static_planes=static,
+        rotor_planes=rotor,
+        demand_planes=demand_planes,
+        demand=_random_demand(n, draw(st.integers(0, 2**10)))
+        if demand_planes
+        else None,
+        seed=draw(st.integers(0, 3)),
     )
-    return schedule, SornRouter(schedule.layout)
+    return schedule, MixedPoolRouter(schedule), None
 
 
 @st.composite
@@ -112,13 +183,16 @@ def timelines(draw, num_nodes, num_planes):
 
 
 @st.composite
-def workloads(draw, num_nodes):
+def workloads(draw, num_nodes, pairs=None):
     flows = []
     for flow_id in range(draw(st.integers(1, 18))):
-        src = draw(st.integers(0, num_nodes - 1))
-        dst = draw(st.integers(0, num_nodes - 2))
-        if dst >= src:
-            dst += 1
+        if pairs is None:
+            src = draw(st.integers(0, num_nodes - 1))
+            dst = draw(st.integers(0, num_nodes - 2))
+            if dst >= src:
+                dst += 1
+        else:
+            src, dst = draw(st.sampled_from(pairs))
         size = draw(st.integers(1, 6))
         arrival = draw(st.integers(0, 30))
         flows.append(FlowSpec(flow_id, src, dst, size, arrival))
@@ -127,13 +201,13 @@ def workloads(draw, num_nodes):
 
 @st.composite
 def scenarios(draw):
-    schedule, router = draw(fabrics())
+    schedule, router, pairs = draw(fabrics())
     timeline = draw(timelines(schedule.num_nodes, schedule.num_planes))
     failed = timeline.failed_nodes_ever()
     use_failover = bool(failed) and draw(st.booleans())
     if use_failover:
         router = FailureAwareRouter(router, failed)
-    flows = draw(workloads(schedule.num_nodes))
+    flows = draw(workloads(schedule.num_nodes, pairs))
     if use_failover:
         # Discard the rare scenario where the failed set exhausts every
         # path option of some pair (both engines would raise identically,

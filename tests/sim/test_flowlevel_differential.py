@@ -217,6 +217,29 @@ class TestModelVsSlotSim:
         sim_report = sim.run(flows, SLOTS, measure_from=SLOTS // 2)
         assert sim_report.delivery_ratio < 0.95  # backlog left behind
 
+    def test_load_exactly_at_saturation_is_saturated_in_both_backends(self):
+        """Regression: at N=8/Nc=2/q=2/x=0 the saturation throughput is
+        exactly 1/3, and a load of exactly 1/3 lands rho on 1.0 up to one
+        ulp.  The two backends reach rho through different arithmetic, so
+        before the shared _RHO_SATURATED threshold one reported
+        wait = inf and the other a meaningless finite ~6.8e15 slots."""
+        schedule, router = _fabric(8, 2, q=2.0)
+        matrix = clustered_matrix(schedule.layout, 0.0)
+        load = 1.0 / 3.0
+        sym = FlowLevelModel(
+            schedule, router, load=load, locality=0.0, mode="symmetric"
+        )
+        exact = FlowLevelModel(
+            schedule, router, load=load, matrix=matrix, mode="exact"
+        )
+        assert not sym.stable and not exact.stable
+        # Only the inter edge saturates at x=0; the intra pair stays
+        # finite and the two backends still agree on it exactly.
+        a, b = sym.pair_latency(0, 1), exact.pair_latency(0, 1)
+        assert a.wait_slots == pytest.approx(b.wait_slots, rel=1e-9)
+        a, b = sym.pair_latency(0, 4), exact.pair_latency(0, 4)
+        assert math.isinf(a.wait_slots) and math.isinf(b.wait_slots)
+
 
 class TestStructuralIdentities:
     """Exact (1e-9) identities between the model and the fluid solver."""

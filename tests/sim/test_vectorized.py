@@ -231,6 +231,32 @@ class TestCascadeRepair:
         assert reports["vectorized"] == reports["reference"]
         assert calls["repair"] > 0, "stress run never hit the cascade-repair tier"
 
+    def test_chained_cascade_wins_advance_correct_position(self):
+        """Regression: a cell that wins several chained cascade hops in
+        one slot used to have its position computed from the stale
+        pre-pass ``rhop`` (ignoring the advances already recorded this
+        pass), skipping the delivery check and over-advancing it past the
+        end of its route — the next slot's drain then indexed past the
+        route row (IndexError).  A saturated Opera expander run trips
+        the chain reliably; both engines must agree bit-for-bit."""
+        from repro.exp import factory
+        from repro.traffic import FlowSizeDistribution
+
+        n, slots = 16, 80
+        schedule = factory.expander_schedule(n, 4, 1)
+        router = factory.opera_router(n, 4, 1)
+        workload = Workload(
+            factory.clustered(n, 4, 0.56), FlowSizeDistribution.fixed(12), load=1.3
+        )
+        flows = workload.generate(slots, rng=3)
+        reports = {}
+        for engine in ("reference", "vectorized"):
+            sim = SlotSimulator(
+                schedule, router, SimConfig(engine=engine), rng=3
+            )
+            reports[engine] = sim.run(flows, slots, measure_from=slots // 2)
+        assert reports["vectorized"] == reports["reference"]
+
 
 class TestChunkedPresampling:
     """Chunked slot-batch presampling (``SimConfig.presample_chunk_cells``)

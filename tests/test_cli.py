@@ -67,6 +67,37 @@ class TestSubcommands:
         assert "Pareto frontier" in out
         assert "SORN" in out
 
+    def test_frontier(self, capsys):
+        """The simulated frontier across every family, at reduced slots
+        so the 14 sweep points stay fast."""
+        assert main(["frontier", "--slots", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        for system in ("rr_vlb", "orn2d", "expander", "sorn", "beyond_vlb",
+                       "mixed", "bvn"):
+            assert system in out
+        # The demand-aware direct system pays no bandwidth tax.
+        bvn_row = next(line for line in out.splitlines() if line.startswith("bvn"))
+        assert "1.00" in bvn_row
+
+    def test_frontier_subset_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "frontier.json"
+        assert main(
+            ["frontier", "--systems", "sorn,rr_vlb", "--slots", "200",
+             "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert [r["system"] for r in payload["rows"]] == ["sorn", "rr_vlb"]
+        assert set(payload["pareto_frontier"]) <= {"sorn", "rr_vlb"}
+        for row in payload["rows"]:
+            assert row["throughput"] > 0 and row["latency_us"] > 0
+
+    def test_frontier_rejects_unknown_system(self, capsys):
+        assert main(["frontier", "--systems", "nope"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
     def test_design(self, capsys):
         assert main(["design", "--nodes", "32", "--cliques", "4"]) == 0
         out = capsys.readouterr().out
