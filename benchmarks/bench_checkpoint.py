@@ -1,0 +1,105 @@
+"""Durability overhead: checkpoint save/restore cost vs. simulated work.
+
+Times one :meth:`SimSession.save` / :meth:`SlotSimulator.resume` cycle
+against the segment of simulation it protects, and prints the
+checkpoint-file size.  The reproduction claim pinned here is modest but
+load-bearing for the preemption story: checkpointing a session is cheap
+enough to do at every adaptation epoch (a save+resume cycle costs less
+than simulating the epoch it would otherwise have to recompute).
+"""
+
+import os
+
+import numpy as np
+
+from repro.routing import SornRouter
+from repro.schedules import build_sorn_schedule
+from repro.sim import SimConfig, SlotSimulator
+from repro.traffic import FlowSpec
+
+
+def make_workload(n, count, horizon, seed=11):
+    rng = np.random.default_rng(seed)
+    flows = []
+    for fid in range(count):
+        src = int(rng.integers(n))
+        dst = int(rng.integers(n - 1))
+        if dst >= src:
+            dst += 1
+        flows.append(
+            FlowSpec(
+                flow_id=fid,
+                src=src,
+                dst=dst,
+                size_cells=int(rng.integers(1, 6)),
+                arrival_slot=int(rng.integers(horizon)),
+            )
+        )
+    return flows
+
+
+def setup(smoke, engine):
+    n = 32 if smoke else 64
+    cliques = 4
+    duration = 200 if smoke else 400
+    schedule = build_sorn_schedule(n, cliques, q=1.0)
+    router = SornRouter(schedule.layout)
+    flows = make_workload(n, 30 * n, int(duration * 0.8))
+    config = SimConfig(engine=engine)
+    return schedule, router, config, flows, duration
+
+
+def test_save_resume_cycle(benchmark, report, smoke, engine, tmp_path):
+    schedule, router, config, flows, duration = setup(smoke, engine)
+    boundary = duration // 2
+    path = str(tmp_path / "bench.ckpt")
+
+    def cycle():
+        session = SlotSimulator(schedule, router, config, rng=7).start(
+            flows, duration
+        )
+        session.run_segment(boundary)
+        session.save(path)
+        resumed = SlotSimulator(schedule, router, config, rng=7).resume(
+            path, flows
+        )
+        return resumed.finish()
+
+    result = benchmark(cycle)
+    size_kib = os.path.getsize(path) / 1024.0
+
+    # Reference points for the overhead claim, timed inside one sample
+    # (pytest-benchmark reports the cycle; these bound its pieces).
+    import time
+
+    session = SlotSimulator(schedule, router, config, rng=7).start(flows, duration)
+    t0 = time.perf_counter()
+    session.run_segment(boundary)
+    segment_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    session.save(path)
+    save_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    SlotSimulator(schedule, router, config, rng=7).resume(path, flows)
+    restore_s = time.perf_counter() - t0
+
+    report(
+        f"durability: checkpoint cycle ({config.engine})",
+        [
+            f"segment of {boundary} slots: {segment_s * 1e3:8.2f} ms",
+            f"save:                       {save_s * 1e3:8.2f} ms",
+            f"restore:                    {restore_s * 1e3:8.2f} ms",
+            f"checkpoint size:            {size_kib:8.1f} KiB",
+            f"delivered cells:            {result.delivered_cells}",
+        ],
+    )
+
+    assert result.delivered_cells > 0
+    assert size_kib > 0
+    if not smoke:
+        # The epoch-boundary checkpointing claim: one save+restore costs
+        # less than recomputing the protected segment.
+        assert save_s + restore_s < segment_s, (
+            f"save+restore {save_s + restore_s:.3f}s should undercut the "
+            f"{boundary}-slot segment {segment_s:.3f}s"
+        )

@@ -15,17 +15,27 @@ Every subcommand prints plain text tables; the benchmark suite under
 ``benchmarks/`` produces the same numbers with full provenance.
 
 The experiment subcommands (``table1``, ``fig2f``, ``fig-blast-radius``,
-``fig-adaptive``) execute through :class:`repro.exp.SweepRunner` and
-accept ``--workers N`` (process fan-out) and ``--no-cache`` (bypass the
-content-addressed result cache under ``.repro-cache/``).  Both are pure
-speed knobs: output is bit-identical across worker counts and cache
-temperature.
+``fig-adaptive``, ``frontier``) execute through
+:class:`repro.exp.SweepRunner` and accept ``--workers N`` (process
+fan-out) and ``--no-cache`` (bypass the content-addressed result cache
+under ``.repro-cache/``).  Both are pure speed knobs: output is
+bit-identical across worker counts and cache temperature.
+
+Cached sweeps are **journaled** (``.repro-runs/``): every invocation
+gets a run id, completed points are recorded durably as they finish,
+and a run killed at any moment — Ctrl-C, SIGTERM, SIGKILL, OOM — can be
+re-executed with ``--resume RUN_ID``, recomputing only the missing
+points and printing bit-identical output.  SIGINT/SIGTERM exit with a
+one-line resume hint; ``--hang-timeout`` arms a watchdog that kills and
+requeues workers whose heartbeats go stale.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import uuid
 from typing import List, Optional
 
 import numpy as np
@@ -60,11 +70,65 @@ def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
     bit-identical, so the flags are pure speed knobs.
     """
     cache = None if args.no_cache else ResultCache()
-    return SweepRunner(workers=args.workers, cache=cache)
+    return SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        hang_timeout=getattr(args, "hang_timeout", None),
+    )
+
+
+def _run_points(args: argparse.Namespace, points, part: str = "") -> list:
+    """Run *points* through the shared sweep executor, journaled.
+
+    With the cache enabled (the default), the sweep is journaled under a
+    run id — ``--resume RUN_ID`` reuses an earlier invocation's journal
+    and recomputes only the points that never reached the cache;
+    otherwise a fresh id is generated.  *part* distinguishes multiple
+    sweeps inside one subcommand (``table1 --model flow`` runs two) so
+    each gets its own journal under the same base id.  SIGINT/SIGTERM
+    during the sweep exit non-zero with a one-line resume hint; results
+    are identical to an uninterrupted run by the cache's round-trip
+    contract.
+    """
+    runner = _sweep_runner(args)
+    if runner.cache is None:
+        if getattr(args, "resume", None):
+            print(
+                "--resume requires the result cache; drop --no-cache",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return runner.run(points)
+    base_id = getattr(args, "resume", None) or getattr(args, "_auto_run_id", None)
+    if base_id is None:
+        base_id = f"run-{uuid.uuid4().hex[:10]}"
+        args._auto_run_id = base_id
+    args._auto_run_id = base_id
+    run_id = base_id + part
+
+    def _interrupted(signum, frame):
+        print(
+            f"\ninterrupted — completed points are journaled; "
+            f"resume with --resume {base_id}",
+            file=sys.stderr,
+        )
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _interrupted)
+        except ValueError:
+            pass  # not the main thread; run unguarded
+    try:
+        return runner.run(points, run_id=run_id)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
 
 
 def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--workers`` / ``--no-cache`` sweep flags."""
+    """Attach the shared sweep flags (workers/cache/resume/watchdog)."""
     p.add_argument(
         "--workers",
         type=int,
@@ -78,11 +142,30 @@ def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
         help="bypass the on-disk result cache "
         "($REPRO_CACHE_DIR, default .repro-cache/)",
     )
+    p.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        metavar="RUN_ID",
+        help="resume a killed invocation from its run journal "
+        "($REPRO_RUNS_DIR, default .repro-runs/): only points missing "
+        "from the cache recompute, output is bit-identical",
+    )
+    p.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        dest="hang_timeout",
+        metavar="SECONDS",
+        help="watchdog deadline: kill and requeue workers whose "
+        "heartbeat goes stale for this long (parallel sweeps only)",
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    [result] = _sweep_runner(args).run(
-        [SweepPoint("table1", {"nodes": args.nodes, "locality": args.locality})]
+    [result] = _run_points(
+        args,
+        [SweepPoint("table1", {"nodes": args.nodes, "locality": args.locality})],
     )
     rows = [SystemRow(**row) for row in result["rows"]]
     print(f"Table 1 reproduction (N={args.nodes}, x={args.locality}):")
@@ -108,7 +191,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             )
             for nc in cliques
         ]
-        results = _sweep_runner(args).run(points)
+        results = _run_points(args, points, part="-flow")
         header = (
             f"{'Nc':>4} {'dm_intra':>8} {'dm_inter':>8} {'mean FCT':>10} "
             f"{'p99 FCT':>10} {'slowdown':>9} {'sat thpt':>9}"
@@ -142,7 +225,8 @@ def _cmd_fig2f(args: argparse.Namespace) -> int:
     xs = [i / 10 for i in range(0, 10)]
     results = [None] * len(xs)
     if args.simulate:
-        results = _sweep_runner(args).run(
+        results = _run_points(
+            args,
             [
                 SweepPoint(
                     "fig2f_point",
@@ -156,7 +240,7 @@ def _cmd_fig2f(args: argparse.Namespace) -> int:
                     args.seed,
                 )
                 for x in xs
-            ]
+            ],
         )
     for x, result in zip(xs, results):
         line = f"{x:>5.2f} {sorn_throughput(x):>15.4f}"
@@ -214,7 +298,7 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
         for s in systems
         for load in (args.latency_load, args.saturation_load)
     ]
-    results = _sweep_runner(args).run(points)
+    results = _run_points(args, points)
     by_system = {
         s: (results[2 * i], results[2 * i + 1]) for i, s in enumerate(systems)
     }
@@ -456,7 +540,8 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
         "check": args.check,
     }
     results = iter(
-        _sweep_runner(args).run(
+        _run_points(
+            args,
             [
                 SweepPoint(
                     "blast_radius",
@@ -465,7 +550,7 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
                 )
                 for label in systems
                 for scenario in scenarios
-            ]
+            ],
         )
     )
     for label in systems:
@@ -622,11 +707,12 @@ def _cmd_fig_adaptive(args: argparse.Namespace) -> int:
         timeline=args.timeline,
         check=args.check,
     )
-    adaptive, baseline = _sweep_runner(args).run(
+    adaptive, baseline = _run_points(
+        args,
         [
             SweepPoint("fig_adaptive", adaptive_params, args.seed),
             SweepPoint("oblivious_baseline", base, args.seed),
-        ]
+        ],
     )
 
     print(

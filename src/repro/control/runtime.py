@@ -46,6 +46,8 @@ versus the static oblivious baseline.
 from __future__ import annotations
 
 import dataclasses
+import os
+import tempfile
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -204,6 +206,17 @@ class ChaosPolicy:
         """Whether planning *attempt* (0-based) fails this epoch."""
         return False
 
+    def preemption(self, epoch: int) -> bool:
+        """Whether the worker hosting the loop is preempted at this
+        epoch boundary.
+
+        A preempted run is saved to a durable checkpoint, torn down, and
+        resumed in a fresh simulator — the restored session must be
+        bit-identical, health state machine and all, so preemption is
+        invisible in every report and telemetry stream.
+        """
+        return False
+
 
 _CORRUPTION_KINDS = ("nan", "inf", "negative", "self-traffic", "shape")
 
@@ -222,11 +235,16 @@ class ScriptedChaos(ChaosPolicy):
     planner_fail_attempts:
         ``{epoch: k}`` — the first *k* planning attempts of that epoch
         fail (k > max retries means the whole epoch fails).
+    preempt_epochs:
+        Epochs at whose boundary the hosting worker is preempted: the
+        run checkpoints to disk, dies, and resumes in a fresh simulator
+        (bit-identically, by the durable-checkpoint contract).
     """
 
     outage_epochs: Set[int] = dataclasses.field(default_factory=set)
     corrupt_epochs: Dict[int, str] = dataclasses.field(default_factory=dict)
     planner_fail_attempts: Dict[int, int] = dataclasses.field(default_factory=dict)
+    preempt_epochs: Set[int] = dataclasses.field(default_factory=set)
 
     def __post_init__(self) -> None:
         bad = [k for k in self.corrupt_epochs.values() if k not in _CORRUPTION_KINDS]
@@ -258,6 +276,9 @@ class ScriptedChaos(ChaosPolicy):
 
     def planner_failure(self, epoch: int, attempt: int) -> bool:
         return attempt < self.planner_fail_attempts.get(epoch, 0)
+
+    def preemption(self, epoch: int) -> bool:
+        return epoch in self.preempt_epochs
 
 
 @dataclasses.dataclass(frozen=True)
@@ -459,6 +480,15 @@ class AdaptiveSimulation:
                     self._emit(emit_epoch, epochs[-1])
                 break
 
+            if self.chaos.preemption(epoch):
+                # The hosting worker is preempted at this epoch boundary:
+                # persist the session, tear it down, and resume it in a
+                # brand-new simulator.  The durable-checkpoint contract
+                # makes the hand-off bit-exact, so the control loop (and
+                # its health state machine, which lives in this frame's
+                # locals) continues as if nothing happened.
+                session = self._preempt_restore(session, flows)
+
             out = _EpochOutcome()
             candidate_q = self._control_step(epoch, observed, estimator, out)
 
@@ -551,6 +581,34 @@ class AdaptiveSimulation:
             recoveries=recoveries,
             failed_epochs=failed_epochs,
         )
+
+    def _preempt_restore(self, session, flows: Sequence[FlowSpec]):
+        """Save *session* to disk and resume it in a fresh simulator.
+
+        Models a worker preemption at an epoch boundary.  The resuming
+        simulator is built against the session's *current* (possibly
+        swapped) schedule with an arbitrary seed — routes and RNG state
+        travel inside the checkpoint — and shares the original config,
+        so the same telemetry hub keeps collecting (its state is
+        restored, not appended, by the checkpoint machinery).
+        """
+        fd, path = tempfile.mkstemp(suffix=".ckpt")
+        os.close(fd)
+        try:
+            session.save(path)
+            sim = SlotSimulator(
+                session.schedule,
+                self.router,
+                self.sim.config,
+                rng=0,
+                timeline=self.sim.timeline,
+            )
+            return sim.resume(path, flows)
+        finally:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     # -- control-step pieces -------------------------------------------------
 

@@ -97,6 +97,19 @@ class HardwareModelError(ReproError, ValueError):
     reconfiguration timing)."""
 
 
+class CheckpointError(ReproError):
+    """A durable checkpoint could not be written, read, or applied.
+
+    Raised by :mod:`repro.sim.checkpoint` and the session
+    ``save``/``resume`` machinery with a message naming the precise
+    defect: a missing or truncated file, a schema-version or checksum
+    mismatch, or a resume attempted against a simulator whose schedule,
+    config, flows, or engine differ from the ones the checkpoint was
+    taken under.  A corrupted checkpoint is *never* silently ignored or
+    re-run from scratch — callers must handle this error explicitly.
+    """
+
+
 class SweepError(ReproError):
     """The sweep-execution layer (:mod:`repro.exp`) failed.
 
@@ -114,6 +127,18 @@ class SweepWorkerCrash(SweepError):
     the failing point's family and content hash — never a bare
     ``BrokenProcessPool`` — so the offending configuration can be
     reproduced serially.
+    """
+
+
+class SweepWorkerHang(SweepError):
+    """A sweep worker stopped heartbeating and was killed by the watchdog.
+
+    Raised when a :class:`~repro.exp.runner.SweepRunner` with a
+    ``hang_timeout`` observes no heartbeat from a worker past the
+    deadline (a preempted, frozen, or SIGSTOPped process), kills it, and
+    exhausts the retry budget requeuing the point.  The message names
+    the hung point's family and content hash — never a bare pool
+    error — so the offending configuration can be reproduced serially.
     """
 
 

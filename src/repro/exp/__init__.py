@@ -16,6 +16,10 @@ ad-hoc loop in every CLI subcommand and benchmark into one subsystem:
   ordering, per-point timeout/retry, crash isolation that names the
   failing point's content hash, and a merge bit-identical to serial
   execution.
+- :mod:`journal` — append-only run journals (``.repro-runs/``) that
+  make journaled sweeps crash-resumable: a killed run re-executed under
+  the same run id recomputes only the points that never reached the
+  cache and merges bit-identically.
 - :mod:`factory` — memoized construction of schedules, routers, and
   traffic matrices shared by sweep families, benchmarks, and tests.
 
@@ -37,6 +41,7 @@ from .families import (
     get_family,
     register_family,
 )
+from .journal import JOURNAL_SCHEMA, RunJournal, journal_path, runs_dir
 from .runner import SweepPoint, SweepRunner
 
 __all__ = [
@@ -49,6 +54,10 @@ __all__ = [
     "get_family",
     "family_names",
     "drifting_locality_flows",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "journal_path",
+    "runs_dir",
     "SweepPoint",
     "SweepRunner",
     "factory",

@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import uuid
 from typing import Any, Optional
 
 import numpy as np
@@ -138,7 +139,10 @@ class ResultCache:
 
         Corrupt entries (unreadable JSON, schema or key mismatch) are
         deleted, counted as invalidations, and reported as misses so the
-        caller recomputes them.
+        caller recomputes them.  Deletion goes through an atomic
+        claim-by-rename, so when several processes observe the same
+        corrupt entry exactly one counts (and emits) the invalidation —
+        the rest see a plain miss.
         """
         path = self._path(key)
         payload = None
@@ -159,12 +163,18 @@ class ResultCache:
                 self.hits += 1
                 self._emit("hit", key)
                 return payload["result"]
-            self.invalidations += 1
-            self._emit("invalidate", key)
+            claim = f"{path}.claim-{os.getpid()}-{uuid.uuid4().hex[:8]}"
             try:
-                os.remove(path)
+                os.replace(path, claim)
             except OSError:
-                pass
+                pass  # lost the race: someone else claimed (or replaced) it
+            else:
+                self.invalidations += 1
+                self._emit("invalidate", key)
+                try:
+                    os.remove(claim)
+                except OSError:
+                    pass
         self.misses += 1
         self._emit("miss", key)
         return None

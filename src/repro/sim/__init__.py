@@ -25,6 +25,12 @@ identically — bit-for-bit — by both engines.
 from .flows import Cell, FlowState
 from .network import ArrayVoqState, LinkedVoqState, SimNetwork
 from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
+from .checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .metrics import SimReport, percentile
 from .fluid import FluidResult, link_loads, saturation_throughput
 from .flowlevel import (
@@ -67,6 +73,10 @@ __all__ = [
     "SimConfig",
     "SimSession",
     "SegmentCheckpoint",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA",
+    "read_checkpoint",
+    "write_checkpoint",
     "VectorizedEngine",
     "run_replicas",
     "SimReport",

@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import SimulationError
+from ..errors import CheckpointError, SimulationError
 from ..routing.base import Router
 from ..schedules.schedule import CircuitSchedule
 from ..traffic.workload import FlowSpec
@@ -94,6 +94,8 @@ class SimSession:
     measure_from: int
     horizon: int
     schedule: CircuitSchedule
+    #: Engine tag recorded in durable checkpoints ("reference"/"vectorized").
+    _engine_name: str = ""
 
     def _advance(self, stop: Optional[int]) -> None:
         raise NotImplementedError
@@ -102,6 +104,18 @@ class SimSession:
         raise NotImplementedError
 
     def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
+        raise NotImplementedError
+
+    def _session_rng(self):
+        """The RNG stream this session consumes (engine-specific home)."""
+        raise NotImplementedError
+
+    def _state_payload(self) -> dict:
+        """Engine-specific dynamic state for a durable checkpoint."""
+        raise NotImplementedError
+
+    def _restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`_state_payload` on a freshly started session."""
         raise NotImplementedError
 
     def demand_snapshot(self):
@@ -188,6 +202,144 @@ class SimSession:
                 self._hub.finalize(self.horizon)
             self._report = self._build_report()
         return self._report
+
+    # -- durable checkpoints ---------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write a durable checkpoint of the paused session to *path*.
+
+        Call at a segment boundary (anywhere :meth:`run_segment` can
+        pause).  A run killed after the save and resumed through
+        :meth:`SlotSimulator.resume` — on a simulator built from the
+        same schedule (the one live *now*, after any mid-run swaps),
+        router, config, RNG-seeded stream and timeline, with the same
+        workload — finishes with byte-identical reports, traces and
+        telemetry to the uninterrupted run.  The write is atomic and the
+        file carries a schema version and content checksum (see
+        :mod:`repro.sim.checkpoint`).
+        """
+        from .checkpoint import (
+            config_digest,
+            flows_digest,
+            schedule_fingerprint,
+            write_checkpoint,
+        )
+
+        if self._report is not None:
+            raise CheckpointError(
+                "cannot checkpoint a finished run — save at a segment "
+                "boundary before finish()"
+            )
+        rng = self._session_rng()
+        payload = {
+            "engine": self._engine_name,
+            "duration_slots": self.duration_slots,
+            "measure_from": self.measure_from,
+            "slot": self.slot,
+            "horizon": self.horizon,
+            "done": self._done,
+            "config_digest": config_digest(self.config),
+            "flows_digest": flows_digest(self._flows),
+            "schedule": schedule_fingerprint(self.schedule),
+            "rng_state": rng.bit_generator.state,
+            "counters": {
+                "occupancy_sum": self._occupancy_sum,
+                "max_voq": self._max_voq,
+                "window_delivered": self._window_delivered,
+                "delivered": self._delivered,
+                "injected": self._injected,
+            },
+            "state": self._state_payload(),
+            "telemetry": self._hub.state_dict() if self._hub is not None else None,
+            "tracer": (
+                self._tracer.state_dict() if self._tracer is not None else None
+            ),
+            "checker": (
+                self._checker.state_dict() if self._checker is not None else None
+            ),
+        }
+        write_checkpoint(path, payload)
+
+    def _restore(self, payload: dict, path: str) -> None:
+        """Apply a validated checkpoint payload to this freshly started
+        session (the :meth:`SlotSimulator.resume` back half)."""
+        from .checkpoint import config_digest, flows_digest, schedule_fingerprint
+
+        if payload.get("engine") != self._engine_name:
+            raise CheckpointError(
+                f"checkpoint {path!r} was saved by the "
+                f"{payload.get('engine')!r} engine; this simulator runs "
+                f"{self._engine_name!r}"
+            )
+        if payload.get("config_digest") != config_digest(self.config):
+            raise CheckpointError(
+                f"checkpoint {path!r} was saved under a different SimConfig; "
+                f"resume with the identical configuration"
+            )
+        if payload.get("flows_digest") != flows_digest(self._flows):
+            raise CheckpointError(
+                f"checkpoint {path!r} was saved under a different workload; "
+                f"resume with the identical flow list"
+            )
+        if payload.get("schedule") != schedule_fingerprint(self.schedule):
+            raise CheckpointError(
+                f"checkpoint {path!r} was saved under a different schedule; "
+                f"resume on the schedule that was live at save time "
+                f"(after any mid-run swaps)"
+            )
+        rng = self._session_rng()
+        try:
+            rng.bit_generator.state = payload["rng_state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} carries an RNG state this build "
+                f"cannot restore: {exc}"
+            ) from exc
+        try:
+            counters = payload["counters"]
+            self.slot = int(payload["slot"])
+            self.horizon = int(payload["horizon"])
+            self._done = bool(payload["done"])
+            self._occupancy_sum = int(counters["occupancy_sum"])
+            self._max_voq = int(counters["max_voq"])
+            self._window_delivered = int(counters["window_delivered"])
+            self._delivered = int(counters["delivered"])
+            self._injected = int(counters["injected"])
+            state = payload["state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} payload is structurally invalid: {exc}"
+            ) from exc
+        self._restore_state(state)
+        saved_telemetry = payload.get("telemetry")
+        if saved_telemetry is not None:
+            if self._hub is None:
+                raise CheckpointError(
+                    f"checkpoint {path!r} carries telemetry state but the "
+                    f"resuming config has no active TelemetryHub"
+                )
+            self._hub.load_state(saved_telemetry)
+        elif self._hub is not None:
+            raise CheckpointError(
+                f"the resuming config has a TelemetryHub but checkpoint "
+                f"{path!r} carries no telemetry state"
+            )
+        saved_trace = payload.get("tracer")
+        if saved_trace is not None:
+            if self._tracer is None:
+                raise CheckpointError(
+                    f"checkpoint {path!r} carries trace state but no tracer "
+                    f"was passed to resume()"
+                )
+            self._tracer.load_state(saved_trace)
+        elif self._tracer is not None:
+            raise CheckpointError(
+                f"a tracer was passed to resume() but checkpoint {path!r} "
+                f"carries no trace state"
+            )
+        saved_checker = payload.get("checker")
+        if saved_checker is not None and self._checker is not None:
+            self._checker.load_state(saved_checker)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -413,6 +565,42 @@ class SlotSimulator:
             return engine.start(flows, duration_slots, measure_from, tracer)
         return ReferenceSession(self, flows, duration_slots, measure_from, tracer)
 
+    def resume(
+        self,
+        path: str,
+        flows: Sequence[FlowSpec],
+        tracer=None,
+    ) -> SimSession:
+        """Rebuild a paused session from the durable checkpoint at *path*.
+
+        The simulator must be constructed with the schedule that was
+        live when the checkpoint was taken (after any mid-run swaps),
+        the same router, config and timeline, and *flows* must be the
+        identical workload; mismatches are rejected with a precise
+        :class:`~repro.errors.CheckpointError`, as are missing,
+        truncated, corrupt, or schema-incompatible files — a bad
+        checkpoint is never silently re-run from slot 0.  Pass a fresh
+        *tracer* iff the saving run had one; its recorded points are
+        restored from the checkpoint.  The construction-time RNG seed is
+        irrelevant: the checkpointed RNG state (and every presampled
+        route) is restored verbatim, so the resumed run finishes
+        byte-identical to the uninterrupted one.
+        """
+        from .checkpoint import read_checkpoint
+
+        payload = read_checkpoint(path)
+        try:
+            duration_slots = int(payload["duration_slots"])
+            measure_from = int(payload["measure_from"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} payload is missing its run geometry: "
+                f"{exc}"
+            ) from exc
+        session = self.start(flows, duration_slots, measure_from, tracer)
+        session._restore(payload, path)
+        return session
+
     def run(
         self,
         flows: Sequence[FlowSpec],
@@ -459,6 +647,8 @@ class ReferenceSession(SimSession):
     replays the identical event sequence (same RNG draws, same FIFO
     order, same telemetry stream).
     """
+
+    _engine_name = "reference"
 
     def __init__(
         self,
@@ -513,6 +703,7 @@ class ReferenceSession(SimSession):
             )
         else:
             self.network = SimNetwork(self.schedule.num_nodes)
+        self._flows = tuple(flows)
         self._states: Dict[int, FlowState] = {
             spec.flow_id: FlowState(spec=spec) for spec in flows
         }
@@ -528,6 +719,87 @@ class ReferenceSession(SimSession):
 
     def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
         self.schedule = new_schedule
+
+    def _session_rng(self):
+        return self._sim.rng
+
+    def _state_payload(self) -> dict:
+        # Flow ledgers in spec order, route cache, and every queued cell
+        # in the deterministic (node, neighbor, lane, FIFO) order —
+        # restoring in the same order reproduces the deque contents
+        # exactly, so the resumed drain pops the identical cells.
+        flow_rows = [
+            [
+                state.spec.flow_id,
+                state.injected_cells,
+                state.delivered_cells,
+                state.first_delivery_slot,
+                state.completion_slot,
+                state.total_hop_count,
+            ]
+            for state in self._states.values()
+        ]
+        voq_cells = [
+            [
+                node,
+                neighbor,
+                lane,
+                cell.flow.spec.flow_id,
+                list(cell.path),
+                cell.hop,
+                cell.injected_slot,
+            ]
+            for node, neighbor, lane, cell in self.network.iter_voq_cells()
+        ]
+        return {
+            "flows": flow_rows,
+            "flow_paths": [
+                [fid, list(path)] for fid, path in self._flow_paths.items()
+            ],
+            "voq_cells": voq_cells,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        states = self._states
+        try:
+            for fid, injected, delivered, first, completion, hoptot in state[
+                "flows"
+            ]:
+                flow = states.get(fid)
+                if flow is None:
+                    raise CheckpointError(
+                        f"checkpoint names unknown flow id {fid!r}"
+                    )
+                flow.injected_cells = int(injected)
+                flow.delivered_cells = int(delivered)
+                flow.first_delivery_slot = None if first is None else int(first)
+                flow.completion_slot = (
+                    None if completion is None else int(completion)
+                )
+                flow.total_hop_count = int(hoptot)
+            self._flow_paths = {
+                fid: tuple(path) for fid, path in state["flow_paths"]
+            }
+            for node, neighbor, lane, fid, path, hop, injected_slot in state[
+                "voq_cells"
+            ]:
+                flow = states.get(fid)
+                if flow is None:
+                    raise CheckpointError(
+                        f"checkpointed cell belongs to unknown flow id {fid!r}"
+                    )
+                cell = Cell(
+                    flow=flow,
+                    path=tuple(path),
+                    hop=int(hop),
+                    injected_slot=int(injected_slot),
+                )
+                self.network.restore_cell(int(node), int(neighbor), int(lane), cell)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"reference-engine checkpoint state is structurally "
+                f"invalid: {exc}"
+            ) from exc
 
     def demand_snapshot(self):
         import numpy as np

@@ -97,6 +97,26 @@ class FailureEvent:
             return False
         return self.heal_slot is None or slot < self.heal_slot
 
+    def spec(self) -> str:
+        """This event as a :meth:`FailureTimeline.parse` entry.
+
+        The ``@start[-heal]`` clause is omitted exactly when parse would
+        default it (active from slot 0, never heals), so
+        ``parse(spec())`` reproduces the event field-for-field.
+        """
+        if self.kind == "node":
+            target = str(self.node)
+        elif self.kind == "plane":
+            target = str(self.plane)
+        else:
+            target = f"{self.link[0]}-{self.link[1]}"
+        text = f"{self.kind}:{target}"
+        if self.start_slot != 0 or self.heal_slot is not None:
+            text += f"@{self.start_slot}"
+            if self.heal_slot is not None:
+                text += f"-{self.heal_slot}"
+        return text
+
 
 class FailureTimeline:
     """A scripted sequence of faults applied to a schedule as it runs.
@@ -134,6 +154,23 @@ class FailureTimeline:
 
     def __repr__(self) -> str:
         return f"FailureTimeline({list(self.events)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureTimeline):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def spec(self) -> str:
+        """This timeline as a :meth:`parse` spec string (the inverse).
+
+        ``FailureTimeline.parse(t.spec()) == t`` for every timeline with
+        non-negative targets — the property that lets a CLI flag, a
+        checkpoint, or a journal carry a timeline as plain text.
+        """
+        return ",".join(event.spec() for event in self.events)
 
     # -- constructors --------------------------------------------------------
 

@@ -84,6 +84,26 @@ class InvariantChecker:
     def _fail(self, message: str) -> None:
         raise InvariantViolation(message)
 
+    # -- durable checkpoints ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The checker's persistent state for durable checkpoints.
+
+        Only ``checks_run`` and the last swap slot matter; the row /
+        up-slot memos are lazy caches rebuilt on demand from the
+        schedule the resumed session installs.
+        """
+        return {"checks_run": self.checks_run, "swap_slot": self._swap_slot}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.checks_run = int(state["checks_run"])
+        swap = state["swap_slot"]
+        self._swap_slot = None if swap is None else int(swap)
+        self._row_key = None
+        self._row = None
+        self._up_slots.clear()
+
     # -- circuit capacity ------------------------------------------------------
 
     def _effective_row(self, slot: int, plane: int) -> np.ndarray:

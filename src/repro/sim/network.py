@@ -165,6 +165,37 @@ class SimNetwork:
                 for lane in voq:
                     yield from lane
 
+    # -- durable checkpoints ---------------------------------------------------
+
+    def iter_voq_cells(self) -> Iterator[Tuple[int, int, int, Cell]]:
+        """Every queued cell as (node, neighbor, lane, cell) in a
+        deterministic order (nodes ascending, neighbors sorted, lanes in
+        priority order, FIFO within a lane) — the serialization seam of
+        durable checkpoints."""
+        for node, voqs in enumerate(self._voqs):
+            for neighbor in sorted(voqs):
+                for lane, queue in enumerate(voqs[neighbor]):
+                    for cell in queue:
+                        yield node, neighbor, lane, cell
+
+    def restore_cell(self, node: int, neighbor: int, lane: int, cell: Cell) -> None:
+        """Re-enqueue a checkpointed cell into an explicit lane.
+
+        Bypasses the lane classifier — the lane a cell sat in was
+        already decided before the checkpoint — but preserves FIFO order
+        as long as cells are restored in :meth:`iter_voq_cells` order.
+        """
+        if not 0 <= lane < self.num_lanes:
+            raise SimulationError(
+                f"restored cell names lane {lane}, outside [0, {self.num_lanes})"
+            )
+        voq = self._voqs[node].get(neighbor)
+        if voq is None:
+            voq = tuple(deque() for _ in range(self.num_lanes))
+            self._voqs[node][neighbor] = voq
+        voq[lane].append(cell)
+        self._occupancy += 1
+
 
 class ArrayVoqState:
     """Array-backed VOQ bookkeeping for the vectorized engine.
@@ -290,6 +321,31 @@ class LinkedVoqState:
         #: scale (64 MiB saved at N=4096).
         self.qlen = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int32)
         self._occupancy = 0
+
+    def export_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """(head, tail, qlen, occupancy) — the complete queue state, for
+        durable checkpoints.  Arrays are the live ones; callers copy."""
+        return self.head, self.tail, self.qlen, self._occupancy
+
+    def load_state(
+        self,
+        head: np.ndarray,
+        tail: np.ndarray,
+        qlen: np.ndarray,
+        occupancy: int,
+    ) -> None:
+        """Replace the complete queue state (inverse of
+        :meth:`export_state`); shapes must match this fabric's."""
+        expected = self.head.shape
+        if head.shape != expected or tail.shape != expected:
+            raise SimulationError(
+                f"restored VOQ state has shape {head.shape}, fabric "
+                f"expects {expected}"
+            )
+        self.head = head.astype(np.int32, copy=False)
+        self.tail = tail.astype(np.int32, copy=False)
+        self.qlen = qlen.astype(np.int32, copy=False)
+        self._occupancy = int(occupancy)
 
     def credit(self, count: int) -> None:
         """Account *count* cells entering the fabric (injection batch)."""

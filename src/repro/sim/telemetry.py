@@ -118,6 +118,32 @@ class TelemetryCollector:
     def finalize(self, horizon_slots: int) -> None:
         """Called once when the run ends (*horizon_slots* includes drain)."""
 
+    # -- durable checkpoints --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Lossless JSON-safe snapshot of the collector's internal state.
+
+        Together with :meth:`load_state` this is the durability seam of
+        :meth:`repro.sim.engine.SimSession.save`: a hub checkpointed
+        mid-run and restored into a fresh (or the same) hub must continue
+        producing the byte-identical event stream an uninterrupted run
+        would.  Collectors that accumulate state must override both; the
+        defaults raise so a stateful collector can never silently lose
+        its history across a save/resume boundary.
+        """
+        raise NotImplementedError(
+            f"collector {self.name!r} does not implement state_dict(); it "
+            f"cannot ride a durable checkpoint"
+        )
+
+    def load_state(self, state: dict) -> None:
+        """Replace the collector's internal state with *state* (the
+        inverse of :meth:`state_dict`; replaces, never appends)."""
+        raise NotImplementedError(
+            f"collector {self.name!r} does not implement load_state(); it "
+            f"cannot ride a durable checkpoint"
+        )
+
     # -- results -------------------------------------------------------------
 
     def rows(self) -> List[dict]:
@@ -306,6 +332,47 @@ class TelemetryHub:
         for collector in self._collectors:
             collector.reset()
 
+    # -- durable checkpoints --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Lossless JSON-safe snapshot of every deterministic collector.
+
+        The :class:`PhaseProfiler` is excluded, exactly as it is from the
+        deterministic exports — wall-clock timings cannot and need not
+        survive a process restart.
+        """
+        return {
+            "horizon_slots": self.horizon_slots,
+            "collectors": {
+                c.name: c.state_dict()
+                for c in self._collectors
+                if not isinstance(c, PhaseProfiler)
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this hub.
+
+        The hub must carry collectors with exactly the checkpointed
+        names; a mismatch raises :class:`~repro.errors.TelemetryError`
+        rather than silently dropping part of the stream.
+        """
+        saved = state.get("collectors", {})
+        live = {
+            c.name: c
+            for c in self._collectors
+            if not isinstance(c, PhaseProfiler)
+        }
+        if set(saved) != set(live):
+            raise TelemetryError(
+                f"checkpoint carries telemetry for collectors "
+                f"{sorted(saved)}, hub has {sorted(live)} — resume with a "
+                f"hub configured like the one that saved"
+            )
+        self.horizon_slots = state.get("horizon_slots")
+        for name, collector in live.items():
+            collector.load_state(saved[name])
+
     # -- deterministic export ------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -440,6 +507,22 @@ class LinkUtilizationCollector(TelemetryCollector):
             "links": self.rows(),
         }
 
+    def state_dict(self):
+        return {
+            "cells": [[src, dst, count] for (src, dst), count in sorted(self._cells.items())],
+            "intra_cells": self.intra_cells,
+            "inter_cells": self.inter_cells,
+            "horizon_slots": self.horizon_slots,
+        }
+
+    def load_state(self, state):
+        self._cells = {
+            (int(src), int(dst)): int(count) for src, dst, count in state["cells"]
+        }
+        self.intra_cells = int(state["intra_cells"])
+        self.inter_cells = int(state["inter_cells"])
+        self.horizon_slots = int(state["horizon_slots"])
+
     def reset(self):
         self._cells.clear()
         self.intra_cells = 0
@@ -494,6 +577,16 @@ class VoqHeatmapCollector(TelemetryCollector):
     def snapshot(self):
         return {"slots": list(self._slots), "backlogs": [list(r) for r in self._rows]}
 
+    def state_dict(self):
+        return {
+            "slots": list(self._slots),
+            "rows": [list(row) for row in self._rows],
+        }
+
+    def load_state(self, state):
+        self._slots = [int(s) for s in state["slots"]]
+        self._rows = [tuple(int(v) for v in row) for row in state["rows"]]
+
     def reset(self):
         self._slots.clear()
         self._rows.clear()
@@ -547,6 +640,20 @@ class HopCountCollector(TelemetryCollector):
     def snapshot(self):
         return {"bucket_slots": self.bucket_slots, "rows": self.rows()}
 
+    def state_dict(self):
+        return {
+            "counts": [
+                [bucket, hops, count]
+                for (bucket, hops), count in sorted(self._counts.items())
+            ]
+        }
+
+    def load_state(self, state):
+        self._counts = {
+            (int(bucket), int(hops)): int(count)
+            for bucket, hops, count in state["counts"]
+        }
+
     def reset(self):
         self._counts.clear()
 
@@ -582,6 +689,12 @@ class PhaseAttributionCollector(TelemetryCollector):
 
     def snapshot(self):
         return {"period": self.period, "delivered": list(self._delivered)}
+
+    def state_dict(self):
+        return {"delivered": list(self._delivered)}
+
+    def load_state(self, state):
+        self._delivered = [int(v) for v in state["delivered"]]
 
     def reset(self):
         self._delivered = [0] * self.period
@@ -623,6 +736,12 @@ class EpochTransitionCollector(TelemetryCollector):
 
     def rows(self):
         return [dict(row) for row in self._rows]
+
+    def state_dict(self):
+        return {"rows": [dict(row) for row in self._rows]}
+
+    def load_state(self, state):
+        self._rows = [dict(row) for row in state["rows"]]
 
     def reset(self):
         self._rows.clear()
@@ -681,6 +800,16 @@ class SweepCacheCollector(TelemetryCollector):
             "counts": {e: self._counts[e] for e in sorted(self._counts)},
             "rows": self.rows(),
         }
+
+    def state_dict(self):
+        return {
+            "counts": dict(self._counts),
+            "log": [[event, key] for event, key in self._log],
+        }
+
+    def load_state(self, state):
+        self._counts = {str(e): int(c) for e, c in state["counts"].items()}
+        self._log = [(str(e), str(k)) for e, k in state["log"]]
 
     def reset(self):
         self._counts.clear()

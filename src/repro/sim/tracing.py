@@ -96,6 +96,29 @@ class TraceRecorder:
         """Deterministic summary (telemetry-collector protocol)."""
         return {"stride": self.stride, "points": self.rows()}
 
+    def state_dict(self) -> dict:
+        """Lossless snapshot for durable checkpoints (collector protocol)."""
+        return {
+            "stride": self.stride,
+            "points": [
+                [p.slot, p.occupancy, p.delivered_cumulative, p.max_voq]
+                for p in self.points
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces, never appends)."""
+        self.stride = int(state["stride"])
+        self.points = [
+            TracePoint(
+                slot=int(s),
+                occupancy=int(occ),
+                delivered_cumulative=int(dc),
+                max_voq=int(mv),
+            )
+            for s, occ, dc, mv in state["points"]
+        ]
+
     def reset(self) -> None:
         """Clear recorded points so the recorder can serve a new run."""
         self.points.clear()

@@ -69,7 +69,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import CheckpointError, SimulationError
 from ..routing.base import Router
 from ..schedules.schedule import CircuitSchedule
 from ..traffic.workload import FlowSpec
@@ -166,6 +166,8 @@ class VectorizedSession(SimSession):
     kernel (njit-compiled when numba is installed) for every plane.
     """
 
+    _engine_name = "vectorized"
+
     def __init__(
         self,
         engine: VectorizedEngine,
@@ -219,6 +221,7 @@ class VectorizedSession(SimSession):
         num_flows = len(flows)
         num_nodes = self.schedule.num_nodes
         self.num_nodes = num_nodes
+        self._flows = tuple(flows)
 
         src_arr = np.fromiter((f.src for f in flows), dtype=np.int64, count=num_flows)
         dst_arr = np.fromiter((f.dst for f in flows), dtype=np.int64, count=num_flows)
@@ -381,6 +384,119 @@ class VectorizedSession(SimSession):
         # paths are schedule-independent and survive untouched.
         self.schedule = new_schedule
         self._dest_table = new_schedule.dest_table()
+
+    def _session_rng(self):
+        return self.rng
+
+    def _state_payload(self) -> dict:
+        # Everything deterministic from (flows, config, schedule) is
+        # rebuilt by a fresh start(); only the mutable tables travel.
+        # Cell/route tables are trimmed to their live prefix — linked
+        # lists only ever reference allocated ids, and capacity regrows
+        # on demand after restore.  Routes are saved even in per-flow
+        # mode (where a same-seed start() would regenerate them) so
+        # resume does not depend on the construction-time seed.
+        from .checkpoint import encode_array
+
+        if self._slot_pairs:
+            raise CheckpointError(
+                "internal error: slot-pair scratch not empty at a segment "
+                "boundary"
+            )
+        head, tail, qlen, occupancy = self.network.export_state()
+        ncells = self._ncells
+        state = {
+            "fdcount": encode_array(self._fdcount),
+            "fhoptot": encode_array(self._fhoptot),
+            "fcompletion": encode_array(self._fcompletion),
+            "network": {
+                "head": encode_array(head),
+                "tail": encode_array(tail),
+                "qlen": encode_array(qlen),
+                "occupancy": occupancy,
+            },
+            "routes": encode_array(self._routes[: self._nroutes]),
+            "rowlen": encode_array(self._rowlen[: self._nroutes]),
+            "nroutes": self._nroutes,
+            "ridx": encode_array(self._ridx[:ncells]),
+            "rhop": encode_array(self._rhop[:ncells]),
+            "rfid": encode_array(self._rfid[:ncells]),
+            "nxt": encode_array(self._nxt[:ncells]),
+            "cinj": (
+                encode_array(self._cinj[:ncells])
+                if self._cinj is not None
+                else None
+            ),
+            "ncells": ncells,
+            "cursor": self._cursor,
+            "partial_flows": self._partial_flows,
+        }
+        if self._window is None:
+            state["blk_base"] = self._blk_base
+            state["blk_hi"] = self._blk_hi
+        else:
+            state["inj"] = list(self._inj)
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        from .checkpoint import decode_array
+
+        try:
+            self._fdcount = decode_array(state["fdcount"])
+            self._fhoptot = decode_array(state["fhoptot"])
+            self._fcompletion = decode_array(state["fcompletion"])
+            net = state["network"]
+            self.network.load_state(
+                decode_array(net["head"]),
+                decode_array(net["tail"]),
+                decode_array(net["qlen"]),
+                int(net["occupancy"]),
+            )
+            self._routes = np.ascontiguousarray(
+                decode_array(state["routes"]), dtype=np.int32
+            )
+            self._rowlen = decode_array(state["rowlen"]).astype(
+                np.int32, copy=False
+            )
+            self._nroutes = int(state["nroutes"])
+            self._ridx = decode_array(state["ridx"]).astype(np.int32, copy=False)
+            self._rhop = decode_array(state["rhop"]).astype(np.int32, copy=False)
+            self._rfid = decode_array(state["rfid"]).astype(np.int32, copy=False)
+            self._nxt = decode_array(state["nxt"]).astype(np.int32, copy=False)
+            saved_cinj = state["cinj"]
+            if self._track_inj:
+                if saved_cinj is None:
+                    raise CheckpointError(
+                        "the resuming session tracks per-cell injection "
+                        "slots (invariants or delivery telemetry) but the "
+                        "checkpoint carries none — resume with the saving "
+                        "run's configuration"
+                    )
+                self._cinj = decode_array(saved_cinj).astype(np.int32, copy=False)
+            self._ncells = int(state["ncells"])
+            self._cursor = int(state["cursor"])
+            self._partial_flows = int(state["partial_flows"])
+            if self._window is None:
+                self._blk_base = int(state["blk_base"])
+                self._blk_hi = int(state["blk_hi"])
+                if self._blk_hi > self._blk_base:
+                    # The current presample chunk's scratch is a pure
+                    # function of the restored cell tables.
+                    span = slice(self._blk_base, self._blk_hi)
+                    rows = self._ridx[span]
+                    self._blk_cid = np.arange(
+                        self._blk_base, self._blk_hi, dtype=np.int32
+                    )
+                    self._blk_u = self._routes[rows, 0]
+                    self._blk_v = self._routes[rows, 1]
+                    self._blk_lane = self._fresh_lane[self._rfid[span]]
+            else:
+                self._inj = [int(v) for v in state["inj"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"vectorized-engine checkpoint state is structurally "
+                f"invalid: {exc}"
+            ) from exc
 
     def demand_snapshot(self):
         injected: np.ndarray

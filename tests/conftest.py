@@ -6,12 +6,14 @@ import pytest
 
 @pytest.fixture(autouse=True)
 def _isolated_sweep_cache(tmp_path, monkeypatch):
-    """Point the sweep result cache at a per-test directory.
+    """Point the sweep result cache and run journals at per-test dirs.
 
-    Keeps CLI/runner tests from writing ``.repro-cache/`` into the repo
-    and from seeing entries another test stored.
+    Keeps CLI/runner tests from writing ``.repro-cache/`` or
+    ``.repro-runs/`` into the repo and from seeing entries another test
+    stored.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
 
 
 def pytest_addoption(parser):

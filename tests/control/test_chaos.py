@@ -129,6 +129,10 @@ def scenarios(draw):
         planner_fail_attempts=draw(
             st.dictionaries(epoch_ids, st.integers(1, 8), max_size=2)
         ),
+        # Worker preemption: the whole session is checkpointed and
+        # restored from disk at these epoch boundaries, mid-adaptation.
+        # Every property in this module must hold across the restore.
+        preempt_epochs=draw(st.sets(epoch_ids, max_size=2)),
     )
     runtime = RuntimeConfig(
         epoch_slots=epoch_slots,
@@ -263,3 +267,27 @@ def test_throughput_degrades_gracefully(scn):
         f"adaptive delivered {result.report.delivered_cells}, static "
         f"oblivious baseline {baseline.delivered_cells} (floor {floor:.0f})"
     )
+
+
+@given(scn=scenarios())
+def test_preemption_restore_is_transparent(scn):
+    """Checkpoint/restore at epoch boundaries is invisible: a run
+    preempted (saved to disk, session discarded, resumed) at several
+    epochs — including ones inside an outage-driven fallback window —
+    matches the unpreempted run epoch-for-epoch, telemetry included.
+    The controller health state machine lives outside the session, so
+    this also pins that adaptation state survives preemption."""
+    quiet = ScriptedChaos(
+        outage_epochs=scn["chaos"].outage_epochs,
+        corrupt_epochs=scn["chaos"].corrupt_epochs,
+        planner_fail_attempts=scn["chaos"].planner_fail_attempts,
+        preempt_epochs=set(),
+    )
+    preempted_scn = dict(scn)
+    undisturbed_scn = dict(scn, chaos=quiet)
+    pre, pre_rows = run_adaptive(preempted_scn, "vectorized")
+    raw, raw_rows = run_adaptive(undisturbed_scn, "vectorized")
+    assert pre.epochs == raw.epochs
+    assert pre.report == raw.report
+    assert pre.final_state == raw.final_state
+    assert pre_rows.rows() == raw_rows.rows()

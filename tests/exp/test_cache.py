@@ -7,6 +7,7 @@ to a leaf value, the seed, the family, or the version flips the key).
 """
 
 import json
+import multiprocessing
 import os
 
 import numpy as np
@@ -175,3 +176,86 @@ class TestResultCache:
             "hit",
         ]
         assert all(row["key"] == key for row in snap["rows"])
+
+
+def _race_get(root, key, barrier, results):
+    cache = ResultCache(root=root)
+    barrier.wait()  # all processes hit the corrupt entry at once
+    value = cache.get(key)
+    results.put((value, cache.invalidations))
+
+
+def _hammer(root, key, value, rounds, errors):
+    cache = ResultCache(root=root)
+    for _ in range(rounds):
+        cache.put(key, value)
+        got = cache.get(key)
+        if got is not None and got != value:
+            errors.put(got)  # a torn/partial read escaped
+
+
+def _claim_files(root):
+    found = []
+    for dirpath, _, filenames in os.walk(root):
+        found.extend(f for f in filenames if ".claim-" in f)
+    return found
+
+
+@pytest.mark.durability
+class TestCrossProcessRaces:
+    """The corrupt-entry claim protocol under real process contention.
+
+    Invalidating a corrupt entry is claimed via ``os.replace`` to a
+    per-process name: exactly one racer wins (counts the invalidation
+    and removes the entry), every loser sees a plain miss.  Without the
+    claim, N processes hitting one corrupt entry each counted an
+    invalidation and could race ``os.remove`` against a concurrent
+    re-``put``, deleting a fresh result.
+    """
+
+    def test_corrupt_entry_has_exactly_one_invalidation_winner(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path)
+        cache = ResultCache(root=root)
+        key = point_key("fam", {"a": 1}, 0)
+        cache.put(key, {"value": 1})
+        path = os.path.join(root, key[:2], key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+
+        n = 8
+        barrier = ctx.Barrier(n)
+        results = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_get, args=(root, key, barrier, results))
+            for _ in range(n)
+        ]
+        for proc in procs:
+            proc.start()
+        outcomes = [results.get(timeout=30) for _ in range(n)]
+        for proc in procs:
+            proc.join(timeout=30)
+
+        assert all(value is None for value, _ in outcomes)  # nobody reads garbage
+        assert sum(count for _, count in outcomes) == 1  # single winner
+        assert not os.path.exists(path)
+        assert _claim_files(root) == []  # winner cleaned its claim up
+
+    def test_concurrent_put_get_never_reads_partial_entries(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path)
+        key = point_key("fam", {"stress": True}, 7)
+        value = {"value": list(range(64)), "tag": "x" * 256}
+        errors = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer, args=(root, key, value, 50, errors))
+            for _ in range(6)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        assert errors.empty()
+        assert ResultCache(root=root).get(key) == value
+        assert _claim_files(root) == []

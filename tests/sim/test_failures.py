@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.routing import SornRouter, VlbRouter
@@ -429,3 +431,75 @@ class TestBlastRadiusSimulation:
             bystanders,
         )
         assert sorn.completion_ratio > flat.completion_ratio
+
+
+def _events():
+    """Hypothesis strategy for valid FailureEvents (non-negative ids).
+
+    spec() round-trips exactly the timelines parse() can express:
+    non-negative node/plane/link ids (a negative link endpoint would
+    collide with the 'u-v' separator).
+    """
+    windows = st.one_of(
+        st.just((0, None)),
+        st.tuples(st.integers(0, 10_000), st.none()),
+        st.integers(0, 10_000).flatmap(
+            lambda s: st.tuples(
+                st.just(s), st.integers(s + 1, s + 10_000)
+            )
+        ),
+    )
+    nodes = st.builds(
+        lambda n, w: FailureEvent(
+            kind="node", node=n, start_slot=w[0], heal_slot=w[1]
+        ),
+        st.integers(0, 4096),
+        windows,
+    )
+    planes = st.builds(
+        lambda p, w: FailureEvent(
+            kind="plane", plane=p, start_slot=w[0], heal_slot=w[1]
+        ),
+        st.integers(0, 64),
+        windows,
+    )
+    links = st.builds(
+        lambda u, v, w: FailureEvent(
+            kind="link", link=(u, v), start_slot=w[0], heal_slot=w[1]
+        ),
+        st.integers(0, 4096),
+        st.integers(4097, 8192),  # distinct endpoints by construction
+        windows,
+    )
+    return st.one_of(nodes, planes, links)
+
+
+class TestSpecRoundTrip:
+    @given(events=st.lists(_events(), max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_inverts_spec(self, events):
+        timeline = FailureTimeline(events)
+        assert FailureTimeline.parse(timeline.spec()) == timeline
+
+    def test_spec_omits_default_window(self):
+        assert FailureTimeline(
+            (FailureEvent(kind="node", node=3, start_slot=0),)
+        ).spec() == "node:3"
+        assert FailureTimeline(
+            (FailureEvent(kind="link", link=(2, 7), start_slot=50),)
+        ).spec() == "link:2-7@50"
+        assert FailureTimeline(
+            (FailureEvent(kind="plane", plane=1, start_slot=10, heal_slot=20),)
+        ).spec() == "plane:1@10-20"
+
+    def test_spec_of_empty_timeline(self):
+        assert FailureTimeline().spec() == ""
+        assert FailureTimeline.parse(FailureTimeline().spec()) == FailureTimeline()
+
+    def test_equality_is_by_events(self):
+        a = FailureTimeline.parse("node:1@5-9,plane:0@2")
+        b = FailureTimeline.parse(" node:1@5-9 , plane:0@2 ")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FailureTimeline.parse("node:1@5-9")
+        assert a.__eq__(object()) is NotImplemented

@@ -50,6 +50,42 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "fluid" in out and "simulated" in out
 
+    def test_fig2f_resume_round_trip(self, capsys):
+        """--resume RUN_ID names (or continues) a journaled run: the
+        second invocation replays entirely from journal + cache and
+        prints byte-identical output."""
+        from repro.exp import RunJournal
+
+        argv = ["fig2f", "--nodes", "16", "--cliques", "4", "--simulate",
+                "--slots", "150", "--seed", "1", "--resume", "cli-resume-a"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        journal = RunJournal.load("cli-resume-a")
+        assert journal.done == set(range(len(journal.keys)))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_with_no_cache_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig2f", "--nodes", "16", "--cliques", "4", "--simulate",
+                  "--slots", "150", "--resume", "nope", "--no-cache"])
+        assert exc.value.code == 2
+        assert "drop --no-cache" in capsys.readouterr().err
+
+    def test_table1_resume_journals_both_sweeps(self, capsys):
+        """table1 runs two journaled sweeps (slot-sim + flow model);
+        one --resume id covers both via the -flow part suffix."""
+        from repro.exp import RunJournal
+
+        argv = ["table1", "--model", "flow", "--resume", "cli-resume-t1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        for part in ("", "-flow"):
+            journal = RunJournal.load("cli-resume-t1" + part)
+            assert journal.done == set(range(len(journal.keys)))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
     def test_fig2f_engine_flag_matches_reference(self, capsys):
         """Both engines print byte-identical fig2f tables."""
         outputs = {}
