@@ -12,9 +12,14 @@ measurement to ``BENCH_kernel.json`` for CI regression tracking:
   paper's N=4096 scale.
 - **per-kernel**: a profiled vectorized run (telemetry hub carrying only
   a :class:`repro.sim.telemetry.PhaseProfiler`, so the engine still
-  takes its fastest drain tiers) breaks the slot loop into the
-  ``inject`` (append_cells), ``forward`` (walk/commit/drain kernels) and
-  ``stats`` (ledger folds) phases, reported as ms/slot each.
+  takes its fastest drain tiers) breaks the slot loop into ``inject``
+  (append_cells), the forwarding sub-phases ``drain`` / ``commit`` /
+  ``repair`` (``forward`` keeps the residual glue), and ``stats``
+  (ledger folds), reported as ms/slot each — a regression names the
+  guilty kernel, not just "forwarding got slower".
+- **batch sweep**: the vectorized engine re-timed with the slot-batched
+  driver collapsed (``slot_batch=1``) next to the default (``"auto"``),
+  stamping what driver batching alone is worth at each N.
 - **numba**: when numba is installed, ``SimConfig(kernels="numba")`` is
   timed and reported separately (never gated — CI images may lack it);
   its report must equal the numpy-path report bit-for-bit.
@@ -124,6 +129,15 @@ def test_kernel_throughput(report, smoke):
         )
         assert vec_report == ref_report, "fused engine diverged from reference"
         speedup = ref_s / vec_s
+        # Batch sweep: the same engine with the slot-batched driver off.
+        unbatched_s, unbatched_report = _timed_run(
+            schedule,
+            router,
+            SimConfig(engine="vectorized", slot_batch=1),
+            flows,
+            slots,
+        )
+        assert unbatched_report == ref_report, "unbatched driver diverged"
         numba_s = numba_speedup = None
         if HAVE_NUMBA:
             numba_s, numba_report = _timed_run(
@@ -149,6 +163,11 @@ def test_kernel_throughput(report, smoke):
                 "numba_seconds": round(numba_s, 4) if numba_s else None,
                 "numba_speedup": numba_speedup,
                 "phase_ms_per_slot": phases,
+                "batch_sweep": {
+                    "auto_slots_per_s": round(slots / vec_s, 1),
+                    "slot_batch_1_slots_per_s": round(slots / unbatched_s, 1),
+                    "batching_gain": round(unbatched_s / vec_s, 2),
+                },
             }
         )
         gate = None if smoke or num_nodes < 512 else SPEEDUP_FLOOR
@@ -158,6 +177,7 @@ def test_kernel_throughput(report, smoke):
             f"speedup {speedup:>6.2f}x"
             + (f" (gate >= {gate:.0f}x)" if gate else "")
             + (f"   numba {numba_speedup:.2f}x" if numba_speedup else "")
+            + f"   batching {unbatched_s / vec_s:.2f}x"
         )
 
     payload = {

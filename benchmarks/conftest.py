@@ -38,18 +38,51 @@ def bench_environment():
 
     from repro.sim.kernels import HAVE_NUMBA
 
+    from repro.exp.shm import posting_seen
+
     env = {
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "cpu_count": os.cpu_count(),
+        "cpu_count_physical": _physical_cpu_count(),
         "platform": platform.platform(),
         "numba": None,
+        "shm_posting": posting_seen(),
     }
     if HAVE_NUMBA:
         import numba
 
         env["numba"] = numba.__version__
     return env
+
+
+def _physical_cpu_count():
+    """Physical core count (SMT siblings collapsed), or None if unknown.
+
+    ``os.cpu_count()`` reports *logical* CPUs; throughput baselines on a
+    hyperthreaded runner are not comparable to the same logical count of
+    real cores, so both numbers are stamped.  Parsed from
+    ``/proc/cpuinfo`` (Linux); other platforms report None rather than
+    guessing.
+    """
+    try:
+        physical = set()
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            package = core = None
+            for line in handle:
+                if line.startswith("physical id"):
+                    package = line.split(":", 1)[1].strip()
+                elif line.startswith("core id"):
+                    core = line.split(":", 1)[1].strip()
+                elif not line.strip():
+                    if package is not None and core is not None:
+                        physical.add((package, core))
+                    package = core = None
+            if package is not None and core is not None:
+                physical.add((package, core))
+        return len(physical) or None
+    except OSError:
+        return None
 
 
 def pytest_addoption(parser):

@@ -21,6 +21,13 @@ fan-out) and ``--no-cache`` (bypass the content-addressed result cache
 under ``.repro-cache/``).  Both are pure speed knobs: output is
 bit-identical across worker counts and cache temperature.
 
+The sim-running subcommands additionally accept ``--profile PATH``,
+which attaches a wall-clock phase profiler to every in-process
+simulation and dumps the aggregated inject / drain / commit / repair /
+forward / stats timings as JSON — the same breakdown
+``BENCH_kernel.json`` tracks, pointed at whatever workload the
+subcommand just ran.
+
 Cached sweeps are **journaled** (``.repro-runs/``): every invocation
 gets a run id, completed points are recorded durably as they finish,
 and a run killed at any moment — Ctrl-C, SIGTERM, SIGKILL, OOM — can be
@@ -33,6 +40,8 @@ requeues workers whose heartbeats go stale.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import signal
 import sys
 import uuid
@@ -125,6 +134,58 @@ def _run_points(args: argparse.Namespace, points, part: str = "") -> list:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+
+
+def _add_profile_flag(p: argparse.ArgumentParser) -> None:
+    """Attach ``--profile PATH`` (sim-running subcommands only)."""
+    p.add_argument(
+        "--profile",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="dump the wall-clock engine phase profile (inject / drain / "
+        "commit / repair / forward / stats, per-phase seconds, laps and "
+        "share) of this invocation's simulations as JSON to PATH; "
+        "requires --workers 0 where sweeps apply, and cached points "
+        "contribute nothing (add --no-cache to profile a warm sweep)",
+    )
+
+
+@contextlib.contextmanager
+def _maybe_profiled(args: argparse.Namespace):
+    """Honor ``--profile PATH``: collect every in-process simulation's
+    phase timings and write them as JSON after the command finishes.
+
+    Profiling is in-process by nature (wall-clock timers around the
+    engine loop), so it refuses ``--workers > 0`` rather than silently
+    writing an empty profile while the sims run in children.
+    """
+    path = getattr(args, "profile", "")
+    if not path:
+        yield
+        return
+    if getattr(args, "workers", 0):
+        print(
+            "--profile requires --workers 0 (phase timers are in-process)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    from .sim import profiled_runs
+    from .sim.telemetry import PhaseProfiler
+
+    with profiled_runs(PhaseProfiler()) as profiler:
+        yield
+    phases = profiler.summary()
+    if not phases:
+        print(
+            "--profile: no simulations ran in-process (cache hits, or a "
+            "subcommand that computes analytically); profile is empty",
+            file=sys.stderr,
+        )
+    with open(path, "w") as fh:
+        json.dump({"phases": phases}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote phase profile to {path}")
 
 
 def _add_sweep_flags(p: argparse.ArgumentParser) -> None:
@@ -351,8 +412,6 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
         + "  (hops = measured bandwidth tax; thpt is per plane)"
     )
     if args.json:
-        import json
-
         payload = {
             "config": dict(
                 base,
@@ -592,12 +651,15 @@ def _cmd_fig_telemetry(args: argparse.Namespace) -> int:
     layout = CliqueLayout.equal(n, args.cliques)
     q = optimal_q(x)
     schedule = build_sorn_schedule(n, args.cliques, q=q, layout=layout)
+    # Under --profile the shared profiling sink registers into this hub
+    # (it has no profiler of its own), so the phase table printed below
+    # and the dumped JSON read the same timers.
     hub = TelemetryHub(
         standard_collectors(
             schedule,
             layout=layout,
             bucket_slots=max(1, args.slots // 6),
-            profile=True,
+            profile=not args.profile,
         ),
         stride=args.stride,
     )
@@ -804,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized is the fast path)",
     )
     _add_sweep_flags(p)
+    _add_profile_flag(p)
     p.set_defaults(func=_cmd_fig2f)
 
     p = sub.add_parser(
@@ -833,6 +896,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
     )
     _add_sweep_flags(p)
+    _add_profile_flag(p)
     p.set_defaults(func=_cmd_blast_radius)
 
     p = sub.add_parser(
@@ -857,6 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the telemetry stream as JSON Lines here")
     p.add_argument("--csv", type=str, default="",
                    help="write one CSV per collector into this directory")
+    _add_profile_flag(p)
     p.set_defaults(func=_cmd_fig_telemetry)
 
     p = sub.add_parser("pareto", help="latency-throughput tradeoff points")
@@ -894,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", type=str, default="",
                    help="write rows + frontier labels as JSON here")
     _add_sweep_flags(p)
+    _add_profile_flag(p)
     p.set_defaults(func=_cmd_frontier)
 
     p = sub.add_parser("design", help="describe one SORN design point")
@@ -958,6 +1024,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="either engine produces the identical epoch history",
     )
     _add_sweep_flags(p)
+    _add_profile_flag(p)
     p.set_defaults(func=_cmd_fig_adaptive)
 
     p = sub.add_parser("adapt", help="run the adaptation loop demo")
@@ -973,7 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``sorn-repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _maybe_profiled(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,312 @@
+"""Content-addressed on-disk cache for compiled schedule tables.
+
+Compiling a schedule — materializing the dense destination table
+``T[t, p, src]`` that the vectorized engine, the routers, and the
+invariant checker all consume — is pure recomputation after the first
+time: the table is a deterministic function of the schedule's
+construction parameters.  At paper scale it is also *expensive*
+recomputation: the N=4096 SORN schedule walks 3843 matchings of 4096
+nodes (a ~60 MiB int32 table) in every process that touches the fabric —
+every sweep worker, every segment resume, every benchmark trial.
+
+This cache stores compiled tables once, keyed by content exactly like
+:class:`repro.exp.cache.ResultCache` keys sweep results: the SHA-256 of
+the canonical JSON of the schedule's class name, dimensions, and its
+:meth:`repro.schedules.schedule.CircuitSchedule.cache_token` — the
+token captures every remaining degree of freedom (seeds, q ratios,
+demand digests), so equal-token schedules share one table and any
+semantic change misses.  Schedules without a token (``cache_token()``
+is ``None``) bypass the cache and build locally.
+
+Hits are served as **read-only memory maps** (``np.load(mmap_mode="r")``),
+so concurrent sweep workers compiling the same fabric share one page-
+cache copy instead of each faulting in a private 60 MiB build — and a
+warm process start skips the compile entirely.  Alongside each table the
+cache stores the packed circuit-up mask (``np.packbits(table >= 0)``),
+the bit-per-circuit form topology-level consumers ask for.
+
+Entry layout mirrors :class:`ResultCache`: files live under
+``<root>/schedules/<first-2-hex>/``, a JSON meta file carrying the
+schema version, its own key, and the array shapes is the *commit point*
+(written atomically, last), and corrupt or stale entries are claimed by
+rename, deleted, counted as invalidations, and rebuilt — never trusted.
+
+:meth:`ScheduleCache.activate` installs the cache as the process-wide
+dest-table provider (:func:`repro.schedules.schedule.
+set_dest_table_provider`), after which **every**
+:meth:`~repro.schedules.schedule.CircuitSchedule.dest_table` call in
+the process — simulator engines included — is transparently served
+through the cache.  The cache is also a context manager for scoped
+activation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import uuid
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..schedules.schedule import set_dest_table_provider
+from .cache import canonical_json
+
+__all__ = ["SCHED_SCHEMA_VERSION", "schedule_key", "ScheduleCache"]
+
+#: On-disk entry schema; bump to invalidate every compiled table.
+SCHED_SCHEMA_VERSION = 1
+
+
+def schedule_key(schedule) -> Optional[str]:
+    """The content hash addressing *schedule*'s compiled tables.
+
+    ``None`` when the schedule declares itself uncacheable
+    (``cache_token() is None``).  The key envelope covers the class
+    name, node count, period, plane count, and the cache schema version;
+    the token covers everything else.  Two schedules that would build
+    byte-identical tables therefore hash equal, and any semantic
+    difference produces a distinct key.
+    """
+    token = schedule.cache_token()
+    if token is None:
+        return None
+    text = canonical_json(
+        {
+            "schema": SCHED_SCHEMA_VERSION,
+            "kind": type(schedule).__name__,
+            "nodes": schedule.num_nodes,
+            "period": schedule.period,
+            "planes": schedule.num_planes,
+            "token": token,
+        }
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ScheduleCache:
+    """Compiled-schedule store under ``<root>/schedules/``.
+
+    Parameters
+    ----------
+    root:
+        Cache root; defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache``
+        (the same default root as :class:`~repro.exp.cache.ResultCache`,
+        so one directory holds both result and schedule entries).
+    telemetry:
+        Optional :class:`repro.sim.telemetry.TelemetryHub`; transactions
+        are emitted on its ``sweep`` stream as ``sched-hit`` /
+        ``sched-miss`` / ``sched-store`` / ``sched-invalidate`` /
+        ``sched-bypass`` events.
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``invalidations`` /
+    ``bypasses``) accumulate over the object's lifetime.
+    """
+
+    def __init__(self, root: Optional[str] = None, telemetry=None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+        self.root = os.path.join(str(root), "schedules")
+        self.telemetry = telemetry
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+        self.bypasses = 0
+        self._previous_provider = None
+        self._active = False
+
+    # -- provider installation ------------------------------------------------
+
+    def activate(self) -> "ScheduleCache":
+        """Install as the process-wide dest-table provider; returns self."""
+        if not self._active:
+            self._previous_provider = set_dest_table_provider(self.dest_table)
+            self._active = True
+        return self
+
+    def deactivate(self) -> None:
+        """Uninstall, restoring whatever provider was active before."""
+        if self._active:
+            set_dest_table_provider(self._previous_provider)
+            self._previous_provider = None
+            self._active = False
+
+    def __enter__(self) -> "ScheduleCache":
+        return self.activate()
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+    # -- paths / telemetry ----------------------------------------------------
+
+    def _emit(self, event: str, key: str) -> None:
+        if self.telemetry is not None and self.telemetry.wants_sweeps:
+            self.telemetry.record_sweep(event, key)
+
+    def _paths(self, key: str) -> Tuple[str, str, str]:
+        """(meta, table, mask) paths for *key*."""
+        stem = os.path.join(self.root, key[:2], key)
+        return stem + ".json", stem + ".npy", stem + ".mask.npy"
+
+    # -- public API -----------------------------------------------------------
+
+    def dest_table(self, schedule) -> np.ndarray:
+        """*schedule*'s dense destination table, cache-mediated.
+
+        A hit returns a read-only memory map of the on-disk table —
+        byte-identical to a cold
+        :meth:`~repro.schedules.schedule.CircuitSchedule._build_dest_table`
+        because misses store the cold build verbatim and ``.npy``
+        round-trips int32 arrays exactly.  Uncacheable schedules build
+        locally (counted as bypasses).
+        """
+        key = schedule_key(schedule)
+        if key is None:
+            self.bypasses += 1
+            self._emit("sched-bypass", type(schedule).__name__)
+            return schedule._build_dest_table()
+        loaded = self._load(schedule, key)
+        if loaded is not None:
+            self.hits += 1
+            self._emit("sched-hit", key)
+            return loaded[0]
+        self.misses += 1
+        self._emit("sched-miss", key)
+        table = schedule._build_dest_table()
+        self._store(key, table)
+        return table
+
+    def circuit_up_mask(self, schedule) -> np.ndarray:
+        """Packed circuit-up bits for *schedule*: ``np.packbits`` of
+        ``dest_table >= 0`` along the node axis, shape
+        ``(period, planes, ceil(nodes / 8))``.
+
+        Memory-mapped on a hit; computed from the (possibly fresh)
+        dest table otherwise.  Unpacking the first ``num_nodes`` bits of
+        a row recovers exactly which sources hold a circuit that slot.
+        """
+        key = schedule_key(schedule)
+        if key is not None:
+            loaded = self._load(schedule, key)
+            if loaded is not None:
+                self.hits += 1
+                self._emit("sched-hit", key)
+                return loaded[1]
+        mask = np.packbits(schedule.dest_table() >= 0, axis=-1)
+        mask.setflags(write=False)
+        return mask
+
+    def stats(self) -> dict:
+        """Current counter values as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "bypasses": self.bypasses,
+        }
+
+    # -- load / store ---------------------------------------------------------
+
+    def _expected_shapes(self, schedule) -> Tuple[tuple, tuple]:
+        n = schedule.num_nodes
+        dims = (schedule.period, schedule.num_planes)
+        return dims + (n,), dims + (-(-n // 8),)
+
+    def _load(self, schedule, key: str):
+        """(table, mask) memory maps for *key*, or None on miss.
+
+        Anything out of contract — unreadable meta, schema or key
+        mismatch, shape/dtype drift, unreadable arrays — is claimed by
+        rename (one process wins the claim and counts the invalidation),
+        deleted, and reported as a miss so the caller rebuilds.
+        """
+        meta_path, table_path, mask_path = self._paths(key)
+        table_shape, mask_shape = self._expected_shapes(schedule)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            meta = None  # unreadable -> invalidate below
+        if meta is not None:
+            try:
+                if not (
+                    isinstance(meta, dict)
+                    and meta.get("schema") == SCHED_SCHEMA_VERSION
+                    and meta.get("key") == key
+                    and tuple(meta.get("shape", ())) == table_shape
+                ):
+                    raise ValueError("stale schedule-cache meta")
+                table = np.load(table_path, mmap_mode="r")
+                mask = np.load(mask_path, mmap_mode="r")
+                if (
+                    table.shape == table_shape
+                    and table.dtype == np.int32
+                    and mask.shape == mask_shape
+                    and mask.dtype == np.uint8
+                ):
+                    return table, mask
+                raise ValueError("schedule-cache array drift")
+            except (OSError, ValueError, EOFError):
+                pass  # fall through to claim-by-rename invalidation
+        claim = f"{meta_path}.claim-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            os.replace(meta_path, claim)
+        except OSError:
+            pass  # lost the race: someone else claimed (or replaced) it
+        else:
+            self.invalidations += 1
+            self._emit("sched-invalidate", key)
+            for stale in (claim, table_path, mask_path):
+                try:
+                    os.remove(stale)
+                except OSError:
+                    pass
+        return None
+
+    def _atomic_save(self, path: str, array: np.ndarray) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, array)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _store(self, key: str, table: np.ndarray) -> None:
+        """Persist *table* and its packed mask; meta commits the entry."""
+        meta_path, table_path, mask_path = self._paths(key)
+        directory = os.path.dirname(meta_path)
+        os.makedirs(directory, exist_ok=True)
+        mask = np.packbits(table >= 0, axis=-1)
+        self._atomic_save(table_path, np.ascontiguousarray(table))
+        self._atomic_save(mask_path, mask)
+        meta = {
+            "schema": SCHED_SCHEMA_VERSION,
+            "key": key,
+            "shape": list(table.shape),
+            "dtype": "int32",
+        }
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, separators=(",", ":"))
+            os.replace(tmp, meta_path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self._emit("sched-store", key)

@@ -14,6 +14,7 @@ uplinks and divides the effective cycle time by 16.
 from __future__ import annotations
 
 import abc
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,7 +23,31 @@ from ..errors import ScheduleError
 from ..util import check_positive_int
 from .matching import Matching
 
-__all__ = ["CircuitSchedule", "ExplicitSchedule"]
+__all__ = ["CircuitSchedule", "ExplicitSchedule", "set_dest_table_provider"]
+
+#: Process-wide hook consulted by :meth:`CircuitSchedule.dest_table` before
+#: building a table from scratch.  A provider maps a schedule to its dense
+#: destination table — typically a memory-mapped array served by
+#: :class:`repro.exp.schedcache.ScheduleCache` — so every consumer in the
+#: process (simulator engines, routers, sweep workers) transparently shares
+#: one on-disk copy.  ``None`` means "build locally" (the default).
+_TABLE_PROVIDER = None
+
+
+def set_dest_table_provider(provider):
+    """Install *provider* as the process-wide dest-table source.
+
+    *provider* is called as ``provider(schedule)`` and must return a
+    read-only ``(period, num_planes, num_nodes)`` int32 array equal to
+    what :meth:`CircuitSchedule.dest_table` would have built (providers
+    fall back to :meth:`CircuitSchedule._build_dest_table` themselves for
+    schedules they cannot serve).  Pass ``None`` to uninstall.  Returns
+    the previously installed provider so callers can restore it.
+    """
+    global _TABLE_PROVIDER
+    previous = _TABLE_PROVIDER
+    _TABLE_PROVIDER = provider
+    return previous
 
 
 class CircuitSchedule(abc.ABC):
@@ -134,37 +159,92 @@ class CircuitSchedule(abc.ABC):
         consumers — the vectorized simulator engine above all — skip
         per-slot :class:`Matching` construction entirely.  The returned
         array is read-only.
+
+        When a provider is installed via :func:`set_dest_table_provider`
+        (the compiled-schedule cache), the table may come back as a
+        read-only memory map of an on-disk copy shared by every process
+        that compiles the same schedule.
         """
         if self._dest_table is None:
-            # int32 holds any node id (N < 2**31) and halves the table:
-            # ~60 MiB saved at N=4096 with the SORN period of ~3843.
-            if self._planes_are_offset_copies():
-                base = np.stack(
-                    [self.matching(t).dst.astype(np.int32) for t in range(self._period)]
-                )
-                slots = np.arange(self._period)
-                table = np.stack(
-                    [
-                        base[(slots + self.plane_offset(p)) % self._period]
-                        for p in range(self._num_planes)
-                    ],
-                    axis=1,
-                )
+            if _TABLE_PROVIDER is not None:
+                table = _TABLE_PROVIDER(self)
             else:
-                table = np.stack(
-                    [
-                        np.stack(
-                            [
-                                self.plane_matching(t, p).dst.astype(np.int32)
-                                for p in range(self._num_planes)
-                            ]
-                        )
-                        for t in range(self._period)
-                    ]
-                )
-            table.setflags(write=False)
+                table = self._build_dest_table()
             self._dest_table = table
         return self._dest_table
+
+    def _build_dest_table(self) -> np.ndarray:
+        """Materialize the dense destination table (cold path).
+
+        The pure builder behind :meth:`dest_table`: no instance memo, no
+        provider hook — this is what the compiled-schedule cache calls on
+        a miss, and what it must reproduce byte-for-byte on a hit.
+        """
+        # int32 holds any node id (N < 2**31) and halves the table:
+        # ~60 MiB saved at N=4096 with the SORN period of ~3843.
+        if self._planes_are_offset_copies():
+            base = np.stack(
+                [self.matching(t).dst.astype(np.int32) for t in range(self._period)]
+            )
+            slots = np.arange(self._period)
+            table = np.stack(
+                [
+                    base[(slots + self.plane_offset(p)) % self._period]
+                    for p in range(self._num_planes)
+                ],
+                axis=1,
+            )
+        else:
+            table = np.stack(
+                [
+                    np.stack(
+                        [
+                            self.plane_matching(t, p).dst.astype(np.int32)
+                            for p in range(self._num_planes)
+                        ]
+                    )
+                    for t in range(self._period)
+                ]
+            )
+        table.setflags(write=False)
+        return table
+
+    def cache_token(self) -> Optional[dict]:
+        """Canonicalizable parameters that determine :meth:`dest_table`.
+
+        The compiled-schedule cache (:class:`repro.exp.schedcache.
+        ScheduleCache`) keys on-disk tables by the SHA-256 of this token
+        plus the schedule's class name, size, period, and plane count —
+        so a token must capture *every* remaining degree of freedom of
+        the matching sequence (seeds, oversubscription ratios, demand
+        digests, ...), and two schedules with equal tokens must build
+        byte-identical tables.  ``None`` (the default) marks the schedule
+        uncacheable: consumers fall back to a local build.
+        """
+        return None
+
+    def adopt_dest_table(self, table: np.ndarray) -> None:
+        """Bind an externally compiled destination table.
+
+        The zero-copy entry point: a sweep parent that already compiled
+        (or memory-mapped) this schedule's table hands it to the worker's
+        schedule instance so :meth:`dest_table` never rebuilds it.
+        *table* must match the table this schedule would build — shape
+        ``(period, num_planes, num_nodes)``, dtype int32 — and is
+        rejected otherwise; a schedule that already bound a table keeps
+        it (the bound table is the same bytes by the callers' contract).
+        """
+        expected = (self._period, self._num_planes, self._num_nodes)
+        if table.shape != expected or table.dtype != np.int32:
+            raise ScheduleError(
+                f"adopted dest table has shape {table.shape} dtype "
+                f"{table.dtype}; this schedule builds {expected} int32"
+            )
+        if self._dest_table is None:
+            if table.flags.writeable:
+                table = table.copy()
+                table.setflags(write=False)
+            self._dest_table = table
 
     def _planes_are_offset_copies(self) -> bool:
         """Whether every plane is the base matching sequence shifted by
@@ -303,6 +383,17 @@ class ExplicitSchedule(CircuitSchedule):
 
     def matching(self, slot: int) -> Matching:
         return self._slots[slot % self._period]
+
+    def cache_token(self) -> Optional[dict]:
+        """Digest of the held matchings (covers arbitrary synthesized
+        schedules — BvN output included — without enumerating their
+        construction parameters).  Hashing the destination rows costs a
+        single pass over arrays already in memory, far below the table
+        build it lets the cache skip."""
+        digest = hashlib.sha256()
+        for m in self._slots:
+            digest.update(np.ascontiguousarray(m.dst, dtype=np.int64).tobytes())
+        return {"matchings_sha256": digest.hexdigest()}
 
     def rotated(self, offset: int) -> "ExplicitSchedule":
         """The same cyclic schedule starting *offset* slots later."""

@@ -23,8 +23,19 @@ identically — bit-for-bit — by both engines.
 """
 
 from .flows import Cell, FlowState
-from .network import ArrayVoqState, LinkedVoqState, SimNetwork
-from .engine import SegmentCheckpoint, SimConfig, SimSession, SlotSimulator
+from .network import (
+    ArrayVoqState,
+    LinkedVoqState,
+    SimNetwork,
+    clear_cube_pool,
+)
+from .engine import (
+    SegmentCheckpoint,
+    SimConfig,
+    SimSession,
+    SlotSimulator,
+    profiled_runs,
+)
 from .checkpoint import (
     CHECKPOINT_MAGIC,
     CHECKPOINT_SCHEMA,
@@ -68,8 +79,10 @@ __all__ = [
     "FlowState",
     "SimNetwork",
     "ArrayVoqState",
+    "clear_cube_pool",
     "LinkedVoqState",
     "SlotSimulator",
+    "profiled_runs",
     "SimConfig",
     "SimSession",
     "SegmentCheckpoint",

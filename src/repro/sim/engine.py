@@ -30,8 +30,9 @@ identical results in both engines.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import CheckpointError, SimulationError
 from ..routing.base import Router
@@ -408,6 +409,20 @@ class SimConfig:
         RNG draws and results are bit-identical for any chunk size).
         The default keeps refill overhead negligible; tests force tiny
         chunks to exercise boundary crossings.
+    slot_batch:
+        Vectorized-engine driver batching: advance up to this many slots
+        per Python-level driver iteration (``"auto"`` picks the default
+        span, an int pins it, ``1`` disables batching).  Purely a
+        performance knob — results, traces, telemetry and checkpoints
+        are bit-identical at every setting, and the batch span collapses
+        to one slot wherever per-slot observation is required (telemetry
+        hub, tracer, invariant checker, windowed injection) or a batch
+        would cross a segment stop, a ``FailureTimeline`` edge, the
+        arrival horizon, or a presampling chunk boundary — so
+        checkpoints, schedule swaps and failure masks still land on
+        exact slots.  Excluded from the checkpoint config digest (like
+        ``telemetry``): a checkpoint written at one setting restores
+        under any other.
     """
 
     cells_per_circuit: int = 1
@@ -422,6 +437,7 @@ class SimConfig:
     check_invariants: bool = False
     telemetry: Optional["TelemetryHub"] = None
     presample_chunk_cells: int = 65536
+    slot_batch: Union[int, str] = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "vectorized"):
@@ -450,6 +466,8 @@ class SimConfig:
                 self.classify_fct_threshold_cells, "classify_fct_threshold_cells"
             )
         check_positive_int(self.presample_chunk_cells, "presample_chunk_cells")
+        if self.slot_batch != "auto":
+            check_positive_int(self.slot_batch, "slot_batch")
 
     @property
     def report_threshold_cells(self) -> int:
@@ -457,6 +475,46 @@ class SimConfig:
         if self.classify_fct_threshold_cells is not None:
             return self.classify_fct_threshold_cells
         return self.short_flow_threshold_cells or 0
+
+
+#: Process-wide profiler attached to every in-process simulation while a
+#: :func:`profiled_runs` context is active (CLI ``--profile`` plumbing).
+_PROFILE_SINK = None
+
+
+@contextlib.contextmanager
+def profiled_runs(profiler):
+    """Attach *profiler* to every simulation constructed in this process
+    while the context is active.
+
+    Simulators whose config carries no telemetry hub get a fresh hub
+    holding only *profiler*; hubs without a registered
+    :class:`repro.sim.telemetry.PhaseProfiler` get *profiler* registered
+    into them; hubs that already profile are left alone.  The profiler
+    accumulates across every run inside the context, so one sink
+    captures a whole multi-point CLI invocation.  Results stay
+    bit-identical — the profiler is excluded from telemetry snapshots
+    and report state; only the slot-batched driver collapses to
+    per-slot stepping, which is behavior-invariant by contract.
+    Contexts nest; each restores the previous sink on exit.
+    """
+    global _PROFILE_SINK
+    previous = _PROFILE_SINK
+    _PROFILE_SINK = profiler
+    try:
+        yield profiler
+    finally:
+        _PROFILE_SINK = previous
+
+
+def _profiled_config(config: "SimConfig", profiler) -> "SimConfig":
+    """*config* with *profiler* attached (see :func:`profiled_runs`)."""
+    hub = config.telemetry
+    if hub is None:
+        return dataclasses.replace(config, telemetry=TelemetryHub([profiler]))
+    if hub.profiler is None:
+        hub.register(profiler)
+    return config
 
 
 class SlotSimulator:
@@ -490,6 +548,8 @@ class SlotSimulator:
         self.schedule = schedule
         self.router = router
         self.config = config or SimConfig()
+        if _PROFILE_SINK is not None:
+            self.config = _profiled_config(self.config, _PROFILE_SINK)
         self.rng = ensure_rng(rng)
         if timeline is not None and len(timeline) == 0:
             timeline = None

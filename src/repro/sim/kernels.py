@@ -41,6 +41,14 @@ the narrow counter matters at paper scale (N=4096).  Per-slot group
 sums that could overflow int32 in principle (``pcounts`` in
 :func:`append_cells`) stay int64 before the in-place scatter.
 
+Cell ids are **1-based** throughout: the engine reserves table row 0 as
+a dummy, so ``0`` is the universal empty sentinel for ``head``/``tail``
+cursors, ``nxt`` links, and candidate slots.  The zero sentinel lets the
+big per-lane ``(L, N, N)`` cursor cubes come from ``np.zeros`` (calloc —
+no page is touched until first use) instead of an eagerly written
+``np.full(-1)``, which at N=4096 removes over a second of cold-start
+page-fault cost from every session construction.
+
 ``SimConfig(kernels="numba")`` selects the njit-compiled sequential
 kernel for every plane; when numba is absent the engine falls back
 cleanly to the fused numpy path (``HAVE_NUMBA`` is the gate), producing
@@ -60,15 +68,19 @@ __all__ = [
     "walk_candidates",
     "commit_pops",
     "drain_plane_seq",
+    "drain_slots_batch",
     "get_seq_kernel",
+    "get_batch_kernel",
 ]
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba
+    from numba import prange
 
     HAVE_NUMBA = True
 except ImportError:  # pragma: no cover - the common case in CI images
     numba = None
+    prange = range  # the plain-Python build walks the same loops serially
     HAVE_NUMBA = False
 
 _EMPTY32 = np.empty(0, dtype=np.int32)
@@ -115,7 +127,7 @@ def append_cells(
     # predecessor; group tails terminate.
     inner = np.flatnonzero(~newg)
     nxt[sc[inner - 1]] = sc[inner]
-    nxt[sc[ends]] = -1
+    nxt[sc[ends]] = 0
     gkey = sk[starts]
     gl = gkey % num_lanes
     gpair = gkey // num_lanes
@@ -124,7 +136,7 @@ def append_cells(
     gh = sc[starts]
     gt = sc[ends]
     told = tail[gl, gu, gv]
-    has = told >= 0
+    has = told > 0
     nxt[told[has]] = gh[has]
     empty = ~has
     head[gl[empty], gu[empty], gv[empty]] = gh[empty]
@@ -157,7 +169,7 @@ def walk_candidates(
     """Optimistic per-plane candidate walk (no mutation).
 
     Fills ``cand[:budget, :C]`` with the cell ids each active circuit
-    would pop per budget round (-1 = none) assuming no same-plane
+    would pop per budget round (0 = none) assuming no same-plane
     cascade, and returns the post-walk per-lane head cursors ``(L, C)``
     for :func:`commit_pops`.  ``cand`` and ``arange_buf`` are
     preallocated scratch.
@@ -165,10 +177,10 @@ def walk_candidates(
     num_circuits = srcs.shape[0]
     cur = head[:, srcs, dsts]  # (L, C) gather — a copy, safe to advance
     sub = cand[:budget, :num_circuits]
-    sub.fill(-1)
+    sub.fill(0)
     ar = arange_buf[:num_circuits]
     for rnd in range(budget):
-        nonempty = cur >= 0
+        nonempty = cur > 0
         lane_sel = nonempty.argmax(axis=0)
         live = nonempty[lane_sel, ar]
         idx = np.flatnonzero(live)
@@ -194,7 +206,7 @@ def commit_pops(
     ``qlen`` (active pairs are unique within a plane matching)."""
     head[:, srcs, dsts] = cur
     tl = tail[:, srcs, dsts]
-    tl[cur < 0] = -1
+    tl[cur == 0] = 0
     tail[:, srcs, dsts] = tl
     qlen[srcs, dsts] -= got
 
@@ -240,12 +252,12 @@ def drain_plane_seq(
         for lane in range(num_lanes):
             while got < budget:
                 cid = head[lane, s, d]
-                if cid < 0:
+                if cid == 0:
                     break
                 nx = nxt[cid]
                 head[lane, s, d] = nx
-                if nx < 0:
-                    tail[lane, s, d] = -1
+                if nx == 0:
+                    tail[lane, s, d] = 0
                 qlen[s, d] -= 1
                 got += 1
                 r = ridx[cid]
@@ -260,8 +272,8 @@ def drain_plane_seq(
                     v = routes[r, h + 1]
                     fl = fwd_lane[rfid[cid]]
                     told = tail[fl, u, v]
-                    nxt[cid] = -1
-                    if told < 0:
+                    nxt[cid] = 0
+                    if told == 0:
                         head[fl, u, v] = cid
                     else:
                         nxt[told] = cid
@@ -275,7 +287,163 @@ def drain_plane_seq(
     return pos
 
 
+def drain_slots_batch(
+    head,
+    tail,
+    nxt,
+    qlen,
+    routes,
+    rowlen,
+    ridx,
+    rhop,
+    rfid,
+    fwd_lane,
+    dest_block,
+    blk_cid,
+    blk_u,
+    blk_v,
+    blk_lane,
+    ends,
+    cur0,
+    budget,
+    out_cids,
+    out_slotidx,
+    inj_counts,
+    del_counts,
+    slot_max,
+    touched_u,
+    touched_v,
+):
+    """Advance a whole batch of slots over the flat tables.
+
+    One call runs ``B = dest_block.shape[0]`` consecutive slots of the
+    block-mode slot loop — presampled arrivals (``blk_*`` chunk arrays,
+    per-slot end offsets ``ends``, chunk-local cursor ``cur0``) followed
+    by every plane's exact sequential drain against its dense
+    destination row ``dest_block[b, p]`` — entirely inside one kernel,
+    so the per-slot Python driver cost is paid once per batch instead
+    of once per slot.  Reference semantics are verbatim per slot:
+    arrivals append in input order, planes drain in order, circuits in
+    source order with strict lane priority and immediate forwarding
+    (same-slot cascades included).
+
+    The caller guarantees the batch is *clean*: no failure edge, chunk
+    boundary, segment stop or arrival-horizon crossing inside it, and
+    no per-slot observers attached (the driver collapses the batch span
+    otherwise).
+
+    Records delivered cell ids in delivery order (``out_cids``) with
+    their batch-slot index (``out_slotidx``), per-slot injected and
+    delivered counts, and the end-of-slot max VOQ length over the pairs
+    touched this slot (``slot_max``, using the ``touched_u/v`` scratch;
+    the max scan is a ``prange`` reduction under the parallel numba
+    build).  Returns ``(new chunk-local cursor, delivered total)``.
+
+    Written against numba's nopython subset so the identical body
+    compiles under ``numba.njit(parallel=True)`` and runs as plain
+    Python when numba is absent — the batched fuzz/equivalence tests
+    exercise the plain build, the weekly numba CI lane the compiled
+    one.
+    """
+    nslots = dest_block.shape[0]
+    num_planes = dest_block.shape[1]
+    num_nodes = dest_block.shape[2]
+    num_lanes = head.shape[0]
+    cur = cur0
+    pos = 0
+    for b in range(nslots):
+        tcount = 0
+        # -- presampled arrivals of this slot (block-mode append) -----
+        end = ends[b]
+        inj_counts[b] = end - cur
+        while cur < end:
+            cid = blk_cid[cur]
+            lane = blk_lane[cur]
+            u = blk_u[cur]
+            v = blk_v[cur]
+            told = tail[lane, u, v]
+            nxt[cid] = 0
+            if told == 0:
+                head[lane, u, v] = cid
+            else:
+                nxt[told] = cid
+            tail[lane, u, v] = cid
+            qlen[u, v] += 1
+            touched_u[tcount] = u
+            touched_v[tcount] = v
+            tcount += 1
+            cur += 1
+        # -- per-plane exact sequential drains ------------------------
+        del0 = pos
+        for p in range(num_planes):
+            for s in range(num_nodes):
+                d = dest_block[b, p, s]
+                if d < 0:
+                    continue
+                got = 0
+                for lane in range(num_lanes):
+                    while got < budget:
+                        cid = head[lane, s, d]
+                        if cid == 0:
+                            break
+                        nx = nxt[cid]
+                        head[lane, s, d] = nx
+                        if nx == 0:
+                            tail[lane, s, d] = 0
+                        qlen[s, d] -= 1
+                        got += 1
+                        r = ridx[cid]
+                        h = rhop[cid]
+                        if h == rowlen[r] - 2:
+                            out_cids[pos] = cid
+                            out_slotidx[pos] = b
+                            pos += 1
+                        else:
+                            h += 1
+                            rhop[cid] = h
+                            u = routes[r, h]
+                            v = routes[r, h + 1]
+                            fl = fwd_lane[rfid[cid]]
+                            told = tail[fl, u, v]
+                            nxt[cid] = 0
+                            if told == 0:
+                                head[fl, u, v] = cid
+                            else:
+                                nxt[told] = cid
+                            tail[fl, u, v] = cid
+                            qlen[u, v] += 1
+                            touched_u[tcount] = u
+                            touched_v[tcount] = v
+                            tcount += 1
+                    if got >= budget:
+                        break
+        del_counts[b] = pos - del0
+        # -- end-of-slot stats: max VOQ over this slot's touched pairs
+        m = 0
+        for t in prange(tcount):
+            q = qlen[touched_u[t], touched_v[t]]
+            m = max(m, q)
+        slot_max[b] = m
+    return cur, pos
+
+
 _seq_jit = None
+_batch_jit = None
+
+
+def get_batch_kernel(use_numba: bool):
+    """The batched slot driver kernel for the requested mode.
+
+    ``use_numba=True`` returns (and lazily compiles, once per process)
+    the parallel njit build of :func:`drain_slots_batch`; anything else
+    returns the plain Python function, which is semantically identical.
+    """
+    global _batch_jit
+    if use_numba and HAVE_NUMBA:  # pragma: no cover - needs numba
+        if _batch_jit is None:
+            _batch_jit = numba.njit(cache=True, parallel=True)(drain_slots_batch)
+        return _batch_jit
+    return drain_slots_batch
 
 
 def get_seq_kernel(use_numba: bool):

@@ -20,6 +20,7 @@ the simulator's inner loop.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ __all__ = [
     "SimNetwork",
     "ArrayVoqState",
     "LinkedVoqState",
+    "clear_cube_pool",
     "transit_priority_lane",
     "short_flow_priority_lane",
 ]
@@ -280,12 +282,51 @@ class ArrayVoqState:
         return [int(v) for v in self.qlen.sum(axis=1)]
 
 
+# Recycled (head, tail, qlen) cube triples, keyed by (num_lanes,
+# num_nodes), at most one triple per key.  At N=4096 the two (L, N, N)
+# cursor cubes span ~268 MiB each; allocating them fresh per session
+# means every run re-pays scattered first-touch page faults in the hot
+# kernels (~0.2-0.9 s, the dominant per-run cost once the kernels
+# themselves are fast).  Reusing the cubes keeps the pages resident:
+# back-to-back N=4096 runs go from ~210 to ~550 slots/s on the bench
+# host.  Zeroing on recycle touches only the dirty (u, v) pairs — the
+# engine invariant that a drained-empty VOQ lane always resets its
+# head/tail cursors to 0 means ``qlen[u, v] == 0`` implies the pair's
+# cursors are already clean in every lane, so ``qlen > 0`` locates all
+# dirt (and the differential fuzz harness, which runs hundreds of
+# sessions through one process-wide pool, would surface any violation
+# as a bit-exactness failure).
+_CUBE_POOL: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _recycle_cubes(
+    key: Tuple[int, int],
+    head: np.ndarray,
+    tail: np.ndarray,
+    qlen: np.ndarray,
+) -> None:
+    """Finalizer: sanitize a dead session's cubes and pool them."""
+    u, v = qlen.nonzero()  # qlen is nonnegative: nonzero == dirty
+    if u.shape[0]:
+        head[:, u, v] = 0
+        tail[:, u, v] = 0
+        qlen[u, v] = 0
+    _CUBE_POOL[key] = (head, tail, qlen)
+
+
+def clear_cube_pool() -> None:
+    """Drop all pooled VOQ cubes (releases ~600 MiB after paper-scale
+    runs; memory-measuring tests call this for a clean baseline)."""
+    _CUBE_POOL.clear()
+
+
 class LinkedVoqState:
     """Array-linked-list VOQ state for the fused-kernel engine.
 
     Queue contents are intrusive singly-linked lists over the engine's
     flat cell tables: ``head``/``tail`` give, per (lane, node, neighbor),
-    the first and last queued cell id (``-1`` = empty), and the engine's
+    the first and last queued cell id (``0`` = empty; cell ids are
+    1-based, with table row 0 reserved as a dummy), and the engine's
     shared ``nxt`` array chains cell to cell.  Everything — enqueues,
     drains, statistics — is array arithmetic; no deque, dict, or per-cell
     Python object appears anywhere on the hot path (see
@@ -310,17 +351,39 @@ class LinkedVoqState:
         self.num_nodes = int(num_nodes)
         self.num_lanes = int(num_lanes)
         shape = (self.num_lanes, self.num_nodes, self.num_nodes)
-        #: First queued cell id per (lane, node, neighbor); -1 = empty.
-        self.head = np.full(shape, -1, dtype=np.int32)
-        #: Last queued cell id per (lane, node, neighbor); -1 = empty.
-        self.tail = np.full(shape, -1, dtype=np.int32)
-        #: Dense per-(node, neighbor) queue lengths, all lanes summed.
-        #: int32: a single VOQ holding 2**31 cells is unreachable (the
-        #: cell tables would exhaust memory long before), and the
-        #: narrower dtype halves the dominant N x N counter at paper
-        #: scale (64 MiB saved at N=4096).
-        self.qlen = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int32)
+        # Cell ids in these cubes are 1-based (the engine reserves table
+        # row 0 as a dummy), so 0 doubles as the empty sentinel and the
+        # cubes come from calloc (np.zeros) instead of an eagerly filled
+        # np.full — at N=4096 the two (L, N, N) cubes are ~268 MiB and
+        # the untouched zero pages cut cold-start session construction
+        # from over a second to effectively nothing.  A same-shape triple
+        # from a finished session is reused when available (see
+        # ``_CUBE_POOL``): the recycled cubes are already zeroed and,
+        # crucially, already paged in.
+        key = (self.num_lanes, self.num_nodes)
+        pooled = _CUBE_POOL.pop(key, None)
+        if pooled is not None:
+            self.head, self.tail, self.qlen = pooled
+        else:
+            #: First queued cell id per (lane, node, neighbor); 0 = empty.
+            self.head = np.zeros(shape, dtype=np.int32)
+            #: Last queued cell id per (lane, node, neighbor); 0 = empty.
+            self.tail = np.zeros(shape, dtype=np.int32)
+            #: Dense per-(node, neighbor) queue lengths, all lanes summed.
+            #: int32: a single VOQ holding 2**31 cells is unreachable
+            #: (the cell tables would exhaust memory long before), and
+            #: the narrower dtype halves the dominant N x N counter at
+            #: paper scale (64 MiB saved at N=4096).
+            self.qlen = np.zeros(
+                (self.num_nodes, self.num_nodes), dtype=np.int32
+            )
         self._occupancy = 0
+        self._finalizer = weakref.finalize(
+            self, _recycle_cubes, key, self.head, self.tail, self.qlen
+        )
+        # Never run during interpreter shutdown — numpy may already be
+        # torn down, and there is no process left to reuse the cubes.
+        self._finalizer.atexit = False
 
     def export_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """(head, tail, qlen, occupancy) — the complete queue state, for
@@ -342,10 +405,26 @@ class LinkedVoqState:
                 f"restored VOQ state has shape {head.shape}, fabric "
                 f"expects {expected}"
             )
+        displaced = head is not self.head
+        if displaced:
+            # Sanitize and pool the replaced cubes right now (the
+            # finalizer is re-bound to the restored arrays below, so the
+            # old triple would otherwise never be recycled).
+            self._finalizer()
         self.head = head.astype(np.int32, copy=False)
         self.tail = tail.astype(np.int32, copy=False)
         self.qlen = qlen.astype(np.int32, copy=False)
         self._occupancy = int(occupancy)
+        if displaced:
+            self._finalizer = weakref.finalize(
+                self,
+                _recycle_cubes,
+                (self.num_lanes, self.num_nodes),
+                self.head,
+                self.tail,
+                self.qlen,
+            )
+            self._finalizer.atexit = False
 
     def credit(self, count: int) -> None:
         """Account *count* cells entering the fabric (injection batch)."""

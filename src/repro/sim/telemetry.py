@@ -822,8 +822,15 @@ class PhaseProfiler(TelemetryCollector):
     Engines lap the timer at phase boundaries: ``inject`` (arrival
     injection), ``forward`` (circuit drain — delivery happens inside this
     loop), and ``stats`` (refills, invariant checks, occupancy/trace/
-    telemetry bookkeeping).  Timings answer "where does the wall clock
-    go" for engine-optimization work; they are *excluded* from the
+    telemetry bookkeeping).  The vectorized engine further splits the
+    drain out of ``forward`` into ``drain`` (candidate walk + cascade
+    detection, or the sequential kernel when it is the chosen path),
+    ``commit`` (head/tail/qlen commit plus forwarded-cell appends) and
+    ``repair`` (cascade repair or the sequential replay of a cascade
+    slot), leaving ``forward`` as the residual glue — so the phases
+    still sum to wall time and a regression names the guilty kernel.
+    Timings answer "where does the wall clock go" for
+    engine-optimization work; they are *excluded* from the
     deterministic snapshot/JSONL/CSV streams because they are real
     measurements, not reproducible telemetry.
     """

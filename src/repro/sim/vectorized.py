@@ -65,6 +65,8 @@ remains the reference implementation and the default.
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_right
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -80,6 +82,7 @@ from .kernels import (
     _EMPTY32,
     append_cells,
     commit_pops,
+    get_batch_kernel,
     get_seq_kernel,
     walk_candidates,
 )
@@ -218,6 +221,11 @@ class VectorizedSession(SimSession):
             hub.sample if hub is not None and hub.wants_samples else None
         )
         self._prof = hub.profiler if hub is not None else None
+        # Seconds already attributed to the drain/commit/repair
+        # sub-phases this slot; _advance charges the residual (matching
+        # application, delivery accounting, the loop itself) to
+        # "forward" so the profile still sums to wall time.
+        self._prof_attr = 0.0
         num_flows = len(flows)
         num_nodes = self.schedule.num_nodes
         self.num_nodes = num_nodes
@@ -341,12 +349,7 @@ class VectorizedSession(SimSession):
                 self._routes = np.full((0, 0), -1, dtype=np.int32)
                 self._rowlen = np.empty(0, dtype=np.int32)
                 self._nroutes = 0
-            self._ridx = np.empty(0, dtype=np.int32)
-            self._rhop = np.empty(0, dtype=np.int32)
-            self._rfid = np.empty(0, dtype=np.int32)
-            self._nxt = np.empty(0, dtype=np.int32)
-            self._cinj = np.empty(0, dtype=np.int32) if self._track_inj else None
-            self._ncells = 0
+            self._init_cell_tables()
             inj = np.where(arr_np < duration_slots, sz_np, 0)
         else:
             # Windowed: per-slot arrival/refill batches; cell tables grow
@@ -355,12 +358,7 @@ class VectorizedSession(SimSession):
                 self._routes = np.full((0, 0), -1, dtype=np.int32)
                 self._rowlen = np.empty(0, dtype=np.int32)
                 self._nroutes = 0
-            self._ridx = np.empty(0, dtype=np.int32)
-            self._rhop = np.empty(0, dtype=np.int32)
-            self._rfid = np.empty(0, dtype=np.int32)
-            self._nxt = np.empty(0, dtype=np.int32)
-            self._cinj = np.empty(0, dtype=np.int32) if self._track_inj else None
-            self._ncells = 0
+            self._init_cell_tables()
             inj = [0] * num_flows
             for i, spec in enumerate(flows):
                 arrivals.setdefault(spec.arrival_slot, []).append(i)
@@ -377,6 +375,28 @@ class VectorizedSession(SimSession):
         self._out_cids = np.empty(num_nodes * budget, dtype=np.int32)
         self._out_del = np.empty(num_nodes * budget, dtype=np.uint8)
         self._out_got = np.zeros(num_nodes, dtype=np.int64)
+
+        # --- Slot batching ---------------------------------------------
+        # The driver advances up to _batch_cap slots per outer iteration
+        # when no per-slot observer is attached (telemetry hub incl.
+        # profiler, tracer, invariant checker) and injection is block
+        # mode; _batch_span further collapses each batch at segment
+        # stops, failure edges, the arrival horizon and chunk
+        # boundaries.  Results are bit-identical at every cap.
+        sb = config.slot_batch
+        cap = 64 if sb == "auto" else int(sb)
+        if (
+            hub is not None
+            or checker is not None
+            or tracer is not None
+            or window is not None
+        ):
+            cap = 1
+        self._batch_cap = cap
+        # kernels="numba" drives whole batches through the fused
+        # nopython driver kernel; the numpy mode keeps the vectorized
+        # per-plane walk and batches only the Python driver around it.
+        self._batch_kernel = get_batch_kernel(True) if self._force_seq else None
 
     def _install_schedule(self, new_schedule: CircuitSchedule) -> None:
         # Everything slot-periodic is derived from the schedule and must
@@ -405,25 +425,30 @@ class VectorizedSession(SimSession):
             )
         head, tail, qlen, occupancy = self.network.export_state()
         ncells = self._ncells
+        live = slice(1, ncells + 1)
+        # The checkpoint byte format predates the 1-based in-memory cell
+        # ids (0-empty sentinel, dummy table row 0): saved cursors/links
+        # stay 0-based with -1 = empty, so existing checkpoints remain
+        # valid and both engines' payloads stay directly comparable.
         state = {
             "fdcount": encode_array(self._fdcount),
             "fhoptot": encode_array(self._fhoptot),
             "fcompletion": encode_array(self._fcompletion),
             "network": {
-                "head": encode_array(head),
-                "tail": encode_array(tail),
+                "head": encode_array(head - 1),
+                "tail": encode_array(tail - 1),
                 "qlen": encode_array(qlen),
                 "occupancy": occupancy,
             },
             "routes": encode_array(self._routes[: self._nroutes]),
             "rowlen": encode_array(self._rowlen[: self._nroutes]),
             "nroutes": self._nroutes,
-            "ridx": encode_array(self._ridx[:ncells]),
-            "rhop": encode_array(self._rhop[:ncells]),
-            "rfid": encode_array(self._rfid[:ncells]),
-            "nxt": encode_array(self._nxt[:ncells]),
+            "ridx": encode_array(self._ridx[live]),
+            "rhop": encode_array(self._rhop[live]),
+            "rfid": encode_array(self._rfid[live]),
+            "nxt": encode_array(self._nxt[live] - 1),
             "cinj": (
-                encode_array(self._cinj[:ncells])
+                encode_array(self._cinj[live])
                 if self._cinj is not None
                 else None
             ),
@@ -446,9 +471,12 @@ class VectorizedSession(SimSession):
             self._fhoptot = decode_array(state["fhoptot"])
             self._fcompletion = decode_array(state["fcompletion"])
             net = state["network"]
+            # Saved cursors/links are 0-based with -1 = empty (see
+            # _state_payload); the live tables are 1-based with a dummy
+            # row 0, so shift on the way in and re-prefix the dummy row.
             self.network.load_state(
-                decode_array(net["head"]),
-                decode_array(net["tail"]),
+                decode_array(net["head"]).astype(np.int32) + 1,
+                decode_array(net["tail"]).astype(np.int32) + 1,
                 decode_array(net["qlen"]),
                 int(net["occupancy"]),
             )
@@ -459,10 +487,19 @@ class VectorizedSession(SimSession):
                 np.int32, copy=False
             )
             self._nroutes = int(state["nroutes"])
-            self._ridx = decode_array(state["ridx"]).astype(np.int32, copy=False)
-            self._rhop = decode_array(state["rhop"]).astype(np.int32, copy=False)
-            self._rfid = decode_array(state["rfid"]).astype(np.int32, copy=False)
-            self._nxt = decode_array(state["nxt"]).astype(np.int32, copy=False)
+
+            def dummy_prefixed(arr: np.ndarray, shift: int = 0) -> np.ndarray:
+                out = np.empty(arr.shape[0] + 1, dtype=np.int32)
+                out[0] = 0
+                out[1:] = arr
+                if shift:
+                    out[1:] += shift
+                return out
+
+            self._ridx = dummy_prefixed(decode_array(state["ridx"]))
+            self._rhop = dummy_prefixed(decode_array(state["rhop"]))
+            self._rfid = dummy_prefixed(decode_array(state["rfid"]))
+            self._nxt = dummy_prefixed(decode_array(state["nxt"]), shift=1)
             saved_cinj = state["cinj"]
             if self._track_inj:
                 if saved_cinj is None:
@@ -472,7 +509,7 @@ class VectorizedSession(SimSession):
                         "checkpoint carries none — resume with the saving "
                         "run's configuration"
                     )
-                self._cinj = decode_array(saved_cinj).astype(np.int32, copy=False)
+                self._cinj = dummy_prefixed(decode_array(saved_cinj))
             self._ncells = int(state["ncells"])
             self._cursor = int(state["cursor"])
             self._partial_flows = int(state["partial_flows"])
@@ -481,11 +518,12 @@ class VectorizedSession(SimSession):
                 self._blk_hi = int(state["blk_hi"])
                 if self._blk_hi > self._blk_base:
                     # The current presample chunk's scratch is a pure
-                    # function of the restored cell tables.
-                    span = slice(self._blk_base, self._blk_hi)
+                    # function of the restored cell tables (global cell
+                    # [lo, hi) has the 1-based id lo+1..hi).
+                    span = slice(self._blk_base + 1, self._blk_hi + 1)
                     rows = self._ridx[span]
                     self._blk_cid = np.arange(
-                        self._blk_base, self._blk_hi, dtype=np.int32
+                        self._blk_base + 1, self._blk_hi + 1, dtype=np.int32
                     )
                     self._blk_u = self._routes[rows, 0]
                     self._blk_v = self._routes[rows, 1]
@@ -516,6 +554,21 @@ class VectorizedSession(SimSession):
 
     # -- cell table management ------------------------------------------------
 
+    def _init_cell_tables(self) -> None:
+        """Fresh cell tables with the dummy row 0 cell ids leave free.
+
+        Cell ids are 1-based (see :mod:`repro.sim.kernels`): id ``k``
+        lives at table index ``k`` and index 0 is never a real cell, so
+        ``0`` is the empty sentinel in every ``head``/``tail``/``nxt``
+        cursor and the cursor cubes can stay untouched zero pages.
+        """
+        self._ridx = np.zeros(1, dtype=np.int32)
+        self._rhop = np.zeros(1, dtype=np.int32)
+        self._rfid = np.zeros(1, dtype=np.int32)
+        self._nxt = np.zeros(1, dtype=np.int32)
+        self._cinj = np.zeros(1, dtype=np.int32) if self._track_inj else None
+        self._ncells = 0
+
     @staticmethod
     def _grown(arr: np.ndarray, newcap: int) -> np.ndarray:
         out = np.empty(newcap, dtype=arr.dtype)
@@ -523,8 +576,12 @@ class VectorizedSession(SimSession):
         return out
 
     def _alloc_cells(self, count: int) -> int:
-        """Reserve *count* fresh cell ids; returns the base id."""
-        base = self._ncells
+        """Reserve *count* fresh cell ids; returns the base id.
+
+        Ids are 1-based: the first allocation returns 1 and table index
+        0 stays the dummy row shared by every sentinel.
+        """
+        base = self._ncells + 1
         need = base + count
         cap = self._ridx.shape[0]
         if need > cap:
@@ -535,7 +592,7 @@ class VectorizedSession(SimSession):
             self._nxt = self._grown(self._nxt, newcap)
             if self._cinj is not None:
                 self._cinj = self._grown(self._cinj, newcap)
-        self._ncells = need
+        self._ncells += count
         return base
 
     def _append_routes(self, paths: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -563,7 +620,8 @@ class VectorizedSession(SimSession):
         per-cell order, trims the partial first/last flows, and samples
         exactly those cells' paths.  Because refills happen strictly
         sequentially, the RNG consumes draws in the whole-run order and
-        ``_alloc_cells`` hands back exactly the ids [lo, hi).
+        ``_alloc_cells`` hands back exactly the (1-based) ids of global
+        cells [lo, hi).
         """
         lo = self._blk_hi
         hi = min(self._blk_total, lo + self.config.presample_chunk_cells)
@@ -590,10 +648,10 @@ class VectorizedSession(SimSession):
         self._ridx[span] = rows
         self._rhop[span] = 0
         self._rfid[span] = order
-        self._nxt[span] = -1
+        self._nxt[span] = 0
         if self._cinj is not None:
             self._cinj[span] = self._arr_np[order]
-        self._blk_cid = np.arange(lo, hi, dtype=np.int32)
+        self._blk_cid = np.arange(base, base + count, dtype=np.int32)
         self._blk_u = self._routes[rows, 0]
         self._blk_v = self._routes[rows, 1]
         self._blk_lane = self._fresh_lane[order]
@@ -644,8 +702,27 @@ class VectorizedSession(SimSession):
 
     # -- per-plane drain ------------------------------------------------------
 
-    def _drain_seq(self, slot: int, plane: int, srcs, dsts) -> np.ndarray:
-        """Exact sequential drain of one plane (fallback / numba path)."""
+    def _prof_add(self, phase: str, started: float) -> float:
+        """Attribute seconds since *started* to a drain sub-phase;
+        returns the new lap start."""
+        now = perf_counter()
+        dt = now - started
+        self._prof.add(phase, dt)
+        self._prof_attr += dt
+        return now
+
+    def _drain_seq(
+        self, slot: int, plane: int, srcs, dsts, phase: str = "drain"
+    ) -> np.ndarray:
+        """Exact sequential drain of one plane (fallback / numba path).
+
+        *phase* names the profiler sub-phase this pass bills to:
+        ``"drain"`` when the sequential kernel is the chosen path
+        (``kernels="numba"``), ``"repair"`` when it replays a cascade
+        slot the vectorized walk had to abandon.
+        """
+        prof = self._prof
+        t0 = perf_counter() if prof is not None else 0.0
         state = self.network
         npop = self._seq_kernel(
             state.head,
@@ -666,6 +743,8 @@ class VectorizedSession(SimSession):
             self._out_got,
         )
         if npop == 0:
+            if prof is not None:
+                self._prof_add(phase, t0)
             return _EMPTY32
         popped = self._out_cids[:npop]
         delm = self._out_del[:npop].astype(bool)
@@ -680,15 +759,53 @@ class VectorizedSession(SimSession):
             self._slot_pairs.append(
                 (self._routes[rows, hops], self._routes[rows, hops + 1])
             )
+        if prof is not None:
+            self._prof_add(phase, t0)
         return popped[delm]
 
     def _drain_plane(self, slot: int, plane: int, srcs, dsts, dst_row) -> np.ndarray:
         """Drain one plane's active circuits; returns the delivered cell
-        ids in exact delivery (circuit-major pop) order."""
+        ids in exact delivery (circuit-major pop) order.
+
+        Dispatch layer: the sequential kernel when forced, otherwise the
+        vectorized walk over only the circuits whose VOQ pair is
+        nonempty — a paper-scale plane matches N circuits but usually
+        only a few dozen have queued cells, and every per-circuit
+        gather/scatter in the walk and commit scales with the circuit
+        count.  Filtering cannot change cascade-free semantics (a
+        circuit with an empty pair pops nothing and commits nothing);
+        cascade detection still checks forwards against the *full*
+        matching row, and any hit re-runs the full circuit set — a
+        forwarded cell may land on, and be drained by, a circuit whose
+        pair started the slot empty.
+        """
         if srcs.shape[0] == 0:
             return _EMPTY32
         if self._force_seq:
             return self._drain_seq(slot, plane, srcs, dsts)
+        live = self.network.qlen[srcs, dsts] > 0
+        if live.all():
+            return self._drain_vec(slot, plane, srcs, dsts, dst_row, srcs, dsts)
+        lsrcs = srcs[live]
+        if lsrcs.shape[0] == 0:
+            return _EMPTY32
+        return self._drain_vec(
+            slot, plane, lsrcs, dsts[live], dst_row, srcs, dsts
+        )
+
+    def _drain_vec(
+        self, slot: int, plane: int, srcs, dsts, dst_row, full_srcs, full_dsts
+    ) -> np.ndarray:
+        """Optimistic walk + commit over (a live subset of) one plane.
+
+        ``srcs``/``dsts`` are the circuits actually walked;
+        ``full_srcs``/``full_dsts`` are the plane's complete matching,
+        needed whenever a cascade hit forces a replay (sequential
+        fallback or an unfiltered re-walk).  The walk itself never
+        mutates, so re-running it with the full set is safe.
+        """
+        prof = self._prof
+        t = perf_counter() if prof is not None else 0.0
         state = self.network
         head = state.head
         nxt = self._nxt
@@ -701,9 +818,11 @@ class VectorizedSession(SimSession):
         cur = walk_candidates(head, nxt, srcs, dsts, budget, self._cand, self._ar)
         sub = self._cand[:budget, :num_circuits]
         flat = sub.T.ravel()  # circuit-major: pop order of the plane
-        valid = flat >= 0
+        valid = flat > 0
         popped = flat[valid]
         if popped.size == 0:
+            if prof is not None:
+                self._prof_add("drain", t)
             return _EMPTY32
         rows = ridx[popped]
         hops = rhop[popped]
@@ -721,16 +840,36 @@ class VectorizedSession(SimSession):
                 # A forwarded cell lands in a VOQ this same plane still
                 # (or already) drains: possible same-slot cascade.
                 if budget != 1 or self._emit:
-                    return self._drain_seq(slot, plane, srcs, dsts)
+                    if prof is not None:
+                        self._prof_add("drain", t)
+                    return self._drain_seq(
+                        slot, plane, full_srcs, full_dsts, phase="repair"
+                    )
+                # With budget == 1 the flat pop positions are circuit
+                # indices, so position comparisons are source-id
+                # comparisons and work identically on a filtered subset:
+                # a target circuit whose pair started the slot empty (so
+                # the live-pair filter left it out of the walk) gets a
+                # half-offset key that slots it into source order
+                # between its walked neighbors.
                 fpos = np.flatnonzero(valid)[fwm]
                 tpos = np.searchsorted(srcs, fu)
-                real = hit & (tpos > fpos)
+                tkey = tpos.astype(np.float64)
+                if srcs is not full_srcs:
+                    nsrc = srcs.shape[0]
+                    bounded = tpos < nsrc
+                    inset = np.zeros(fu.shape[0], dtype=bool)
+                    inset[bounded] = srcs[tpos[bounded]] == fu[bounded]
+                    tkey[~inset] -= 0.5
+                real = hit & (tkey > fpos)
                 if np.any(real):
+                    if prof is not None:
+                        t = self._prof_add("drain", t)
                     extra = self._repair_cascades(
-                        srcs, dsts, dst_row, sub, cur, fw, fpos, real, tpos
+                        srcs, dst_row, sub, cur, fw, fu, fv, fpos, tkey, real
                     )
                     flat = sub.T.ravel()
-                    valid = flat >= 0
+                    valid = flat > 0
                     popped = flat[valid]
                     rows = ridx[popped]
                     hops = rhop[popped]
@@ -741,7 +880,11 @@ class VectorizedSession(SimSession):
                     frow = rows[fwm]
                     fu = routes[frow, fh]
                     fv = routes[frow, fh + 1]
-        got = (sub >= 0).sum(axis=0)
+                    if prof is not None:
+                        t = self._prof_add("repair", t)
+        got = (sub > 0).sum(axis=0)
+        if prof is not None and extra is None:
+            t = self._prof_add("drain", t)
         commit_pops(head, state.tail, state.qlen, srcs, dsts, cur, got)
         if fw.size:
             rhop[fw] = fh
@@ -762,6 +905,8 @@ class VectorizedSession(SimSession):
                     self.num_nodes,
                 )
                 self._slot_pairs.append((pu, pv))
+            if prof is not None:
+                self._prof_add("commit", t)
             return popped[delm]
         # Merge the repair results: passthrough cells skip the append
         # (they were popped again by their target circuit), their extra
@@ -772,16 +917,16 @@ class VectorizedSession(SimSession):
             rhop[cid] += bumps
         fpos = np.flatnonzero(valid)[fwm]
         if passthrough:
-            keep = np.fromiter(
-                (int(c) not in passthrough for c in fw),
-                dtype=bool,
-                count=fw.size,
-            )
+            pt = np.fromiter(passthrough, dtype=np.int32, count=len(passthrough))
+            keep = ~np.isin(fw, pt)
             app_cids, app_u, app_v, app_pos = fw[keep], fu[keep], fv[keep], fpos[keep]
         else:
             app_cids, app_u, app_v, app_pos = fw, fu, fv, fpos
         if extra["appends"]:
-            e_pos = np.asarray([e[0] for e in extra["appends"]], dtype=np.int64)
+            # Positions are circuit-order keys: ints for walked
+            # circuits, half-offset floats for cascade targets the
+            # live-pair filter left out of the walk.
+            e_pos = np.asarray([e[0] for e in extra["appends"]], dtype=np.float64)
             e_cid = np.asarray([e[1] for e in extra["appends"]], dtype=np.int32)
             e_u = np.asarray([e[2] for e in extra["appends"]], dtype=np.int32)
             e_v = np.asarray([e[3] for e in extra["appends"]], dtype=np.int32)
@@ -807,17 +952,19 @@ class VectorizedSession(SimSession):
             self._slot_pairs.append((pu, pv))
         deliv_cids = popped[delm]
         if extra["deliveries"]:
-            d_pos = np.asarray([e[0] for e in extra["deliveries"]], dtype=np.int64)
+            d_pos = np.asarray([e[0] for e in extra["deliveries"]], dtype=np.float64)
             d_cid = np.asarray([e[1] for e in extra["deliveries"]], dtype=np.int32)
             order = np.argsort(
                 np.concatenate([np.flatnonzero(valid)[delm], d_pos]),
                 kind="stable",
             )
             deliv_cids = np.concatenate([deliv_cids, d_cid])[order]
+        if prof is not None:
+            self._prof_add("commit", t)
         return deliv_cids
 
     def _repair_cascades(
-        self, srcs, dsts, dst_row, sub, cur, fw, fpos, real, tpos
+        self, srcs, dst_row, sub, cur, fw, fu, fv, fpos, tkey, real
     ) -> dict:
         """Exactly replay the cascade set of one plane (budget == 1).
 
@@ -831,6 +978,16 @@ class VectorizedSession(SimSession):
         never appended), recording their extra hop advances and any
         chained deliveries/appends.  Everything outside the cascade set
         keeps its walk result — the vectorized commit stays valid.
+
+        Targets are keyed ``(position, source)``: the circuit index in
+        the walked set when the target was walked, or the half-offset
+        insertion index from ``tkey`` when its pair started the slot
+        empty and the live-pair filter left it out — in which case there
+        is no snapshot pop to cancel and the winning arrival is simply
+        popped straight through.  Both keyings order identically to full
+        source order, so recorded positions splice into the plane's
+        circuit-major order exactly as the unfiltered walk would have
+        placed them.
         """
         head = self.network.head
         ridx = self._ridx
@@ -840,13 +997,13 @@ class VectorizedSession(SimSession):
         rowlen = self._rowlen
         fwd_lane = self._fwd_lane
         num_lanes = self.network.num_lanes
-        # target position -> [(forwarder position, cid, u, v, chained)]
-        arrivals: Dict[int, List] = {}
+        nsrc = srcs.shape[0]
+        # target (position, source) -> [(fwd position, cid, u, v, chained)]
+        arrivals: Dict[Tuple[float, int], List] = {}
         for k in np.flatnonzero(real):
-            j = int(tpos[k])
-            cid = int(fw[k])
-            arrivals.setdefault(j, []).append(
-                (int(fpos[k]), cid, int(srcs[j]), int(dsts[j]), False)
+            key = (float(tkey[k]), int(fu[k]))
+            arrivals.setdefault(key, []).append(
+                (int(fpos[k]), int(fw[k]), int(fu[k]), int(fv[k]), False)
             )
         passthrough: set = set()
         cancelled: set = set()
@@ -858,17 +1015,20 @@ class VectorizedSession(SimSession):
             todo = [t for t in arrivals if t not in done]
             if not todo:
                 break
-            j = min(todo)
-            done.add(j)
+            key = min(todo)
+            done.add(key)
             entries = sorted(
-                entry for entry in arrivals[j] if entry[1] not in cancelled
+                entry for entry in arrivals[key] if entry[1] not in cancelled
             )
             if not entries:
                 continue
-            s = int(srcs[j])
-            d = int(dsts[j])
-            snap_cid = int(sub[0, j])
-            if snap_cid >= 0:
+            pos = key[0]
+            s = entries[0][2]
+            d = entries[0][3]
+            walked = pos.is_integer()
+            j = int(pos) if walked else -1
+            snap_cid = int(sub[0, j]) if walked else 0
+            if snap_cid > 0:
                 snap_lane = 0
                 for lane in range(num_lanes):
                     if int(head[lane, s, d]) == snap_cid:
@@ -881,24 +1041,25 @@ class VectorizedSession(SimSession):
                 lane = int(fwd_lane[rfid[entry[1]]])
                 if lane >= snap_lane:
                     continue  # cannot beat the snapshot pop
-                if int(head[lane, s, d]) >= 0:
+                if int(head[lane, s, d]) > 0:
                     continue  # lane nonempty: the arrival tails, head wins
                 if best is None or lane < best[0]:
                     best = (lane, entry[0], entry[1])
             # Chained arrivals that do not win still need their append
             # recorded (vector-walk arrivals are already in the forward
             # set; chained ones exist only in this pass).
-            winner = best[2] if best is not None else -1
+            winner = best[2] if best is not None else 0
             for entry in entries:
                 if entry[4] and entry[1] != winner:
                     extra_app.append((entry[0], entry[1], entry[2], entry[3]))
             if best is None:
                 continue
             cell = best[2]
-            if snap_cid >= 0:
+            if snap_cid > 0:
                 cancelled.add(snap_cid)
                 cur[:, j] = head[:, s, d]
-            sub[0, j] = -1
+            if walked:
+                sub[0, j] = 0
             passthrough.add(cell)
             row = int(ridx[cell])
             # Position after the committed first advance plus any chained
@@ -907,7 +1068,7 @@ class VectorizedSession(SimSession):
             # after this pass returns.
             h1 = int(rhop[cell]) + 1 + advances.get(cell, 0)
             if h1 == int(rowlen[row]) - 2:
-                extra_del.append((j, cell))
+                extra_del.append((pos, cell))
                 continue
             advances[cell] = advances.get(cell, 0) + 1
             h2 = h1 + 1
@@ -915,10 +1076,16 @@ class VectorizedSession(SimSession):
             v2 = int(routes[row, h2 + 1])
             if int(dst_row[u2]) == v2:
                 k2 = int(np.searchsorted(srcs, u2))
-                if k2 > j:
-                    arrivals.setdefault(k2, []).append((j, cell, u2, v2, True))
+                if k2 < nsrc and int(srcs[k2]) == u2:
+                    key2 = (float(k2), u2)
+                else:
+                    key2 = (k2 - 0.5, u2)
+                if key2 > key:
+                    arrivals.setdefault(key2, []).append(
+                        (pos, cell, u2, v2, True)
+                    )
                     continue
-            extra_app.append((j, cell, u2, v2))
+            extra_app.append((pos, cell, u2, v2))
         return {
             "passthrough": passthrough,
             "advances": advances,
@@ -964,6 +1131,56 @@ class VectorizedSession(SimSession):
                 checker.record_transmit(slot, plane, src_l[i], dst_l[i], count)
             if rec_tx is not None:
                 rec_tx(slot, plane, src_l[i], dst_l[i], count)
+
+    def _account_deliveries_batch(self, cids: np.ndarray, slots: np.ndarray) -> None:
+        """Fold a whole batch's deliveries into the per-flow ledgers.
+
+        Equivalent to calling :meth:`_account_deliveries` once per
+        (slot, plane) with that drain's deliveries: counts and hop
+        totals are additive, and a flow's completion slot is the slot
+        of the delivery that made its count reach its size — located
+        here as the k-th of the flow's in-batch deliveries (the stable
+        sort by flow preserves delivery order, which is
+        slot-ascending).
+        """
+        fids = self._rfid[cids]
+        hops = self._rowlen[self._ridx[cids]].astype(np.int64) - 1
+        uniq, inverse = np.unique(fids, return_inverse=True)
+        counts = np.bincount(inverse)
+        old = self._fdcount[uniq]
+        new = old + counts
+        self._fdcount[uniq] = new
+        self._fhoptot[uniq] += np.bincount(inverse, weights=hops).astype(np.int64)
+        compm = new == self._fsizes[uniq]
+        if np.any(compm):
+            order = np.argsort(fids, kind="stable")
+            starts = np.searchsorted(fids[order], uniq[compm])
+            kth = self._fsizes[uniq[compm]] - old[compm] - 1
+            self._fcompletion[uniq[compm]] = slots[order][starts + kth]
+
+    def _batch_span(self, slot: int, stop: Optional[int]) -> int:
+        """Largest clean batch span starting at *slot*: bounded by the
+        batch cap, the segment stop, the arrival horizon, the next
+        failure edge, and the presampled chunk's remaining arrivals —
+        so every boundary-sensitive slot (checkpoint, schedule swap,
+        failure mask, chunk refill, drain phase) is handled by the
+        exact per-slot path."""
+        hi = slot + self._batch_cap
+        if hi > self.duration_slots:
+            hi = self.duration_slots
+        if stop is not None and stop < hi:
+            hi = stop
+        timeline = self._timeline
+        if timeline is not None:
+            edge = timeline.next_affected(slot)
+            if edge is not None and edge < hi:
+                hi = edge
+        if hi - slot < 2:
+            return hi - slot
+        # Every arrival in the span must already be presampled; the
+        # per-slot path handles the chunk-refill crossing.
+        hi = bisect_right(self._slot_end, self._blk_hi, slot, hi)
+        return hi - slot
 
     def _account_deliveries(self, slot: int, deliv_cids: np.ndarray) -> None:
         """Fold one plane's deliveries into the per-flow ledgers."""
@@ -1012,9 +1229,193 @@ class VectorizedSession(SimSession):
         cursor = self._cursor
         slot = self.slot
 
+        batch_cap = self._batch_cap
+        batch_kernel = self._batch_kernel
+        num_nodes = self.num_nodes
+        budget = self._budget
+
         while True:
             if stop is not None and slot >= stop:
                 break
+
+            # -- batched fast path ------------------------------------
+            # Advance a whole clean span of slots per driver iteration;
+            # _batch_span collapses to <2 wherever a boundary-sensitive
+            # slot needs the exact per-slot body below.
+            if batch_cap > 1 and slot < duration_slots:
+                B = self._batch_span(slot, stop)
+                if B > 1 and batch_kernel is not None:
+                    # Whole batch inside the fused nopython driver
+                    # kernel (kernels="numba"): arrivals + every
+                    # plane's exact sequential drain for B slots in
+                    # one call.
+                    rows = np.arange(slot, slot + B) % period
+                    dest_block = np.ascontiguousarray(dest_table[rows])
+                    blk_base = self._blk_base
+                    ends = (
+                        np.asarray(slot_end[slot : slot + B], dtype=np.int64)
+                        - blk_base
+                    )
+                    cur0 = cursor - blk_base
+                    diffs = np.diff(np.concatenate(([cur0], ends)))
+                    plane_cap = num_planes * num_nodes * budget
+                    touch_cap = int(diffs.max(initial=0)) + plane_cap
+                    del_cap = B * plane_cap
+                    out_cids = np.empty(del_cap, dtype=np.int32)
+                    out_slotidx = np.empty(del_cap, dtype=np.int32)
+                    inj_counts = np.zeros(B, dtype=np.int64)
+                    del_counts = np.zeros(B, dtype=np.int64)
+                    slot_max = np.zeros(B, dtype=np.int32)
+                    touched_u = np.empty(touch_cap, dtype=np.int32)
+                    touched_v = np.empty(touch_cap, dtype=np.int32)
+                    occ0 = network.total_occupancy
+                    newcur, ndel = batch_kernel(
+                        network.head,
+                        network.tail,
+                        self._nxt,
+                        qlen,
+                        self._routes,
+                        self._rowlen,
+                        self._ridx,
+                        self._rhop,
+                        self._rfid,
+                        self._fwd_lane,
+                        dest_block,
+                        self._blk_cid,
+                        self._blk_u,
+                        self._blk_v,
+                        self._blk_lane,
+                        ends,
+                        cur0,
+                        budget,
+                        out_cids,
+                        out_slotidx,
+                        inj_counts,
+                        del_counts,
+                        slot_max,
+                        touched_u,
+                        touched_v,
+                    )
+                    ndel = int(ndel)
+                    cursor = int(newcur) + blk_base
+                    ninj = int(inj_counts.sum())
+                    network.credit(ninj)
+                    network.debit(ndel)
+                    injected_running += ninj
+                    delivered_running += ndel
+                    occupancy_sum += int(
+                        (occ0 + np.cumsum(inj_counts - del_counts)).sum()
+                    )
+                    mv = int(slot_max.max())
+                    if mv > max_voq:
+                        max_voq = mv
+                    first_meas = max(slot, measure_from)
+                    if first_meas < slot + B:
+                        window_delivered += int(
+                            del_counts[first_meas - slot :].sum()
+                        )
+                    if ndel:
+                        self._account_deliveries_batch(
+                            out_cids[:ndel],
+                            slot + out_slotidx[:ndel].astype(np.int64),
+                        )
+                    slot += B
+                    if slot >= duration_slots:
+                        # Same termination decision the per-slot body
+                        # makes at the horizon (a batch never spans
+                        # past duration_slots, so the max-drain bound
+                        # cannot trigger here).
+                        pending = (
+                            network.total_occupancy > 0 or partial_flows > 0
+                        )
+                        if not (config.drain and pending):
+                            self.horizon = slot
+                            self._done = True
+                            break
+                    continue
+                if B > 1:
+                    # Lean Python batch (numpy mode): the per-plane
+                    # vectorized drains stay per (slot, plane) — the
+                    # state dependency between slots is real — but the
+                    # driver glue (observer checks, timeline probes,
+                    # horizon checks, delivery folding) is paid once
+                    # per batch.
+                    dchunks: List = []  # (slot, delivered cids)
+                    for s in range(slot, slot + B):
+                        end = slot_end[s]
+                        if end > cursor:
+                            count = end - cursor
+                            b0 = cursor - self._blk_base
+                            e0 = end - self._blk_base
+                            pu, pv = append_cells(
+                                network.head,
+                                network.tail,
+                                self._nxt,
+                                qlen,
+                                self._blk_cid[b0:e0],
+                                self._blk_u[b0:e0],
+                                self._blk_v[b0:e0],
+                                self._blk_lane[b0:e0],
+                                network.num_lanes,
+                                num_nodes,
+                            )
+                            slot_pairs.append((pu, pv))
+                            network.credit(count)
+                            injected_running += count
+                            cursor = end
+                        row = s % period
+                        for plane in range(num_planes):
+                            srcs, dsts = schedule.active_circuits(row, plane)
+                            deliv = self._drain_plane(
+                                s, plane, srcs, dsts, dest_table[row, plane]
+                            )
+                            if deliv.size:
+                                network.debit(deliv.size)
+                                delivered_running += deliv.size
+                                if s >= measure_from:
+                                    window_delivered += deliv.size
+                                dchunks.append((s, deliv))
+                        occupancy_sum += network.total_occupancy
+                        if slot_pairs:
+                            if len(slot_pairs) == 1:
+                                gu, gv = slot_pairs[0]
+                            else:
+                                gu = np.concatenate([p[0] for p in slot_pairs])
+                                gv = np.concatenate([p[1] for p in slot_pairs])
+                            if gu.size:
+                                voq_now = int(qlen[gu, gv].max())
+                                if voq_now > max_voq:
+                                    max_voq = voq_now
+                            slot_pairs.clear()
+                    if dchunks:
+                        if len(dchunks) == 1:
+                            s0, c0 = dchunks[0]
+                            cids = c0
+                            slots_arr = np.full(c0.size, s0, dtype=np.int64)
+                        else:
+                            cids = np.concatenate([c for _, c in dchunks])
+                            slots_arr = np.repeat(
+                                np.asarray(
+                                    [s for s, _ in dchunks], dtype=np.int64
+                                ),
+                                [c.size for _, c in dchunks],
+                            )
+                        self._account_deliveries_batch(cids, slots_arr)
+                    slot += B
+                    if slot >= duration_slots:
+                        # Same termination decision the per-slot body
+                        # makes at the horizon (a batch never spans
+                        # past duration_slots, so the max-drain bound
+                        # cannot trigger here).
+                        pending = (
+                            network.total_occupancy > 0 or partial_flows > 0
+                        )
+                        if not (config.drain and pending):
+                            self.horizon = slot
+                            self._done = True
+                            break
+                    continue
+
             if prof is not None:
                 lap = perf_counter()
             if slot < duration_slots:
@@ -1093,7 +1494,14 @@ class VectorizedSession(SimSession):
                         deliv_chunks.append(self._rfid[deliv])
 
             if prof is not None:
-                lap = prof.lap("forward", lap)
+                # The drain paths bill themselves to the drain/commit/
+                # repair sub-phases; "forward" keeps the residual
+                # (matching lookup, delivery accounting, loop glue) so
+                # the summary still covers the whole slot.
+                now = perf_counter()
+                prof.add("forward", (now - lap) - self._prof_attr)
+                self._prof_attr = 0.0
+                lap = now
 
             # Windowed flows refill as their cells deliver.
             if window is not None and deliv_chunks:

@@ -1,0 +1,231 @@
+"""Compiled-schedule cache: byte-identity, invalidation, activation.
+
+The contract mirrors :class:`repro.exp.cache.ResultCache`'s, lifted to
+arrays: a warm hit must be **byte-identical** to the cold build it
+replaced (property-tested across all seven ``frontier_point`` fabric
+families), equal-parameter schedules must share one key while any
+semantic change must miss, and anything out of contract on disk —
+corrupt meta, truncated arrays, entries lying about their key, schema
+bumps, shape drift — is invalidated exactly once and rebuilt, never
+trusted.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exp.families import FRONTIER_SYSTEMS, _frontier_fabric
+from repro.exp.schedcache import SCHED_SCHEMA_VERSION, ScheduleCache, schedule_key
+from repro.schedules import (
+    ExpanderSchedule,
+    RoundRobinSchedule,
+    build_sorn_schedule,
+)
+from repro.schedules.schedule import CircuitSchedule
+from repro.sim import SimConfig, SlotSimulator
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def frontier_params(system, locality, flavor):
+    """Small-fabric params for one frontier system (n=16 suits orn2d)."""
+    params = {"system": system, "nodes": 16, "cliques": 4, "locality": locality}
+    if system == "expander":
+        params["expander_seed"] = flavor
+    elif system == "beyond_vlb":
+        params["direct_fraction"] = 0.3 + 0.2 * flavor
+    elif system == "bvn":
+        params["bvn_period"] = 20 + 4 * flavor
+    elif system == "mixed":
+        params["pool_seed"] = flavor
+    return params
+
+
+class TestByteIdentity:
+    @given(
+        system=st.sampled_from(FRONTIER_SYSTEMS),
+        locality=st.sampled_from([0.4, 0.56, 0.8]),
+        flavor=st.integers(0, 2),
+    )
+    @settings(**_SETTINGS)
+    def test_hit_is_byte_identical_to_cold_build(self, tmp_path_factory, system, locality, flavor):
+        """Across every frontier fabric family: the memory-mapped table a
+        hit serves equals the cold build byte for byte, and so does the
+        packed circuit-up mask."""
+        schedule, _ = _frontier_fabric(frontier_params(system, locality, flavor))
+        cache = ScheduleCache(root=str(tmp_path_factory.mktemp("sched")))
+        cold = schedule._build_dest_table()
+        first = cache.dest_table(schedule)  # miss -> build + store
+        warm = cache.dest_table(schedule)  # hit -> mmap
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+        assert isinstance(warm, np.memmap) and not warm.flags.writeable
+        assert warm.dtype == np.int32 and warm.shape == cold.shape
+        assert warm.tobytes() == cold.tobytes() == first.tobytes()
+        mask = cache.circuit_up_mask(schedule)
+        assert mask.tobytes() == np.packbits(cold >= 0, axis=-1).tobytes()
+
+    def test_equal_schedules_share_a_key_and_changes_miss(self):
+        assert schedule_key(build_sorn_schedule(12, 3, q=2)) == schedule_key(
+            build_sorn_schedule(12, 3, q=2)
+        )
+        base = schedule_key(build_sorn_schedule(12, 3, q=2))
+        assert schedule_key(build_sorn_schedule(12, 3, q=3)) != base
+        assert schedule_key(build_sorn_schedule(12, 4, q=2)) != base
+        assert schedule_key(
+            build_sorn_schedule(12, 3, q=2, num_planes=2)
+        ) != base
+        assert schedule_key(ExpanderSchedule(10, 3, seed=0)) != schedule_key(
+            ExpanderSchedule(10, 3, seed=1)
+        )
+
+    def test_simulation_on_cached_table_matches_uncached(self, tmp_path):
+        """End to end: a run whose dest table came back as a read-only
+        mmap reports identically to the plain in-process build."""
+        from repro.routing import SornRouter
+        from repro.traffic import FlowSpec
+
+        flows = [FlowSpec(i, i % 12, (i + 3) % 12, 2, i % 10) for i in range(30)]
+
+        def run():
+            schedule = build_sorn_schedule(12, 3, q=1)
+            sim = SlotSimulator(
+                schedule,
+                SornRouter(schedule.layout),
+                SimConfig(engine="vectorized"),
+                rng=5,
+            )
+            return sim.run(flows, 60)
+
+        plain = run()
+        cache = ScheduleCache(root=str(tmp_path))
+        with cache:
+            cold = run()  # miss: builds and stores
+            warm = run()  # hit: engine reads the mmap
+        assert cache.stats()["misses"] == 1 and cache.stats()["hits"] >= 1
+        assert cold == plain and warm == plain
+
+    def test_uncacheable_schedule_bypasses(self, tmp_path):
+        class Anonymous(CircuitSchedule):
+            def __init__(self):
+                super().__init__(6, 5)
+
+            def matching(self, slot):
+                return RoundRobinSchedule(6).matching(slot)
+
+        schedule = Anonymous()
+        assert schedule.cache_token() is None
+        cache = ScheduleCache(root=str(tmp_path))
+        table = cache.dest_table(schedule)
+        assert cache.stats()["bypasses"] == 1 and cache.stats()["stores"] == 0
+        assert table.tobytes() == RoundRobinSchedule(6).dest_table().tobytes()
+
+
+def _entry_paths(cache, schedule):
+    return cache._paths(schedule_key(schedule))
+
+
+class TestInvalidation:
+    def warm(self, tmp_path):
+        schedule = build_sorn_schedule(12, 3, q=2)
+        cache = ScheduleCache(root=str(tmp_path))
+        cache.dest_table(schedule)
+        return cache, schedule
+
+    def test_corrupt_meta_invalidated_and_rebuilt(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        meta, table, mask = _entry_paths(cache, schedule)
+        with open(meta, "w") as handle:
+            handle.write("{not json")
+        rebuilt = cache.dest_table(schedule)
+        assert cache.invalidations == 1
+        assert rebuilt.tobytes() == schedule._build_dest_table().tobytes()
+        assert isinstance(cache.dest_table(schedule), np.memmap)  # re-stored
+
+    def test_truncated_table_invalidated(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        meta, table, mask = _entry_paths(cache, schedule)
+        with open(table, "r+b") as handle:
+            handle.truncate(16)
+        rebuilt = cache.dest_table(schedule)
+        assert cache.invalidations == 1
+        assert rebuilt.tobytes() == schedule._build_dest_table().tobytes()
+
+    def test_key_mismatch_treated_as_corrupt(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        other = build_sorn_schedule(12, 3, q=3)
+        src = _entry_paths(cache, schedule)
+        dst = cache._paths(schedule_key(other))
+        os.makedirs(os.path.dirname(dst[0]), exist_ok=True)
+        for s, d in zip(src, dst):
+            os.replace(s, d)  # entry now lies about its own key
+        rebuilt = cache.dest_table(other)
+        assert cache.invalidations == 1
+        assert rebuilt.tobytes() == other._build_dest_table().tobytes()
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        meta, _, _ = _entry_paths(cache, schedule)
+        payload = json.loads(open(meta).read())
+        payload["schema"] = SCHED_SCHEMA_VERSION + 1
+        with open(meta, "w") as handle:
+            json.dump(payload, handle)
+        cache.dest_table(schedule)
+        assert cache.invalidations == 1
+
+    def test_shape_drift_invalidates(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        meta, _, _ = _entry_paths(cache, schedule)
+        payload = json.loads(open(meta).read())
+        payload["shape"][0] += 1  # claims a period the schedule lacks
+        with open(meta, "w") as handle:
+            json.dump(payload, handle)
+        cache.dest_table(schedule)
+        assert cache.invalidations == 1
+
+    def test_invalidation_removes_all_entry_files(self, tmp_path):
+        cache, schedule = self.warm(tmp_path)
+        meta, table, mask = _entry_paths(cache, schedule)
+        with open(meta, "w") as handle:
+            handle.write("{not json")
+        cache._load(schedule, schedule_key(schedule))
+        assert not os.path.exists(meta)
+        assert not os.path.exists(table)
+        assert not os.path.exists(mask)
+
+
+class TestActivation:
+    def test_provider_installed_and_restored(self, tmp_path):
+        from repro.schedules.schedule import _TABLE_PROVIDER  # noqa: F401
+        import repro.schedules.schedule as schedule_mod
+
+        before = schedule_mod._TABLE_PROVIDER
+        cache = ScheduleCache(root=str(tmp_path))
+        with cache:
+            assert schedule_mod._TABLE_PROVIDER == cache.dest_table
+            table = build_sorn_schedule(12, 3, q=1).dest_table()
+            assert not table.flags.writeable
+        assert schedule_mod._TABLE_PROVIDER is before
+
+    def test_activation_is_reentrant_and_exception_safe(self, tmp_path):
+        import repro.schedules.schedule as schedule_mod
+
+        cache = ScheduleCache(root=str(tmp_path))
+        cache.activate()
+        cache.activate()  # idempotent: no provider stacking
+        with pytest.raises(RuntimeError):
+            with cache:
+                raise RuntimeError("boom")
+        assert schedule_mod._TABLE_PROVIDER is None
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ScheduleCache()
+        assert cache.root == os.path.join(str(tmp_path), "schedules")

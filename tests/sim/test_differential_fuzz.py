@@ -9,6 +9,14 @@ axis of the fused vectorized engine), failure timelines, and workloads —
 and asserts the reference and vectorized engines produce *identical*
 reports and traces.
 
+The ``slot_batch`` axis randomizes the vectorized driver's batch span
+(including ``"auto"``); lean examples sometimes drop the tracer too, so
+the batched fast path — which only engages with no per-slot observers —
+actually executes, and ``kernels="numba"`` examples sometimes force the
+sequential/batched kernel tier even where numba is absent (the plain
+Python build of the same kernel bodies), covering the batched driver
+kernel on every CI image.
+
 Each example also draws a ``lean`` bit.  Instrumented examples carry the
 :class:`repro.sim.invariants.InvariantChecker` plus the full shipped
 telemetry collector set
@@ -232,13 +240,29 @@ def scenarios(draw):
         short_flow_threshold_cells=draw(st.one_of(st.none(), st.just(2))),
         check_invariants=not lean,
         kernels=draw(st.sampled_from(["numpy", "numba"])),
+        slot_batch=draw(st.sampled_from([1, 2, 3, 7, 64, "auto"])),
     )
+    # A tracer is a per-slot observer, so traced runs collapse the batch
+    # span to 1; lean examples sometimes drop it to let the batched fast
+    # path execute.  kernels="numba" examples sometimes force the
+    # sequential/batched kernel tier even without numba installed (the
+    # plain Python build of the identical kernel bodies).
+    traced = True if not lean else draw(st.booleans())
+    force_kernels = config["kernels"] == "numba" and draw(st.booleans())
     duration = draw(st.integers(40, 120))
     seed = draw(st.integers(0, 2**16))
-    return schedule, router, timeline, flows, config, duration, seed, lean
+    return (
+        schedule, router, timeline, flows, config, duration, seed, lean,
+        traced, force_kernels,
+    )
 
 
-def _run(engine, schedule, router, timeline, flows, config, duration, seed, lean):
+def _run(
+    engine, schedule, router, timeline, flows, config, duration, seed, lean,
+    traced, force_kernels,
+):
+    import repro.sim.vectorized as vectorized_mod
+
     hub = (
         None
         if lean
@@ -253,8 +277,14 @@ def _run(engine, schedule, router, timeline, flows, config, duration, seed, lean
         rng=np.random.default_rng(seed),
         timeline=timeline,
     )
-    tracer = TraceRecorder(stride=7)
-    report = sim.run(flows, duration, tracer=tracer)
+    tracer = TraceRecorder(stride=7) if traced else None
+    saved = vectorized_mod.HAVE_NUMBA
+    if force_kernels and engine == "vectorized":
+        vectorized_mod.HAVE_NUMBA = True
+    try:
+        report = sim.run(flows, duration, tracer=tracer)
+    finally:
+        vectorized_mod.HAVE_NUMBA = saved
     return report, tracer, hub
 
 
@@ -265,15 +295,21 @@ class TestDifferentialFuzz:
         timelines and failure-aware routing — must produce bit-identical
         reports, traces, and telemetry streams from both engines, with
         every slot passing the invariant checker."""
-        schedule, router, timeline, flows, config, duration, seed, lean = scenario
+        (
+            schedule, router, timeline, flows, config, duration, seed, lean,
+            traced, force_kernels,
+        ) = scenario
         ref_report, ref_trace, ref_hub = _run(
-            "reference", schedule, router, timeline, flows, config, duration, seed, lean
+            "reference", schedule, router, timeline, flows, config, duration,
+            seed, lean, traced, force_kernels,
         )
         vec_report, vec_trace, vec_hub = _run(
-            "vectorized", schedule, router, timeline, flows, config, duration, seed, lean
+            "vectorized", schedule, router, timeline, flows, config, duration,
+            seed, lean, traced, force_kernels,
         )
         assert vec_report == ref_report
-        assert vec_trace.points == ref_trace.points
+        if traced:
+            assert vec_trace.points == ref_trace.points
         if not lean:
             assert vec_hub.snapshot() == ref_hub.snapshot()
             assert vec_hub.dumps_jsonl() == ref_hub.dumps_jsonl()

@@ -299,6 +299,8 @@ class TestMemoryRegression:
         footprint past the budget."""
         import tracemalloc
 
+        from repro.sim import clear_cube_pool
+
         budget_bytes = 64 * 2**20
         schedule = build_sorn_schedule(1024, 32, q=optimal_q(0.56))
         router = SornRouter(schedule.layout)
@@ -314,6 +316,9 @@ class TestMemoryRegression:
         sim = SlotSimulator(
             schedule, router, SimConfig(engine="vectorized"), rng=6
         )
+        # An earlier test may have pooled same-shape VOQ cubes; drop them
+        # so this run's allocations are actually traced.
+        clear_cube_pool()
         tracemalloc.start()
         tracemalloc.reset_peak()
         report = sim.run(flows, slots, measure_from=slots // 2)
